@@ -1,0 +1,177 @@
+"""Ablations of LogR design choices (DESIGN.md §5).
+
+Not a paper figure — these quantify the design decisions the paper
+makes implicitly:
+
+* constant removal on/off (the §7 "Constant Removal" step);
+* regularization: rewrite-to-UNION vs. dropping non-conjunctive queries;
+* clustering distance: Hamming vs. Euclidean at matched K;
+* refinement diversification on/off (§6.4 "the benefit ... is minimal");
+* uniform sampling vs. LogR at matched storage (the §1 motivation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.sampling import sample_log
+from repro.core.compress import LogRCompressor
+from repro.core.pattern import Pattern
+from repro.core.refine import refine_greedy
+from repro.workloads import generate_bank, generate_pocketdata
+
+from conftest import print_table
+
+
+def test_ablation_constant_removal(benchmark):
+    workload = generate_bank(total=30_000, n_templates=150, seed=1)
+    with_removal = benchmark.pedantic(
+        lambda: workload.to_query_log(remove_constants=True), rounds=1, iterations=1
+    )
+    without = workload.to_query_log(remove_constants=False)
+    rows = [
+        ["distinct encoded queries", with_removal.n_distinct, without.n_distinct],
+        ["features", with_removal.n_features, without.n_features],
+        ["avg features/query", with_removal.average_features_per_query(),
+         without.average_features_per_query()],
+    ]
+    print_table("Ablation: constant removal (bank-like)",
+                ["metric", "removed", "kept"], rows)
+    # Without constant removal the codebook explodes — the paper's
+    # 144,708 -> 5,290 contraction at full scale.
+    assert without.n_features > 3 * with_removal.n_features
+
+
+def test_ablation_regularization_strategy(benchmark):
+    workload = generate_pocketdata(total=20_000, n_distinct=200, seed=1)
+    full = benchmark.pedantic(workload.to_query_log, rounds=1, iterations=1)
+    # "Drop" strategy: keep only already-conjunctive queries.
+    from repro.core.log import LogBuilder
+    from repro.sql import AligonExtractor, SqlError, is_conjunctive, normalize, parse
+    from repro.sql import ast as sql_ast
+    from repro.sql.rewrite import flatten_joins
+
+    extractor = AligonExtractor()
+    builder = LogBuilder()
+    kept = 0
+    for text, count in workload.entries:
+        stmt = normalize(parse(text))
+        if not isinstance(stmt, sql_ast.Select) or not is_conjunctive(flatten_joins(stmt)):
+            continue
+        for feature_set in extractor.extract(text):
+            builder.add(feature_set, count)
+            kept += count
+    dropped_log = builder.build()
+    rows = [
+        ["log entries", full.total, dropped_log.total],
+        ["distinct queries", full.n_distinct, dropped_log.n_distinct],
+        ["features", full.n_features, dropped_log.n_features],
+    ]
+    print_table("Ablation: rewrite-to-UNION vs drop non-conjunctive",
+                ["metric", "rewrite", "drop"], rows)
+    # Dropping loses a large share of the log (paper: only 135/605
+    # PocketData shapes are conjunctive).
+    assert dropped_log.total < 0.7 * full.total
+
+
+def test_ablation_distance_measures(benchmark, pocket_log):
+    rows = []
+    results = {}
+    benchmark.pedantic(
+        lambda: LogRCompressor(n_clusters=10, seed=0, n_init=3).compress(pocket_log),
+        rounds=1, iterations=1,
+    )
+    for method, metric in (("kmeans", "euclidean"), ("spectral", "hamming")):
+        compressed = LogRCompressor(
+            n_clusters=10, method=method, metric=metric, seed=0, n_init=3
+        ).compress(pocket_log)
+        results[metric] = compressed
+        rows.append([f"{method}/{metric}", compressed.error,
+                     compressed.total_verbosity, compressed.build_seconds])
+    print_table("Ablation: distance measure at K=10 (pocketdata)",
+                ["strategy", "error", "verbosity", "seconds"], rows)
+    # Both reach sane encodings; kmeans is the faster of the two.
+    assert results["euclidean"].build_seconds < results["hamming"].build_seconds
+
+
+def test_ablation_refinement_diversification(benchmark, bank_log):
+    partition = bank_log  # refine the unpartitioned log: worst case
+    single = benchmark.pedantic(
+        lambda: refine_greedy(partition, 5, min_support=0.1, diversify=False),
+        rounds=1, iterations=1,
+    )
+    diverse = refine_greedy(partition, 5, min_support=0.1, diversify=True)
+    rows = [
+        ["single-pass corr_rank", single.error, single.extra.verbosity],
+        ["diversified", diverse.error, diverse.extra.verbosity],
+    ]
+    print_table("Ablation: refinement diversification (§6.4)",
+                ["strategy", "refined error", "extra patterns"], rows)
+    # §6.4/§7.2: diversification helps at most marginally.
+    assert diverse.error <= single.error + 1e-6
+    base = partition.entropy()
+    naive_error = (
+        __import__("repro.core.encoding", fromlist=["NaiveEncoding"])
+        .NaiveEncoding.from_log(partition)
+        .maxent_entropy()
+        - base
+    )
+    gain_single = naive_error - single.error
+    gain_diverse = naive_error - diverse.error
+    assert gain_diverse - gain_single <= 0.25 * max(naive_error, 1e-9)
+
+
+def test_ablation_hierarchical_frontier(benchmark, pocket_log):
+    """§6.1's hierarchical alternative: one dendrogram yields the whole
+    Error/Verbosity frontier with monotone assignments, at a cost
+    comparable to a handful of flat clusterings."""
+    from repro.core.hierarchy import HierarchicalCompressor
+
+    compressor = benchmark.pedantic(
+        lambda: HierarchicalCompressor(metric="hamming").fit(pocket_log),
+        rounds=1, iterations=1,
+    )
+    points = compressor.frontier(max_clusters=30)
+    rows = [[p.n_clusters, p.error, p.verbosity] for p in points[::3]]
+    print_table("Ablation: hierarchical frontier (pocketdata)",
+                ["K", "error", "verbosity"], rows)
+    # frontier is monotone where the paper claims it matters
+    assert points[-1].error <= points[0].error + 1e-9
+    verbosity = [p.verbosity for p in points]
+    assert all(b >= a for a, b in zip(verbosity, verbosity[1:]))
+    # and competitive with flat KMeans at the same K
+    flat = LogRCompressor(n_clusters=30, seed=0, n_init=3).compress(pocket_log)
+    assert points[-1].error <= flat.error * 2.5 + 1.0
+
+
+def test_ablation_sampling_vs_logr(benchmark, pocket_log):
+    """The §1 motivation: sampling misses rare-but-real patterns."""
+    compressed = benchmark.pedantic(
+        lambda: LogRCompressor(n_clusters=10, seed=0, n_init=3).compress(pocket_log),
+        rounds=1, iterations=1,
+    )
+    # match storage: sample as many entries as the mixture holds marginals
+    budget = max(compressed.total_verbosity // 10, 10)
+    sampled = sample_log(pocket_log, budget, seed=0)
+
+    marginals = pocket_log.feature_marginals()
+    rare = [
+        Pattern([int(i)])
+        for i in np.argsort(marginals)
+        if 0 < marginals[i] <= 0.02
+    ][:20]
+    missed_by_sample = sum(1 for p in rare if sampled.estimate_count(p) == 0)
+    missed_by_logr = sum(1 for p in rare if compressed.estimate_count(p) == 0)
+    rows = [[
+        len(rare), missed_by_sample, missed_by_logr,
+        compressed.total_verbosity, budget,
+    ]]
+    print_table(
+        "Ablation: rare-pattern recall, sampling vs LogR at matched budget",
+        ["rare patterns", "missed by sampling", "missed by LogR",
+         "LogR verbosity", "sample size"],
+        rows,
+    )
+    if rare:
+        assert missed_by_logr <= missed_by_sample

@@ -1,0 +1,116 @@
+"""Figure 2 — Distance-measure comparison for naive mixture encodings.
+
+Three panels, each for PocketData-like and Bank-like logs, sweeping the
+number of clusters K with the four §6.1 strategies (KMeans+Euclidean,
+Spectral+{Manhattan, Minkowski-4, Hamming}):
+
+* 2a — Error vs. K: adding clusters consistently reduces Error; the
+  diverse bank log needs many more clusters than PocketData;
+* 2b — Total Verbosity vs. K: verbosity grows with K (shared features
+  are double counted on split);
+* 2c — runtime vs. K (log scale): KMeans is orders of magnitude faster
+  than the spectral variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import PAPER_STRATEGIES
+from repro.core.compress import compress_sweep
+
+from conftest import print_table
+
+KS = [1, 2, 4, 8, 12, 16, 20, 25, 30]
+
+
+@pytest.fixture(scope="module")
+def sweeps(pocket_log, bank_log):
+    results = {}
+    for dataset_name, log in (("pocketdata", pocket_log), ("bank", bank_log)):
+        for method, metric in PAPER_STRATEGIES:
+            points = compress_sweep(
+                log, KS, method=method, metric=metric, seed=0, n_init=3
+            )
+            results[(dataset_name, method, metric)] = points
+    return results
+
+
+def _series(sweeps, dataset, attribute):
+    rows = []
+    for k_index, k in enumerate(KS):
+        row = [k]
+        for method, metric in PAPER_STRATEGIES:
+            points = sweeps[(dataset, method, metric)]
+            row.append(getattr(points[k_index], attribute))
+        rows.append(row)
+    return rows
+
+
+HEADERS = ["K"] + [f"{m}/{d}" for m, d in PAPER_STRATEGIES]
+
+
+def test_fig2a_error_vs_clusters(benchmark, sweeps, pocket_log):
+    from repro.core.compress import LogRCompressor
+
+    benchmark.pedantic(
+        lambda: LogRCompressor(n_clusters=8, seed=0, n_init=3).compress(pocket_log),
+        rounds=1, iterations=1,
+    )
+    for dataset in ("pocketdata", "bank"):
+        rows = _series(sweeps, dataset, "error")
+        print_table(f"Fig 2a: Error v. Num of Clusters ({dataset})", HEADERS, rows)
+        for column in range(1, len(HEADERS)):
+            errors = [row[column] for row in rows]
+            # more clusters reduces Error (allow small non-monotonic
+            # jitter, as in the paper's own curves)
+            assert errors[-1] <= errors[0] * 0.75
+            assert min(errors) >= -1e-9
+    # the bank log is more diverse: its K=30 error stays farther from 0
+    pocket_rows = _series(sweeps, "pocketdata", "error")
+    bank_rows = _series(sweeps, "bank", "error")
+    pocket_rel = pocket_rows[-1][1] / max(pocket_rows[0][1], 1e-9)
+    bank_rel = bank_rows[-1][1] / max(bank_rows[0][1], 1e-9)
+    assert pocket_rel <= bank_rel + 0.3
+
+
+def test_fig2b_verbosity_vs_clusters(benchmark, sweeps, pocket_log):
+    from repro.core.mixture import PatternMixtureEncoding
+
+    benchmark.pedantic(
+        lambda: PatternMixtureEncoding.from_log(pocket_log).total_verbosity,
+        rounds=1, iterations=1,
+    )
+    for dataset in ("pocketdata", "bank"):
+        rows = _series(sweeps, dataset, "verbosity")
+        print_table(
+            f"Fig 2b: Total Verbosity v. Num of Clusters ({dataset})", HEADERS, rows
+        )
+        for column in range(1, len(HEADERS)):
+            verbosity = [row[column] for row in rows]
+            # verbosity increases with the number of clusters
+            assert verbosity[-1] > verbosity[0]
+
+
+def test_fig2c_runtime_vs_clusters(benchmark, sweeps, pocket_log):
+    from repro.cluster import cluster_vectors
+
+    benchmark.pedantic(
+        lambda: cluster_vectors(
+            pocket_log.matrix.astype(float), 8,
+            sample_weight=pocket_log.counts.astype(float), seed=0, n_init=2,
+        ),
+        rounds=1, iterations=1,
+    )
+    for dataset in ("pocketdata", "bank"):
+        rows = _series(sweeps, dataset, "seconds")
+        print_table(
+            f"Fig 2c: Runtime v. Num of Clusters ({dataset}, seconds)", HEADERS, rows
+        )
+    # KMeans is markedly faster than spectral clustering at high K.
+    for dataset in ("pocketdata", "bank"):
+        last = _series(sweeps, dataset, "seconds")[-1]
+        kmeans_time = last[1]
+        spectral_times = last[2:]
+        assert kmeans_time < min(spectral_times)

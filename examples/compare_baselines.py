@@ -1,0 +1,84 @@
+"""Compare LogR against Laserlight, MTV, and uniform sampling.
+
+A one-screen tour of §7-§8's empirical story on a single dataset:
+
+* naive mixture encodings reach lower Reproduction Error than pattern
+  encodings mined by Laserlight or MTV, orders of magnitude faster;
+* MTV refuses budgets above 15 patterns (its documented wall);
+* uniform sampling at the same storage budget loses rare patterns.
+
+Run: ``python examples/compare_baselines.py``
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import LogRCompressor, Pattern
+from repro.baselines import (
+    MTV,
+    Laserlight,
+    naive_mtv_error,
+    sample_log,
+    top_entropy_features,
+)
+from repro.core.encoding import PatternEncoding
+from repro.core.measures import reproduction_error
+from repro.workloads import generate_bank
+
+
+def main() -> None:
+    log = generate_bank(total=60_000, n_templates=200, seed=2).to_query_log()
+    print(f"bank-like log: {log.total:,} queries, {log.n_features} features\n")
+
+    # --- LogR -----------------------------------------------------------
+    start = time.perf_counter()
+    compressed = LogRCompressor(n_clusters=12, seed=0).compress(log)
+    logr_seconds = time.perf_counter() - start
+    print(f"LogR (K=12)      : Error {compressed.error:10.2f} bits   "
+          f"{logr_seconds:7.2f}s   verbosity {compressed.total_verbosity}")
+
+    # --- Laserlight patterns as an encoding ------------------------------
+    top = top_entropy_features(log, 1)
+    outcomes = log.matrix[:, int(top[0])].astype(float)
+    start = time.perf_counter()
+    ll = Laserlight(n_patterns=10, seed=0).fit(log, outcomes)
+    ll_seconds = time.perf_counter() - start
+    ll_encoding = PatternEncoding.from_log(
+        log, [p for p in ll.patterns if len(p) >= 2][:8]
+    )
+    ll_error = reproduction_error(ll_encoding, log)
+    print(f"Laserlight (10p) : Error {ll_error:10.2f} bits   "
+          f"{ll_seconds:7.2f}s   verbosity {ll_encoding.verbosity}")
+
+    # --- MTV --------------------------------------------------------------
+    start = time.perf_counter()
+    mtv = MTV(n_patterns=4, min_support=0.1, seed=0).fit(log)
+    mtv_seconds = time.perf_counter() - start
+    mtv_error_bits = reproduction_error(mtv.encoding, log)
+    print(f"MTV (4 patterns) : Error {mtv_error_bits:10.2f} bits   "
+          f"{mtv_seconds:7.2f}s   verbosity {mtv.verbosity}")
+    print(f"                   (naive reference on MTV's own measure: "
+          f"{naive_mtv_error(log):,.0f})")
+    try:
+        MTV(n_patterns=16)
+    except ValueError as exc:
+        print(f"MTV (16 patterns): refused -> {exc}")
+
+    # --- uniform sampling --------------------------------------------------
+    budget = compressed.total_verbosity // 8
+    sampled = sample_log(log, budget, seed=0)
+    marginals = log.feature_marginals()
+    rare = [Pattern([int(i)]) for i in np.argsort(marginals)
+            if 0 < marginals[i] < 0.01][:25]
+    missed = sum(1 for p in rare if sampled.estimate_count(p) == 0)
+    kept = sum(1 for p in rare if compressed.estimate_count(p) > 0)
+    print(f"\nsampling ({budget} queries) misses {missed}/{len(rare)} rare "
+          f"features; LogR keeps {kept}/{len(rare)} "
+          f"(the §1 motivation for not sampling)")
+
+
+if __name__ == "__main__":
+    main()

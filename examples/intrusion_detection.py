@@ -1,0 +1,80 @@
+"""Online workload monitoring / intrusion detection (§2, §5).
+
+§5 motivates pattern *mixture* encodings with intrusion detection:
+"identifying significant workload variation, as might be caused by
+misuse or malicious workload-injection".  A service account that only
+ever runs the messaging app's machine-generated queries suddenly issues
+analyst-style queries — the mixture profile of normal behaviour should
+flag them.
+
+This example:
+
+1. profiles a stable machine workload with a LogR mixture;
+2. streams a mixed batch (normal traffic + injected bank-style ad-hoc
+   queries + a sqlmap-ish probe) through the monitor;
+3. reports precision/recall of the anomaly flags.
+
+Run: ``python examples/intrusion_detection.py``
+"""
+
+from __future__ import annotations
+
+from repro import LogRCompressor, load_log
+from repro.apps import WorkloadMonitor
+from repro.workloads import generate_bank, generate_pocketdata
+
+
+def main() -> None:
+    # 1. Normal behaviour: the messaging app's machine workload.
+    normal = generate_pocketdata(total=80_000, seed=0)
+    log, report = load_log(normal.statements())
+    print(f"training profile: {report.parsed:,} queries, "
+          f"{log.n_distinct} distinct shapes")
+
+    compressed = LogRCompressor(n_clusters=8, seed=0).compress(log)
+    monitor = WorkloadMonitor(
+        compressed.mixture, log, threshold_quantile=0.0005
+    )
+    print(f"alert threshold: log2-likelihood < {monitor.threshold:.1f}\n")
+
+    # 2. A traffic sample: normal queries with injected foreign ones.
+    injected = [text for text, _ in generate_bank(
+        total=2_000, n_templates=30, seed=9
+    ).entries[:25]]
+    injected.append(
+        "SELECT name, chat_id FROM suggested_contacts "
+        "WHERE name = '' OR 1 = 1"
+    )
+    normal_sample = [text for text, _ in normal.entries[:100]]
+    stream = [(text, False) for text in normal_sample] + [
+        (text, True) for text in injected
+    ]
+
+    # 3. Score the stream.
+    true_positive = false_positive = false_negative = 0
+    examples = []
+    for sql, is_attack in stream:
+        score = monitor.score(sql)
+        if score.anomalous and is_attack:
+            true_positive += 1
+            if len(examples) < 3:
+                examples.append(score)
+        elif score.anomalous:
+            false_positive += 1
+        elif is_attack:
+            false_negative += 1
+
+    print("--- sample alerts ---")
+    for score in examples:
+        print(f"  [{score.log2_likelihood:8.1f}] {score.sql[:90]}")
+
+    recall = true_positive / max(true_positive + false_negative, 1)
+    precision = true_positive / max(true_positive + false_positive, 1)
+    print(f"\ninjected queries flagged : {true_positive}/{len(injected)} "
+          f"(recall {recall:.0%})")
+    print(f"false alarms on normal   : {false_positive}/{len(normal_sample)} "
+          f"(precision {precision:.0%})")
+
+
+if __name__ == "__main__":
+    main()

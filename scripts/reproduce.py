@@ -1,0 +1,79 @@
+"""One-command reproduction driver.
+
+Runs the full test suite, every table/figure benchmark, and all
+examples; collects outputs under ``reproduction/``.
+
+    python scripts/reproduce.py [--skip-tests] [--skip-benchmarks] [--skip-examples]
+
+Roughly 10-20 minutes on a laptop.  Individual pieces:
+
+* tests       -> reproduction/test_output.txt
+* benchmarks  -> reproduction/bench_output.txt + benchmarks/results/*.txt
+* examples    -> reproduction/example_<name>.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+OUT = REPO / "reproduction"
+
+
+def run(command: list[str], log_path: Path) -> int:
+    print(f"$ {' '.join(command)}")
+    with log_path.open("w", encoding="utf-8") as handle:
+        process = subprocess.run(
+            command, cwd=REPO, stdout=handle, stderr=subprocess.STDOUT
+        )
+    status = "ok" if process.returncode == 0 else f"FAILED ({process.returncode})"
+    print(f"  -> {log_path.relative_to(REPO)} [{status}]")
+    return process.returncode
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-tests", action="store_true")
+    parser.add_argument("--skip-benchmarks", action="store_true")
+    parser.add_argument("--skip-examples", action="store_true")
+    args = parser.parse_args()
+
+    OUT.mkdir(exist_ok=True)
+    failures = 0
+
+    if not args.skip_tests:
+        failures += bool(
+            run(
+                [sys.executable, "-m", "pytest", "tests/", "-q"],
+                OUT / "test_output.txt",
+            )
+        )
+    if not args.skip_benchmarks:
+        failures += bool(
+            run(
+                [sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only"],
+                OUT / "bench_output.txt",
+            )
+        )
+    if not args.skip_examples:
+        for example in sorted((REPO / "examples").glob("*.py")):
+            failures += bool(
+                run(
+                    [sys.executable, str(example)],
+                    OUT / f"example_{example.stem}.txt",
+                )
+            )
+
+    if failures:
+        print(f"\n{failures} step(s) failed")
+        return 1
+    print("\nfull reproduction complete")
+    print(f"series archived in {Path('benchmarks/results/')}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

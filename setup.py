@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 660 editable installs (which require ``bdist_wheel``) fail.  This
+shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
+take the classic ``setup.py develop`` path instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Seeded random-number helpers shared across the library.
+
+Every stochastic component in :mod:`repro` (workload generators,
+clustering initialization, distribution-space sampling) accepts either
+an integer seed or a :class:`numpy.random.Generator`.  This module
+provides the single conversion point so that behaviour is reproducible
+end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "DEFAULT_SEED"]
+
+#: Seed used when a caller passes ``None`` and still wants determinism.
+DEFAULT_SEED = 0xC0FFEE
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    ``None`` yields a generator seeded with :data:`DEFAULT_SEED` so that
+    library behaviour is deterministic unless the caller explicitly opts
+    into their own source of randomness.  An existing generator is
+    passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)

@@ -1,0 +1,33 @@
+"""Workload-analytics applications built on compressed logs."""
+
+from .cost_model import (
+    CandidateIndex,
+    CostParameters,
+    WhatIfSimulator,
+    greedy_select,
+)
+from .index_advisor import IndexAdvisor, IndexCandidate
+from .monitor import QueryScore, WorkloadMonitor
+from .recommend import QueryRecommender, Suggestion
+from .stream import StreamingDriftMonitor, WindowReport
+from .synthesis import SynthesizedQuery, WorkloadSynthesizer
+from .views import ViewCandidate, ViewSelector
+
+__all__ = [
+    "IndexAdvisor",
+    "IndexCandidate",
+    "ViewSelector",
+    "ViewCandidate",
+    "WorkloadMonitor",
+    "QueryScore",
+    "WorkloadSynthesizer",
+    "SynthesizedQuery",
+    "WhatIfSimulator",
+    "CostParameters",
+    "CandidateIndex",
+    "greedy_select",
+    "QueryRecommender",
+    "Suggestion",
+    "StreamingDriftMonitor",
+    "WindowReport",
+]

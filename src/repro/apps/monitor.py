@@ -1,0 +1,103 @@
+"""Online workload monitoring / anomaly detection (§2, §5).
+
+"To support real-time monitoring it is necessary to quickly compute the
+frequency of a particular class of query in the system's typical
+workload."  The monitor holds a LogR mixture of the *typical* workload
+and scores incoming queries by their likelihood under the mixture
+(§5.2's ``ρ_S(q) = Σ w_i ρ_Si(q)``).  Queries far less likely than the
+typical range — e.g. injected analyst queries in an OLTP-only service
+account, the §5 intrusion-detection motivation — raise alerts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from ..core.entropy import safe_log2
+from ..core.log import QueryLog
+from ..core.mixture import PatternMixtureEncoding
+from ..sql import AligonExtractor, SqlError
+
+__all__ = ["QueryScore", "WorkloadMonitor"]
+
+
+@dataclass
+class QueryScore:
+    """Assessment of one incoming query."""
+
+    sql: str
+    log2_likelihood: float  # log2 ρ_S(q); -inf when unparseable
+    anomalous: bool
+    reason: str = ""
+
+
+class WorkloadMonitor:
+    """Scores queries against a compressed typical-workload profile.
+
+    Args:
+        mixture: the LogR mixture profiling normal behaviour (must
+            carry a vocabulary).
+        threshold_quantile: the alert threshold is calibrated so this
+            fraction of the *training* log scores as normal.
+    """
+
+    def __init__(
+        self,
+        mixture: PatternMixtureEncoding,
+        training_log: QueryLog,
+        threshold_quantile: float = 0.001,
+    ):
+        if mixture.vocabulary is None:
+            raise ValueError("mixture has no vocabulary attached")
+        self.mixture = mixture
+        self._extractor = AligonExtractor(remove_constants=True)
+        scores = self._training_scores(training_log)
+        self.threshold = float(np.quantile(scores, threshold_quantile))
+
+    def _training_scores(self, log: QueryLog) -> np.ndarray:
+        scores = np.empty(log.n_distinct)
+        for i, row in enumerate(log.matrix):
+            scores[i] = float(safe_log2(self.mixture.point_probability(row)))
+        return np.repeat(scores, log.counts)
+
+    # ------------------------------------------------------------------
+    def score_features(self, features: Iterable[Hashable]) -> float:
+        """log2 likelihood of a query given as a feature set.
+
+        Features outside the training vocabulary contribute a zero
+        marginal in every component, which floors the likelihood.
+        """
+        vector = self.mixture.vocabulary.encode(features, strict=False)
+        probability = self.mixture.point_probability(vector)
+        unknown = sum(
+            1 for f in features if self.mixture.vocabulary.get(f) is None
+        )
+        if unknown:
+            probability = 0.0
+        return float(safe_log2(probability))
+
+    def score(self, sql: str) -> QueryScore:
+        """Parse and score one SQL statement."""
+        try:
+            feature_sets = self._extractor.extract(sql)
+        except SqlError as exc:
+            return QueryScore(sql, float("-inf"), True, f"unparseable: {exc}")
+        merged: set = set()
+        for feature_set in feature_sets:
+            merged.update(feature_set)
+        log2_likelihood = self.score_features(merged)
+        anomalous = log2_likelihood < self.threshold
+        reason = ""
+        if anomalous:
+            reason = (
+                f"log-likelihood {log2_likelihood:.1f} below threshold "
+                f"{self.threshold:.1f}"
+            )
+        return QueryScore(sql, log2_likelihood, anomalous, reason)
+
+    def scan(self, statements: Iterable[str]) -> list[QueryScore]:
+        """Score a stream of statements; returns one entry each."""
+        return [self.score(sql) for sql in statements]

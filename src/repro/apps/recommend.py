@@ -1,0 +1,121 @@
+"""Query recommendation from compressed summaries (§1, §9.1).
+
+The paper opens with query recommendation as a driving application and
+surveys QueRIE / SnipSuggest in §9.1: both flatten historical queries
+to feature vectors and recommend fragments frequent among *similar*
+past queries.  A naive mixture encoding is exactly the profile those
+systems build — so recommendations fall out of the compressed artifact:
+
+1. soft-assign the user's partial query to mixture components by the
+   likelihood of the observed features under each component,
+2. rank unobserved features by their posterior-weighted marginals.
+
+``QueryRecommender.suggest`` returns the next-feature ranking;
+``complete`` greedily autocompletes a whole query skeleton
+(SnipSuggest's interaction, driven by LogR's statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from ..core.encoding import NaiveEncoding
+from ..core.mixture import PatternMixtureEncoding
+
+__all__ = ["Suggestion", "QueryRecommender"]
+
+
+@dataclass
+class Suggestion:
+    """One recommended feature with its posterior probability."""
+
+    feature: Hashable
+    probability: float
+
+    def __str__(self) -> str:
+        return f"{self.feature}  ({self.probability:.1%})"
+
+
+class QueryRecommender:
+    """Feature recommendations conditioned on a partial query.
+
+    Args:
+        mixture: a naive mixture with vocabulary (the workload profile).
+        smoothing: small count added to component likelihoods so that a
+            partial query outside every component still yields the
+            global ranking instead of NaN.
+    """
+
+    def __init__(self, mixture: PatternMixtureEncoding, smoothing: float = 1e-9):
+        if mixture.vocabulary is None:
+            raise ValueError("mixture has no vocabulary attached")
+        for component in mixture.components:
+            if not isinstance(component.encoding, NaiveEncoding):
+                raise TypeError("recommendation requires naive components")
+        self.mixture = mixture
+        self.smoothing = smoothing
+
+    # ------------------------------------------------------------------
+    def component_posterior(self, features: Iterable[Hashable]) -> np.ndarray:
+        """P(component | observed features) under the mixture.
+
+        Observed features are scored by their marginals in each
+        component (absent features of the partial query are *not*
+        penalized — the query is incomplete, not closed).
+        """
+        vocabulary = self.mixture.vocabulary
+        indices = [vocabulary.get(f) for f in features]
+        indices = [i for i in indices if i is not None]
+        weights = self.mixture.weights
+        likelihoods = np.empty(len(self.mixture.components))
+        for c, component in enumerate(self.mixture.components):
+            marginals = component.encoding.marginals
+            likelihood = 1.0
+            for index in indices:
+                likelihood *= float(marginals[index])
+            likelihoods[c] = likelihood + self.smoothing
+        posterior = weights * likelihoods
+        total = posterior.sum()
+        if total <= 0:  # pragma: no cover - smoothing prevents this
+            return weights
+        return posterior / total
+
+    def suggest(
+        self,
+        features: Iterable[Hashable],
+        top_k: int = 5,
+        min_probability: float = 0.05,
+    ) -> list[Suggestion]:
+        """Rank unobserved features by posterior-weighted marginals."""
+        vocabulary = self.mixture.vocabulary
+        observed = {vocabulary.get(f) for f in features}
+        observed.discard(None)
+        posterior = self.component_posterior(features)
+        scores = np.zeros(len(vocabulary))
+        for weight, component in zip(posterior, self.mixture.components):
+            scores += weight * component.encoding.marginals
+        suggestions = [
+            Suggestion(vocabulary.feature(i), float(scores[i]))
+            for i in np.argsort(-scores)
+            if i not in observed and scores[i] >= min_probability
+        ]
+        return suggestions[:top_k]
+
+    def complete(
+        self,
+        features: Iterable[Hashable],
+        threshold: float = 0.5,
+        max_steps: int = 20,
+    ) -> frozenset[Hashable]:
+        """Greedy autocompletion: add the best suggestion while its
+        posterior probability exceeds *threshold*."""
+        current = set(features)
+        for _ in range(max_steps):
+            ranked = self.suggest(current, top_k=1, min_probability=threshold)
+            if not ranked:
+                break
+            current.add(ranked[0].feature)
+        return frozenset(current)

@@ -1,0 +1,174 @@
+"""Streaming workload monitoring with windowed drift detection (§2, §5).
+
+Production monitoring (§2 "Online Database Monitoring") watches a
+*stream* of statements.  :class:`repro.apps.monitor.WorkloadMonitor`
+scores one query at a time; this module adds the aggregate layer: a
+sliding window of recent traffic is periodically re-encoded against the
+baseline codebook, and the window's naive mixture is diffed against the
+baseline summary (:func:`repro.core.diff.mixture_divergence`).  A
+sustained divergence above the calibrated threshold signals workload
+drift that per-query scoring can miss (many individually-plausible
+queries whose *mix* is wrong).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.diff import mixture_divergence
+from ..core.log import LogBuilder, QueryLog
+from ..core.mixture import PatternMixtureEncoding
+from ..core.vocabulary import Vocabulary
+from ..sql import AligonExtractor, SqlError
+
+__all__ = ["WindowReport", "StreamingDriftMonitor"]
+
+
+@dataclass
+class WindowReport:
+    """Divergence assessment of one completed window."""
+
+    window_index: int
+    n_statements: int
+    n_encoded: int
+    divergence_bits: float
+    drifted: bool
+    threshold: float
+
+    def __str__(self) -> str:
+        flag = "DRIFT" if self.drifted else "ok"
+        return (
+            f"window {self.window_index}: {self.divergence_bits:.4f} bits "
+            f"({self.n_encoded}/{self.n_statements} encoded) [{flag}]"
+        )
+
+
+class StreamingDriftMonitor:
+    """Sliding-window divergence monitor over a statement stream.
+
+    Args:
+        baseline: the typical-workload mixture (with vocabulary).
+        window_size: statements per evaluation window.
+        threshold: drift threshold in bits; when ``None`` it is
+            calibrated as ``calibration_factor ×`` the divergence of a
+            bootstrap window drawn from the baseline itself.
+        baseline_log: the baseline's encoded log, needed for
+            auto-calibration.
+        calibration_factor: multiplier over the self-divergence noise
+            floor (default 10×).
+        seed: RNG seed for calibration bootstrap.
+    """
+
+    def __init__(
+        self,
+        baseline: PatternMixtureEncoding,
+        window_size: int = 500,
+        threshold: float | None = None,
+        baseline_log: QueryLog | None = None,
+        calibration_factor: float = 10.0,
+        seed: int | np.random.Generator | None = None,
+    ):
+        if baseline.vocabulary is None:
+            raise ValueError("baseline mixture has no vocabulary attached")
+        if window_size < 10:
+            raise ValueError("window_size must be at least 10")
+        self.baseline = baseline
+        self.window_size = window_size
+        self._extractor = AligonExtractor(remove_constants=True)
+        self._buffer: deque[frozenset] = deque()
+        self._pending_raw = 0
+        self._window_index = 0
+        self.reports: list[WindowReport] = []
+        if threshold is not None:
+            self.threshold = float(threshold)
+        else:
+            if baseline_log is None:
+                raise ValueError("auto-calibration needs baseline_log")
+            self.threshold = self._calibrate(
+                baseline_log, calibration_factor, seed
+            )
+
+    # ------------------------------------------------------------------
+    def _calibrate(
+        self,
+        baseline_log: QueryLog,
+        factor: float,
+        seed: int | np.random.Generator | None,
+    ) -> float:
+        """Noise floor: divergence of bootstrap windows from the baseline."""
+        from .._rng import ensure_rng
+
+        rng = ensure_rng(seed)
+        probabilities = baseline_log.probabilities()
+        divergences = []
+        for _ in range(5):
+            rows = rng.choice(
+                baseline_log.n_distinct, size=self.window_size, p=probabilities
+            )
+            unique, counts = np.unique(rows, return_counts=True)
+            window_log = QueryLog(
+                baseline_log.vocabulary,
+                baseline_log.matrix[unique],
+                counts,
+            )
+            window_mixture = PatternMixtureEncoding.from_log(window_log)
+            divergences.append(
+                mixture_divergence(self.baseline, window_mixture)
+            )
+        return float(np.mean(divergences) * factor)
+
+    # ------------------------------------------------------------------
+    def observe(self, statement: str) -> WindowReport | None:
+        """Feed one statement; returns a report when a window completes."""
+        self._pending_raw += 1
+        try:
+            feature_sets = self._extractor.extract(statement)
+        except SqlError:
+            feature_sets = []
+        if feature_sets:
+            merged: set = set()
+            for feature_set in feature_sets:
+                merged.update(feature_set)
+            self._buffer.append(frozenset(merged))
+        if self._pending_raw >= self.window_size:
+            return self._close_window()
+        return None
+
+    def observe_many(self, statements) -> list[WindowReport]:
+        """Feed a batch; returns the reports of every completed window."""
+        reports = []
+        for statement in statements:
+            report = self.observe(statement)
+            if report is not None:
+                reports.append(report)
+        return reports
+
+    def _close_window(self) -> WindowReport:
+        n_statements = self._pending_raw
+        encoded = list(self._buffer)
+        self._buffer.clear()
+        self._pending_raw = 0
+        self._window_index += 1
+
+        if encoded:
+            builder = LogBuilder(Vocabulary(self.baseline.vocabulary))
+            for features in encoded:
+                builder.add(features)
+            window_log = builder.build()
+            window_mixture = PatternMixtureEncoding.from_log(window_log)
+            divergence = mixture_divergence(self.baseline, window_mixture)
+        else:
+            divergence = float("inf")  # a window of pure garbage
+        report = WindowReport(
+            window_index=self._window_index,
+            n_statements=n_statements,
+            n_encoded=len(encoded),
+            divergence_bits=divergence,
+            drifted=divergence > self.threshold,
+            threshold=self.threshold,
+        )
+        self.reports.append(report)
+        return report

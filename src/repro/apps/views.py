@@ -1,0 +1,116 @@
+"""Materialized-view candidate selection from compressed statistics (§2).
+
+"The results of joins or highly selective selection predicates are good
+candidates for materialization when they appear frequently in the
+workload."  This selector scores (table-set, predicate-set) pairs by
+their estimated co-occurrence frequency from a LogR artifact — the
+"repeated frequency estimation over the workload" step of view
+selection, answered without the log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..core.compress import CompressedLog
+from ..core.pattern import Pattern
+from ..sql.features import Clause, Feature
+
+__all__ = ["ViewCandidate", "ViewSelector"]
+
+
+@dataclass
+class ViewCandidate:
+    """One candidate materialized view."""
+
+    tables: tuple[str, ...]
+    predicates: tuple[str, ...]
+    estimated_queries: float
+    support: float
+
+    def __str__(self) -> str:
+        from_clause = ", ".join(self.tables)
+        where = " AND ".join(self.predicates) if self.predicates else "TRUE"
+        return (
+            f"CREATE MATERIALIZED VIEW AS SELECT ... FROM {from_clause} "
+            f"WHERE {where}  -- ~{self.estimated_queries:,.0f} queries "
+            f"({self.support:.1%})"
+        )
+
+
+class ViewSelector:
+    """Scores join/predicate view candidates against a compressed log."""
+
+    def __init__(self, compressed: CompressedLog, min_support: float = 0.02):
+        self.compressed = compressed
+        self.min_support = min_support
+
+    def recommend(self, top_k: int = 10, max_predicates: int = 2) -> list[ViewCandidate]:
+        """Top-k view candidates by estimated usage frequency.
+
+        Candidates are built from table pairs that co-occur (join
+        views) and frequent single tables combined with up to
+        *max_predicates* WHERE atoms (selection views).
+        """
+        vocabulary = self.compressed.mixture.vocabulary
+        if vocabulary is None:
+            raise ValueError("compressed log has no vocabulary")
+        tables: list[tuple[int, str]] = []
+        atoms: list[tuple[int, str]] = []
+        for index, feature in enumerate(vocabulary):
+            if not isinstance(feature, Feature):
+                continue
+            if feature.clause == Clause.FROM and not feature.value.startswith("("):
+                tables.append((index, feature.value))
+            elif feature.clause == Clause.WHERE:
+                atoms.append((index, feature.value))
+
+        total = self.compressed.mixture.total
+        candidates: list[ViewCandidate] = []
+
+        # Join views: pairs of tables appearing together.
+        for (i, table_a), (j, table_b) in combinations(tables, 2):
+            count = self.compressed.estimate_count(Pattern([i, j]))
+            if count / total >= self.min_support:
+                candidates.append(
+                    ViewCandidate((table_a, table_b), (), count, count / total)
+                )
+
+        # Selection views: one table plus frequent predicate combos.
+        for i, table in tables:
+            table_count = self.compressed.estimate_count(Pattern([i]))
+            if table_count / total < self.min_support:
+                continue
+            scored_atoms = []
+            for j, atom in atoms:
+                count = self.compressed.estimate_count(Pattern([i, j]))
+                if count / total >= self.min_support:
+                    scored_atoms.append((count, j, atom))
+            scored_atoms.sort(key=lambda item: -item[0])
+            for size in range(1, max_predicates + 1):
+                for combo in combinations(scored_atoms[:6], size):
+                    indices = [i] + [j for _, j, _ in combo]
+                    count = self.compressed.estimate_count(Pattern(indices))
+                    if count / total >= self.min_support:
+                        candidates.append(
+                            ViewCandidate(
+                                (table,),
+                                tuple(atom for _, _, atom in combo),
+                                count,
+                                count / total,
+                            )
+                        )
+        candidates.sort(key=lambda c: -c.estimated_queries)
+        return _dedupe(candidates)[:top_k]
+
+
+def _dedupe(candidates: list[ViewCandidate]) -> list[ViewCandidate]:
+    seen: set[tuple] = set()
+    out: list[ViewCandidate] = []
+    for candidate in candidates:
+        key = (candidate.tables, candidate.predicates)
+        if key not in seen:
+            seen.add(key)
+            out.append(candidate)
+    return out

@@ -1,0 +1,44 @@
+"""Baseline summarizers: Laserlight, MTV, mixtures, sampling, LZ78."""
+
+from .dictionary import compressed_size_bits, lz78_decode, lz78_encode
+from .laserlight import (
+    Laserlight,
+    LaserlightSummary,
+    laserlight_error,
+    naive_laserlight_error,
+    top_entropy_features,
+)
+from .mixtures import (
+    MixtureRun,
+    fixed_budget_weights,
+    laserlight_mixture,
+    mtv_mixture,
+    naive_mixture_laserlight_error,
+    naive_mixture_mtv_error,
+)
+from .mtv import MTV, MTV_PATTERN_LIMIT, MtvSummary, mtv_error, naive_mtv_error
+from .sampling import SampledLog, sample_log
+
+__all__ = [
+    "Laserlight",
+    "LaserlightSummary",
+    "laserlight_error",
+    "naive_laserlight_error",
+    "top_entropy_features",
+    "MTV",
+    "MtvSummary",
+    "mtv_error",
+    "naive_mtv_error",
+    "MTV_PATTERN_LIMIT",
+    "MixtureRun",
+    "fixed_budget_weights",
+    "laserlight_mixture",
+    "mtv_mixture",
+    "naive_mixture_laserlight_error",
+    "naive_mixture_mtv_error",
+    "SampledLog",
+    "sample_log",
+    "lz78_encode",
+    "lz78_decode",
+    "compressed_size_bits",
+]

@@ -1,0 +1,192 @@
+"""Command-line interface for LogR.
+
+Commands:
+
+* ``logr compress LOG.sql -o SUMMARY.json -k 8`` — compress a raw SQL
+  log file into a mixture-encoding artifact.
+* ``logr stats LOG.sql`` — Table-1-style dataset statistics.
+* ``logr estimate SUMMARY.json --feature "<status = ?, WHERE>" ...`` —
+  estimate Γ_b from a compressed artifact.
+* ``logr visualize SUMMARY.json`` — Fig.-10-style shaded skeletons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.compress import LogRCompressor
+from .core.mixture import PatternMixtureEncoding
+from .sql.features import Feature
+from .viz.render import render_mixture
+from .workloads.logio import load_log, read_log
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="logr",
+        description="LogR: lossy query-log compression for workload analytics",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compress = sub.add_parser("compress", help="compress a raw SQL log file")
+    compress.add_argument("log", type=Path, help="one-statement-per-line SQL file")
+    compress.add_argument("-o", "--output", type=Path, required=True)
+    compress.add_argument("-k", "--clusters", type=int, default=8)
+    compress.add_argument("--method", default="kmeans",
+                          choices=["kmeans", "spectral", "hierarchical"])
+    compress.add_argument("--metric", default="euclidean")
+    compress.add_argument("--keep-constants", action="store_true")
+    compress.add_argument("--seed", type=int, default=0)
+
+    stats = sub.add_parser("stats", help="dataset statistics for a SQL log file")
+    stats.add_argument("log", type=Path)
+
+    estimate = sub.add_parser("estimate", help="estimate pattern counts")
+    estimate.add_argument("summary", type=Path, help="compressed artifact (JSON)")
+    estimate.add_argument(
+        "--feature",
+        action="append",
+        required=True,
+        metavar="VALUE:CLAUSE",
+        help="repeatable, e.g. --feature 'status = ?:WHERE'",
+    )
+
+    visualize = sub.add_parser("visualize", help="render a compressed artifact")
+    visualize.add_argument("summary", type=Path)
+    visualize.add_argument("--min-marginal", type=float, default=0.05)
+    visualize.add_argument("--ansi", action="store_true")
+
+    synthesize = sub.add_parser(
+        "synthesize", help="generate synthetic SQL from a compressed artifact"
+    )
+    synthesize.add_argument("summary", type=Path)
+    synthesize.add_argument("-n", "--queries", type=int, default=20)
+    synthesize.add_argument("--seed", type=int, default=0)
+
+    drift = sub.add_parser(
+        "drift", help="compare two compressed artifacts (workload drift)"
+    )
+    drift.add_argument("baseline", type=Path)
+    drift.add_argument("current", type=Path)
+    drift.add_argument("--top", type=int, default=10)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "compress":
+        return _cmd_compress(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "estimate":
+        return _cmd_estimate(args)
+    if args.command == "visualize":
+        return _cmd_visualize(args)
+    if args.command == "synthesize":
+        return _cmd_synthesize(args)
+    if args.command == "drift":
+        return _cmd_drift(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _cmd_compress(args) -> int:
+    statements = read_log(args.log)
+    log, report = load_log(statements, remove_constants=not args.keep_constants)
+    compressor = LogRCompressor(
+        n_clusters=args.clusters, method=args.method, metric=args.metric,
+        seed=args.seed,
+    )
+    compressed = compressor.compress(log)
+    args.output.write_text(compressed.to_json(), encoding="utf-8")
+    print(
+        f"{report.parsed} parsed / {report.unparseable} unparseable / "
+        f"{report.stored_procedures} stored-proc"
+    )
+    print(
+        f"K={compressed.n_clusters}  Error={compressed.error:.3f} bits  "
+        f"Verbosity={compressed.total_verbosity}  -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    statements = read_log(args.log)
+    log, report = load_log(statements)
+    print(f"# Statements            {report.total_statements}")
+    print(f"# Parsed                {report.parsed}")
+    print(f"# Unparseable           {report.unparseable}")
+    print(f"# Stored procedures     {report.stored_procedures}")
+    print(f"# Encoded entries       {log.total}")
+    print(f"# Distinct queries      {log.n_distinct}")
+    print(f"# Distinct features     {log.n_features}")
+    print(f"Avg features / query    {log.average_features_per_query():.2f}")
+    print(f"True entropy H(rho*)    {log.entropy():.3f} bits")
+    return 0
+
+
+def _parse_feature(spec: str) -> Feature:
+    if ":" not in spec:
+        raise SystemExit(f"--feature needs VALUE:CLAUSE, got {spec!r}")
+    value, clause = spec.rsplit(":", 1)
+    return Feature(value.strip(), clause.strip().upper())
+
+
+def _cmd_estimate(args) -> int:
+    mixture = PatternMixtureEncoding.from_json(
+        args.summary.read_text(encoding="utf-8")
+    )
+    features = [_parse_feature(spec) for spec in args.feature]
+    count = mixture.estimate_count_features(features)
+    marginal = count / mixture.total
+    print(f"pattern: {', '.join(str(f) for f in features)}")
+    print(f"estimated count    {count:,.1f} of {mixture.total:,}")
+    print(f"estimated marginal {marginal:.4%}")
+    return 0
+
+
+def _cmd_visualize(args) -> int:
+    mixture = PatternMixtureEncoding.from_json(
+        args.summary.read_text(encoding="utf-8")
+    )
+    print(render_mixture(mixture, min_marginal=args.min_marginal, use_ansi=args.ansi))
+    return 0
+
+
+def _cmd_synthesize(args) -> int:
+    from .apps.synthesis import WorkloadSynthesizer
+
+    mixture = PatternMixtureEncoding.from_json(
+        args.summary.read_text(encoding="utf-8")
+    )
+    synthesizer = WorkloadSynthesizer(mixture, seed=args.seed)
+    for query in synthesizer.sample(args.queries):
+        print(query.sql)
+    return 0
+
+
+def _cmd_drift(args) -> int:
+    from .core.diff import feature_drift, mixture_divergence
+
+    baseline = PatternMixtureEncoding.from_json(
+        args.baseline.read_text(encoding="utf-8")
+    )
+    current = PatternMixtureEncoding.from_json(
+        args.current.read_text(encoding="utf-8")
+    )
+    divergence = mixture_divergence(baseline, current)
+    print(f"workload divergence: {divergence:.4f} bits")
+    for drift in feature_drift(baseline, current, top_k=args.top):
+        print(
+            f"  [{drift.direction:>4}] {drift.feature}  "
+            f"{drift.baseline_marginal:.3f} -> {drift.current_marginal:.3f}  "
+            f"(+{drift.divergence_bits:.4f} bits)"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Distance measures for query feature vectors.
+
+Implements every metric evaluated in §6.1 of the paper — Euclidean
+(l2), Manhattan (l1), Minkowski (lp, the paper uses p = 4), and the
+normalized Hamming distance ``count(x≠y) / n`` — plus the Chebyshev and
+Canberra metrics mentioned in footnote 1.
+
+All functions are vectorized over numpy arrays.  ``pairwise`` builds a
+full distance matrix between row vectors; for binary inputs it uses
+inner-product identities instead of broadcasting the full
+``(n, m, d)`` intermediate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "METRICS",
+    "euclidean",
+    "manhattan",
+    "minkowski",
+    "hamming",
+    "chebyshev",
+    "canberra",
+    "pairwise",
+    "pairwise_from_metric",
+]
+
+
+def euclidean(x: np.ndarray, y: np.ndarray) -> float:
+    """l2 distance between two vectors."""
+    diff = np.asarray(x, dtype=float) - np.asarray(y, dtype=float)
+    return float(np.sqrt(np.dot(diff, diff)))
+
+
+def manhattan(x: np.ndarray, y: np.ndarray) -> float:
+    """l1 distance between two vectors."""
+    return float(np.abs(np.asarray(x, dtype=float) - np.asarray(y, dtype=float)).sum())
+
+
+def minkowski(x: np.ndarray, y: np.ndarray, p: float = 4.0) -> float:
+    """lp distance; the paper evaluates p = 4."""
+    if p <= 0:
+        raise ValueError("Minkowski order p must be positive")
+    diff = np.abs(np.asarray(x, dtype=float) - np.asarray(y, dtype=float))
+    return float(np.power(np.power(diff, p).sum(), 1.0 / p))
+
+
+def hamming(x: np.ndarray, y: np.ndarray) -> float:
+    """Normalized Hamming distance: count(x≠y) / (count(x≠y)+count(x=y)).
+
+    The denominator is simply the vector length, matching the paper's
+    formula.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape != y.shape:
+        raise ValueError("vectors must have equal length")
+    if x.size == 0:
+        return 0.0
+    return float(np.count_nonzero(x != y)) / x.size
+
+
+def chebyshev(x: np.ndarray, y: np.ndarray) -> float:
+    """l∞ distance."""
+    diff = np.abs(np.asarray(x, dtype=float) - np.asarray(y, dtype=float))
+    return float(diff.max()) if diff.size else 0.0
+
+
+def canberra(x: np.ndarray, y: np.ndarray) -> float:
+    """Canberra distance: sum |x-y| / (|x|+|y|), 0/0 terms dropped."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    num = np.abs(x - y)
+    den = np.abs(x) + np.abs(y)
+    mask = den > 0
+    return float((num[mask] / den[mask]).sum())
+
+
+#: name -> (elementwise function, pairwise kwargs)
+METRICS = {
+    "euclidean": euclidean,
+    "manhattan": manhattan,
+    "minkowski": minkowski,
+    "hamming": hamming,
+    "chebyshev": chebyshev,
+    "canberra": canberra,
+}
+
+
+def pairwise(
+    X: np.ndarray, Y: np.ndarray | None = None, metric: str = "euclidean", p: float = 4.0
+) -> np.ndarray:
+    """Distance matrix between rows of ``X`` and rows of ``Y`` (or ``X``).
+
+    Vectorized per metric; memory use is O(n·m) for the result plus one
+    O(n·m) temporary per feature-chunk for the broadcast metrics.
+    """
+    X = np.asarray(X, dtype=float)
+    Y = X if Y is None else np.asarray(Y, dtype=float)
+    if X.ndim != 2 or Y.ndim != 2 or X.shape[1] != Y.shape[1]:
+        raise ValueError("X and Y must be 2-D with matching feature counts")
+    if metric == "euclidean":
+        # ||x-y||^2 = ||x||^2 + ||y||^2 - 2 x·y
+        sq = (
+            (X * X).sum(axis=1)[:, None]
+            + (Y * Y).sum(axis=1)[None, :]
+            - 2.0 * (X @ Y.T)
+        )
+        np.maximum(sq, 0.0, out=sq)
+        return np.sqrt(sq)
+    if metric == "hamming":
+        return _broadcast_reduce(X, Y, lambda d, x, y: (np.abs(d) > 1e-12).sum(axis=-1)) / X.shape[1]
+    if metric == "manhattan":
+        return _broadcast_reduce(X, Y, lambda d, x, y: np.abs(d).sum(axis=-1))
+    if metric == "minkowski":
+        out = _broadcast_reduce(X, Y, lambda d, x, y: np.power(np.abs(d), p).sum(axis=-1))
+        return np.power(out, 1.0 / p)
+    if metric == "chebyshev":
+        return _broadcast_reduce(X, Y, lambda d, x, y: np.abs(d).max(axis=-1))
+    if metric == "canberra":
+        def _canberra(d, x, y):
+            den = np.abs(x) + np.abs(y)
+            ratio = np.where(den > 0, np.abs(d) / np.where(den > 0, den, 1.0), 0.0)
+            return ratio.sum(axis=-1)
+
+        return _broadcast_reduce(X, Y, _canberra)
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def _broadcast_reduce(X: np.ndarray, Y: np.ndarray, reducer) -> np.ndarray:
+    """Apply an elementwise-difference reducer in row blocks.
+
+    Blocks bound peak memory to ~32 MB of float64 temporaries even for
+    the large bank-like vocabularies.
+    """
+    n, d = X.shape
+    m = Y.shape[0]
+    out = np.empty((n, m), dtype=float)
+    block = max(1, int(4_000_000 / max(1, m * d)))
+    for start in range(0, n, block):
+        stop = min(n, start + block)
+        diff = X[start:stop, None, :] - Y[None, :, :]
+        out[start:stop] = reducer(diff, X[start:stop, None, :], Y[None, :, :])
+    return out
+
+
+def pairwise_from_metric(X: np.ndarray, metric: str, p: float = 4.0) -> np.ndarray:
+    """Symmetric distance matrix over rows of ``X`` with a zero diagonal."""
+    matrix = pairwise(X, None, metric=metric, p=p)
+    np.fill_diagonal(matrix, 0.0)
+    return matrix

@@ -1,0 +1,175 @@
+"""Agglomerative hierarchical clustering (Lance–Williams).
+
+§6.1 proposes hierarchical clustering as the alternative that makes
+cluster assignments *monotonic*: cutting the same dendrogram at K and
+K+1 only ever splits one cluster, so the Error/Verbosity trade-off can
+be explored dynamically without reshuffling queries.
+
+The implementation is a from-scratch O(n²)-memory agglomerative
+clusterer supporting single, complete, average, and weighted linkage
+via the Lance–Williams update, plus Ward linkage on Euclidean inputs.
+``n`` here is the number of *distinct* queries (≈600–1700 in the
+paper's datasets), so the quadratic cost is comfortable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distance import pairwise_from_metric
+
+__all__ = ["Dendrogram", "AgglomerativeClustering", "hierarchical_fit"]
+
+_LINKAGES = ("single", "complete", "average", "weighted", "ward")
+
+
+@dataclass
+class Dendrogram:
+    """A full merge tree.
+
+    ``merges[i] = (a, b, height, size)`` records the i-th merge joining
+    clusters ``a`` and ``b`` (ids < n are leaves; id ``n + i`` is the
+    cluster created by merge ``i``), following scipy's linkage-matrix
+    convention.
+    """
+
+    n_leaves: int
+    merges: list[tuple[int, int, float, int]]
+
+    def cut(self, n_clusters: int) -> np.ndarray:
+        """Labels for the partition with exactly *n_clusters* clusters."""
+        if not 1 <= n_clusters <= self.n_leaves:
+            raise ValueError("n_clusters must be in [1, n_leaves]")
+        parent = list(range(self.n_leaves + len(self.merges)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        # Apply merges in order until the requested cluster count.
+        keep = self.n_leaves - n_clusters
+        for index, (a, b, _, _) in enumerate(self.merges[:keep]):
+            new_id = self.n_leaves + index
+            parent[find(a)] = new_id
+            parent[find(b)] = new_id
+        roots: dict[int, int] = {}
+        labels = np.empty(self.n_leaves, dtype=int)
+        for leaf in range(self.n_leaves):
+            root = find(leaf)
+            if root not in roots:
+                roots[root] = len(roots)
+            labels[leaf] = roots[root]
+        return labels
+
+    def cuts(self, ks: list[int]) -> dict[int, np.ndarray]:
+        """Labels for several cluster counts from the same tree."""
+        return {k: self.cut(k) for k in ks}
+
+
+class AgglomerativeClustering:
+    """Bottom-up clustering with a chosen linkage.
+
+    Args:
+        linkage: one of ``single``, ``complete``, ``average``,
+            ``weighted``, ``ward``.
+        metric: distance measure name (``ward`` requires Euclidean).
+        p: Minkowski order when ``metric='minkowski'``.
+    """
+
+    def __init__(self, linkage: str = "average", metric: str = "hamming", p: float = 4.0):
+        if linkage not in _LINKAGES:
+            raise ValueError(f"unknown linkage {linkage!r}")
+        if linkage == "ward" and metric != "euclidean":
+            raise ValueError("ward linkage requires the euclidean metric")
+        self.linkage = linkage
+        self.metric = metric
+        self.p = p
+
+    def fit(self, X: np.ndarray) -> Dendrogram:
+        """Build the full dendrogram over rows of ``X``."""
+        X = np.asarray(X, dtype=float)
+        n = X.shape[0]
+        if n == 0:
+            raise ValueError("cannot cluster an empty matrix")
+        distances = pairwise_from_metric(X, self.metric, p=self.p)
+        if self.linkage == "ward":
+            # Lance-Williams for Ward operates on squared distances.
+            distances = distances**2
+        return self._agglomerate(distances, n)
+
+    # ------------------------------------------------------------------
+    def _agglomerate(self, D: np.ndarray, n: int) -> Dendrogram:
+        D = D.copy()
+        np.fill_diagonal(D, np.inf)
+        active = np.ones(n, dtype=bool)
+        sizes = np.ones(n, dtype=float)
+        # cluster id carried by each matrix row; starts as the leaf ids.
+        ids = np.arange(n)
+        merges: list[tuple[int, int, float, int]] = []
+        for step in range(n - 1):
+            # locate the closest active pair
+            masked = np.where(active[:, None] & active[None, :], D, np.inf)
+            flat = int(np.argmin(masked))
+            i, j = divmod(flat, n)
+            if i > j:
+                i, j = j, i
+            height = float(masked[i, j])
+            if self.linkage == "ward":
+                height = float(np.sqrt(max(height, 0.0)))
+            new_size = int(sizes[i] + sizes[j])
+            merges.append((int(ids[i]), int(ids[j]), height, new_size))
+            # Lance-Williams update into row i; deactivate row j.
+            self._update_row(D, active, sizes, i, j)
+            sizes[i] += sizes[j]
+            active[j] = False
+            ids[i] = n + step
+        return Dendrogram(n, merges)
+
+    def _update_row(
+        self, D: np.ndarray, active: np.ndarray, sizes: np.ndarray, i: int, j: int
+    ) -> None:
+        others = np.flatnonzero(active)
+        others = others[(others != i) & (others != j)]
+        if others.size == 0:
+            return
+        d_ik = D[i, others]
+        d_jk = D[j, others]
+        ni, nj = sizes[i], sizes[j]
+        if self.linkage == "single":
+            new = np.minimum(d_ik, d_jk)
+        elif self.linkage == "complete":
+            new = np.maximum(d_ik, d_jk)
+        elif self.linkage == "average":
+            new = (ni * d_ik + nj * d_jk) / (ni + nj)
+        elif self.linkage == "weighted":
+            new = 0.5 * d_ik + 0.5 * d_jk
+        else:  # ward, on squared distances
+            nk = sizes[others]
+            total = ni + nj + nk
+            new = (
+                (ni + nk) / total * d_ik
+                + (nj + nk) / total * d_jk
+                - nk / total * D[i, j]
+            )
+        D[i, others] = new
+        D[others, i] = new
+        D[j, others] = np.inf
+        D[others, j] = np.inf
+        D[i, j] = np.inf
+        D[j, i] = np.inf
+
+
+def hierarchical_fit(
+    X: np.ndarray,
+    n_clusters: int,
+    linkage: str = "average",
+    metric: str = "hamming",
+    p: float = 4.0,
+) -> np.ndarray:
+    """One-shot: build a dendrogram and cut it at *n_clusters*."""
+    dendrogram = AgglomerativeClustering(linkage, metric, p).fit(X)
+    return dendrogram.cut(min(n_clusters, dendrogram.n_leaves))

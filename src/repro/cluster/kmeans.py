@@ -1,0 +1,183 @@
+"""Weighted KMeans with k-means++ initialization.
+
+A from-scratch replacement for ``sklearn.cluster.KMeans`` (the paper
+uses sklearn; sklearn is unavailable offline).  Differences from the
+textbook algorithm:
+
+* sample weights — the library clusters *distinct* queries weighted by
+  their multiplicity in the log, which is equivalent to clustering the
+  full log but orders of magnitude faster;
+* deterministic seeding via :mod:`repro._rng`;
+* ``n_init`` restarts keeping the lowest inertia, mirroring sklearn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._rng import ensure_rng
+
+__all__ = ["KMeansResult", "KMeans", "kmeans_fit"]
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of one KMeans fit."""
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    n_iter: int
+    converged: bool
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding and sample weights.
+
+    Args:
+        n_clusters: number of clusters ``K``.
+        n_init: independent restarts; the best inertia wins.
+        max_iter: Lloyd iterations per restart.
+        tol: center-shift convergence tolerance (squared l2).
+        seed: RNG seed or generator.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_init: int = 10,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+        seed: int | np.random.Generator | None = None,
+    ):
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self._rng = ensure_rng(seed)
+        self.result: KMeansResult | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, sample_weight: np.ndarray | None = None) -> KMeansResult:
+        """Cluster rows of ``X``; returns (and stores) the best result."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        n = X.shape[0]
+        if n == 0:
+            raise ValueError("cannot cluster an empty matrix")
+        weight = self._check_weight(sample_weight, n)
+        k = min(self.n_clusters, n)
+
+        best: KMeansResult | None = None
+        for _ in range(max(1, self.n_init)):
+            result = self._fit_once(X, weight, k)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        self.result = best
+        return best
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Assign rows of ``X`` to the nearest fitted center."""
+        if self.result is None:
+            raise RuntimeError("fit must be called before predict")
+        distances = _sq_distances(np.asarray(X, dtype=float), self.result.centers)
+        return distances.argmin(axis=1)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_weight(sample_weight: np.ndarray | None, n: int) -> np.ndarray:
+        if sample_weight is None:
+            return np.ones(n)
+        weight = np.asarray(sample_weight, dtype=float)
+        if weight.shape != (n,):
+            raise ValueError("sample_weight must have one entry per row")
+        if (weight < 0).any() or weight.sum() <= 0:
+            raise ValueError("sample_weight must be non-negative and not all zero")
+        return weight
+
+    def _fit_once(self, X: np.ndarray, weight: np.ndarray, k: int) -> KMeansResult:
+        centers = self._kmeanspp(X, weight, k)
+        labels = np.zeros(X.shape[0], dtype=int)
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            distances = _sq_distances(X, centers)
+            labels = distances.argmin(axis=1)
+            new_centers = _weighted_centers(X, weight, labels, centers, self._rng)
+            shift = float(((new_centers - centers) ** 2).sum())
+            centers = new_centers
+            if shift <= self.tol:
+                converged = True
+                break
+        distances = _sq_distances(X, centers)
+        labels = distances.argmin(axis=1)
+        inertia = float((weight * distances[np.arange(X.shape[0]), labels]).sum())
+        return KMeansResult(labels, centers, inertia, iteration, converged)
+
+    def _kmeanspp(self, X: np.ndarray, weight: np.ndarray, k: int) -> np.ndarray:
+        """k-means++ seeding with probability ∝ weight · D(x)²."""
+        n = X.shape[0]
+        prob = weight / weight.sum()
+        first = int(self._rng.choice(n, p=prob))
+        centers = [X[first]]
+        closest_sq = _sq_distances(X, np.asarray(centers))[:, 0]
+        for _ in range(1, k):
+            scores = weight * closest_sq
+            total = scores.sum()
+            if total <= 0:
+                # All points coincide with chosen centers; pick randomly.
+                index = int(self._rng.integers(n))
+            else:
+                index = int(self._rng.choice(n, p=scores / total))
+            centers.append(X[index])
+            new_sq = _sq_distances(X, X[index][None, :])[:, 0]
+            np.minimum(closest_sq, new_sq, out=closest_sq)
+        return np.asarray(centers, dtype=float)
+
+
+def _sq_distances(X: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between rows of X and centers."""
+    sq = (
+        (X * X).sum(axis=1)[:, None]
+        + (centers * centers).sum(axis=1)[None, :]
+        - 2.0 * (X @ centers.T)
+    )
+    np.maximum(sq, 0.0, out=sq)
+    return sq
+
+
+def _weighted_centers(
+    X: np.ndarray,
+    weight: np.ndarray,
+    labels: np.ndarray,
+    previous: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Weighted means per cluster; empty clusters restart on a random row."""
+    k = previous.shape[0]
+    centers = np.empty_like(previous)
+    for j in range(k):
+        mask = labels == j
+        cluster_weight = weight[mask].sum()
+        if cluster_weight > 0:
+            centers[j] = (weight[mask, None] * X[mask]).sum(axis=0) / cluster_weight
+        else:
+            centers[j] = X[int(rng.integers(X.shape[0]))]
+    return centers
+
+
+def kmeans_fit(
+    X: np.ndarray,
+    n_clusters: int,
+    sample_weight: np.ndarray | None = None,
+    n_init: int = 10,
+    seed: int | np.random.Generator | None = None,
+) -> KMeansResult:
+    """Functional one-shot wrapper around :class:`KMeans`."""
+    return KMeans(n_clusters, n_init=n_init, seed=seed).fit(X, sample_weight)

@@ -1,0 +1,156 @@
+"""Workload drift analysis: comparing two compressed summaries.
+
+The monitoring use case (§2 "Online Database Monitoring") needs to
+detect when the current workload departs from the typical one.  Beyond
+per-query anomaly scoring (:mod:`repro.apps.monitor`), operators want
+an *aggregate* answer — how different is this hour's workload from the
+baseline, and which query features drive the difference?
+
+Both questions are answerable from LogR artifacts alone:
+
+* :func:`mixture_divergence` — a symmetric Jensen-Shannon-style
+  divergence between the maximum-entropy distributions of two naive
+  mixtures, computed feature-wise in closed form;
+* :func:`feature_drift` — per-feature marginal deltas ranked by their
+  divergence contribution, i.e. "what changed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from .encoding import NaiveEncoding
+from .mixture import PatternMixtureEncoding
+
+__all__ = ["FeatureDrift", "feature_drift", "mixture_divergence", "blended_marginals"]
+
+
+def blended_marginals(mixture: PatternMixtureEncoding) -> np.ndarray:
+    """Log-wide feature marginals implied by a naive mixture.
+
+    ``p(X_i = 1) = Σ_j w_j · p_j(X_i = 1)`` — exact for feature-level
+    (singleton-pattern) statistics regardless of clustering.
+    """
+    weights = mixture.weights
+    n = None
+    blended: np.ndarray | None = None
+    for weight, component in zip(weights, mixture.components):
+        encoding = component.encoding
+        if not isinstance(encoding, NaiveEncoding):
+            raise TypeError("drift analysis requires naive components")
+        if blended is None:
+            n = encoding.n_features
+            blended = np.zeros(n)
+        if encoding.n_features != n:
+            raise ValueError("components cover different feature spaces")
+        blended += weight * encoding.marginals
+    assert blended is not None
+    return blended
+
+
+def _js_term(p: float, q: float) -> float:
+    """Per-feature Jensen-Shannon divergence of Bernoulli(p), Bernoulli(q)."""
+    m = 0.5 * (p + q)
+
+    def _kl(a: float, b: float) -> float:
+        total = 0.0
+        for x, y in ((a, b), (1.0 - a, 1.0 - b)):
+            if x > 0:
+                total += x * (np.log2(x) - np.log2(max(y, 1e-300)))
+        return total
+
+    return 0.5 * _kl(p, m) + 0.5 * _kl(q, m)
+
+
+def _aligned(
+    baseline: PatternMixtureEncoding, current: PatternMixtureEncoding
+) -> tuple[np.ndarray, np.ndarray, list[Hashable]]:
+    """Marginal vectors of both mixtures in a shared feature space.
+
+    When both mixtures carry vocabularies, features are aligned by
+    identity (a codebook that grew between snapshots is fine: missing
+    features read as marginal 0).  Without vocabularies the vectors
+    must already have equal length.
+    """
+    p = blended_marginals(baseline)
+    q = blended_marginals(current)
+    if baseline.vocabulary is not None and current.vocabulary is not None:
+        features: list[Hashable] = list(baseline.vocabulary)
+        known = set(features)
+        for feature in current.vocabulary:
+            if feature not in known:
+                known.add(feature)
+                features.append(feature)
+        p_aligned = np.zeros(len(features))
+        q_aligned = np.zeros(len(features))
+        for position, feature in enumerate(features):
+            b_index = baseline.vocabulary.get(feature)
+            if b_index is not None and b_index < p.shape[0]:
+                p_aligned[position] = p[b_index]
+            c_index = current.vocabulary.get(feature)
+            if c_index is not None and c_index < q.shape[0]:
+                q_aligned[position] = q[c_index]
+        return p_aligned, q_aligned, features
+    if p.shape != q.shape:
+        raise ValueError("mixtures cover different feature spaces")
+    return p, q, list(range(p.shape[0]))
+
+
+def mixture_divergence(
+    baseline: PatternMixtureEncoding, current: PatternMixtureEncoding
+) -> float:
+    """Symmetric workload divergence in bits (sum of per-feature JSD).
+
+    Zero iff every feature marginal agrees; bounded by the union
+    feature count.  Features are aligned by identity when both
+    mixtures carry vocabularies (see :func:`_aligned`).
+    """
+    p, q, _ = _aligned(baseline, current)
+    return float(sum(_js_term(float(a), float(b)) for a, b in zip(p, q)))
+
+
+@dataclass
+class FeatureDrift:
+    """One feature's contribution to workload drift."""
+
+    feature: Hashable
+    baseline_marginal: float
+    current_marginal: float
+    divergence_bits: float
+
+    @property
+    def direction(self) -> str:
+        if self.current_marginal > self.baseline_marginal:
+            return "up"
+        if self.current_marginal < self.baseline_marginal:
+            return "down"
+        return "flat"
+
+
+def feature_drift(
+    baseline: PatternMixtureEncoding,
+    current: PatternMixtureEncoding,
+    top_k: int = 10,
+    min_divergence: float = 1e-6,
+) -> list[FeatureDrift]:
+    """The features that drive divergence, strongest first."""
+    if baseline.vocabulary is None:
+        raise ValueError("baseline mixture has no vocabulary attached")
+    p, q, features = _aligned(baseline, current)
+    drifts = []
+    for index, feature in enumerate(features):
+        divergence = _js_term(float(p[index]), float(q[index]))
+        if divergence >= min_divergence:
+            drifts.append(
+                FeatureDrift(
+                    feature=feature,
+                    baseline_marginal=float(p[index]),
+                    current_marginal=float(q[index]),
+                    divergence_bits=divergence,
+                )
+            )
+    drifts.sort(key=lambda d: -d.divergence_bits)
+    return drifts[:top_k]

@@ -1,0 +1,81 @@
+"""Entropy and divergence primitives.
+
+All information quantities in this library are measured in **bits**
+(log base 2).  The paper leaves the base unspecified; base only scales
+every Error/Deviation/Ambiguity axis by a constant, so reported shapes
+are unaffected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "entropy",
+    "bernoulli_entropy",
+    "independent_entropy",
+    "kl_divergence",
+    "safe_log2",
+]
+
+_EPS = 1e-300
+
+
+def safe_log2(x: np.ndarray | float) -> np.ndarray | float:
+    """log2 that maps 0 to log2(eps) instead of -inf (callers mask 0s)."""
+    return np.log2(np.maximum(x, _EPS))
+
+
+def entropy(probabilities: np.ndarray) -> float:
+    """Shannon entropy (bits) of a discrete distribution.
+
+    Zero entries contribute zero (the 0·log 0 = 0 convention).  The
+    input need not be normalized exactly, but should sum to ≈1.
+    """
+    p = np.asarray(probabilities, dtype=float)
+    if p.size == 0:
+        return 0.0
+    if (p < -1e-12).any():
+        raise ValueError("probabilities must be non-negative")
+    mask = p > 0
+    return float(-(p[mask] * np.log2(p[mask])).sum())
+
+
+def bernoulli_entropy(p: np.ndarray | float) -> np.ndarray | float:
+    """Entropy h(p) of Bernoulli(p), elementwise; h(0)=h(1)=0."""
+    p = np.asarray(p, dtype=float)
+    q = 1.0 - p
+    out = np.zeros_like(p)
+    mask = (p > 0) & (p < 1)
+    out[mask] = -(
+        p[mask] * np.log2(p[mask]) + q[mask] * np.log2(q[mask])
+    )
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def independent_entropy(marginals: np.ndarray) -> float:
+    """Entropy of a product-of-Bernoullis distribution: Σ h(p_i).
+
+    This is H(ρ_E) for a naive encoding (paper eq. 1): independence
+    makes joint entropy the sum of the per-feature entropies.
+    """
+    return float(np.sum(bernoulli_entropy(np.asarray(marginals, dtype=float))))
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """Kullback-Leibler divergence D(p‖q) in bits.
+
+    Requires absolute continuity on p's support: any index with
+    ``p > 0`` and ``q == 0`` yields ``inf`` (the paper notes this
+    limitation of Deviation in §3.3).
+    """
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError("p and q must have matching shapes")
+    mask = p > 0
+    if (q[mask] <= 0).any():
+        return float("inf")
+    return float((p[mask] * (np.log2(p[mask]) - np.log2(q[mask]))).sum())

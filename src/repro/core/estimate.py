@@ -1,0 +1,128 @@
+"""Pattern synthesis and marginal-estimation quality (§6.3).
+
+Two empirical checks that a naive mixture encoding approximates log
+statistics well:
+
+* **Synthesis error** — synthesize patterns from each partition's
+  naive encoding (sample each feature independently with its marginal)
+  and measure the fraction that do *not* occur in the partition:
+  ``1 − M/N`` (Fig. 3a).
+* **Marginal deviation** — for every distinct query, treated as the
+  worst-case pattern it contains, compare the encoding's marginal
+  estimate against the true marginal: ``|ESTM − TM| / TM`` (Fig. 3b).
+
+Both are aggregated across partitions by query-count weights, matching
+§6.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._rng import ensure_rng
+from .encoding import NaiveEncoding
+from .log import QueryLog
+from .pattern import Pattern
+
+__all__ = [
+    "synthesize_patterns",
+    "synthesis_error",
+    "marginal_deviation",
+    "EstimationQuality",
+    "estimation_quality",
+]
+
+
+def synthesize_patterns(
+    encoding: NaiveEncoding,
+    n_patterns: int,
+    seed: int | np.random.Generator | None = None,
+) -> list[Pattern]:
+    """Sample *n_patterns* patterns from a naive encoding.
+
+    Each feature appears in a synthesized pattern independently with
+    its encoded marginal — i.e., patterns are drawn from the maxent
+    distribution the encoding represents.
+    """
+    rng = ensure_rng(seed)
+    marginals = encoding.marginals
+    draws = rng.random((n_patterns, marginals.shape[0])) < marginals[None, :]
+    return [Pattern(np.flatnonzero(row)) for row in draws]
+
+
+def synthesis_error(
+    partitions: Sequence[QueryLog],
+    n_patterns: int = 10_000,
+    seed: int | np.random.Generator | None = None,
+) -> float:
+    """Weighted synthesis error of a naive mixture over *partitions*.
+
+    For each partition: synthesize ``n_patterns`` patterns from its
+    naive encoding and count the fraction with zero marginal in the
+    partition's log.  Partitions are weighted by query count.
+    """
+    rng = ensure_rng(seed)
+    total = sum(part.total for part in partitions)
+    weighted = 0.0
+    for part in partitions:
+        encoding = NaiveEncoding.from_log(part)
+        patterns = synthesize_patterns(encoding, n_patterns, seed=rng)
+        hits = sum(1 for b in patterns if part.pattern_marginal(b) > 0.0)
+        error = 1.0 - hits / n_patterns
+        weighted += (part.total / total) * error
+    return weighted
+
+
+def marginal_deviation(partitions: Sequence[QueryLog]) -> float:
+    """Weighted marginal deviation of a naive mixture over *partitions*.
+
+    Each distinct query of a partition is used as a pattern (the worst
+    case among its sub-patterns, §6.3); per-partition deviations are
+    averaged over distinct queries, then combined across partitions by
+    query-count weight.
+    """
+    total = sum(part.total for part in partitions)
+    weighted = 0.0
+    for part in partitions:
+        encoding = NaiveEncoding.from_log(part)
+        deviations = []
+        for row in part.matrix:
+            pattern = Pattern.from_vector(row)
+            true_marginal = part.pattern_marginal(pattern)
+            if true_marginal <= 0.0:  # pragma: no cover - rows come from the log
+                continue
+            estimated = encoding.pattern_probability(pattern)
+            deviations.append(abs(estimated - true_marginal) / true_marginal)
+        if deviations:
+            weighted += (part.total / total) * float(np.mean(deviations))
+    return weighted
+
+
+@dataclass
+class EstimationQuality:
+    """Bundle of the §6.3 quality measures for one partitioning."""
+
+    n_clusters: int
+    reproduction_error: float
+    synthesis_error: float
+    marginal_deviation: float
+
+
+def estimation_quality(
+    partitions: Sequence[QueryLog],
+    n_patterns: int = 10_000,
+    seed: int | np.random.Generator | None = None,
+) -> EstimationQuality:
+    """Compute Error, synthesis error, and marginal deviation together."""
+    from .mixture import PatternMixtureEncoding
+
+    mixture = PatternMixtureEncoding.from_partitions(list(partitions))
+    return EstimationQuality(
+        n_clusters=len(partitions),
+        reproduction_error=mixture.error(),
+        synthesis_error=synthesis_error(partitions, n_patterns, seed),
+        marginal_deviation=marginal_deviation(partitions),
+    )

@@ -1,0 +1,173 @@
+"""Hierarchical LogR compression (§6.1 "Hierarchical Clustering").
+
+Classical clustering re-assigns queries when K changes, so the
+Error/Verbosity trade-off is explored by re-clustering from scratch.
+§6.1 points out the alternative: hierarchical clustering "forces
+monotonic assignments and offers more dynamic control over the
+Error/Verbosity tradeoff".
+
+:class:`HierarchicalCompressor` builds the dendrogram once and exposes
+every cut as a ready naive-mixture encoding:
+
+* :meth:`cut` — the encoding at exactly K clusters;
+* :meth:`frontier` — the whole Error/Verbosity curve in one pass,
+  computed incrementally (each cut differs from the previous one by a
+  single split, so only two components are re-encoded);
+* :meth:`cut_for_error` / :meth:`cut_for_verbosity` — pick the smallest
+  K meeting a fidelity target or the largest K within a storage budget.
+
+Because assignments are monotone, moving between adjacent cuts swaps
+exactly one component for its two children — which also makes the
+incremental frontier O(n) component builds total instead of O(n·K).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.hierarchical import AgglomerativeClustering, Dendrogram
+from .encoding import NaiveEncoding
+from .log import QueryLog
+from .mixture import MixtureComponent, PatternMixtureEncoding
+
+__all__ = ["FrontierPoint", "HierarchicalCompressor"]
+
+
+@dataclass
+class FrontierPoint:
+    """One point of the Error/Verbosity frontier."""
+
+    n_clusters: int
+    error: float
+    verbosity: int
+
+
+class HierarchicalCompressor:
+    """Dendrogram-backed LogR compressor with monotone cuts.
+
+    Args:
+        linkage: agglomerative linkage (``average`` default).
+        metric: distance measure (§6.1's Hamming is the default — its
+            Error/runtime trade-off won the paper's comparison).
+    """
+
+    def __init__(self, linkage: str = "average", metric: str = "hamming"):
+        self.linkage = linkage
+        self.metric = metric
+        self._log: QueryLog | None = None
+        self._dendrogram: Dendrogram | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, log: QueryLog) -> "HierarchicalCompressor":
+        """Build the dendrogram over the log's distinct queries."""
+        self._log = log
+        self._dendrogram = AgglomerativeClustering(self.linkage, self.metric).fit(
+            log.matrix.astype(float)
+        )
+        return self
+
+    @property
+    def max_clusters(self) -> int:
+        self._require_fit()
+        return self._dendrogram.n_leaves
+
+    def _require_fit(self) -> None:
+        if self._log is None or self._dendrogram is None:
+            raise RuntimeError("fit must be called first")
+
+    # ------------------------------------------------------------------
+    def labels(self, n_clusters: int) -> np.ndarray:
+        """Monotone cluster labels at the K-cluster cut."""
+        self._require_fit()
+        return self._dendrogram.cut(min(n_clusters, self.max_clusters))
+
+    def cut(self, n_clusters: int) -> PatternMixtureEncoding:
+        """The naive mixture encoding at exactly K clusters."""
+        self._require_fit()
+        partitions = self._log.partition(self.labels(n_clusters))
+        return PatternMixtureEncoding.from_partitions(partitions, self._log.vocabulary)
+
+    # ------------------------------------------------------------------
+    def frontier(self, max_clusters: int | None = None) -> list[FrontierPoint]:
+        """The Error/Verbosity curve for K = 1..max_clusters.
+
+        Walks the dendrogram top-down; at each step exactly one
+        component is split, so only its two children are re-encoded.
+        Error is guaranteed non-increasing along the walk up to the
+        mixing-entropy effect discussed in §5.2 (similar components may
+        momentarily tie).
+        """
+        self._require_fit()
+        log = self._log
+        limit = min(max_clusters or self.max_clusters, self.max_clusters)
+
+        # Component cache keyed by frozenset of distinct-row ids.
+        cache: dict[frozenset[int], MixtureComponent] = {}
+
+        def component_for(rows: frozenset[int]) -> MixtureComponent:
+            cached = cache.get(rows)
+            if cached is None:
+                part = log.subset(sorted(rows))
+                cached = MixtureComponent(
+                    size=part.total,
+                    encoding=NaiveEncoding.from_log(part),
+                    true_entropy=part.entropy(),
+                )
+                cache[rows] = cached
+            return cached
+
+        points: list[FrontierPoint] = []
+        # Reconstruct cluster membership along the merge sequence in
+        # reverse (splitting from 1 cluster down the tree).
+        merges = self._dendrogram.merges
+        n = self._dendrogram.n_leaves
+        members: dict[int, frozenset[int]] = {
+            leaf: frozenset([leaf]) for leaf in range(n)
+        }
+        for index, (a, b, _, _) in enumerate(merges):
+            members[n + index] = members[a] | members[b]
+
+        # Start from the root cut (K = 1) and split greedily in reverse
+        # merge order, which reproduces Dendrogram.cut's partitions.
+        active: set[int] = {n + len(merges) - 1} if merges else {0}
+        k = 1
+        while True:
+            clusters = [members[node] for node in active]
+            component_list = [component_for(rows) for rows in clusters]
+            mixture = PatternMixtureEncoding(component_list, log.vocabulary)
+            points.append(
+                FrontierPoint(k, mixture.error(), mixture.total_verbosity)
+            )
+            if k >= limit:
+                break
+            # Split the most recent merge among active internal nodes.
+            internal = [node for node in active if node >= n]
+            if not internal:
+                break
+            newest = max(internal)
+            a, b, _, _ = merges[newest - n]
+            active.remove(newest)
+            active.add(a)
+            active.add(b)
+            k += 1
+        return points
+
+    # ------------------------------------------------------------------
+    def cut_for_error(self, target_error: float) -> PatternMixtureEncoding:
+        """Smallest-K cut whose Generalized Error ≤ target."""
+        for point in self.frontier():
+            if point.error <= target_error:
+                return self.cut(point.n_clusters)
+        return self.cut(self.max_clusters)
+
+    def cut_for_verbosity(self, max_verbosity: int) -> PatternMixtureEncoding:
+        """Largest-K cut whose Total Verbosity stays within budget."""
+        best_k = 1
+        for point in self.frontier():
+            if point.verbosity <= max_verbosity:
+                best_k = point.n_clusters
+            else:
+                break
+        return self.cut(best_k)

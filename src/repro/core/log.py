@@ -1,0 +1,235 @@
+"""The query log abstraction: a bag of feature vectors.
+
+§2.3.1 defines the information content of a log as the distribution
+``p(Q | L)`` of queries drawn uniformly from the log.  Because target
+statistics are order-independent (§1), :class:`QueryLog` stores the
+log as a *distinct-row matrix plus multiplicities* — the same
+information as the bag, at a fraction of the memory (the PocketData log
+has 629,582 entries but only 605 distinct queries).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from .entropy import entropy
+from .pattern import Pattern
+from .vocabulary import Vocabulary
+
+__all__ = ["QueryLog", "LogBuilder"]
+
+
+class QueryLog:
+    """An immutable bag of encoded queries over a shared vocabulary.
+
+    Attributes:
+        vocabulary: the feature codebook (shared across partitions).
+        matrix: ``(n_distinct, n_features)`` 0/1 array of distinct rows.
+        counts: multiplicity of each distinct row; ``counts.sum()`` is
+            the total number of log entries ``|L|``.
+    """
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        matrix: np.ndarray,
+        counts: np.ndarray | Sequence[int],
+    ):
+        matrix = np.ascontiguousarray(np.asarray(matrix, dtype=np.uint8))
+        counts = np.asarray(counts, dtype=np.int64)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-D")
+        if matrix.shape[1] != len(vocabulary):
+            raise ValueError(
+                f"matrix width {matrix.shape[1]} does not match vocabulary size "
+                f"{len(vocabulary)}"
+            )
+        if counts.shape != (matrix.shape[0],):
+            raise ValueError("counts must have one entry per distinct row")
+        if (counts <= 0).any():
+            raise ValueError("multiplicities must be positive")
+        self.vocabulary = vocabulary
+        self.matrix = matrix
+        self.counts = counts
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Total number of log entries, ``|L|``."""
+        return int(self.counts.sum())
+
+    @property
+    def n_distinct(self) -> int:
+        """Number of distinct queries."""
+        return self.matrix.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Vocabulary size ``n``."""
+        return self.matrix.shape[1]
+
+    def __len__(self) -> int:
+        return self.total
+
+    # ------------------------------------------------------------------
+    # distributional views
+    # ------------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        """``p(q | L)`` for each distinct row: counts / |L|."""
+        return self.counts / self.total
+
+    def entropy(self) -> float:
+        """H(ρ*): entropy (bits) of the true query distribution."""
+        return entropy(self.probabilities())
+
+    def feature_marginals(self) -> np.ndarray:
+        """``p(X_i = 1)`` for every feature — the naive-encoding map."""
+        weights = self.probabilities()
+        return weights @ self.matrix
+
+    def feature_support(self) -> np.ndarray:
+        """Indices of features appearing in at least one query."""
+        return np.flatnonzero(self.matrix.any(axis=0))
+
+    def pattern_marginal(self, pattern: Pattern) -> float:
+        """True marginal ``p(Q ⊇ b | L)`` of *pattern* (§2.3.1)."""
+        mask = pattern.matches(self.matrix)
+        return float(self.counts[mask].sum()) / self.total
+
+    def pattern_count(self, pattern: Pattern) -> int:
+        """True count ``Γ_b(L) = |{q ∈ L : b ⊆ q}|`` (§6.2)."""
+        mask = pattern.matches(self.matrix)
+        return int(self.counts[mask].sum())
+
+    def average_features_per_query(self) -> float:
+        """Mean feature-set size weighted by multiplicity (Table 1)."""
+        row_sizes = self.matrix.sum(axis=1)
+        return float((self.counts * row_sizes).sum() / self.total)
+
+    # ------------------------------------------------------------------
+    # partitioning
+    # ------------------------------------------------------------------
+    def partition(self, labels: np.ndarray | Sequence[int]) -> list["QueryLog"]:
+        """Split into sub-logs by a per-distinct-row label array.
+
+        Empty clusters are dropped; the result is ordered by label.
+        All partitions share this log's vocabulary.
+        """
+        labels = np.asarray(labels)
+        if labels.shape != (self.n_distinct,):
+            raise ValueError("labels must have one entry per distinct row")
+        partitions = []
+        for label in np.unique(labels):
+            mask = labels == label
+            partitions.append(
+                QueryLog(self.vocabulary, self.matrix[mask], self.counts[mask])
+            )
+        return partitions
+
+    def subset(self, row_indices: np.ndarray | Sequence[int]) -> "QueryLog":
+        """Sub-log containing the given distinct rows."""
+        row_indices = np.asarray(row_indices, dtype=int)
+        return QueryLog(self.vocabulary, self.matrix[row_indices], self.counts[row_indices])
+
+    def project(self, feature_indices: np.ndarray | Sequence[int]) -> "QueryLog":
+        """Project onto a feature subset (used by Laserlight's 100-col cap).
+
+        The projected log keeps one row per distinct *projected* vector,
+        merging multiplicities, and gets a fresh vocabulary containing
+        only the selected features.
+        """
+        feature_indices = np.asarray(feature_indices, dtype=int)
+        reduced = self.matrix[:, feature_indices]
+        new_vocab = Vocabulary(self.vocabulary.feature(i) for i in feature_indices)
+        merged = _merge_duplicates(reduced, self.counts)
+        return QueryLog(new_vocab, merged[0], merged[1])
+
+    # ------------------------------------------------------------------
+    # equality (used heavily by tests)
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryLog):
+            return NotImplemented
+        if self.n_features != other.n_features:
+            return False
+        ours = _row_multiset(self.matrix, self.counts)
+        theirs = _row_multiset(other.matrix, other.counts)
+        return ours == theirs
+
+    def __hash__(self) -> int:  # pragma: no cover - logs are dict keys rarely
+        return hash(frozenset(_row_multiset(self.matrix, self.counts).items()))
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryLog(total={self.total}, distinct={self.n_distinct}, "
+            f"features={self.n_features})"
+        )
+
+
+def _row_multiset(matrix: np.ndarray, counts: np.ndarray) -> dict[bytes, int]:
+    out: dict[bytes, int] = {}
+    for row, count in zip(matrix, counts):
+        key = row.tobytes()
+        out[key] = out.get(key, 0) + int(count)
+    return out
+
+
+def _merge_duplicates(matrix: np.ndarray, counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse duplicate rows, summing multiplicities."""
+    order: dict[bytes, int] = {}
+    rows: list[np.ndarray] = []
+    merged: list[int] = []
+    for row, count in zip(matrix, counts):
+        key = row.tobytes()
+        index = order.get(key)
+        if index is None:
+            order[key] = len(rows)
+            rows.append(row)
+            merged.append(int(count))
+        else:
+            merged[index] += int(count)
+    return np.asarray(rows, dtype=np.uint8), np.asarray(merged, dtype=np.int64)
+
+
+class LogBuilder:
+    """Accumulates feature sets into a :class:`QueryLog`.
+
+    Typical use::
+
+        builder = LogBuilder()
+        for sql in statements:
+            for feature_set in extractor.extract(sql):
+                builder.add(feature_set)
+        log = builder.build()
+    """
+
+    def __init__(self, vocabulary: Vocabulary | None = None):
+        self.vocabulary = vocabulary or Vocabulary()
+        self._counts: dict[frozenset[int], int] = {}
+
+    def add(self, features: Iterable[Hashable], count: int = 1) -> None:
+        """Add one query (as a feature set) *count* times."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        indices = frozenset(self.vocabulary.add(f) for f in sorted(features, key=repr))
+        self._counts[indices] = self._counts.get(indices, 0) + count
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def build(self) -> QueryLog:
+        """Materialize the accumulated bag as a :class:`QueryLog`."""
+        n = len(self.vocabulary)
+        if not self._counts:
+            raise ValueError("cannot build an empty log")
+        matrix = np.zeros((len(self._counts), n), dtype=np.uint8)
+        counts = np.zeros(len(self._counts), dtype=np.int64)
+        for row, (indices, count) in enumerate(sorted(self._counts.items(), key=lambda kv: sorted(kv[0]))):
+            for index in indices:
+                matrix[row, index] = 1
+            counts[row] = count
+        return QueryLog(self.vocabulary, matrix, counts)

@@ -1,0 +1,100 @@
+"""Lossless encodings and Proposition 1 (§3.1, Appendix B).
+
+Proposition 1: given the full marginal map ``E_max`` (or the smaller
+``E_q`` neighbourhoods defined in Appendix B), the exact point
+probability ``p(Q = q)`` of any query is recoverable by the telescoping
+differences of the proof — equivalently, inclusion–exclusion over the
+features absent from ``q``:
+
+    p(Q = q) = Σ_{T ⊆ Z(q)} (−1)^{|T|} · p(Q ⊇ q ∪ T)
+
+where ``Z(q)`` is the set of features q lacks.  These utilities are
+exponential in ``|Z(q)|`` and exist to *verify* the proposition (and
+to give tests a ground-truth reconstruction), not for production use.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable
+
+import numpy as np
+
+from .encoding import PatternEncoding
+from .log import QueryLog
+from .pattern import Pattern
+
+__all__ = [
+    "point_probability_from_marginals",
+    "lossless_encoding",
+    "reconstruct_distribution",
+]
+
+
+def point_probability_from_marginals(
+    marginal: Callable[[Pattern], float],
+    query: np.ndarray,
+    max_absent: int = 20,
+) -> float:
+    """Reconstruct ``p(Q = q)`` from a pattern-marginal oracle.
+
+    Args:
+        marginal: maps a pattern ``b`` to ``p(Q ⊇ b)``.
+        query: dense 0/1 vector for ``q``.
+        max_absent: guard on ``|Z(q)|`` (the sum has ``2^|Z(q)|`` terms).
+    """
+    query = np.asarray(query)
+    present = [int(i) for i in np.flatnonzero(query)]
+    absent = [int(i) for i in np.flatnonzero(query == 0)]
+    if len(absent) > max_absent:
+        raise ValueError(
+            f"reconstruction needs 2^{len(absent)} terms; cap is 2^{max_absent}"
+        )
+    total = 0.0
+    for size in range(len(absent) + 1):
+        sign = -1.0 if size % 2 else 1.0
+        for extra in combinations(absent, size):
+            total += sign * marginal(Pattern(present + list(extra)))
+    # Clamp tiny negative float residue.
+    return max(total, 0.0)
+
+
+def lossless_encoding(log: QueryLog, max_features: int = 20) -> PatternEncoding:
+    """Materialize ``E_max`` restricted to patterns over the log's features.
+
+    Exponential in the feature count — usable only on toy logs, which
+    is exactly what the Proposition-1 verification tests need.
+    """
+    n = log.n_features
+    if n > max_features:
+        raise ValueError(f"E_max over {n} features needs 2^{n} patterns")
+    encoding = PatternEncoding(n)
+    indices = list(range(n))
+    for size in range(n + 1):
+        for combo in combinations(indices, size):
+            pattern = Pattern(combo)
+            encoding.add(pattern, log.pattern_marginal(pattern))
+    return encoding
+
+
+def reconstruct_distribution(
+    encoding: PatternEncoding, n_features: int, max_features: int = 20
+) -> dict[bytes, float]:
+    """Rebuild the full query distribution from a lossless encoding.
+
+    Returns ``{vector_bytes: probability}`` for every query with
+    non-zero reconstructed probability.
+    """
+    if n_features > max_features:
+        raise ValueError("reconstruction is exponential in the feature count")
+    out: dict[bytes, float] = {}
+    for assignment in range(1 << n_features):
+        vector = np.array(
+            [(assignment >> i) & 1 for i in range(n_features)], dtype=np.uint8
+        )
+        probability = point_probability_from_marginals(
+            lambda b: encoding[b], vector, max_absent=max_features
+        )
+        if probability > 1e-12:
+            out[vector.tobytes()] = probability
+    return out

@@ -1,0 +1,113 @@
+"""Encoding fidelity measures (§3, §4): Error, Deviation, Ambiguity.
+
+* **Reproduction Error** ``e(E) = H(ρ_E) − H(ρ*)`` — the practical
+  measure; closed-form for naive encodings, iterative scaling
+  otherwise (§4.1).
+* **Deviation** ``d(E) = E_{ρ∈Ω_E}[D_KL(ρ* ‖ ρ)]`` — estimated by
+  sampling Ω_E with the Appendix-C sampler (§3.3).
+* **Ambiguity** ``I(E) = log |Ω_E|`` — under the uninformed prior the
+  order between two encodings is decided by the *dimension* of their
+  induced spaces: more independent constraints ⇒ lower-dimensional
+  Ω_E ⇒ smaller volume.  :func:`constraint_rank` returns the exact
+  rank of the constraint system, so ``I(E1) ≤ I(E2)`` iff
+  ``constraint_rank(E1) ≥ constraint_rank(E2)`` for encodings over the
+  same feature space (Lemma 2's order, computable exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import ensure_rng
+from .encoding import NaiveEncoding, PatternEncoding
+from .log import QueryLog
+from .maxent import equivalence_classes, maxent_entropy
+from .spaces import DistributionSampler
+
+__all__ = [
+    "reproduction_error",
+    "DeviationEstimate",
+    "deviation",
+    "constraint_rank",
+    "ambiguity_precedes",
+]
+
+
+def reproduction_error(encoding: NaiveEncoding | PatternEncoding, log: QueryLog) -> float:
+    """``e(E) = H(ρ_E) − H(ρ*)`` in bits (§4.1).
+
+    Always ≥ 0 up to numerical tolerance, because the true distribution
+    lies inside Ω_E and ρ_E maximizes entropy over it.
+    """
+    return maxent_entropy(encoding) - log.entropy()
+
+
+@dataclass
+class DeviationEstimate:
+    """Monte-Carlo estimate of Deviation with its sampling spread."""
+
+    mean: float
+    std: float
+    n_samples: int
+
+    def __float__(self) -> float:
+        return self.mean
+
+
+def deviation(
+    encoding: PatternEncoding,
+    log: QueryLog,
+    n_samples: int = 200,
+    seed: int | np.random.Generator | None = None,
+) -> DeviationEstimate:
+    """Estimate ``d(E) = E[D_KL(ρ* ‖ P_E)]`` by sampling Ω_E (App. C).
+
+    The K-L divergence only needs ρ at the support of ρ*, so each
+    sampled distribution is evaluated at the log's distinct rows.
+    """
+    rng = ensure_rng(seed)
+    sampler = DistributionSampler(encoding, log, seed=rng)
+    true_probs = log.probabilities()
+    log2_true = np.log2(true_probs)
+    divergences = np.empty(n_samples)
+    floor = 1e-300
+    for i in range(n_samples):
+        sample = sampler.sample()
+        rho = np.maximum(sample.row_probs, floor)
+        divergences[i] = float((true_probs * (log2_true - np.log2(rho))).sum())
+    return DeviationEstimate(
+        mean=float(divergences.mean()),
+        std=float(divergences.std(ddof=1)) if n_samples > 1 else 0.0,
+        n_samples=n_samples,
+    )
+
+
+def constraint_rank(encoding: PatternEncoding) -> int:
+    """Rank of the linear constraint system an encoding imposes on Ω_E.
+
+    Computed on equivalence classes (constraint columns are constant
+    within a class, so the rank matches the rank over the full ``2^n``
+    query space).  The simplex normalization row is included, so the
+    empty encoding has rank 1.
+    """
+    classes = equivalence_classes(encoding.patterns(), encoding.n_features)
+    profiles = classes.profiles.astype(float)
+    rows = [np.ones(profiles.shape[0])]
+    for j in range(profiles.shape[1]):
+        rows.append(profiles[:, j])
+    system = np.vstack(rows)
+    return int(np.linalg.matrix_rank(system))
+
+
+def ambiguity_precedes(e1: PatternEncoding, e2: PatternEncoding) -> bool:
+    """True when ``I(E1) ≤ I(E2)`` is certain from dimensions alone.
+
+    For encodings over the same feature space, a (weakly) higher
+    constraint rank induces a (weakly) lower-dimensional — hence
+    smaller — space of admissible distributions.
+    """
+    if e1.n_features != e2.n_features:
+        raise ValueError("encodings cover different feature spaces")
+    return constraint_rank(e1) >= constraint_rank(e2)

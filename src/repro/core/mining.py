@@ -1,0 +1,99 @@
+"""Frequent-pattern mining over query logs (weighted Apriori).
+
+Candidate patterns feed the refinement stage (§6.4) and both baseline
+summarizers.  The miner is a standard level-wise Apriori adapted to the
+distinct-row + multiplicity representation of :class:`QueryLog`: the
+support of an itemset is the multiplicity-weighted fraction of log
+entries containing it, exactly the pattern marginal ``p(Q ⊇ b)``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from .log import QueryLog
+from .pattern import Pattern
+
+__all__ = ["frequent_patterns", "pattern_support"]
+
+
+def pattern_support(log: QueryLog, pattern: Pattern) -> float:
+    """Support of *pattern*: its marginal ``p(Q ⊇ b | L)``."""
+    return log.pattern_marginal(pattern)
+
+
+def frequent_patterns(
+    log: QueryLog,
+    min_support: float = 0.05,
+    max_size: int = 3,
+    max_patterns: int | None = None,
+    min_size: int = 1,
+) -> list[tuple[Pattern, float]]:
+    """Mine patterns with support ≥ *min_support*, up to *max_size* features.
+
+    Returns ``(pattern, support)`` pairs sorted by descending support
+    then ascending size.  When *max_patterns* is given, the most
+    frequent patterns are kept after mining each level (candidate
+    generation itself is exact Apriori, so no frequent pattern below
+    the cap is missed by pruning).
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError("min_support must lie in (0, 1]")
+    if max_size < 1:
+        raise ValueError("max_size must be >= 1")
+
+    # Integer count arithmetic keeps supports exact: a query contains an
+    # itemset iff the row-wise min over its columns is 1, so the weighted
+    # support is an integer dot product divided once by |L|.
+    matrix = log.matrix.astype(np.int64)
+    counts = log.counts
+    total = log.total
+
+    # Level 1: frequent single features.
+    feature_counts = counts @ matrix
+    marginals = feature_counts / total
+    frequent_items = [int(i) for i in np.flatnonzero(marginals >= min_support)]
+    level: dict[frozenset[int], float] = {
+        frozenset((i,)): float(marginals[i]) for i in frequent_items
+    }
+    results: list[tuple[Pattern, float]] = []
+    if min_size <= 1:
+        results.extend((Pattern(items), support) for items, support in level.items())
+
+    size = 1
+    while level and size < max_size:
+        size += 1
+        candidates = _generate_candidates(level, size)
+        if not candidates:
+            break
+        next_level: dict[frozenset[int], float] = {}
+        for items in candidates:
+            cols = sorted(items)
+            support = float(counts @ matrix[:, cols].min(axis=1)) / total
+            if support >= min_support:
+                next_level[items] = support
+        level = next_level
+        if size >= min_size:
+            results.extend((Pattern(items), support) for items, support in level.items())
+
+    results.sort(key=lambda pair: (-pair[1], len(pair[0])))
+    if max_patterns is not None:
+        results = results[:max_patterns]
+    return results
+
+
+def _generate_candidates(
+    level: dict[frozenset[int], float], size: int
+) -> set[frozenset[int]]:
+    """Apriori join + prune: candidates whose subsets are all frequent."""
+    itemsets = list(level)
+    candidates: set[frozenset[int]] = set()
+    for a, b in combinations(itemsets, 2):
+        union = a | b
+        if len(union) != size:
+            continue
+        if all(frozenset(sub) in level for sub in combinations(union, size - 1)):
+            candidates.add(union)
+    return candidates

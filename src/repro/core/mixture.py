@@ -1,0 +1,309 @@
+"""Pattern mixture encodings (§5): one encoding per log partition.
+
+A pattern mixture encoding stores, per partition ``L_i``: its weight
+``w_i = |L_i| / |L|``, its size, its (naive or refined) encoding, and
+the true entropy ``H(ρ*_i)`` captured at construction so Generalized
+Reproduction Error stays computable after the raw log is discarded.
+
+The mixture is the actual compressed artifact of LogR — it serializes
+to/from JSON (:meth:`PatternMixtureEncoding.to_json`), and answers the
+workload-statistics queries of §6.2 (``Γ_b`` estimation) without the
+original log.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Sequence
+
+import numpy as np
+
+from .encoding import NaiveEncoding, PatternEncoding
+from .log import QueryLog
+from .maxent import IndependentMaxent, maxent_entropy
+from .pattern import Pattern
+from .vocabulary import Vocabulary
+
+__all__ = ["MixtureComponent", "PatternMixtureEncoding"]
+
+
+@dataclass
+class MixtureComponent:
+    """One partition's share of a pattern mixture encoding."""
+
+    size: int  # |L_i|, number of log entries in the partition
+    encoding: NaiveEncoding | PatternEncoding
+    true_entropy: float  # H(ρ*_i) bits, captured at construction
+    extra: PatternEncoding | None = None  # refinement patterns, if any
+
+    @property
+    def verbosity(self) -> int:
+        base = self.encoding.verbosity
+        if self.extra is not None:
+            base += self.extra.verbosity
+        return base
+
+    def maxent_entropy(self) -> float:
+        """H(ρ_Si) of this component's encoding."""
+        if self.extra is not None and self.extra.verbosity:
+            from .maxent import fit_extended_naive  # local: avoids cycle at import
+
+            if not isinstance(self.encoding, NaiveEncoding):
+                raise TypeError("refinement requires a naive base encoding")
+            return fit_extended_naive(self.encoding, self.extra).entropy()
+        return maxent_entropy(self.encoding)
+
+    def error(self) -> float:
+        """Reproduction Error e(S_i) of this component."""
+        return self.maxent_entropy() - self.true_entropy
+
+
+class PatternMixtureEncoding:
+    """A weighted mixture of per-partition encodings (§5.2)."""
+
+    def __init__(
+        self,
+        components: Sequence[MixtureComponent],
+        vocabulary: Vocabulary | None = None,
+    ):
+        if not components:
+            raise ValueError("a mixture needs at least one component")
+        self.components = list(components)
+        self.vocabulary = vocabulary
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_partitions(
+        cls, partitions: Sequence[QueryLog], vocabulary: Vocabulary | None = None
+    ) -> "PatternMixtureEncoding":
+        """Naive mixture encoding of pre-partitioned logs (§5.1)."""
+        components = [
+            MixtureComponent(
+                size=part.total,
+                encoding=NaiveEncoding.from_log(part),
+                true_entropy=part.entropy(),
+            )
+            for part in partitions
+        ]
+        vocab = vocabulary or (partitions[0].vocabulary if partitions else None)
+        return cls(components, vocab)
+
+    @classmethod
+    def from_log(cls, log: QueryLog) -> "PatternMixtureEncoding":
+        """Single-component (unpartitioned) naive encoding."""
+        return cls.from_partitions([log], log.vocabulary)
+
+    # ------------------------------------------------------------------
+    # aggregate measures (§5.2)
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """|L|: total log entries across components."""
+        return sum(component.size for component in self.components)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """``w_i = |L_i| / |L|`` per component."""
+        sizes = np.array([component.size for component in self.components], dtype=float)
+        return sizes / sizes.sum()
+
+    @property
+    def n_components(self) -> int:
+        return len(self.components)
+
+    @property
+    def total_verbosity(self) -> int:
+        """Generalized Verbosity: Σ_i |S_i| (§5.2)."""
+        return sum(component.verbosity for component in self.components)
+
+    def error(self) -> float:
+        """Generalized Reproduction Error: Σ_i w_i · e(S_i) (§5.2)."""
+        weights = self.weights
+        return float(
+            sum(w * component.error() for w, component in zip(weights, self.components))
+        )
+
+    # ------------------------------------------------------------------
+    # workload statistics (§6.2)
+    # ------------------------------------------------------------------
+    def estimate_count(self, pattern: Pattern) -> float:
+        """``est[Γ_b(L)] = Σ_i |L_i| · Π_{f ∈ b} E_i[f]``.
+
+        Components whose encoding lacks a feature of *b* contribute 0
+        (the feature's marginal there is zero).
+        """
+        total = 0.0
+        for component in self.components:
+            encoding = component.encoding
+            if isinstance(encoding, NaiveEncoding):
+                probability = encoding.pattern_probability(pattern)
+            else:
+                probability = _pattern_encoding_probability(encoding, pattern)
+            total += component.size * probability
+        return total
+
+    def estimate_marginal(self, pattern: Pattern) -> float:
+        """Estimated ``p(Q ⊇ b | L)``."""
+        return self.estimate_count(pattern) / self.total
+
+    def estimate_count_features(self, features: Iterable[Hashable]) -> float:
+        """``Γ_b`` estimation addressed by feature objects (needs vocab)."""
+        if self.vocabulary is None:
+            raise ValueError("mixture has no vocabulary attached")
+        indices = []
+        for feature in features:
+            index = self.vocabulary.get(feature)
+            if index is None:
+                return 0.0  # unseen feature: never occurred in the log
+            indices.append(index)
+        return self.estimate_count(Pattern(indices))
+
+    def point_probability(self, vector: np.ndarray) -> float:
+        """``ρ_S(q) = Σ_i w_i ρ_Si(q)`` for naive components (§5.2)."""
+        weights = self.weights
+        total = 0.0
+        for w, component in zip(weights, self.components):
+            if not isinstance(component.encoding, NaiveEncoding):
+                raise TypeError("point probability requires naive components")
+            model = IndependentMaxent.from_encoding(component.encoding)
+            total += w * model.point_probability(vector)
+        return float(total)
+
+    # ------------------------------------------------------------------
+    # serialization: the compressed artifact
+    # ------------------------------------------------------------------
+    def to_json(
+        self, feature_codec: Callable[[Hashable], object] | None = None
+    ) -> str:
+        """Serialize to a JSON string (sparse marginals per component)."""
+        codec = feature_codec or _default_feature_codec
+        payload: dict = {"format": "logr-mixture-v1", "components": []}
+        if self.vocabulary is not None:
+            payload["features"] = [codec(f) for f in self.vocabulary]
+        for component in self.components:
+            encoding = component.encoding
+            if isinstance(encoding, NaiveEncoding):
+                support = encoding.support
+                entry = {
+                    "size": component.size,
+                    "true_entropy": component.true_entropy,
+                    "kind": "naive",
+                    "indices": [int(i) for i in support],
+                    "marginals": [float(encoding.marginals[i]) for i in support],
+                    "n_features": encoding.n_features,
+                }
+            else:
+                entry = {
+                    "size": component.size,
+                    "true_entropy": component.true_entropy,
+                    "kind": "patterns",
+                    "n_features": encoding.n_features,
+                    "patterns": [
+                        {"indices": sorted(p.indices), "marginal": m}
+                        for p, m in encoding.items()
+                    ],
+                }
+            if component.extra is not None and component.extra.verbosity:
+                entry["extra"] = [
+                    {"indices": sorted(p.indices), "marginal": m}
+                    for p, m in component.extra.items()
+                ]
+            payload["components"].append(entry)
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(
+        cls,
+        text: str,
+        feature_decoder: Callable[[object], Hashable] | None = None,
+    ) -> "PatternMixtureEncoding":
+        """Rebuild a mixture from :meth:`to_json` output."""
+        decoder = feature_decoder or _default_feature_decoder
+        payload = json.loads(text)
+        if payload.get("format") != "logr-mixture-v1":
+            raise ValueError("not a LogR mixture payload")
+        vocabulary = None
+        if "features" in payload:
+            vocabulary = Vocabulary(decoder(f) for f in payload["features"])
+        components = []
+        for entry in payload["components"]:
+            n = int(entry["n_features"])
+            if entry["kind"] == "naive":
+                marginals = np.zeros(n)
+                for index, marginal in zip(entry["indices"], entry["marginals"]):
+                    marginals[int(index)] = float(marginal)
+                encoding: NaiveEncoding | PatternEncoding = NaiveEncoding(marginals)
+            else:
+                encoding = PatternEncoding(
+                    n,
+                    {
+                        Pattern(item["indices"]): float(item["marginal"])
+                        for item in entry["patterns"]
+                    },
+                )
+            extra = None
+            if "extra" in entry:
+                extra = PatternEncoding(
+                    n,
+                    {
+                        Pattern(item["indices"]): float(item["marginal"])
+                        for item in entry["extra"]
+                    },
+                )
+            components.append(
+                MixtureComponent(
+                    size=int(entry["size"]),
+                    encoding=encoding,
+                    true_entropy=float(entry["true_entropy"]),
+                    extra=extra,
+                )
+            )
+        return cls(components, vocabulary)
+
+    def __repr__(self) -> str:
+        return (
+            f"PatternMixtureEncoding(components={self.n_components}, "
+            f"verbosity={self.total_verbosity})"
+        )
+
+
+def _pattern_encoding_probability(encoding: PatternEncoding, pattern: Pattern) -> float:
+    """Marginal estimate from an explicit encoding: exact when mapped,
+    singleton-product fallback otherwise."""
+    mapped = encoding.get(pattern)
+    if mapped is not None:
+        return mapped
+    probability = 1.0
+    for index in pattern.indices:
+        marginal = encoding.get(Pattern.singleton(index))
+        if marginal is None:
+            return 0.0
+        probability *= marginal
+    return probability
+
+
+def _default_feature_codec(feature: Hashable) -> object:
+    """JSON-encode common feature shapes (sql.Feature, tuples, strings)."""
+    clause = getattr(feature, "clause", None)
+    value = getattr(feature, "value", None)
+    if clause is not None and value is not None:
+        return {"value": value, "clause": clause}
+    if isinstance(feature, tuple):
+        return {"tuple": list(feature)}
+    return {"str": str(feature)}
+
+
+def _default_feature_decoder(payload: object) -> Hashable:
+    if isinstance(payload, dict):
+        if "clause" in payload:
+            from ..sql.features import Feature
+
+            return Feature(payload["value"], payload["clause"])
+        if "tuple" in payload:
+            return tuple(payload["tuple"])
+        if "str" in payload:
+            return payload["str"]
+    raise ValueError(f"cannot decode feature payload {payload!r}")

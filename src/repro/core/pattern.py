@@ -1,0 +1,109 @@
+"""Patterns: sets of co-occurring features (§2.3.1).
+
+A pattern ``b`` is a set of features that may co-occur in a query; the
+paper writes it as a 0/1 vector ``(x1, ..., xn)``.  We store the sparse
+index set, which is both smaller and faster for the containment tests
+(``b' ⊆ b``) that dominate marginal computation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["Pattern"]
+
+
+class Pattern:
+    """An immutable, hashable set of feature indices."""
+
+    __slots__ = ("_indices", "_hash")
+
+    def __init__(self, indices: Iterable[int]):
+        self._indices = frozenset(int(i) for i in indices)
+        if any(i < 0 for i in self._indices):
+            raise ValueError("feature indices must be non-negative")
+        self._hash = hash(self._indices)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_vector(cls, vector: np.ndarray) -> "Pattern":
+        """Build a pattern from a dense 0/1 vector."""
+        return cls(np.flatnonzero(np.asarray(vector)))
+
+    @classmethod
+    def singleton(cls, index: int) -> "Pattern":
+        """The single-feature pattern used by naive encodings."""
+        return cls((index,))
+
+    # ------------------------------------------------------------------
+    # set behaviour
+    # ------------------------------------------------------------------
+    @property
+    def indices(self) -> frozenset[int]:
+        """The feature indices of this pattern."""
+        return self._indices
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._indices))
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._indices
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self._indices == other._indices
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __le__(self, other: "Pattern") -> bool:
+        """Containment: ``self ⊆ other`` (paper's ``b' ⊆ b``)."""
+        return self._indices <= other._indices
+
+    def __lt__(self, other: "Pattern") -> bool:
+        return self._indices < other._indices
+
+    def union(self, other: "Pattern") -> "Pattern":
+        """Pattern with the features of both operands."""
+        return Pattern(self._indices | other._indices)
+
+    def intersection(self, other: "Pattern") -> "Pattern":
+        """Pattern with the shared features."""
+        return Pattern(self._indices & other._indices)
+
+    def overlaps(self, other: "Pattern") -> bool:
+        """True when the two patterns share at least one feature."""
+        return bool(self._indices & other._indices)
+
+    # ------------------------------------------------------------------
+    # vector interop
+    # ------------------------------------------------------------------
+    def as_vector(self, n_features: int) -> np.ndarray:
+        """Dense 0/1 representation of length *n_features*."""
+        vector = np.zeros(n_features, dtype=np.uint8)
+        for index in self._indices:
+            if index >= n_features:
+                raise ValueError(
+                    f"pattern index {index} out of range for {n_features} features"
+                )
+            vector[index] = 1
+        return vector
+
+    def matches(self, X: np.ndarray) -> np.ndarray:
+        """Boolean mask of rows of ``X`` that contain this pattern."""
+        X = np.asarray(X)
+        if not self._indices:
+            return np.ones(X.shape[0], dtype=bool)
+        cols = sorted(self._indices)
+        return (X[:, cols] != 0).all(axis=1)
+
+    def __repr__(self) -> str:
+        return f"Pattern({sorted(self._indices)})"

@@ -1,0 +1,235 @@
+"""Sampling from the space Ω_E of distributions allowed by an encoding.
+
+Implements Appendix C: Deviation (and Ambiguity) require integrating
+over all distributions consistent with an encoding.  Enumerating the
+space is impossible, so the paper samples it:
+
+1. group the ``2^n`` queries into *encoding-equivalence classes* — all
+   queries with the same pattern-containment profile are exchangeable
+   (Appendix C.1);
+2. ``TwoStepSampling``: draw a random sub-distribution over non-empty
+   classes, then redistribute each class's mass uniformly-at-random
+   over its members (Algorithm 1);
+3. project the class distribution onto the hyperplane of encoding
+   constraints (Appendix C.2), since a raw sample almost surely misses
+   the measure-zero constraint surface.
+
+One refinement over the pseudo-code: Algorithm 1's step 1 draws class
+masses *uniformly per class*, but the paper's stated prior is "PE is
+uniformly distributed over Ω_E" — i.e. uniform over the simplex of
+*query-space* distributions.  Aggregating the uniform simplex measure
+over equivalence classes yields a Dirichlet whose parameters are the
+class **cardinalities** (the Dirichlet aggregation property), so large
+classes must receive proportionally more prior mass.  We sample that
+induced Dirichlet (with a bounded concentration so draws stay random);
+the per-class-uniform variant is available as ``class_prior="uniform"``
+for fidelity to the literal pseudo-code.
+
+Step 2 is exact for the class weights; for the *member* share we use
+the fact that a class of cardinality ``c`` with iid U(0,1) member
+weights gives a specific member the share ``u / (u + S)`` where ``S``
+is the sum of the remaining ``c−1`` weights.  For the astronomically
+large classes of real vocabularies we sample ``u`` exactly and use the
+concentration ``S ≈ (c−1)/2`` (relative error O(c^{-1/2})); classes
+small enough to enumerate are sampled exactly.  This matches the
+published scheme without materializing ``2^n`` members.
+
+The Euclidean projection onto the affine constraint set is computed by
+least squares; small negative coordinates produced by the projection
+are clipped and renormalized (the paper projects with an LP — the
+difference only perturbs samples that were already near the boundary).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import ensure_rng
+from .encoding import PatternEncoding
+from .log import QueryLog
+from .maxent import EquivalenceClasses, equivalence_classes
+from .pattern import Pattern
+
+__all__ = ["DistributionSampler", "SampledDistribution"]
+
+_EXACT_CLASS_LIMIT = 4096.0  # enumerate member weights up to this size
+
+
+@dataclass
+class SampledDistribution:
+    """One draw ρ from Ω_E, queryable at the log's distinct rows.
+
+    ``class_probs[v]`` is the class-level mass; ``row_probs[i]`` the
+    probability assigned to distinct log row ``i``.
+    """
+
+    class_probs: np.ndarray
+    row_probs: np.ndarray
+
+
+class DistributionSampler:
+    """Samples distributions ρ ∈ Ω_E for a fixed encoding and log.
+
+    Args:
+        encoding: the pattern encoding under study.
+        log: the query log; sampled ρ are evaluated at its distinct
+            rows (all that the Deviation estimator needs).
+        seed: RNG seed or generator.
+    """
+
+    def __init__(
+        self,
+        encoding: PatternEncoding,
+        log: QueryLog,
+        seed: int | np.random.Generator | None = None,
+        class_prior: str = "cardinality",
+        concentration: float = 2_000.0,
+    ):
+        if class_prior not in ("cardinality", "uniform"):
+            raise ValueError(f"unknown class prior {class_prior!r}")
+        self.encoding = encoding
+        self.log = log
+        self.class_prior = class_prior
+        self.concentration = concentration
+        self._rng = ensure_rng(seed)
+        self.patterns = encoding.patterns()
+        self.targets = np.array([encoding[p] for p in self.patterns], dtype=float)
+        self.classes: EquivalenceClasses = equivalence_classes(
+            self.patterns, log.n_features
+        )
+        self._row_class = self._assign_rows()
+        n_classes = self.classes.profiles.shape[0]
+        self._projector = _AffineProjector(
+            self.classes.profiles.astype(float).T, self.targets, n_classes
+        )
+        # A strictly-positive feasible point (the maxent class
+        # distribution).  Projection can land on the boundary of Ω_E
+        # and zero-out classes that contain log rows, but the boundary
+        # has measure zero under the uniform prior — true samples are
+        # interior.  Mixing a sliver of the maxent point back in keeps
+        # samples interior without violating any constraint.
+        from .maxent import fit_pattern_encoding
+
+        model = fit_pattern_encoding(encoding)
+        self._interior = np.exp(model.class_log_probs)
+        # Total log2 cardinality of each class over the full feature
+        # space: covered-feature members times 2^n_free completions.
+        self._log2_sizes = self.classes.log2_sizes + self.classes.n_free
+
+    # ------------------------------------------------------------------
+    def sample(self) -> SampledDistribution:
+        """Draw one ρ ∈ Ω_E (Algorithm 1 + constraint projection)."""
+        k = self.classes.profiles.shape[0]
+        if self.class_prior == "uniform":
+            # Literal Algorithm 1: one uniform weight per class.
+            raw = self._rng.random(k)
+        else:
+            # The uniform prior over the 2^n-atom simplex aggregates to
+            # Dirichlet(α = class cardinalities); conditioned on the
+            # encoding constraints this concentrates (cardinalities are
+            # astronomical) at the I-projection of the cardinality
+            # distribution — exactly the constrained maximum-entropy
+            # class distribution.  Sample Dirichlet fluctuations
+            # centered there; `concentration` sets the residual spread.
+            alpha = np.maximum(self.concentration * self._interior, 1e-8)
+            raw = self._rng.gamma(alpha)
+        total = raw.sum()
+        if total <= 0:
+            raw = np.ones(k)
+            total = float(k)
+        class_probs = raw / total
+        class_probs = self._projector.project(class_probs)
+        interior_mix = 1e-3
+        class_probs = (1.0 - interior_mix) * class_probs + interior_mix * self._interior
+        row_probs = self._member_shares(class_probs)
+        return SampledDistribution(class_probs, row_probs)
+
+    def sample_many(self, count: int) -> list[SampledDistribution]:
+        """Draw *count* independent distributions."""
+        return [self.sample() for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    def _assign_rows(self) -> np.ndarray:
+        """Class index of every distinct log row."""
+        matrix = self.log.matrix
+        n_rows = matrix.shape[0]
+        if not self.patterns:
+            return np.zeros(n_rows, dtype=int)
+        profile_cols = [
+            pattern.matches(matrix).astype(np.uint8) for pattern in self.patterns
+        ]
+        row_profiles = np.stack(profile_cols, axis=1)
+        lookup = {
+            tuple(profile): index
+            for index, profile in enumerate(self.classes.profiles)
+        }
+        assignments = np.empty(n_rows, dtype=int)
+        for i, profile in enumerate(row_profiles):
+            key = tuple(int(x) for x in profile)
+            if key not in lookup:  # pragma: no cover - defensive
+                raise AssertionError("log row falls in an empty equivalence class")
+            assignments[i] = lookup[key]
+        return assignments
+
+    def _member_shares(self, class_probs: np.ndarray) -> np.ndarray:
+        """Step 2 of Algorithm 1 evaluated at the log's distinct rows."""
+        rng = self._rng
+        n_rows = self.log.n_distinct
+        row_probs = np.empty(n_rows)
+        u = rng.random(n_rows)
+        for i in range(n_rows):
+            v = self._row_class[i]
+            log2_c = self._log2_sizes[v]
+            if log2_c <= 0.0:  # singleton class: the row gets all mass
+                row_probs[i] = class_probs[v]
+                continue
+            if log2_c <= math.log2(_EXACT_CLASS_LIMIT):
+                c = int(round(2.0**log2_c))
+                others = rng.random(max(c - 1, 1)).sum()
+            else:
+                # Concentration: sum of (c-1) iid U(0,1) ≈ (c-1)/2.
+                others = (2.0**log2_c - 1.0) / 2.0
+            row_probs[i] = class_probs[v] * (u[i] / (u[i] + others))
+        return row_probs
+
+
+class _AffineProjector:
+    """Projection onto ``{x ≥ 0 : A x = b, Σx = 1}``.
+
+    Alternates the Euclidean projection onto the affine constraint set
+    with clipping to the non-negative orthant (projections onto convex
+    sets), which converges to a point of the feasible polytope — the
+    same target as the paper's LP projection, reached geometrically.
+    ``A`` has one row per pattern constraint (class-membership
+    indicators); the simplex-sum row is appended internally.
+    """
+
+    def __init__(self, A: np.ndarray, b: np.ndarray, n_classes: int, max_iter: int = 200):
+        ones = np.ones((1, n_classes))
+        if A.shape[0] > 0:
+            self._A = np.vstack([A, ones])
+            self._b = np.concatenate([b, [1.0]])
+        else:
+            self._A = ones
+            self._b = np.array([1.0])
+        self._max_iter = max_iter
+        # Pre-factor the normal equations via the pseudo-inverse of A·Aᵀ.
+        gram = self._A @ self._A.T
+        self._gram_pinv = np.linalg.pinv(gram)
+
+    def _affine(self, x: np.ndarray) -> np.ndarray:
+        residual = self._A @ x - self._b
+        return x - self._A.T @ (self._gram_pinv @ residual)
+
+    def project(self, x: np.ndarray, tol: float = 1e-10) -> np.ndarray:
+        projected = x
+        for _ in range(self._max_iter):
+            projected = self._affine(projected)
+            clipped = np.clip(projected, 0.0, None)
+            if np.abs(self._A @ clipped - self._b).max() < tol:
+                return clipped
+            projected = clipped
+        return np.clip(self._affine(projected), 0.0, None)

@@ -1,0 +1,78 @@
+"""SQL toolchain: lexer, parser, AST, printer, normalizer, regularizer.
+
+This package is a self-contained substitute for ``sqlparse`` plus the
+query-rewrite machinery the paper relies on.  Typical use::
+
+    from repro.sql import parse, to_sql, extract_features
+
+    stmt = parse("SELECT _id FROM Messages WHERE status = ?")
+    print(to_sql(stmt))
+    feature_sets = extract_features("SELECT a FROM t WHERE x = 1 OR y = 2")
+"""
+
+from . import ast
+from .errors import (
+    FeatureExtractionError,
+    LexError,
+    ParseError,
+    RegularizationError,
+    SqlError,
+)
+from .features import (
+    AligonExtractor,
+    Clause,
+    Feature,
+    MakiyamaExtractor,
+    extract_features,
+    query_features,
+)
+from .features_tree import TREE_CLAUSE, TreeExtractor, tree_features
+from .lexer import tokenize
+from .normalize import fold_identifier_case, normalize, parameterize
+from .parser import parse, parse_many
+from .printer import expr_to_sql, predicate_to_sql, to_sql
+from .rewrite import (
+    conjuncts,
+    expand_atoms,
+    flatten_joins,
+    is_conjunctive,
+    regularize,
+    regularize_statement,
+    to_dnf,
+    to_nnf,
+)
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "parse",
+    "parse_many",
+    "to_sql",
+    "expr_to_sql",
+    "predicate_to_sql",
+    "normalize",
+    "parameterize",
+    "fold_identifier_case",
+    "to_nnf",
+    "expand_atoms",
+    "to_dnf",
+    "flatten_joins",
+    "is_conjunctive",
+    "conjuncts",
+    "regularize",
+    "regularize_statement",
+    "Clause",
+    "Feature",
+    "AligonExtractor",
+    "MakiyamaExtractor",
+    "TreeExtractor",
+    "tree_features",
+    "TREE_CLAUSE",
+    "extract_features",
+    "query_features",
+    "SqlError",
+    "LexError",
+    "ParseError",
+    "RegularizationError",
+    "FeatureExtractionError",
+]

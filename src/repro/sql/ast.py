@@ -1,0 +1,440 @@
+"""Typed AST for the SQL subset handled by :mod:`repro.sql`.
+
+The node set covers what the paper's feature-extraction scheme (Aligon
+et al.) needs: ``SELECT`` queries with joins, sub-queries, boolean
+predicate trees, grouping, ordering, limits, and ``UNION``.  All nodes
+are immutable dataclasses; rewrites build new trees.
+
+Expression nodes
+    :class:`ColumnRef`, :class:`Literal`, :class:`Parameter`,
+    :class:`Star`, :class:`FuncCall`, :class:`BinaryOp`,
+    :class:`UnaryOp`, :class:`CaseExpr`, :class:`CastExpr`
+
+Predicate nodes
+    :class:`Comparison`, :class:`And`, :class:`Or`, :class:`Not`,
+    :class:`IsNull`, :class:`InList`, :class:`InSubquery`,
+    :class:`Between`, :class:`Like`, :class:`Exists`,
+    :class:`BoolLiteral`
+
+Relation nodes
+    :class:`NamedTable`, :class:`SubqueryTable`, :class:`Join`
+
+Statement nodes
+    :class:`Select`, :class:`Union`
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Union as TUnion
+
+__all__ = [
+    "Node", "Expr", "Predicate", "TableRef", "Statement",
+    "ColumnRef", "Literal", "Parameter", "Star", "FuncCall",
+    "BinaryOp", "UnaryOp", "CaseExpr", "WhenClause", "CastExpr",
+    "Comparison", "And", "Or", "Not", "IsNull", "InList",
+    "InSubquery", "Between", "Like", "Exists", "BoolLiteral",
+    "NamedTable", "SubqueryTable", "Join", "JoinType",
+    "SelectItem", "OrderItem", "Select", "Union",
+    "walk_expressions", "replace",
+]
+
+
+class Node:
+    """Marker base class for every AST node."""
+
+    __slots__ = ()
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expr(Node):
+    """Base class for scalar expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A (possibly qualified) column reference such as ``t.status``."""
+
+    name: str
+    table: str | None = None
+
+    @property
+    def qualified(self) -> str:
+        """Dotted name, e.g. ``messages.status`` or bare ``status``."""
+        if self.table:
+            return f"{self.table}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: number, string, NULL, or boolean.
+
+    ``value`` keeps the Python-typed constant; ``NULL`` is ``None``.
+    """
+
+    value: TUnion[int, float, str, bool, None]
+
+
+@dataclass(frozen=True)
+class Parameter(Expr):
+    """A positional JDBC-style parameter placeholder ``?``."""
+
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``table.*`` in a SELECT list or ``COUNT(*)``."""
+
+    table: str | None = None
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A function or aggregate call, e.g. ``upper(name)``, ``COUNT(*)``."""
+
+    name: str
+    args: tuple[Expr, ...] = ()
+    distinct: bool = False
+
+    AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+    @property
+    def is_aggregate(self) -> bool:
+        """True for the standard SQL aggregate functions."""
+        return self.name.upper() in self.AGGREGATES
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Arithmetic / concatenation binary operation."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary ``-`` or ``+``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class WhenClause(Node):
+    """One ``WHEN cond THEN result`` arm of a CASE expression."""
+
+    condition: "Predicate"
+    result: Expr
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expr):
+    """A searched CASE expression."""
+
+    whens: tuple[WhenClause, ...]
+    else_result: Expr | None = None
+
+
+@dataclass(frozen=True)
+class CastExpr(Expr):
+    """``CAST(expr AS type)``."""
+
+    operand: Expr
+    type_name: str
+
+
+# ----------------------------------------------------------------------
+# Predicates
+# ----------------------------------------------------------------------
+class Predicate(Node):
+    """Base class for boolean-valued nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """A binary comparison such as ``status = ?`` or ``a < b``."""
+
+    op: str  # one of = != < <= > >=
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """N-ary conjunction.  Construction flattens nested Ands."""
+
+    operands: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        flat: list[Predicate] = []
+        for op in self.operands:
+            if isinstance(op, And):
+                flat.extend(op.operands)
+            else:
+                flat.append(op)
+        object.__setattr__(self, "operands", tuple(flat))
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """N-ary disjunction.  Construction flattens nested Ors."""
+
+    operands: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        flat: list[Predicate] = []
+        for op in self.operands:
+            if isinstance(op, Or):
+                flat.extend(op.operands)
+            else:
+                flat.append(op)
+        object.__setattr__(self, "operands", tuple(flat))
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Logical negation."""
+
+    operand: Predicate
+
+
+@dataclass(frozen=True)
+class IsNull(Predicate):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Predicate):
+    """``expr [NOT] IN (v1, v2, ...)`` with literal/parameter items."""
+
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery(Predicate):
+    """``expr [NOT] IN (SELECT ...)``."""
+
+    operand: Expr
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Predicate):
+    """``expr [NOT] LIKE pattern``."""
+
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Exists(Predicate):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BoolLiteral(Predicate):
+    """``TRUE`` / ``FALSE`` used as a predicate."""
+
+    value: bool
+
+
+# ----------------------------------------------------------------------
+# Relations
+# ----------------------------------------------------------------------
+class TableRef(Node):
+    """Base class for FROM-clause items."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NamedTable(TableRef):
+    """A base table, optionally aliased."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """Name this relation is visible as inside the query."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubqueryTable(TableRef):
+    """A derived table ``(SELECT ...) AS alias``."""
+
+    select: "Select"
+    alias: str | None = None
+
+
+class JoinType:
+    """Join-type string constants (kept as plain strings in the AST)."""
+
+    INNER = "INNER"
+    LEFT = "LEFT"
+    RIGHT = "RIGHT"
+    FULL = "FULL"
+    CROSS = "CROSS"
+
+
+@dataclass(frozen=True)
+class Join(TableRef):
+    """An explicit join between two relations."""
+
+    left: TableRef
+    right: TableRef
+    join_type: str = JoinType.INNER
+    condition: Predicate | None = None
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+class Statement(Node):
+    """Base class for top-level statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    """One item of a SELECT list with an optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    """One ``ORDER BY`` key with direction."""
+
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    """A single SELECT block."""
+
+    items: tuple[SelectItem, ...]
+    from_items: tuple[TableRef, ...] = ()
+    where: Predicate | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Predicate | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Union(Statement):
+    """A UNION [ALL] of two or more SELECT blocks."""
+
+    selects: tuple[Select, ...]
+    all: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.selects) < 2:
+            raise ValueError("Union requires at least two SELECT blocks")
+
+
+# ----------------------------------------------------------------------
+# Traversal helpers
+# ----------------------------------------------------------------------
+def walk_expressions(node: Node) -> Iterator[Expr]:
+    """Yield every :class:`Expr` reachable from *node* (pre-order).
+
+    Sub-queries are *not* entered; they are opaque units for feature
+    extraction, matching the Aligon scheme where a FROM sub-query is a
+    single feature.
+    """
+    stack: list[Node] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Expr):
+            yield current
+        if isinstance(current, (Select,)):
+            stack.extend(item for item in current.items)
+            stack.extend(current.from_items)
+            if current.where is not None:
+                stack.append(current.where)
+            stack.extend(current.group_by)
+            if current.having is not None:
+                stack.append(current.having)
+            stack.extend(current.order_by)
+        elif isinstance(current, Union):
+            stack.extend(current.selects)
+        elif isinstance(current, SelectItem):
+            stack.append(current.expr)
+        elif isinstance(current, OrderItem):
+            stack.append(current.expr)
+        elif isinstance(current, Join):
+            stack.append(current.left)
+            stack.append(current.right)
+            if current.condition is not None:
+                stack.append(current.condition)
+        elif isinstance(current, (And, Or)):
+            stack.extend(current.operands)
+        elif isinstance(current, Not):
+            stack.append(current.operand)
+        elif isinstance(current, Comparison):
+            stack.append(current.left)
+            stack.append(current.right)
+        elif isinstance(current, IsNull):
+            stack.append(current.operand)
+        elif isinstance(current, InList):
+            stack.append(current.operand)
+            stack.extend(current.items)
+        elif isinstance(current, InSubquery):
+            stack.append(current.operand)
+        elif isinstance(current, Between):
+            stack.extend((current.operand, current.low, current.high))
+        elif isinstance(current, Like):
+            stack.append(current.operand)
+            stack.append(current.pattern)
+        elif isinstance(current, BinaryOp):
+            stack.append(current.left)
+            stack.append(current.right)
+        elif isinstance(current, UnaryOp):
+            stack.append(current.operand)
+        elif isinstance(current, CaseExpr):
+            for when in current.whens:
+                stack.append(when.condition)
+                stack.append(when.result)
+            if current.else_result is not None:
+                stack.append(current.else_result)
+        elif isinstance(current, CastExpr):
+            stack.append(current.operand)
+        # NamedTable, Literal, Parameter, Star, BoolLiteral: leaves.

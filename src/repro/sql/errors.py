@@ -1,0 +1,54 @@
+"""Exception hierarchy for the SQL toolchain.
+
+All SQL-layer failures derive from :class:`SqlError` so that callers
+(e.g. the log loaders in :mod:`repro.workloads.logio`) can catch one
+type and count a query as "unparseable", mirroring how the paper
+excludes the 13M unparseable statements from the US Bank log.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SqlError",
+    "LexError",
+    "ParseError",
+    "RegularizationError",
+    "FeatureExtractionError",
+]
+
+
+class SqlError(Exception):
+    """Base class for every error raised by :mod:`repro.sql`."""
+
+
+class LexError(SqlError):
+    """Raised when the tokenizer meets a character it cannot consume."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot build an AST from a token stream."""
+
+    def __init__(self, message: str, position: int = -1, token: str = ""):
+        if token:
+            message = f"{message}: got {token!r}"
+        super().__init__(message)
+        self.position = position
+        self.token = token
+
+
+class RegularizationError(SqlError):
+    """Raised when a query has no conjunctive equivalent within limits.
+
+    The paper (Table 1) counts "distinct re-writable queries"; queries
+    that trip this error are the complement of that row.
+    """
+
+
+class FeatureExtractionError(SqlError):
+    """Raised when feature extraction is applied to an unsupported AST."""

@@ -1,0 +1,191 @@
+"""Feature extraction from conjunctive queries.
+
+Implements the coding convention of Aligon et al. (§2.2): each feature
+is one of
+
+* ``(table-or-subquery, FROM)``,
+* ``(column, SELECT)``, or
+* ``(conjunctive WHERE atom, WHERE)``,
+
+plus an optional Makiyama-style extension (§2.2 pointer to [39]) adding
+``GROUP BY``, ``ORDER BY``, ``HAVING``, and aggregate-function features
+for aggregation-aware analyses.
+
+Features are ``(value, clause)`` pairs whose *value* is the canonical
+SQL text of the element, so the feature set of a query is isomorphic to
+the query itself (modulo commutativity and column order) — assumption 3
+of §2.1 — and can be rendered back for human inspection (Fig. 1/10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import ast
+from .errors import FeatureExtractionError
+from .normalize import normalize
+from .printer import expr_to_sql, predicate_to_sql, to_sql
+from .rewrite import conjuncts, is_conjunctive, regularize_statement
+
+__all__ = [
+    "Clause",
+    "Feature",
+    "AligonExtractor",
+    "MakiyamaExtractor",
+    "extract_features",
+    "query_features",
+]
+
+
+class Clause:
+    """Feature clause tags (kept as plain strings for cheap hashing)."""
+
+    SELECT = "SELECT"
+    FROM = "FROM"
+    WHERE = "WHERE"
+    GROUPBY = "GROUPBY"
+    ORDERBY = "ORDERBY"
+    HAVING = "HAVING"
+    AGG = "AGG"
+
+
+@dataclass(frozen=True, order=True)
+class Feature:
+    """One structural query feature, e.g. ``⟨status = ?, WHERE⟩``."""
+
+    value: str
+    clause: str
+
+    def __str__(self) -> str:
+        return f"<{self.value}, {self.clause}>"
+
+
+class AligonExtractor:
+    """Extracts the three-category feature set of Aligon et al.
+
+    Args:
+        remove_constants: parameterize literals before extraction, so
+            queries differing only in constants share features (the
+            paper's "w/o const" preparation).
+        max_disjuncts: regularization cap forwarded to
+            :func:`repro.sql.rewrite.regularize_statement`.
+    """
+
+    def __init__(self, remove_constants: bool = True, max_disjuncts: int = 64):
+        self.remove_constants = remove_constants
+        self.max_disjuncts = max_disjuncts
+
+    # -- public API ----------------------------------------------------
+    def extract(self, stmt: ast.Statement | str) -> list[frozenset[Feature]]:
+        """Extract one feature set per conjunctive branch of *stmt*.
+
+        A plain conjunctive query yields a single-element list; a query
+        regularized into a ``UNION`` of ``k`` conjunctive queries yields
+        ``k`` feature sets, matching the paper's treatment of
+        re-writable queries.
+        """
+        if isinstance(stmt, str):
+            from .parser import parse  # local import avoids a cycle
+
+            stmt = parse(stmt)
+        stmt = normalize(stmt, remove_constants=self.remove_constants)
+        branches = regularize_statement(stmt, self.max_disjuncts)
+        return [self._extract_conjunctive(branch) for branch in branches]
+
+    def extract_single(self, stmt: ast.Statement | str) -> frozenset[Feature]:
+        """Extract features of a query known to have a single branch."""
+        sets = self.extract(stmt)
+        if len(sets) != 1:
+            raise FeatureExtractionError(
+                f"expected a single conjunctive branch, found {len(sets)}"
+            )
+        return sets[0]
+
+    # -- internals -----------------------------------------------------
+    def _extract_conjunctive(self, select: ast.Select) -> frozenset[Feature]:
+        if not is_conjunctive(select):
+            raise FeatureExtractionError(
+                "query is not conjunctive after regularization: "
+                + to_sql(select)
+            )
+        features: set[Feature] = set()
+        self._select_features(select, features)
+        self._from_features(select, features)
+        self._where_features(select, features)
+        self._extra_features(select, features)
+        return frozenset(features)
+
+    def _select_features(self, select: ast.Select, out: set[Feature]) -> None:
+        for item in select.items:
+            out.add(Feature(expr_to_sql(item.expr), Clause.SELECT))
+
+    def _from_features(self, select: ast.Select, out: set[Feature]) -> None:
+        for ref in select.from_items:
+            if isinstance(ref, ast.NamedTable):
+                out.add(Feature(ref.name, Clause.FROM))
+            elif isinstance(ref, ast.SubqueryTable):
+                out.add(Feature(f"({to_sql(ref.select)})", Clause.FROM))
+            else:  # pragma: no cover - regularization flattens joins
+                raise FeatureExtractionError("unflattened join in FROM clause")
+
+    def _where_features(self, select: ast.Select, out: set[Feature]) -> None:
+        for atom in conjuncts(select.where):
+            out.add(Feature(predicate_to_sql(atom), Clause.WHERE))
+
+    def _extra_features(self, select: ast.Select, out: set[Feature]) -> None:
+        """Hook for subclasses; the Aligon scheme adds nothing."""
+
+
+class MakiyamaExtractor(AligonExtractor):
+    """Aligon features plus aggregation-related features.
+
+    Adds ``GROUP BY`` columns, ``ORDER BY`` keys, ``HAVING`` atoms, and
+    aggregate-function applications, following the extraction of
+    Makiyama et al. used for the SDSS SkyServer analysis.
+    """
+
+    def _extra_features(self, select: ast.Select, out: set[Feature]) -> None:
+        for expr in select.group_by:
+            out.add(Feature(expr_to_sql(expr), Clause.GROUPBY))
+        for key in select.order_by:
+            direction = "DESC" if key.descending else "ASC"
+            out.add(Feature(f"{expr_to_sql(key.expr)} {direction}", Clause.ORDERBY))
+        for atom in conjuncts(select.having):
+            out.add(Feature(predicate_to_sql(atom), Clause.HAVING))
+        for expr in ast.walk_expressions(select):
+            if isinstance(expr, ast.FuncCall) and expr.is_aggregate:
+                out.add(Feature(expr_to_sql(expr), Clause.AGG))
+
+
+def extract_features(
+    sql: str,
+    scheme: str = "aligon",
+    remove_constants: bool = True,
+    max_disjuncts: int = 64,
+) -> list[frozenset[Feature]]:
+    """Convenience wrapper: parse *sql* and extract its feature sets.
+
+    ``scheme`` is ``"aligon"`` (default) or ``"makiyama"``.
+    """
+    if scheme == "aligon":
+        extractor: AligonExtractor = AligonExtractor(remove_constants, max_disjuncts)
+    elif scheme == "makiyama":
+        extractor = MakiyamaExtractor(remove_constants, max_disjuncts)
+    else:
+        raise ValueError(f"unknown feature scheme {scheme!r}")
+    return extractor.extract(sql)
+
+
+def query_features(sql: str, **kwargs) -> frozenset[Feature]:
+    """Extract the union of branch feature sets of *sql*.
+
+    Useful when the caller wants one feature set per log entry even for
+    queries that regularize into several UNION branches.
+    """
+    sets = extract_features(sql, **kwargs)
+    if len(sets) == 1:
+        return sets[0]
+    merged: set[Feature] = set()
+    for feature_set in sets:
+        merged.update(feature_set)
+    return frozenset(merged)

@@ -1,0 +1,202 @@
+"""Ettu-style tree-structure feature extraction (Kul et al., §2.2).
+
+§2.2 points to a third feature scheme beyond Aligon and Makiyama: "an
+approach by Kul et. al. [35] encodes partial tree-structures in the
+query".  Ettu summarizes queries by the multiset of bounded-depth
+*subtrees* of the AST, which distinguishes structurally different
+queries that share flat features (e.g. a predicate nested under OR vs
+AND).
+
+:class:`TreeExtractor` walks our AST and emits one feature per subtree
+skeleton up to ``max_depth`` levels, where each node is labelled by its
+syntactic kind (clause keyword, operator, function name) with leaves
+abstracted (columns keep their names, constants collapse to ``?``).
+Features are :class:`repro.sql.Feature` pairs with clause tag ``TREE``
+so they compose with the rest of the pipeline (vocabulary, encodings,
+clustering) unchanged.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .features import Feature
+from .normalize import normalize
+from .parser import parse
+
+__all__ = ["TREE_CLAUSE", "TreeExtractor", "tree_features"]
+
+#: Clause tag used for all tree-structure features.
+TREE_CLAUSE = "TREE"
+
+
+class TreeExtractor:
+    """Extracts bounded-depth subtree features from a statement.
+
+    Args:
+        max_depth: subtree depth bound (1 = node labels only, 2 = node
+            plus children skeletons, ...).  Kul et al. use small depths;
+            2 is a practical default.
+        remove_constants: parameterize literals before extraction.
+    """
+
+    def __init__(self, max_depth: int = 2, remove_constants: bool = True):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.remove_constants = remove_constants
+
+    # ------------------------------------------------------------------
+    def extract(self, stmt: ast.Statement | str) -> frozenset[Feature]:
+        """One feature set per statement (subtrees of every node)."""
+        if isinstance(stmt, str):
+            stmt = parse(stmt)
+        stmt = normalize(stmt, remove_constants=self.remove_constants)
+        features: set[Feature] = set()
+        for node in self._iter_nodes(stmt):
+            for depth in range(1, self.max_depth + 1):
+                skeleton = self._skeleton(node, depth)
+                if skeleton is not None:
+                    features.add(Feature(skeleton, TREE_CLAUSE))
+        return frozenset(features)
+
+    # ------------------------------------------------------------------
+    def _iter_nodes(self, root: ast.Node):
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(self._children(node))
+
+    @staticmethod
+    def _children(node: ast.Node) -> list[ast.Node]:
+        if isinstance(node, ast.Union):
+            return list(node.selects)
+        if isinstance(node, ast.Select):
+            children: list[ast.Node] = [item.expr for item in node.items]
+            children.extend(node.from_items)
+            if node.where is not None:
+                children.append(node.where)
+            children.extend(node.group_by)
+            if node.having is not None:
+                children.append(node.having)
+            children.extend(key.expr for key in node.order_by)
+            return children
+        if isinstance(node, ast.Join):
+            out: list[ast.Node] = [node.left, node.right]
+            if node.condition is not None:
+                out.append(node.condition)
+            return out
+        if isinstance(node, ast.SubqueryTable):
+            return [node.select]
+        if isinstance(node, (ast.And, ast.Or)):
+            return list(node.operands)
+        if isinstance(node, ast.Not):
+            return [node.operand]
+        if isinstance(node, ast.Comparison):
+            return [node.left, node.right]
+        if isinstance(node, ast.IsNull):
+            return [node.operand]
+        if isinstance(node, ast.InList):
+            return [node.operand, *node.items]
+        if isinstance(node, ast.InSubquery):
+            return [node.operand, node.subquery]
+        if isinstance(node, ast.Between):
+            return [node.operand, node.low, node.high]
+        if isinstance(node, ast.Like):
+            return [node.operand, node.pattern]
+        if isinstance(node, ast.Exists):
+            return [node.subquery]
+        if isinstance(node, ast.BinaryOp):
+            return [node.left, node.right]
+        if isinstance(node, ast.UnaryOp):
+            return [node.operand]
+        if isinstance(node, ast.FuncCall):
+            return list(node.args)
+        if isinstance(node, ast.CaseExpr):
+            out = []
+            for when in node.whens:
+                out.append(when.condition)
+                out.append(when.result)
+            if node.else_result is not None:
+                out.append(node.else_result)
+            return out
+        if isinstance(node, ast.CastExpr):
+            return [node.operand]
+        return []
+
+    # ------------------------------------------------------------------
+    def _skeleton(self, node: ast.Node, depth: int) -> str | None:
+        """Depth-bounded skeleton string of *node*, or None for leaves
+        that carry no structure of their own."""
+        label = self._label(node)
+        if label is None:
+            return None
+        if depth == 1:
+            return label
+        child_skeletons = []
+        for child in self._children(node):
+            skeleton = self._skeleton(child, depth - 1) or self._label(child)
+            if skeleton is not None:
+                child_skeletons.append(skeleton)
+        if not child_skeletons:
+            return label
+        return f"{label}({','.join(sorted(child_skeletons))})"
+
+    @staticmethod
+    def _label(node: ast.Node) -> str | None:
+        if isinstance(node, ast.Union):
+            return "UNION"
+        if isinstance(node, ast.Select):
+            return "SELECT"
+        if isinstance(node, ast.Join):
+            return f"JOIN:{node.join_type}"
+        if isinstance(node, ast.NamedTable):
+            return f"tbl:{node.name}"
+        if isinstance(node, ast.SubqueryTable):
+            return "derived"
+        if isinstance(node, ast.And):
+            return "AND"
+        if isinstance(node, ast.Or):
+            return "OR"
+        if isinstance(node, ast.Not):
+            return "NOT"
+        if isinstance(node, ast.Comparison):
+            return f"cmp:{node.op}"
+        if isinstance(node, ast.IsNull):
+            return "isnotnull" if node.negated else "isnull"
+        if isinstance(node, ast.InList):
+            return "notin" if node.negated else "in"
+        if isinstance(node, ast.InSubquery):
+            return "in-subq"
+        if isinstance(node, ast.Between):
+            return "between"
+        if isinstance(node, ast.Like):
+            return "like"
+        if isinstance(node, ast.Exists):
+            return "exists"
+        if isinstance(node, ast.BoolLiteral):
+            return str(node.value).lower()
+        if isinstance(node, ast.ColumnRef):
+            return f"col:{node.qualified}"
+        if isinstance(node, (ast.Literal, ast.Parameter)):
+            return "?"
+        if isinstance(node, ast.Star):
+            return "*"
+        if isinstance(node, ast.FuncCall):
+            return f"fn:{node.name}"
+        if isinstance(node, ast.BinaryOp):
+            return f"op:{node.op}"
+        if isinstance(node, ast.UnaryOp):
+            return f"u{node.op}"
+        if isinstance(node, ast.CaseExpr):
+            return "case"
+        if isinstance(node, ast.CastExpr):
+            return "cast"
+        return None
+
+
+def tree_features(
+    sql: str, max_depth: int = 2, remove_constants: bool = True
+) -> frozenset[Feature]:
+    """Convenience wrapper: parse *sql* and extract tree features."""
+    return TreeExtractor(max_depth, remove_constants).extract(sql)

@@ -1,0 +1,248 @@
+"""Query normalization: constant removal and case folding.
+
+The paper's "Constant Removal" step (§7, Table 1) treats queries that
+differ only in hard-coded constants as identical by replacing every
+literal with a JDBC-style ``?`` parameter.  ``parameterize`` implements
+that rewrite over our immutable AST.  ``fold_identifier_case`` lower-
+cases table/column identifiers so that ``Messages`` and ``messages``
+produce the same feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from . import ast
+
+__all__ = ["parameterize", "fold_identifier_case", "normalize"]
+
+
+def normalize(node: ast.Statement, remove_constants: bool = True) -> ast.Statement:
+    """Apply the standard normalization pipeline to a statement.
+
+    Identifier case is always folded; constants are parameterized unless
+    ``remove_constants`` is ``False``.
+    """
+    node = fold_identifier_case(node)
+    if remove_constants:
+        node = parameterize(node)
+    return node
+
+
+# ----------------------------------------------------------------------
+# constant parameterization
+# ----------------------------------------------------------------------
+def parameterize(node: ast.Statement) -> ast.Statement:
+    """Replace every literal constant with a ``?`` parameter.
+
+    ``LIMIT`` / ``OFFSET`` counts are structural rather than data
+    constants (the paper's visualizations keep ``LIMIT 500`` visible) so
+    they are preserved.  ``NULL`` is likewise structural: ``x IS NULL``
+    does not embed user data.
+    """
+    return _map_statement(node, _param_expr)
+
+
+def _param_expr(expr: ast.Expr) -> ast.Expr:
+    if isinstance(expr, ast.Literal) and expr.value is not None:
+        return ast.Parameter()
+    return expr
+
+
+# ----------------------------------------------------------------------
+# identifier case folding
+# ----------------------------------------------------------------------
+def fold_identifier_case(node: ast.Statement) -> ast.Statement:
+    """Lower-case table, column, alias, and function identifiers."""
+    return _map_statement(node, _fold_expr, _fold_table, _fold_alias)
+
+
+def _fold_expr(expr: ast.Expr) -> ast.Expr:
+    if isinstance(expr, ast.ColumnRef):
+        table = expr.table.lower() if expr.table else None
+        return ast.ColumnRef(expr.name.lower(), table)
+    if isinstance(expr, ast.Star) and expr.table:
+        return ast.Star(expr.table.lower())
+    if isinstance(expr, ast.FuncCall):
+        return replace(expr, name=expr.name.lower())
+    return expr
+
+
+def _fold_table(table: ast.TableRef) -> ast.TableRef:
+    if isinstance(table, ast.NamedTable):
+        alias = table.alias.lower() if table.alias else None
+        return ast.NamedTable(table.name.lower(), alias)
+    if isinstance(table, ast.SubqueryTable) and table.alias:
+        return replace(table, alias=table.alias.lower())
+    return table
+
+
+def _fold_alias(alias: str | None) -> str | None:
+    return alias.lower() if alias else None
+
+
+# ----------------------------------------------------------------------
+# generic bottom-up mapping over the immutable AST
+# ----------------------------------------------------------------------
+def _identity(value):
+    return value
+
+
+def _map_statement(
+    node: ast.Statement,
+    expr_fn,
+    table_fn=_identity,
+    alias_fn=_identity,
+) -> ast.Statement:
+    if isinstance(node, ast.Union):
+        selects = tuple(
+            _map_select(select, expr_fn, table_fn, alias_fn) for select in node.selects
+        )
+        return ast.Union(selects, all=node.all)
+    if isinstance(node, ast.Select):
+        return _map_select(node, expr_fn, table_fn, alias_fn)
+    raise TypeError(f"unsupported statement type {type(node).__name__}")
+
+
+def _map_select(select: ast.Select, expr_fn, table_fn, alias_fn) -> ast.Select:
+    items = tuple(
+        ast.SelectItem(_map_expr(item.expr, expr_fn, table_fn, alias_fn), alias_fn(item.alias))
+        for item in select.items
+    )
+    from_items = tuple(
+        _map_table(ref, expr_fn, table_fn, alias_fn) for ref in select.from_items
+    )
+    where = (
+        _map_pred(select.where, expr_fn, table_fn, alias_fn)
+        if select.where is not None
+        else None
+    )
+    group_by = tuple(_map_expr(e, expr_fn, table_fn, alias_fn) for e in select.group_by)
+    having = (
+        _map_pred(select.having, expr_fn, table_fn, alias_fn)
+        if select.having is not None
+        else None
+    )
+    order_by = tuple(
+        ast.OrderItem(_map_expr(key.expr, expr_fn, table_fn, alias_fn), key.descending)
+        for key in select.order_by
+    )
+    return replace(
+        select,
+        items=items,
+        from_items=from_items,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+    )
+
+
+def _map_table(ref: ast.TableRef, expr_fn, table_fn, alias_fn) -> ast.TableRef:
+    if isinstance(ref, ast.Join):
+        condition = (
+            _map_pred(ref.condition, expr_fn, table_fn, alias_fn)
+            if ref.condition is not None
+            else None
+        )
+        return ast.Join(
+            _map_table(ref.left, expr_fn, table_fn, alias_fn),
+            _map_table(ref.right, expr_fn, table_fn, alias_fn),
+            ref.join_type,
+            condition,
+        )
+    if isinstance(ref, ast.SubqueryTable):
+        select = _map_select(ref.select, expr_fn, table_fn, alias_fn)
+        return table_fn(ast.SubqueryTable(select, ref.alias))
+    return table_fn(ref)
+
+
+def _map_pred(pred: ast.Predicate, expr_fn, table_fn, alias_fn) -> ast.Predicate:
+    if isinstance(pred, ast.And):
+        return ast.And(
+            tuple(_map_pred(op, expr_fn, table_fn, alias_fn) for op in pred.operands)
+        )
+    if isinstance(pred, ast.Or):
+        return ast.Or(
+            tuple(_map_pred(op, expr_fn, table_fn, alias_fn) for op in pred.operands)
+        )
+    if isinstance(pred, ast.Not):
+        return ast.Not(_map_pred(pred.operand, expr_fn, table_fn, alias_fn))
+    if isinstance(pred, ast.Comparison):
+        return ast.Comparison(
+            pred.op,
+            _map_expr(pred.left, expr_fn, table_fn, alias_fn),
+            _map_expr(pred.right, expr_fn, table_fn, alias_fn),
+        )
+    if isinstance(pred, ast.IsNull):
+        return ast.IsNull(_map_expr(pred.operand, expr_fn, table_fn, alias_fn), pred.negated)
+    if isinstance(pred, ast.InList):
+        return ast.InList(
+            _map_expr(pred.operand, expr_fn, table_fn, alias_fn),
+            tuple(_map_expr(item, expr_fn, table_fn, alias_fn) for item in pred.items),
+            pred.negated,
+        )
+    if isinstance(pred, ast.InSubquery):
+        return ast.InSubquery(
+            _map_expr(pred.operand, expr_fn, table_fn, alias_fn),
+            _map_select(pred.subquery, expr_fn, table_fn, alias_fn),
+            pred.negated,
+        )
+    if isinstance(pred, ast.Between):
+        return ast.Between(
+            _map_expr(pred.operand, expr_fn, table_fn, alias_fn),
+            _map_expr(pred.low, expr_fn, table_fn, alias_fn),
+            _map_expr(pred.high, expr_fn, table_fn, alias_fn),
+            pred.negated,
+        )
+    if isinstance(pred, ast.Like):
+        return ast.Like(
+            _map_expr(pred.operand, expr_fn, table_fn, alias_fn),
+            _map_expr(pred.pattern, expr_fn, table_fn, alias_fn),
+            pred.negated,
+        )
+    if isinstance(pred, ast.Exists):
+        return ast.Exists(
+            _map_select(pred.subquery, expr_fn, table_fn, alias_fn), pred.negated
+        )
+    if isinstance(pred, ast.BoolLiteral):
+        return pred
+    raise TypeError(f"unsupported predicate type {type(pred).__name__}")
+
+
+def _map_expr(expr: ast.Expr, expr_fn, table_fn, alias_fn) -> ast.Expr:
+    if isinstance(expr, ast.BinaryOp):
+        mapped: ast.Expr = ast.BinaryOp(
+            expr.op,
+            _map_expr(expr.left, expr_fn, table_fn, alias_fn),
+            _map_expr(expr.right, expr_fn, table_fn, alias_fn),
+        )
+    elif isinstance(expr, ast.UnaryOp):
+        mapped = ast.UnaryOp(expr.op, _map_expr(expr.operand, expr_fn, table_fn, alias_fn))
+    elif isinstance(expr, ast.FuncCall):
+        mapped = ast.FuncCall(
+            expr.name,
+            tuple(_map_expr(arg, expr_fn, table_fn, alias_fn) for arg in expr.args),
+            expr.distinct,
+        )
+    elif isinstance(expr, ast.CaseExpr):
+        whens = tuple(
+            ast.WhenClause(
+                _map_pred(when.condition, expr_fn, table_fn, alias_fn),
+                _map_expr(when.result, expr_fn, table_fn, alias_fn),
+            )
+            for when in expr.whens
+        )
+        else_result = (
+            _map_expr(expr.else_result, expr_fn, table_fn, alias_fn)
+            if expr.else_result is not None
+            else None
+        )
+        mapped = ast.CaseExpr(whens, else_result)
+    elif isinstance(expr, ast.CastExpr):
+        mapped = ast.CastExpr(
+            _map_expr(expr.operand, expr_fn, table_fn, alias_fn), expr.type_name
+        )
+    else:
+        mapped = expr
+    return expr_fn(mapped)

@@ -1,0 +1,223 @@
+"""Deterministic SQL rendering of AST nodes.
+
+The printer produces a *canonical* textual form: keywords upper-cased,
+single spaces, identifiers verbatim, no redundant parentheses beyond
+what correctness requires.  Canonical text is what feature extraction
+uses as feature labels (e.g. the WHERE atom ``status = ?``), so two
+structurally identical atoms always map to the same feature.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .errors import SqlError
+
+__all__ = ["to_sql", "expr_to_sql", "predicate_to_sql"]
+
+
+def to_sql(node: ast.Node) -> str:
+    """Render any statement, relation, predicate, or expression node."""
+    if isinstance(node, ast.Union):
+        joiner = " UNION ALL " if node.all else " UNION "
+        return joiner.join(_select_to_sql(select) for select in node.selects)
+    if isinstance(node, ast.Select):
+        return _select_to_sql(node)
+    if isinstance(node, ast.TableRef):
+        return _table_to_sql(node)
+    if isinstance(node, ast.Predicate):
+        return predicate_to_sql(node)
+    if isinstance(node, ast.Expr):
+        return expr_to_sql(node)
+    if isinstance(node, ast.SelectItem):
+        return _select_item_to_sql(node)
+    if isinstance(node, ast.OrderItem):
+        return _order_item_to_sql(node)
+    raise SqlError(f"cannot render node of type {type(node).__name__}")
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+def _select_to_sql(select: ast.Select) -> str:
+    parts = ["SELECT"]
+    if select.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_select_item_to_sql(item) for item in select.items))
+    if select.from_items:
+        parts.append("FROM")
+        parts.append(", ".join(_table_to_sql(ref) for ref in select.from_items))
+    if select.where is not None:
+        parts.append("WHERE")
+        parts.append(predicate_to_sql(select.where))
+    if select.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(expr_to_sql(expr) for expr in select.group_by))
+    if select.having is not None:
+        parts.append("HAVING")
+        parts.append(predicate_to_sql(select.having))
+    if select.order_by:
+        parts.append("ORDER BY")
+        parts.append(", ".join(_order_item_to_sql(key) for key in select.order_by))
+    if select.limit is not None:
+        parts.append(f"LIMIT {select.limit}")
+    if select.offset is not None:
+        parts.append(f"OFFSET {select.offset}")
+    return " ".join(parts)
+
+
+def _select_item_to_sql(item: ast.SelectItem) -> str:
+    text = expr_to_sql(item.expr)
+    if item.alias:
+        return f"{text} AS {item.alias}"
+    return text
+
+
+def _order_item_to_sql(item: ast.OrderItem) -> str:
+    text = expr_to_sql(item.expr)
+    if item.descending:
+        return f"{text} DESC"
+    return text
+
+
+# ----------------------------------------------------------------------
+# relations
+# ----------------------------------------------------------------------
+def _table_to_sql(ref: ast.TableRef) -> str:
+    if isinstance(ref, ast.NamedTable):
+        if ref.alias:
+            return f"{ref.name} AS {ref.alias}"
+        return ref.name
+    if isinstance(ref, ast.SubqueryTable):
+        inner = _select_to_sql(ref.select)
+        if ref.alias:
+            return f"({inner}) AS {ref.alias}"
+        return f"({inner})"
+    if isinstance(ref, ast.Join):
+        left = _table_to_sql(ref.left)
+        right = _table_to_sql(ref.right)
+        if ref.join_type == ast.JoinType.CROSS:
+            return f"{left} CROSS JOIN {right}"
+        keyword = "JOIN" if ref.join_type == ast.JoinType.INNER else f"{ref.join_type} JOIN"
+        text = f"{left} {keyword} {right}"
+        if ref.condition is not None:
+            text += f" ON {predicate_to_sql(ref.condition)}"
+        return text
+    raise SqlError(f"cannot render relation of type {type(ref).__name__}")
+
+
+# ----------------------------------------------------------------------
+# predicates
+# ----------------------------------------------------------------------
+def predicate_to_sql(pred: ast.Predicate) -> str:
+    """Render a predicate; nested AND/OR are parenthesized as needed."""
+    if isinstance(pred, ast.And):
+        return " AND ".join(_pred_operand(op, parent="AND") for op in pred.operands)
+    if isinstance(pred, ast.Or):
+        return " OR ".join(_pred_operand(op, parent="OR") for op in pred.operands)
+    if isinstance(pred, ast.Not):
+        return f"NOT ({predicate_to_sql(pred.operand)})"
+    if isinstance(pred, ast.Comparison):
+        return f"{expr_to_sql(pred.left)} {pred.op} {expr_to_sql(pred.right)}"
+    if isinstance(pred, ast.IsNull):
+        middle = "IS NOT NULL" if pred.negated else "IS NULL"
+        return f"{expr_to_sql(pred.operand)} {middle}"
+    if isinstance(pred, ast.InList):
+        keyword = "NOT IN" if pred.negated else "IN"
+        items = ", ".join(expr_to_sql(item) for item in pred.items)
+        return f"{expr_to_sql(pred.operand)} {keyword} ({items})"
+    if isinstance(pred, ast.InSubquery):
+        keyword = "NOT IN" if pred.negated else "IN"
+        return f"{expr_to_sql(pred.operand)} {keyword} ({_select_to_sql(pred.subquery)})"
+    if isinstance(pred, ast.Between):
+        keyword = "NOT BETWEEN" if pred.negated else "BETWEEN"
+        return (
+            f"{expr_to_sql(pred.operand)} {keyword} "
+            f"{expr_to_sql(pred.low)} AND {expr_to_sql(pred.high)}"
+        )
+    if isinstance(pred, ast.Like):
+        keyword = "NOT LIKE" if pred.negated else "LIKE"
+        return f"{expr_to_sql(pred.operand)} {keyword} {expr_to_sql(pred.pattern)}"
+    if isinstance(pred, ast.Exists):
+        keyword = "NOT EXISTS" if pred.negated else "EXISTS"
+        return f"{keyword} ({_select_to_sql(pred.subquery)})"
+    if isinstance(pred, ast.BoolLiteral):
+        return "TRUE" if pred.value else "FALSE"
+    raise SqlError(f"cannot render predicate of type {type(pred).__name__}")
+
+
+def _pred_operand(pred: ast.Predicate, parent: str) -> str:
+    """Parenthesize an operand when its connective binds looser."""
+    needs_parens = isinstance(pred, ast.Or) and parent == "AND"
+    text = predicate_to_sql(pred)
+    if needs_parens:
+        return f"({text})"
+    return text
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+_PRECEDENCE = {"||": 1, "+": 2, "-": 2, "*": 3, "/": 3, "%": 3}
+
+
+def expr_to_sql(expr: ast.Expr) -> str:
+    """Render a scalar expression."""
+    if isinstance(expr, ast.ColumnRef):
+        return expr.qualified
+    if isinstance(expr, ast.Literal):
+        return _literal_to_sql(expr.value)
+    if isinstance(expr, ast.Parameter):
+        return "?"
+    if isinstance(expr, ast.Star):
+        if expr.table:
+            return f"{expr.table}.*"
+        return "*"
+    if isinstance(expr, ast.FuncCall):
+        args = ", ".join(expr_to_sql(arg) for arg in expr.args)
+        prefix = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({prefix}{args})"
+    if isinstance(expr, ast.BinaryOp):
+        left = _expr_operand(expr.left, expr.op, is_right=False)
+        right = _expr_operand(expr.right, expr.op, is_right=True)
+        return f"{left} {expr.op} {right}"
+    if isinstance(expr, ast.UnaryOp):
+        operand = expr_to_sql(expr.operand)
+        if isinstance(expr.operand, ast.BinaryOp):
+            operand = f"({operand})"
+        return f"{expr.op}{operand}"
+    if isinstance(expr, ast.CaseExpr):
+        parts = ["CASE"]
+        for when in expr.whens:
+            parts.append(
+                f"WHEN {predicate_to_sql(when.condition)} THEN {expr_to_sql(when.result)}"
+            )
+        if expr.else_result is not None:
+            parts.append(f"ELSE {expr_to_sql(expr.else_result)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, ast.CastExpr):
+        return f"CAST({expr_to_sql(expr.operand)} AS {expr.type_name})"
+    raise SqlError(f"cannot render expression of type {type(expr).__name__}")
+
+
+def _expr_operand(expr: ast.Expr, parent_op: str, is_right: bool) -> str:
+    text = expr_to_sql(expr)
+    if isinstance(expr, ast.BinaryOp):
+        child = _PRECEDENCE.get(expr.op, 4)
+        parent = _PRECEDENCE.get(parent_op, 4)
+        if child < parent or (child == parent and is_right):
+            return f"({text})"
+    return text
+
+
+def _literal_to_sql(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value) if isinstance(value, float) else str(value)

@@ -1,0 +1,298 @@
+"""Query regularization into conjunctive form.
+
+The Aligon feature scheme (§2.2) only supports conjunctive queries, so
+the paper applies "query rewrite rules (similar to [14]) to regularize
+queries into equivalent conjunctive forms, where possible" (§7):
+
+* negations are pushed to the atoms (negation normal form),
+* ``BETWEEN`` becomes a pair of inequalities,
+* ``IN (v1, ..., vk)`` becomes a disjunction of equalities,
+* the WHERE clause is expanded to disjunctive normal form, and
+* a query whose WHERE has ``k`` disjuncts becomes a ``UNION`` of ``k``
+  conjunctive queries.
+
+``regularize`` performs the whole pipeline and returns the list of
+conjunctive branches.  DNF expansion is capped (``max_disjuncts``) so a
+pathological query raises :class:`RegularizationError` instead of
+exploding; such queries are the paper's "non-re-writable" remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from . import ast
+from .errors import RegularizationError
+
+__all__ = [
+    "to_nnf",
+    "expand_atoms",
+    "to_dnf",
+    "flatten_joins",
+    "is_conjunctive",
+    "conjuncts",
+    "regularize",
+    "regularize_statement",
+]
+
+#: Default cap on the number of UNION branches produced by one query.
+DEFAULT_MAX_DISJUNCTS = 64
+
+
+# ----------------------------------------------------------------------
+# negation normal form
+# ----------------------------------------------------------------------
+_NEGATED_COMPARISON = {"=": "!=", "!=": "=", "<": ">=", ">=": "<", ">": "<=", "<=": ">"}
+
+
+def to_nnf(pred: ast.Predicate) -> ast.Predicate:
+    """Push ``NOT`` down to the atoms (negation normal form)."""
+    return _nnf(pred, negate=False)
+
+
+def _nnf(pred: ast.Predicate, negate: bool) -> ast.Predicate:
+    if isinstance(pred, ast.Not):
+        return _nnf(pred.operand, not negate)
+    if isinstance(pred, ast.And):
+        operands = tuple(_nnf(op, negate) for op in pred.operands)
+        return ast.Or(operands) if negate else ast.And(operands)
+    if isinstance(pred, ast.Or):
+        operands = tuple(_nnf(op, negate) for op in pred.operands)
+        return ast.And(operands) if negate else ast.Or(operands)
+    if not negate:
+        return pred
+    if isinstance(pred, ast.Comparison):
+        return ast.Comparison(_NEGATED_COMPARISON[pred.op], pred.left, pred.right)
+    if isinstance(pred, ast.IsNull):
+        return ast.IsNull(pred.operand, not pred.negated)
+    if isinstance(pred, ast.InList):
+        return ast.InList(pred.operand, pred.items, not pred.negated)
+    if isinstance(pred, ast.InSubquery):
+        return ast.InSubquery(pred.operand, pred.subquery, not pred.negated)
+    if isinstance(pred, ast.Between):
+        return ast.Between(pred.operand, pred.low, pred.high, not pred.negated)
+    if isinstance(pred, ast.Like):
+        return ast.Like(pred.operand, pred.pattern, not pred.negated)
+    if isinstance(pred, ast.Exists):
+        return ast.Exists(pred.subquery, not pred.negated)
+    if isinstance(pred, ast.BoolLiteral):
+        return ast.BoolLiteral(not pred.value)
+    raise RegularizationError(f"cannot negate predicate {type(pred).__name__}")
+
+
+# ----------------------------------------------------------------------
+# atom expansion: BETWEEN, IN-list
+# ----------------------------------------------------------------------
+def expand_atoms(pred: ast.Predicate) -> ast.Predicate:
+    """Expand BETWEEN / IN-list atoms into comparisons.
+
+    Expects NNF input (no bare :class:`ast.Not` nodes).
+    """
+    if isinstance(pred, ast.And):
+        return ast.And(tuple(expand_atoms(op) for op in pred.operands))
+    if isinstance(pred, ast.Or):
+        return ast.Or(tuple(expand_atoms(op) for op in pred.operands))
+    if isinstance(pred, ast.Between):
+        low = ast.Comparison(">=", pred.operand, pred.low)
+        high = ast.Comparison("<=", pred.operand, pred.high)
+        if pred.negated:
+            return ast.Or(
+                (
+                    ast.Comparison("<", pred.operand, pred.low),
+                    ast.Comparison(">", pred.operand, pred.high),
+                )
+            )
+        return ast.And((low, high))
+    if isinstance(pred, ast.InList):
+        if not pred.items:
+            return ast.BoolLiteral(pred.negated)
+        if pred.negated:
+            return ast.And(
+                tuple(ast.Comparison("!=", pred.operand, item) for item in pred.items)
+            )
+        return ast.Or(
+            tuple(ast.Comparison("=", pred.operand, item) for item in pred.items)
+        )
+    if isinstance(pred, ast.Not):
+        raise RegularizationError("expand_atoms expects NNF input")
+    return pred
+
+
+# ----------------------------------------------------------------------
+# disjunctive normal form
+# ----------------------------------------------------------------------
+def to_dnf(
+    pred: ast.Predicate, max_disjuncts: int = DEFAULT_MAX_DISJUNCTS
+) -> list[list[ast.Predicate]]:
+    """Convert an NNF, atom-expanded predicate to DNF.
+
+    Returns a list of conjunct lists; each inner list is one disjunct.
+    Raises :class:`RegularizationError` when the expansion exceeds
+    *max_disjuncts*.
+    """
+    result = _dnf(pred, max_disjuncts)
+    # Drop disjuncts containing FALSE; drop TRUE atoms inside disjuncts.
+    cleaned: list[list[ast.Predicate]] = []
+    for disjunct in result:
+        atoms: list[ast.Predicate] = []
+        contradicted = False
+        for atom in disjunct:
+            if isinstance(atom, ast.BoolLiteral):
+                if not atom.value:
+                    contradicted = True
+                    break
+                continue
+            atoms.append(atom)
+        if not contradicted:
+            cleaned.append(atoms)
+    return cleaned
+
+
+def _dnf(pred: ast.Predicate, max_disjuncts: int) -> list[list[ast.Predicate]]:
+    if isinstance(pred, ast.Or):
+        disjuncts: list[list[ast.Predicate]] = []
+        for operand in pred.operands:
+            disjuncts.extend(_dnf(operand, max_disjuncts))
+            if len(disjuncts) > max_disjuncts:
+                raise RegularizationError(
+                    f"DNF expansion exceeds {max_disjuncts} disjuncts"
+                )
+        return disjuncts
+    if isinstance(pred, ast.And):
+        product: list[list[ast.Predicate]] = [[]]
+        for operand in pred.operands:
+            operand_disjuncts = _dnf(operand, max_disjuncts)
+            product = [
+                existing + extra
+                for existing in product
+                for extra in operand_disjuncts
+            ]
+            if len(product) > max_disjuncts:
+                raise RegularizationError(
+                    f"DNF expansion exceeds {max_disjuncts} disjuncts"
+                )
+        return product
+    return [[pred]]
+
+
+# ----------------------------------------------------------------------
+# join flattening
+# ----------------------------------------------------------------------
+def flatten_joins(select: ast.Select) -> ast.Select:
+    """Flatten explicit joins into the FROM list plus WHERE conjuncts.
+
+    ``A JOIN B ON p`` becomes relations ``A, B`` with ``p`` conjoined to
+    the WHERE clause.  Outer-join semantics are not preserved — this is
+    a *feature-extraction* canonicalization (the Aligon scheme has no
+    join-type feature), not an equivalence-preserving optimizer rewrite.
+    """
+    tables: list[ast.TableRef] = []
+    conditions: list[ast.Predicate] = []
+    for ref in select.from_items:
+        _flatten_ref(ref, tables, conditions)
+    where = select.where
+    if conditions:
+        parts = tuple(conditions) + ((where,) if where is not None else ())
+        where = ast.And(parts) if len(parts) > 1 else parts[0]
+    return replace(select, from_items=tuple(tables), where=where)
+
+
+def _flatten_ref(
+    ref: ast.TableRef, tables: list[ast.TableRef], conditions: list[ast.Predicate]
+) -> None:
+    if isinstance(ref, ast.Join):
+        _flatten_ref(ref.left, tables, conditions)
+        _flatten_ref(ref.right, tables, conditions)
+        if ref.condition is not None:
+            conditions.append(ref.condition)
+    else:
+        tables.append(ref)
+
+
+# ----------------------------------------------------------------------
+# conjunctive-form helpers
+# ----------------------------------------------------------------------
+_ATOM_TYPES = (
+    ast.Comparison,
+    ast.IsNull,
+    ast.Like,
+    ast.InSubquery,
+    ast.Exists,
+    ast.BoolLiteral,
+)
+
+
+def is_conjunctive(select: ast.Select) -> bool:
+    """True when the query is already in conjunctive form.
+
+    Conjunctive means: no explicit joins left unflattened, and a WHERE
+    clause that is a conjunction of simple atoms (or absent).
+    """
+    if any(isinstance(ref, ast.Join) for ref in select.from_items):
+        return False
+    for pred in (select.where, select.having):
+        if pred is None:
+            continue
+        atoms = pred.operands if isinstance(pred, ast.And) else (pred,)
+        if not all(isinstance(atom, _ATOM_TYPES) for atom in atoms):
+            return False
+    return True
+
+
+def conjuncts(pred: ast.Predicate | None) -> tuple[ast.Predicate, ...]:
+    """Return the top-level conjuncts of a (possibly absent) predicate."""
+    if pred is None:
+        return ()
+    if isinstance(pred, ast.And):
+        return pred.operands
+    return (pred,)
+
+
+# ----------------------------------------------------------------------
+# full regularization pipeline
+# ----------------------------------------------------------------------
+def regularize(
+    select: ast.Select, max_disjuncts: int = DEFAULT_MAX_DISJUNCTS
+) -> list[ast.Select]:
+    """Rewrite one SELECT into a list of conjunctive SELECTs.
+
+    The result is the branch list of the equivalent
+    ``UNION``-of-conjunctive-queries form.  A query that is already
+    conjunctive returns a single-element list.
+    """
+    select = flatten_joins(select)
+    if select.where is None:
+        return [select]
+    normalized = expand_atoms(to_nnf(select.where))
+    disjunct_lists = to_dnf(normalized, max_disjuncts)
+    if not disjunct_lists:
+        # WHERE reduced to FALSE: an empty query; keep one branch with
+        # the contradiction so the query is not silently dropped.
+        return [replace(select, where=ast.BoolLiteral(False))]
+    branches: list[ast.Select] = []
+    for atoms in disjunct_lists:
+        if not atoms:
+            branches.append(replace(select, where=None))
+        elif len(atoms) == 1:
+            branches.append(replace(select, where=atoms[0]))
+        else:
+            branches.append(replace(select, where=ast.And(tuple(atoms))))
+    return branches
+
+
+def regularize_statement(
+    stmt: ast.Statement, max_disjuncts: int = DEFAULT_MAX_DISJUNCTS
+) -> list[ast.Select]:
+    """Regularize a statement (SELECT or UNION) into conjunctive branches."""
+    if isinstance(stmt, ast.Union):
+        branches: list[ast.Select] = []
+        for select in stmt.selects:
+            branches.extend(regularize(select, max_disjuncts))
+            if len(branches) > max_disjuncts:
+                raise RegularizationError(
+                    f"UNION regularization exceeds {max_disjuncts} branches"
+                )
+        return branches
+    if isinstance(stmt, ast.Select):
+        return regularize(stmt, max_disjuncts)
+    raise RegularizationError(f"unsupported statement type {type(stmt).__name__}")

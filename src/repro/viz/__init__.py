@@ -1,0 +1,11 @@
+"""Human-readable rendering of encodings (Fig. 1 / Fig. 10)."""
+
+from .patterns import render_pattern_groups
+from .render import render_encoding, render_mixture, shade_char
+
+__all__ = [
+    "render_encoding",
+    "render_mixture",
+    "shade_char",
+    "render_pattern_groups",
+]

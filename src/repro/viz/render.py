@@ -1,0 +1,132 @@
+"""Interpretable text rendering of naive (mixture) encodings.
+
+§2.3.2 and Appendix E: under the isomorphism assumption, an encoding's
+features translate back to a query skeleton that humans can read.
+Fig. 1a shades each feature independently by its frequency
+(correlation-ignorant); Fig. 10 repeats that per cluster.
+
+``render_encoding`` produces the Fig. 1a-style view for one naive
+encoding: a synthetic SELECT/FROM/WHERE skeleton whose elements carry
+shade marks proportional to their marginals.  ``render_mixture``
+renders one skeleton per component (Fig. 10).  Output is plain text
+with optional ANSI intensity so it works in logs and CI.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..core.encoding import NaiveEncoding
+from ..core.mixture import PatternMixtureEncoding
+from ..core.vocabulary import Vocabulary
+from ..sql.features import Clause, Feature
+
+__all__ = ["render_encoding", "render_mixture", "shade_char"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def shade_char(marginal: float) -> str:
+    """A density character for a marginal in [0, 1]."""
+    marginal = min(max(marginal, 0.0), 1.0)
+    index = min(int(marginal * len(_SHADES)), len(_SHADES) - 1)
+    return _SHADES[index]
+
+
+def _ansi_shade(text: str, marginal: float, use_ansi: bool) -> str:
+    if not use_ansi:
+        return f"{text}[{shade_char(marginal)}]"
+    # 256-color grayscale ramp: 232 (near black) .. 255 (white).
+    level = 240 + int(min(max(marginal, 0.0), 1.0) * 15)
+    return f"\x1b[38;5;{level}m{text}\x1b[0m"
+
+
+def render_encoding(
+    encoding: NaiveEncoding,
+    vocabulary: Vocabulary,
+    min_marginal: float = 0.05,
+    use_ansi: bool = False,
+    title: str | None = None,
+) -> str:
+    """Fig.-1a-style shaded skeleton for one naive encoding.
+
+    Features with marginal below *min_marginal* are omitted ("features
+    with marginal too small will be invisible", Appendix E).
+    """
+    groups: dict[str, list[tuple[float, str]]] = {
+        Clause.SELECT: [], Clause.FROM: [], Clause.WHERE: [],
+        Clause.GROUPBY: [], Clause.ORDERBY: [], Clause.HAVING: [],
+        Clause.AGG: [], "other": [],
+    }
+    for index in encoding.support:
+        marginal = float(encoding.marginals[index])
+        if marginal < min_marginal:
+            continue
+        feature = vocabulary.feature(int(index))
+        if isinstance(feature, Feature):
+            groups.setdefault(feature.clause, groups["other"]).append(
+                (marginal, feature.value)
+            )
+        else:
+            groups["other"].append((marginal, str(feature)))
+
+    def fmt(clause: str) -> str:
+        items = sorted(groups.get(clause, ()), key=lambda kv: -kv[0])
+        return ", ".join(_ansi_shade(value, marginal, use_ansi) for marginal, value in items)
+
+    lines: list[str] = []
+    if title:
+        lines.append(f"-- {title}")
+    if groups[Clause.SELECT]:
+        lines.append(f"SELECT {fmt(Clause.SELECT)}")
+    if groups[Clause.FROM]:
+        lines.append(f"FROM {fmt(Clause.FROM)}")
+    if groups[Clause.WHERE]:
+        items = sorted(groups[Clause.WHERE], key=lambda kv: -kv[0])
+        rendered = " AND ".join(
+            f"({_ansi_shade(value, marginal, use_ansi)})" for marginal, value in items
+        )
+        lines.append(f"WHERE {rendered}")
+    if groups[Clause.GROUPBY]:
+        lines.append(f"GROUP BY {fmt(Clause.GROUPBY)}")
+    if groups[Clause.ORDERBY]:
+        lines.append(f"ORDER BY {fmt(Clause.ORDERBY)}")
+    if groups["other"]:
+        lines.append(f"-- other: {fmt('other')}")
+    if not use_ansi:
+        lines.append(f"-- shading scale: '{_SHADES}' (0 -> 1)")
+    return "\n".join(lines)
+
+
+def render_mixture(
+    mixture: PatternMixtureEncoding,
+    min_marginal: float = 0.05,
+    use_ansi: bool = False,
+    max_components: int | None = None,
+) -> str:
+    """Fig.-10-style per-cluster skeletons for a naive mixture."""
+    if mixture.vocabulary is None:
+        raise ValueError("mixture has no vocabulary attached")
+    blocks: list[str] = []
+    weights = mixture.weights
+    components = list(enumerate(mixture.components))
+    components.sort(key=lambda pair: -weights[pair[0]])
+    if max_components is not None:
+        components = components[:max_components]
+    for index, component in components:
+        if not isinstance(component.encoding, NaiveEncoding):
+            continue
+        title = (
+            f"cluster {index}: {component.size:,} queries "
+            f"({weights[index]:.1%} of the log)"
+        )
+        blocks.append(
+            render_encoding(
+                component.encoding,
+                mixture.vocabulary,
+                min_marginal=min_marginal,
+                use_ansi=use_ansi,
+                title=title,
+            )
+        )
+    return "\n\n".join(blocks)

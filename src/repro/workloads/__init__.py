@@ -1,0 +1,44 @@
+"""Workload generators, categorical datasets, and log IO."""
+
+from .bank import BANK_PAPER_TOTAL, generate_bank
+from .datasets import CategoricalDataset, income_like, mushroom_like
+from .generator import SyntheticWorkload, zipf_multiplicities
+from .logio import LoadReport, load_log, read_log, write_log
+from .pocketdata import (
+    POCKETDATA_PAPER_DISTINCT,
+    POCKETDATA_PAPER_TOTAL,
+    generate_pocketdata,
+)
+from .schema import BANK_SCHEMA, MESSAGES_SCHEMA, SDSS_SCHEMA, Schema, Table
+from .sdss import generate_sdss
+from .sqlshare import generate_sqlshare
+from .tpch import TPCH_SCHEMA, generate_tpch
+from .stats import WorkloadStats, workload_stats
+
+__all__ = [
+    "SyntheticWorkload",
+    "zipf_multiplicities",
+    "generate_pocketdata",
+    "generate_bank",
+    "generate_sdss",
+    "generate_sqlshare",
+    "generate_tpch",
+    "TPCH_SCHEMA",
+    "POCKETDATA_PAPER_TOTAL",
+    "POCKETDATA_PAPER_DISTINCT",
+    "BANK_PAPER_TOTAL",
+    "CategoricalDataset",
+    "mushroom_like",
+    "income_like",
+    "write_log",
+    "read_log",
+    "load_log",
+    "LoadReport",
+    "WorkloadStats",
+    "workload_stats",
+    "Schema",
+    "Table",
+    "MESSAGES_SCHEMA",
+    "BANK_SCHEMA",
+    "SDSS_SCHEMA",
+]

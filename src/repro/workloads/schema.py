@@ -1,0 +1,218 @@
+"""Synthetic database schemas for workload generation.
+
+The paper's datasets are not public (the US Bank log is anonymized and
+private; PocketData redistributes app-private SQLite traces), so the
+generators in this package synthesize workloads over schemas shaped
+like the originals:
+
+* :data:`MESSAGES_SCHEMA` — the Android messaging-app schema visible in
+  the paper's own examples and Fig. 10 (``messages``, ``conversations``,
+  ``message_notifications_view`` ...), used by the PocketData-like
+  generator.
+* :data:`BANK_SCHEMA` — a retail-banking OLTP/reporting schema used by
+  the US-Bank-like generator.
+* :data:`SDSS_SCHEMA` — a SkyServer-like astronomy schema used by the
+  analytic (Makiyama-scheme) workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "Schema", "MESSAGES_SCHEMA", "BANK_SCHEMA", "SDSS_SCHEMA"]
+
+
+@dataclass(frozen=True)
+class Table:
+    """A table with ordered column names."""
+
+    name: str
+    columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError(f"table {self.name} needs at least one column")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A named collection of tables."""
+
+    name: str
+    tables: tuple[Table, ...]
+
+    def table(self, name: str) -> Table:
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise KeyError(name)
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(table.name for table in self.tables)
+
+
+MESSAGES_SCHEMA = Schema(
+    "messages_app",
+    (
+        Table(
+            "messages",
+            (
+                "_id", "message_id", "conversation_id", "sms_type", "status",
+                "transport_type", "timestamp", "text", "sms_raw_sender",
+                "expiration_timestamp", "attachment_id", "read_state",
+            ),
+        ),
+        Table(
+            "conversations",
+            (
+                "conversation_id", "conversation_status", "latest_message_id",
+                "conversation_pending_leave", "conversation_notification_level",
+                "chat_watermark", "inviter_id", "is_muted", "unread_count",
+            ),
+        ),
+        Table(
+            "message_notifications_view",
+            (
+                "message_id", "conversation_id", "status", "timestamp",
+                "expiration_timestamp", "sms_raw_sender", "text", "sms_type",
+                "chat_watermark",
+            ),
+        ),
+        Table(
+            "messages_view",
+            (
+                "message_id", "conversation_id", "status", "timestamp",
+                "sms_type", "text", "author_full_name",
+            ),
+        ),
+        Table(
+            "conversation_participants_view",
+            (
+                "conversation_id", "participants_type", "first_name",
+                "full_name", "chat_id", "blocked", "active", "profile_photo_url",
+            ),
+        ),
+        Table(
+            "suggested_contacts",
+            (
+                "suggestion_type", "name", "chat_id", "affinity_score",
+                "profile_photo_url", "last_contacted",
+            ),
+        ),
+        Table(
+            "participants",
+            (
+                "participant_id", "chat_id", "first_name", "full_name",
+                "participant_type", "profile_photo_url", "batch_gebi_tag",
+            ),
+        ),
+        Table(
+            "dismissed_contacts",
+            ("name", "chat_id", "dismissal_timestamp"),
+        ),
+    ),
+)
+
+
+BANK_SCHEMA = Schema(
+    "retail_bank",
+    (
+        Table(
+            "accounts",
+            (
+                "account_id", "customer_id", "branch_id", "account_type",
+                "status", "balance", "currency", "opened_date", "closed_date",
+                "overdraft_limit", "interest_rate", "last_activity",
+            ),
+        ),
+        Table(
+            "customers",
+            (
+                "customer_id", "first_name", "last_name", "segment", "ssn_hash",
+                "birth_date", "address_id", "risk_score", "kyc_status",
+                "preferred_channel", "join_date",
+            ),
+        ),
+        Table(
+            "transactions",
+            (
+                "txn_id", "account_id", "txn_type", "amount", "currency",
+                "posted_date", "value_date", "merchant_id", "channel",
+                "status", "reference", "batch_id",
+            ),
+        ),
+        Table(
+            "branches",
+            ("branch_id", "branch_name", "region", "state", "manager_id", "tier"),
+        ),
+        Table(
+            "loans",
+            (
+                "loan_id", "account_id", "loan_type", "principal", "rate",
+                "term_months", "origination_date", "status", "collateral_type",
+                "officer_id",
+            ),
+        ),
+        Table(
+            "cards",
+            (
+                "card_id", "account_id", "card_type", "status", "issue_date",
+                "expiry_date", "credit_limit", "network",
+            ),
+        ),
+        Table(
+            "merchants",
+            ("merchant_id", "merchant_name", "mcc", "country", "risk_flag"),
+        ),
+        Table(
+            "audit_log",
+            (
+                "event_id", "actor_id", "event_type", "object_type", "object_id",
+                "event_time", "source_ip", "outcome",
+            ),
+        ),
+        Table(
+            "employees",
+            ("employee_id", "branch_id", "role", "hire_date", "status", "clearance"),
+        ),
+        Table(
+            "fx_rates",
+            ("currency_pair", "rate", "as_of_date", "source"),
+        ),
+    ),
+)
+
+
+SDSS_SCHEMA = Schema(
+    "skyserver",
+    (
+        Table(
+            "photoobj",
+            (
+                "objid", "ra", "dec", "type", "u", "g", "r", "i", "z",
+                "run", "rerun", "camcol", "field", "mode", "clean",
+                "petror90_r", "extinction_r",
+            ),
+        ),
+        Table(
+            "specobj",
+            (
+                "specobjid", "bestobjid", "class", "subclass", "zresult",
+                "zerr", "plate", "mjd", "fiberid", "sn_median",
+            ),
+        ),
+        Table(
+            "galaxy",
+            ("objid", "ra", "dec", "u", "g", "r", "i", "z", "petror90_r"),
+        ),
+        Table(
+            "star",
+            ("objid", "ra", "dec", "u", "g", "r", "i", "z", "pmra", "pmdec"),
+        ),
+        Table(
+            "neighbors",
+            ("objid", "neighborobjid", "distance", "neighbortype"),
+        ),
+    ),
+)

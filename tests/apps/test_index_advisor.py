@@ -1,0 +1,59 @@
+"""Tests for the index advisor application."""
+
+import pytest
+
+from repro.apps.index_advisor import IndexAdvisor
+from repro.core.compress import LogRCompressor
+
+
+@pytest.fixture(scope="module")
+def compressed(small_pocketdata_log):
+    return LogRCompressor(n_clusters=8, seed=0, n_init=3).compress(
+        small_pocketdata_log
+    )
+
+
+class TestAdvisor:
+    def test_recommendations_returned(self, compressed):
+        candidates = IndexAdvisor(compressed).recommend(5)
+        assert 0 < len(candidates) <= 5
+        for candidate in candidates:
+            assert candidate.estimated_queries > 0
+            assert 0 < candidate.support <= 1.0 + 1e-9
+
+    def test_sorted_by_frequency(self, compressed):
+        candidates = IndexAdvisor(compressed).recommend(10)
+        counts = [c.estimated_queries for c in candidates]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_min_support_respected(self, compressed):
+        candidates = IndexAdvisor(compressed, min_support=0.3).recommend(20)
+        assert all(c.support >= 0.3 for c in candidates)
+
+    def test_composite_width_cap(self, compressed):
+        narrow = IndexAdvisor(compressed, max_width=1).recommend(20)
+        assert all(len(c.columns) == 1 for c in narrow)
+
+    def test_ranking_close_to_truth(self, compressed, small_pocketdata_log):
+        """Top-3 compressed-log columns appear in the exact top-6."""
+        advisor = IndexAdvisor(compressed, min_support=0.01)
+        approx = [c.columns for c in advisor.recommend(3) if len(c.columns) == 1]
+        exact = [
+            c.columns
+            for c in advisor.true_ranking(small_pocketdata_log, 8)
+            if len(c.columns) == 1
+        ]
+        overlap = sum(1 for cols in approx if cols in exact)
+        assert overlap >= len(approx) - 1
+
+    def test_str_renders_create_index(self, compressed):
+        candidate = IndexAdvisor(compressed).recommend(1)[0]
+        assert str(candidate).startswith("CREATE INDEX ON ")
+
+    def test_vocabulary_required(self, compressed):
+        compressed.mixture.vocabulary, saved = None, compressed.mixture.vocabulary
+        try:
+            with pytest.raises(ValueError):
+                IndexAdvisor(compressed).recommend()
+        finally:
+            compressed.mixture.vocabulary = saved

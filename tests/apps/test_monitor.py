@@ -1,0 +1,64 @@
+"""Tests for the workload monitor (anomaly detection)."""
+
+import pytest
+
+from repro.apps.monitor import WorkloadMonitor
+from repro.core.compress import LogRCompressor
+from repro.workloads import generate_pocketdata
+
+
+@pytest.fixture(scope="module")
+def monitor_setup():
+    workload = generate_pocketdata(total=10_000, n_distinct=150, seed=5)
+    log = workload.to_query_log()
+    compressed = LogRCompressor(n_clusters=6, seed=0, n_init=3).compress(log)
+    monitor = WorkloadMonitor(compressed.mixture, log, threshold_quantile=0.001)
+    return workload, monitor
+
+
+class TestMonitor:
+    def test_training_queries_score_normal(self, monitor_setup):
+        workload, monitor = monitor_setup
+        flagged = 0
+        for text, _ in workload.entries[:50]:
+            if monitor.score(text).anomalous:
+                flagged += 1
+        assert flagged <= 5  # calibrated to ~0.1% of training mass
+
+    def test_foreign_query_flagged(self, monitor_setup):
+        _, monitor = monitor_setup
+        score = monitor.score(
+            "SELECT card_number, cvv FROM payment_vault WHERE 1 = 1"
+        )
+        assert score.anomalous
+        assert score.log2_likelihood < monitor.threshold
+
+    def test_unparseable_flagged(self, monitor_setup):
+        _, monitor = monitor_setup
+        score = monitor.score("DROP TABLE messages; --")
+        assert score.anomalous
+        assert "unparseable" in score.reason
+
+    def test_scan_stream(self, monitor_setup):
+        workload, monitor = monitor_setup
+        stream = [workload.entries[0][0], "SELECT evil FROM vault"]
+        scores = monitor.scan(stream)
+        assert len(scores) == 2
+        assert not scores[0].anomalous
+        assert scores[1].anomalous
+
+    def test_vocabulary_required(self, monitor_setup):
+        workload, monitor = monitor_setup
+        mixture = monitor.mixture
+        saved = mixture.vocabulary
+        mixture.vocabulary = None
+        try:
+            with pytest.raises(ValueError):
+                WorkloadMonitor(mixture, workload.to_query_log())
+        finally:
+            mixture.vocabulary = saved
+
+    def test_scores_are_log_likelihoods(self, monitor_setup):
+        workload, monitor = monitor_setup
+        score = monitor.score(workload.entries[0][0])
+        assert score.log2_likelihood <= 0.0

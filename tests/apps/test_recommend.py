@@ -1,0 +1,99 @@
+"""Tests for the query recommender."""
+
+import numpy as np
+import pytest
+
+from repro.apps.recommend import QueryRecommender
+from repro.core.log import LogBuilder
+from repro.core.mixture import PatternMixtureEncoding
+from repro.sql.features import Feature
+
+
+@pytest.fixture()
+def two_workload_mixture():
+    """Two cleanly separated query populations."""
+    builder = LogBuilder()
+    messages = {
+        Feature("status", "SELECT"),
+        Feature("timestamp", "SELECT"),
+        Feature("messages", "FROM"),
+        Feature("status = ?", "WHERE"),
+    }
+    contacts = {
+        Feature("name", "SELECT"),
+        Feature("chat_id", "SELECT"),
+        Feature("contacts", "FROM"),
+        Feature("name != ?", "WHERE"),
+    }
+    builder.add(messages, count=60)
+    builder.add(contacts, count=40)
+    log = builder.build()
+    labels = np.array(
+        [0 if log.matrix[i][log.vocabulary.index(Feature("messages", "FROM"))] else 1
+         for i in range(log.n_distinct)]
+    )
+    return PatternMixtureEncoding.from_partitions(
+        log.partition(labels), log.vocabulary
+    )
+
+
+class TestPosterior:
+    def test_posterior_sums_to_one(self, two_workload_mixture):
+        recommender = QueryRecommender(two_workload_mixture)
+        posterior = recommender.component_posterior([Feature("messages", "FROM")])
+        assert posterior.sum() == pytest.approx(1.0)
+
+    def test_observed_feature_identifies_component(self, two_workload_mixture):
+        recommender = QueryRecommender(two_workload_mixture)
+        posterior = recommender.component_posterior([Feature("messages", "FROM")])
+        assert posterior.max() > 0.99
+
+    def test_empty_query_gives_prior(self, two_workload_mixture):
+        recommender = QueryRecommender(two_workload_mixture)
+        posterior = recommender.component_posterior([])
+        assert posterior.tolist() == pytest.approx(
+            two_workload_mixture.weights.tolist()
+        )
+
+    def test_unknown_features_ignored(self, two_workload_mixture):
+        recommender = QueryRecommender(two_workload_mixture)
+        posterior = recommender.component_posterior([("nope", "X")])
+        assert posterior.sum() == pytest.approx(1.0)
+
+
+class TestSuggestions:
+    def test_suggests_same_workload_features(self, two_workload_mixture):
+        recommender = QueryRecommender(two_workload_mixture)
+        suggestions = recommender.suggest([Feature("messages", "FROM")], top_k=3)
+        values = {s.feature.value for s in suggestions}
+        assert "status = ?" in values or "status" in values
+        assert "contacts" not in values
+
+    def test_observed_features_excluded(self, two_workload_mixture):
+        recommender = QueryRecommender(two_workload_mixture)
+        anchor = Feature("messages", "FROM")
+        suggestions = recommender.suggest([anchor], top_k=10)
+        assert anchor not in {s.feature for s in suggestions}
+
+    def test_probabilities_sorted(self, two_workload_mixture):
+        recommender = QueryRecommender(two_workload_mixture)
+        suggestions = recommender.suggest([Feature("messages", "FROM")], top_k=10)
+        probs = [s.probability for s in suggestions]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_complete_builds_full_query(self, two_workload_mixture):
+        recommender = QueryRecommender(two_workload_mixture)
+        completed = recommender.complete([Feature("contacts", "FROM")], threshold=0.5)
+        values = {f.value for f in completed}
+        assert {"contacts", "name", "chat_id", "name != ?"} <= values
+        assert "messages" not in values
+
+    def test_requires_vocabulary(self, two_workload_mixture):
+        two_workload_mixture.vocabulary = None
+        with pytest.raises(ValueError):
+            QueryRecommender(two_workload_mixture)
+
+    def test_suggestion_str(self, two_workload_mixture):
+        recommender = QueryRecommender(two_workload_mixture)
+        suggestion = recommender.suggest([Feature("messages", "FROM")], top_k=1)[0]
+        assert "%" in str(suggestion)

@@ -1,0 +1,116 @@
+"""Tests for the streaming drift monitor."""
+
+import pytest
+
+from repro.apps.stream import StreamingDriftMonitor
+from repro.core.compress import LogRCompressor
+from repro.workloads import generate_bank, generate_pocketdata
+
+
+@pytest.fixture(scope="module")
+def baseline_setup():
+    workload = generate_pocketdata(total=20_000, n_distinct=150, seed=6)
+    log = workload.to_query_log()
+    compressed = LogRCompressor(n_clusters=6, seed=0, n_init=3).compress(log)
+    return workload, log, compressed
+
+
+class TestCalibration:
+    def test_auto_calibration(self, baseline_setup):
+        _, log, compressed = baseline_setup
+        monitor = StreamingDriftMonitor(
+            compressed.mixture, window_size=200, baseline_log=log, seed=0
+        )
+        assert monitor.threshold > 0
+
+    def test_needs_log_or_threshold(self, baseline_setup):
+        _, _, compressed = baseline_setup
+        with pytest.raises(ValueError):
+            StreamingDriftMonitor(compressed.mixture, window_size=100)
+
+    def test_explicit_threshold(self, baseline_setup):
+        _, _, compressed = baseline_setup
+        monitor = StreamingDriftMonitor(
+            compressed.mixture, window_size=100, threshold=1.5
+        )
+        assert monitor.threshold == 1.5
+
+    def test_window_size_validated(self, baseline_setup):
+        _, _, compressed = baseline_setup
+        with pytest.raises(ValueError):
+            StreamingDriftMonitor(compressed.mixture, window_size=5, threshold=1.0)
+
+    def test_vocabulary_required(self, baseline_setup):
+        _, log, compressed = baseline_setup
+        saved = compressed.mixture.vocabulary
+        compressed.mixture.vocabulary = None
+        try:
+            with pytest.raises(ValueError):
+                StreamingDriftMonitor(
+                    compressed.mixture, window_size=100, threshold=1.0
+                )
+        finally:
+            compressed.mixture.vocabulary = saved
+
+
+class TestDetection:
+    def test_normal_windows_pass(self, baseline_setup):
+        workload, log, compressed = baseline_setup
+        monitor = StreamingDriftMonitor(
+            compressed.mixture, window_size=300, baseline_log=log, seed=0
+        )
+        statements = list(workload.statements(shuffle=True, seed=1))[:900]
+        reports = monitor.observe_many(statements)
+        assert reports
+        drifted = [r for r in reports if r.drifted]
+        assert len(drifted) <= len(reports) // 3
+
+    def test_injected_window_flags(self, baseline_setup):
+        workload, log, compressed = baseline_setup
+        monitor = StreamingDriftMonitor(
+            compressed.mixture, window_size=300, baseline_log=log, seed=0
+        )
+        normal = list(workload.statements(shuffle=True, seed=2))[:150]
+        foreign = list(
+            generate_bank(total=300, n_templates=30, seed=9).statements()
+        )[:150]
+        reports = monitor.observe_many(normal + foreign)
+        assert reports
+        assert reports[-1].drifted
+
+    def test_report_counts(self, baseline_setup):
+        workload, log, compressed = baseline_setup
+        monitor = StreamingDriftMonitor(
+            compressed.mixture, window_size=100, threshold=1e9
+        )
+        statements = list(workload.statements())[:250]
+        reports = monitor.observe_many(statements)
+        assert len(reports) == 2  # two full windows, remainder buffered
+        assert all(r.n_statements == 100 for r in reports)
+        assert monitor.reports == reports
+
+    def test_unparseable_statements_counted_not_encoded(self, baseline_setup):
+        _, log, compressed = baseline_setup
+        monitor = StreamingDriftMonitor(
+            compressed.mixture, window_size=10, threshold=1e9
+        )
+        report = monitor.observe_many(["@@garbage@@"] * 9 + ["SELECT 1"])[0]
+        assert report.n_statements == 10
+        assert report.n_encoded == 1
+
+    def test_all_garbage_window_is_infinite_drift(self, baseline_setup):
+        _, _, compressed = baseline_setup
+        monitor = StreamingDriftMonitor(
+            compressed.mixture, window_size=10, threshold=1e9
+        )
+        report = monitor.observe_many(["@@garbage@@"] * 10)[0]
+        assert report.divergence_bits == float("inf")
+        assert report.drifted
+
+    def test_str(self, baseline_setup):
+        _, _, compressed = baseline_setup
+        monitor = StreamingDriftMonitor(
+            compressed.mixture, window_size=10, threshold=1e9
+        )
+        report = monitor.observe_many(["SELECT 1"] * 10)[0]
+        assert "window 1" in str(report)

@@ -1,0 +1,69 @@
+"""Tests for workload synthesis from compressed summaries."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthesis import WorkloadSynthesizer
+from repro.core.compress import LogRCompressor
+from repro.sql import parse
+
+
+@pytest.fixture(scope="module")
+def mixture(small_pocketdata_log):
+    compressed = LogRCompressor(n_clusters=6, seed=0, n_init=3).compress(
+        small_pocketdata_log
+    )
+    return compressed.mixture
+
+
+class TestSynthesis:
+    def test_sample_count(self, mixture):
+        queries = WorkloadSynthesizer(mixture, seed=0).sample(25)
+        assert len(queries) == 25
+
+    def test_outputs_are_parseable_sql(self, mixture):
+        for query in WorkloadSynthesizer(mixture, seed=1).sample(30):
+            parse(query.sql)  # must not raise
+
+    def test_component_provenance(self, mixture):
+        queries = WorkloadSynthesizer(mixture, seed=0).sample(40)
+        components = {q.component for q in queries}
+        assert components <= set(range(mixture.n_components))
+        assert len(components) >= 2  # several components get sampled
+
+    def test_deterministic_with_seed(self, mixture):
+        a = [q.sql for q in WorkloadSynthesizer(mixture, seed=7).sample(10)]
+        b = [q.sql for q in WorkloadSynthesizer(mixture, seed=7).sample(10)]
+        assert a == b
+
+    def test_requires_vocabulary(self, mixture):
+        saved = mixture.vocabulary
+        mixture.vocabulary = None
+        try:
+            with pytest.raises(ValueError):
+                WorkloadSynthesizer(mixture)
+        finally:
+            mixture.vocabulary = saved
+
+    def test_fidelity_report(self, mixture):
+        report = WorkloadSynthesizer(mixture, seed=0).fidelity_report(600)
+        assert 0 <= report["mean_abs_marginal_error"] < 0.1
+        assert report["renderable_rate"] > 0.9
+
+    def test_marginals_approach_summary(self, mixture):
+        """Sampled feature frequencies track the summary's marginals."""
+        from repro.core.diff import blended_marginals
+
+        synthesizer = WorkloadSynthesizer(mixture, seed=3)
+        batch = synthesizer.sample(1_500)
+        counts = np.zeros(len(mixture.vocabulary))
+        for query in batch:
+            for feature in query.features:
+                index = mixture.vocabulary.get(feature)
+                if index is not None:
+                    counts[index] += 1
+        synthetic = counts / len(batch)
+        target = blended_marginals(mixture)
+        # strongest features should agree within a few points
+        top = np.argsort(-target)[:10]
+        assert np.abs(synthetic[top] - target[top]).max() < 0.12

@@ -1,0 +1,51 @@
+"""Tests for the materialized-view selector."""
+
+import pytest
+
+from repro.apps.views import ViewSelector
+from repro.core.compress import LogRCompressor
+
+
+@pytest.fixture(scope="module")
+def compressed(small_bank_log):
+    return LogRCompressor(n_clusters=6, seed=0, n_init=3).compress(small_bank_log)
+
+
+class TestViewSelector:
+    def test_recommendations(self, compressed):
+        candidates = ViewSelector(compressed).recommend(6)
+        assert candidates
+        for candidate in candidates:
+            assert candidate.tables
+            assert candidate.estimated_queries > 0
+
+    def test_join_views_found(self, compressed):
+        """The bank workload joins transactions/accounts etc.
+
+        Join views score below the high-frequency selection views, so
+        look deep into the ranking.
+        """
+        candidates = ViewSelector(compressed, min_support=0.003).recommend(200)
+        join_views = [c for c in candidates if len(c.tables) == 2]
+        assert join_views
+
+    def test_selection_views_have_predicates(self, compressed):
+        candidates = ViewSelector(compressed, min_support=0.01).recommend(30)
+        selection_views = [c for c in candidates if c.predicates]
+        assert selection_views
+
+    def test_sorted_and_deduped(self, compressed):
+        candidates = ViewSelector(compressed).recommend(20)
+        counts = [c.estimated_queries for c in candidates]
+        assert counts == sorted(counts, reverse=True)
+        keys = [(c.tables, c.predicates) for c in candidates]
+        assert len(keys) == len(set(keys))
+
+    def test_str_renders_view(self, compressed):
+        candidate = ViewSelector(compressed).recommend(1)[0]
+        assert "CREATE MATERIALIZED VIEW" in str(candidate)
+
+    def test_min_support_filters(self, compressed):
+        high = ViewSelector(compressed, min_support=0.5).recommend(30)
+        low = ViewSelector(compressed, min_support=0.001).recommend(30)
+        assert len(high) <= len(low)

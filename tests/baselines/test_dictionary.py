@@ -1,0 +1,43 @@
+"""Tests for the LZ78 reference coder, incl. hypothesis round trips."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.baselines.dictionary import (
+    compressed_size_bits,
+    lz78_decode,
+    lz78_encode,
+)
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        assert lz78_decode(lz78_encode("")) == ""
+
+    def test_simple(self):
+        text = "SELECT a FROM t WHERE x = 1"
+        assert lz78_decode(lz78_encode(text)) == text
+
+    def test_repetitive_input_compresses(self):
+        text = "SELECT a FROM t; " * 200
+        codes = lz78_encode(text)
+        assert compressed_size_bits(codes) < len(text) * 8
+
+    def test_trailing_phrase(self):
+        # force the final phrase to be a dictionary hit
+        text = "ababab"
+        assert lz78_decode(lz78_encode(text)) == text
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(alphabet="abcSELECT FROMWHERE=?,", max_size=300))
+    def test_roundtrip_property(self, text):
+        assert lz78_decode(lz78_encode(text)) == text
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=200))
+    def test_roundtrip_unicode(self, text):
+        assert lz78_decode(lz78_encode(text)) == text
+
+    def test_size_positive(self):
+        codes = lz78_encode("abcabc")
+        assert compressed_size_bits(codes) > 0

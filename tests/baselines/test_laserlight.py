@@ -1,0 +1,115 @@
+"""Tests for the Laserlight reimplementation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.laserlight import (
+    Laserlight,
+    laserlight_error,
+    naive_laserlight_error,
+    top_entropy_features,
+)
+from repro.core.log import QueryLog
+from repro.core.pattern import Pattern
+from repro.core.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def labeled_log():
+    """Feature 0 perfectly predicts the outcome."""
+    rng = np.random.default_rng(0)
+    matrix = (rng.random((80, 6)) < 0.5).astype(np.uint8)
+    unique, counts = np.unique(matrix, axis=0, return_counts=True)
+    log = QueryLog(Vocabulary(range(6)), unique, counts)
+    outcomes = unique[:, 0].astype(float)
+    return log, outcomes
+
+
+class TestNaiveError:
+    def test_balanced_outcome_value(self):
+        """Crisp 50/50 outcomes: error = |D| bits."""
+        vocab = Vocabulary(["a"])
+        matrix = np.array([[0], [1]], dtype=np.uint8)
+        log = QueryLog(vocab, matrix, [5, 5])
+        outcomes = np.array([0.0, 1.0])
+        assert naive_laserlight_error(log, outcomes) == pytest.approx(10.0)
+
+    def test_constant_outcome_is_zero(self):
+        vocab = Vocabulary(["a"])
+        matrix = np.array([[0], [1]], dtype=np.uint8)
+        log = QueryLog(vocab, matrix, [5, 5])
+        assert naive_laserlight_error(log, np.ones(2)) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestGreedySearch:
+    def test_error_history_monotone(self, labeled_log):
+        log, outcomes = labeled_log
+        summary = Laserlight(n_patterns=8, seed=0).fit(log, outcomes)
+        assert all(
+            b <= a + 1e-9 for a, b in zip(summary.history, summary.history[1:])
+        )
+
+    def test_finds_predictive_pattern(self, labeled_log):
+        log, outcomes = labeled_log
+        summary = Laserlight(n_patterns=10, n_samples=32, seed=0).fit(log, outcomes)
+        naive = naive_laserlight_error(log, outcomes)
+        assert summary.error < naive * 0.7
+
+    def test_estimate_consistency(self, labeled_log):
+        log, outcomes = labeled_log
+        summary = Laserlight(n_patterns=5, seed=0).fit(log, outcomes)
+        recomputed = laserlight_error(log, outcomes, summary)
+        assert recomputed == pytest.approx(summary.error, abs=1e-9)
+
+    def test_zero_patterns_is_naive(self, labeled_log):
+        log, outcomes = labeled_log
+        summary = Laserlight(n_patterns=0, seed=0).fit(log, outcomes)
+        assert summary.error == pytest.approx(naive_laserlight_error(log, outcomes))
+
+    def test_outcome_shape_checked(self, labeled_log):
+        log, _ = labeled_log
+        with pytest.raises(ValueError):
+            Laserlight(n_patterns=1).fit(log, np.zeros(3))
+
+    def test_deterministic(self, labeled_log):
+        log, outcomes = labeled_log
+        a = Laserlight(n_patterns=5, seed=7).fit(log, outcomes)
+        b = Laserlight(n_patterns=5, seed=7).fit(log, outcomes)
+        assert a.patterns == b.patterns
+
+    def test_fit_seconds_recorded(self, labeled_log):
+        log, outcomes = labeled_log
+        summary = Laserlight(n_patterns=2, seed=0).fit(log, outcomes)
+        assert summary.fit_seconds > 0
+
+
+class TestFeatureCap:
+    def test_top_entropy_features(self):
+        vocab = Vocabulary(range(4))
+        matrix = np.array(
+            [[1, 1, 0, 0], [1, 0, 0, 0], [1, 1, 0, 1], [1, 0, 0, 1]], dtype=np.uint8
+        )
+        log = QueryLog(vocab, matrix, [1, 1, 1, 1])
+        top2 = top_entropy_features(log, 2)
+        # features 1 and 3 have p=0.5 (max entropy); 0 and 2 are constant
+        assert set(top2) == {1, 3}
+
+    def test_max_features_restricts_search(self):
+        rng = np.random.default_rng(1)
+        matrix = (rng.random((50, 30)) < 0.5).astype(np.uint8)
+        unique, counts = np.unique(matrix, axis=0, return_counts=True)
+        log = QueryLog(Vocabulary(range(30)), unique, counts)
+        outcomes = unique[:, 0].astype(float)
+        summary = Laserlight(n_patterns=5, max_features=10, seed=0).fit(log, outcomes)
+        # patterns are expressed in the global feature space
+        for pattern in summary.patterns:
+            assert all(i < 30 for i in pattern.indices)
+
+    def test_rates_match_cover(self, labeled_log):
+        log, outcomes = labeled_log
+        summary = Laserlight(n_patterns=3, seed=0).fit(log, outcomes)
+        weights = log.counts.astype(float)
+        for pattern, rate in zip(summary.patterns, summary.rates):
+            mask = pattern.matches(log.matrix)
+            expected = (weights[mask] * outcomes[mask]).sum() / weights[mask].sum()
+            assert rate == pytest.approx(expected)

@@ -1,0 +1,67 @@
+"""Additional Laserlight behaviour tests after the fidelity rework."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.laserlight import Laserlight, naive_laserlight_error
+from repro.core.log import QueryLog
+from repro.core.vocabulary import Vocabulary
+
+
+def crisp_log(seed=0, n=100, features=8):
+    rng = np.random.default_rng(seed)
+    matrix = (rng.random((n, features)) < 0.5).astype(np.uint8)
+    unique, counts = np.unique(matrix, axis=0, return_counts=True)
+    log = QueryLog(Vocabulary(range(features)), unique, counts)
+    return log, unique[:, 0].astype(float)
+
+
+class TestPaperFormula:
+    def test_naive_reference_is_global_entropy(self):
+        """|D| · H(u) exactly, per §8.1.1."""
+        vocab = Vocabulary(["a"])
+        matrix = np.array([[0], [1]], dtype=np.uint8)
+        log = QueryLog(vocab, matrix, [3, 1])  # u = 0.25 with v = feature a
+        outcomes = np.array([0.0, 1.0])
+        u = 0.25
+        expected = -4 * (u * np.log2(u) + (1 - u) * np.log2(1 - u))
+        assert naive_laserlight_error(log, outcomes) == pytest.approx(expected)
+
+    def test_fractional_outcomes_supported(self):
+        vocab = Vocabulary(["a"])
+        matrix = np.array([[1]], dtype=np.uint8)
+        log = QueryLog(vocab, matrix, [10])
+        assert naive_laserlight_error(log, np.array([0.3])) > 0
+
+    def test_crisp_zero_pattern_error_matches_naive(self):
+        """With crisp v(t), the 0-pattern model equals the reference."""
+        log, outcomes = crisp_log()
+        summary = Laserlight(n_patterns=0, seed=0).fit(log, outcomes)
+        assert summary.error == pytest.approx(
+            naive_laserlight_error(log, outcomes), rel=1e-9
+        )
+
+    def test_fractional_zero_pattern_error_below_naive(self):
+        """Merged duplicates make v(t) fractional; the KL-form error
+        subtracts the irreducible entropy, the reference does not."""
+        vocab = Vocabulary(["a", "b"])
+        matrix = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        log = QueryLog(vocab, matrix, [10, 10])
+        outcomes = np.array([0.4, 0.6])  # fractional
+        summary = Laserlight(n_patterns=0, seed=0).fit(log, outcomes)
+        assert summary.error < naive_laserlight_error(log, outcomes)
+
+
+class TestGreedyTermination:
+    def test_stops_when_no_candidate_improves(self):
+        """Once the outcome is fully explained the greedy loop halts
+        before exhausting its budget (runtime scaling itself is covered
+        by benchmarks/bench_fig7.py where budgets bind)."""
+        log, outcomes = crisp_log(seed=1, n=400, features=10)
+        summary = Laserlight(n_patterns=32, n_samples=8, seed=0).fit(log, outcomes)
+        assert summary.verbosity < 32
+
+    def test_history_length_tracks_accepted_patterns(self):
+        log, outcomes = crisp_log(seed=2)
+        summary = Laserlight(n_patterns=6, seed=0).fit(log, outcomes)
+        assert len(summary.history) == summary.verbosity + 1

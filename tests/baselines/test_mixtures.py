@@ -1,0 +1,121 @@
+"""Tests for the Laserlight/MTV mixture generalizations (§8.1.3)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mixtures import (
+    fixed_budget_weights,
+    laserlight_mixture,
+    mtv_mixture,
+    naive_mixture_laserlight_error,
+    naive_mixture_mtv_error,
+)
+from repro.baselines.mtv import MTV_PATTERN_LIMIT
+from repro.cluster import cluster_vectors
+from repro.workloads.datasets import mushroom_like
+
+
+@pytest.fixture(scope="module")
+def partitioned():
+    dataset = mushroom_like(n_tuples=1_200, seed=1)
+    log = dataset.log
+    labels = cluster_vectors(
+        log.matrix.astype(float), 4,
+        sample_weight=log.counts.astype(float), seed=0, n_init=3,
+    )
+    partitions = log.partition(labels)
+    outcomes = []
+    for label in np.unique(labels):
+        outcomes.append(dataset.class_fraction[labels == label])
+    return partitions, outcomes
+
+
+class TestBudgets:
+    def test_fixed_weights_normalized(self, partitioned):
+        partitions, _ = partitioned
+        weights = fixed_budget_weights(partitions)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights >= 0).all()
+
+    def test_zero_error_cluster_gets_no_budget(self):
+        """A single-query cluster has zero naive error -> zero weight."""
+        import numpy as np
+
+        from repro.core.log import QueryLog
+        from repro.core.vocabulary import Vocabulary
+
+        vocab = Vocabulary(range(3))
+        pure = QueryLog(vocab, np.array([[1, 0, 1]], dtype=np.uint8), [10])
+        mixed = QueryLog(
+            vocab,
+            np.array([[1, 0, 0], [0, 1, 0], [1, 1, 1]], dtype=np.uint8),
+            [3, 3, 3],
+        )
+        weights = fixed_budget_weights([pure, mixed])
+        assert weights[0] == pytest.approx(0.0)
+        assert weights[1] == pytest.approx(1.0)
+
+
+class TestLaserlightMixture:
+    def test_fixed_budget_distributes(self, partitioned):
+        partitions, outcomes = partitioned
+        run = laserlight_mixture(
+            partitions, outcomes, mode="fixed", total_patterns=12, seed=0
+        )
+        assert run.total_patterns <= 12
+        assert len(run.per_cluster_errors) == len(partitions)
+        assert run.total_seconds > 0
+
+    def test_mixture_beats_naive_mixture(self, partitioned):
+        partitions, outcomes = partitioned
+        naive = naive_mixture_laserlight_error(partitions, outcomes)
+        run = laserlight_mixture(
+            partitions, outcomes, mode="fixed", total_patterns=20,
+            n_samples=24, seed=0,
+        )
+        assert run.combined_error <= naive + 1e-9
+
+    def test_scaled_mode(self, partitioned):
+        partitions, outcomes = partitioned
+        run = laserlight_mixture(
+            partitions, outcomes, mode="scaled", n_samples=8, seed=0
+        )
+        # scaled mode budgets each cluster to its naive verbosity
+        assert run.total_patterns > 0
+
+    def test_unknown_mode(self, partitioned):
+        partitions, outcomes = partitioned
+        with pytest.raises(ValueError):
+            laserlight_mixture(partitions, outcomes, mode="nope")
+
+    def test_fixed_needs_budget(self, partitioned):
+        partitions, outcomes = partitioned
+        with pytest.raises(ValueError):
+            from repro.baselines.mixtures import _budgets
+
+            _budgets(partitions, "fixed", None, None)
+
+
+class TestMtvMixture:
+    def test_budget_capped_at_limit(self, partitioned):
+        partitions, _ = partitioned
+        run = mtv_mixture(
+            partitions, mode="scaled", min_support=0.25, seed=0
+        )
+        assert all(b <= MTV_PATTERN_LIMIT for b in run.per_cluster_patterns)
+
+    def test_combined_error_improves_on_naive(self, partitioned):
+        """MTV mixture may not beat the naive mixture (§8.1.4 says they
+        are close), but partitioning must improve on classical MTV's
+        single-cluster error."""
+        partitions, _ = partitioned
+        whole_log = partitions[0]
+        run = mtv_mixture(partitions, mode="fixed", total_patterns=8,
+                          min_support=0.25, seed=0)
+        assert run.combined_error > 0
+        assert len(run.per_cluster_errors) == len(partitions)
+
+    def test_naive_mixture_error_helpers(self, partitioned):
+        partitions, outcomes = partitioned
+        assert naive_mixture_mtv_error(partitions) > 0
+        assert naive_mixture_laserlight_error(partitions, outcomes) >= 0

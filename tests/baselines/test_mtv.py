@@ -1,0 +1,111 @@
+"""Tests for the MTV reimplementation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mtv import (
+    MTV,
+    MTV_PATTERN_LIMIT,
+    mtv_error,
+    naive_mtv_error,
+)
+from repro.core.log import QueryLog
+from repro.core.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def itemset_log():
+    """Features 0,1,2 co-occur as a block; 3,4 independent."""
+    rng = np.random.default_rng(3)
+    n = 300
+    block = (rng.random(n) < 0.5).astype(np.uint8)
+    matrix = np.stack(
+        [
+            block,
+            block,
+            block,
+            (rng.random(n) < 0.3).astype(np.uint8),
+            (rng.random(n) < 0.7).astype(np.uint8),
+        ],
+        axis=1,
+    )
+    unique, counts = np.unique(matrix, axis=0, return_counts=True)
+    return QueryLog(Vocabulary(range(5)), unique, counts)
+
+
+class TestMtv:
+    def test_error_history_monotone(self, itemset_log):
+        summary = MTV(n_patterns=3, min_support=0.1, seed=0).fit(itemset_log)
+        assert all(
+            b <= a + 1e-9 for a, b in zip(summary.history, summary.history[1:])
+        )
+
+    def test_finds_the_block(self, itemset_log):
+        summary = MTV(n_patterns=3, min_support=0.1, seed=0).fit(itemset_log)
+        covered = set()
+        for pattern in summary.patterns:
+            covered |= pattern.indices
+        assert {0, 1, 2} <= covered
+
+    def test_improves_on_empty_model(self, itemset_log):
+        from repro.baselines.mtv import _bic_error
+        from repro.core.maxent import fit_pattern_encoding
+        from repro.core.encoding import PatternEncoding
+
+        empty_entropy = fit_pattern_encoding(
+            PatternEncoding(itemset_log.n_features)
+        ).entropy()
+        empty_error = _bic_error(itemset_log, empty_entropy, 0)
+        summary = MTV(n_patterns=3, min_support=0.1, seed=0).fit(itemset_log)
+        assert summary.error < empty_error
+
+    def test_pattern_limit_enforced(self):
+        with pytest.raises(ValueError):
+            MTV(n_patterns=MTV_PATTERN_LIMIT + 1)
+
+    def test_limit_can_be_lifted(self):
+        model = MTV(n_patterns=MTV_PATTERN_LIMIT + 1, enforce_limit=False)
+        assert model.n_patterns == MTV_PATTERN_LIMIT + 1
+
+    def test_error_helper_consistent(self, itemset_log):
+        summary = MTV(n_patterns=2, min_support=0.1, seed=0).fit(itemset_log)
+        assert mtv_error(itemset_log, summary) == pytest.approx(summary.error)
+
+    def test_verbosity_bounded(self, itemset_log):
+        summary = MTV(n_patterns=3, min_support=0.1, seed=0).fit(itemset_log)
+        assert summary.verbosity <= 3
+
+    def test_fit_seconds_recorded(self, itemset_log):
+        summary = MTV(n_patterns=1, min_support=0.1, seed=0).fit(itemset_log)
+        assert summary.fit_seconds > 0
+
+
+class TestNaiveMtvError:
+    def test_formula(self):
+        vocab = Vocabulary(["a", "b"])
+        matrix = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        log = QueryLog(vocab, matrix, [5, 5])
+        # H = h(.5)+h(.5) = 2 bits; verbosity 2; penalty = log2(10)
+        expected = 10 * 2.0 + 0.5 * 2 * np.log2(10)
+        assert naive_mtv_error(log) == pytest.approx(expected)
+
+    def test_naive_beats_mtv_on_sparse_data(self):
+        """§8.1.2: the naive encoding outperforms classical MTV because
+        MTV's model leaves most features unconstrained (~1 bit each).
+
+        This requires a high-dimensional space — with few features MTV's
+        handful of patterns can cover everything and win, so we build a
+        25-feature log with many rare features MTV cannot afford to
+        model.
+        """
+        rng = np.random.default_rng(4)
+        n = 400
+        block = (rng.random(n) < 0.5).astype(np.uint8)
+        rare = (rng.random((n, 22)) < 0.08).astype(np.uint8)
+        matrix = np.concatenate(
+            [block[:, None], block[:, None], block[:, None], rare], axis=1
+        )
+        unique, counts = np.unique(matrix, axis=0, return_counts=True)
+        log = QueryLog(Vocabulary(range(25)), unique, counts)
+        summary = MTV(n_patterns=3, min_support=0.1, seed=0).fit(log)
+        assert naive_mtv_error(log) < summary.error

@@ -1,0 +1,52 @@
+"""Tests for the uniform-sampling baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sampling import sample_log
+from repro.core.pattern import Pattern
+
+
+class TestSampling:
+    def test_sample_size(self, random_log):
+        sampled = sample_log(random_log, 40, seed=0)
+        assert sampled.sample.total == 40
+        assert sampled.source_total == random_log.total
+
+    def test_scale(self, random_log):
+        sampled = sample_log(random_log, 50, seed=0)
+        assert sampled.scale == pytest.approx(random_log.total / 50)
+
+    def test_frequent_pattern_estimated_well(self, random_log):
+        marginals = random_log.feature_marginals()
+        top = Pattern([int(np.argmax(marginals))])
+        sampled = sample_log(random_log, 2_000, seed=1)
+        true_marginal = random_log.pattern_marginal(top)
+        assert sampled.estimate_marginal(top) == pytest.approx(true_marginal, abs=0.05)
+
+    def test_rare_pattern_lost_in_small_sample(self):
+        """The §1 motivation: rare queries vanish from samples."""
+        from repro.core.log import QueryLog
+        from repro.core.vocabulary import Vocabulary
+
+        vocab = Vocabulary(range(3))
+        matrix = np.array([[1, 0, 0], [0, 1, 1]], dtype=np.uint8)
+        log = QueryLog(vocab, matrix, [9990, 10])  # 0.1% rare query
+        rare = Pattern([1, 2])
+        sampled = sample_log(log, 20, seed=3)
+        # with 20 samples the rare query is almost surely absent
+        assert sampled.estimate_count(rare) == 0.0
+        assert log.pattern_count(rare) == 10
+
+    def test_invalid_size(self, random_log):
+        with pytest.raises(ValueError):
+            sample_log(random_log, 0)
+
+    def test_verbosity_counts_stored_features(self, random_log):
+        sampled = sample_log(random_log, 30, seed=0)
+        assert sampled.verbosity == int(sampled.sample.matrix.sum())
+
+    def test_deterministic(self, random_log):
+        a = sample_log(random_log, 25, seed=5)
+        b = sample_log(random_log, 25, seed=5)
+        assert a.sample == b.sample

@@ -1,0 +1,81 @@
+"""Property-based tests for the clustering substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.cluster.distance import pairwise_from_metric
+from repro.cluster.hierarchical import AgglomerativeClustering
+from repro.cluster.kmeans import KMeans
+
+
+@st.composite
+def binary_matrices(draw, max_rows=16, max_cols=8):
+    n_rows = draw(st.integers(2, max_rows))
+    n_cols = draw(st.integers(2, max_cols))
+    rows = draw(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=n_cols, max_size=n_cols),
+            min_size=n_rows,
+            max_size=n_rows,
+        )
+    )
+    return np.asarray(rows, dtype=float)
+
+
+@settings(max_examples=40, deadline=None)
+@given(binary_matrices(), st.integers(1, 5))
+def test_kmeans_labels_well_formed(X, k):
+    result = KMeans(k, seed=0, n_init=2).fit(X)
+    assert result.labels.shape == (X.shape[0],)
+    assert result.labels.min() >= 0
+    assert result.labels.max() < min(k, X.shape[0])
+    assert result.inertia >= -1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(binary_matrices())
+def test_kmeans_inertia_nonincreasing_in_k(X):
+    inertias = [
+        KMeans(k, seed=0, n_init=4).fit(X).inertia for k in (1, 2, min(4, len(X)))
+    ]
+    assert inertias[0] >= inertias[1] - 1e-6
+    assert inertias[1] >= inertias[2] - 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(binary_matrices(max_rows=12))
+def test_hierarchical_cut_partitions(X):
+    dendrogram = AgglomerativeClustering("average", "hamming").fit(X)
+    n = X.shape[0]
+    for k in (1, max(1, n // 2), n):
+        labels = dendrogram.cut(k)
+        assert len(np.unique(labels)) == k
+
+
+@settings(max_examples=30, deadline=None)
+@given(binary_matrices(max_rows=12))
+def test_hierarchical_refinement_is_nested(X):
+    dendrogram = AgglomerativeClustering("complete", "manhattan").fit(X)
+    n = X.shape[0]
+    for k in range(1, n):
+        coarse = dendrogram.cut(k)
+        fine = dendrogram.cut(k + 1)
+        for label in np.unique(fine):
+            assert len(np.unique(coarse[fine == label])) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(binary_matrices(), st.sampled_from(["euclidean", "manhattan", "hamming"]))
+def test_pairwise_metric_axioms_matrixwise(X, metric):
+    D = pairwise_from_metric(X, metric)
+    assert np.allclose(D, D.T, atol=1e-9)
+    assert np.allclose(np.diag(D), 0.0, atol=1e-9)
+    assert (D >= -1e-9).all()
+    # identical rows have zero distance
+    for i in range(X.shape[0]):
+        for j in range(X.shape[0]):
+            if np.array_equal(X[i], X[j]):
+                assert D[i, j] < 1e-9

@@ -1,0 +1,118 @@
+"""Tests for distance measures, including hypothesis metric axioms."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.cluster.distance import (
+    METRICS,
+    canberra,
+    chebyshev,
+    euclidean,
+    hamming,
+    manhattan,
+    minkowski,
+    pairwise,
+    pairwise_from_metric,
+)
+
+_vectors = st.lists(
+    st.integers(min_value=0, max_value=1), min_size=6, max_size=6
+).map(lambda xs: np.array(xs, dtype=float))
+
+
+class TestKnownValues:
+    X = np.array([1, 0, 1, 0], dtype=float)
+    Y = np.array([0, 0, 1, 1], dtype=float)
+
+    def test_euclidean(self):
+        assert euclidean(self.X, self.Y) == pytest.approx(np.sqrt(2))
+
+    def test_manhattan(self):
+        assert manhattan(self.X, self.Y) == 2.0
+
+    def test_minkowski_p4(self):
+        assert minkowski(self.X, self.Y, p=4) == pytest.approx(2 ** 0.25)
+
+    def test_minkowski_p1_equals_manhattan(self):
+        assert minkowski(self.X, self.Y, p=1) == manhattan(self.X, self.Y)
+
+    def test_hamming_is_normalized(self):
+        assert hamming(self.X, self.Y) == 0.5
+
+    def test_chebyshev(self):
+        assert chebyshev(self.X, self.Y) == 1.0
+
+    def test_canberra(self):
+        assert canberra(self.X, self.Y) == pytest.approx(2.0)
+
+    def test_hamming_paper_formula(self):
+        # count(x!=y) / (count(x!=y) + count(x==y)) == mismatches / n
+        x = np.array([1, 1, 0, 0, 1])
+        y = np.array([1, 0, 0, 1, 1])
+        mismatches = 2
+        assert hamming(x, y) == mismatches / 5
+
+    def test_invalid_minkowski_order(self):
+        with pytest.raises(ValueError):
+            minkowski(self.X, self.Y, p=0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming(np.array([1]), np.array([1, 0]))
+
+
+class TestMetricAxioms:
+    @pytest.mark.parametrize("name", sorted(METRICS))
+    @settings(max_examples=50, deadline=None)
+    @given(x=_vectors, y=_vectors)
+    def test_symmetry_and_identity(self, name, x, y):
+        metric = METRICS[name]
+        assert metric(x, y) == pytest.approx(metric(y, x))
+        assert metric(x, x) == pytest.approx(0.0)
+        assert metric(x, y) >= 0.0
+
+    @pytest.mark.parametrize("name", ["euclidean", "manhattan", "hamming", "chebyshev"])
+    @settings(max_examples=50, deadline=None)
+    @given(x=_vectors, y=_vectors, z=_vectors)
+    def test_triangle_inequality(self, name, x, y, z):
+        metric = METRICS[name]
+        assert metric(x, z) <= metric(x, y) + metric(y, z) + 1e-9
+
+
+class TestPairwise:
+    @pytest.mark.parametrize("name", sorted(METRICS))
+    def test_matches_elementwise(self, name):
+        rng = np.random.default_rng(0)
+        X = (rng.random((7, 5)) < 0.5).astype(float)
+        Y = (rng.random((4, 5)) < 0.5).astype(float)
+        matrix = pairwise(X, Y, metric=name)
+        for i in range(7):
+            for j in range(4):
+                expected = METRICS[name](X[i], Y[j])
+                assert matrix[i, j] == pytest.approx(expected, abs=1e-9)
+
+    def test_symmetric_with_zero_diagonal(self):
+        rng = np.random.default_rng(1)
+        X = (rng.random((6, 4)) < 0.5).astype(float)
+        matrix = pairwise_from_metric(X, "hamming")
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            pairwise(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            pairwise(np.zeros((2, 3)), metric="cosine")
+
+    def test_blocked_reduction_matches_direct(self):
+        """Exercise the block loop with a matrix big enough to split."""
+        rng = np.random.default_rng(2)
+        X = rng.random((300, 40))
+        big = pairwise(X, metric="manhattan")
+        for i in (0, 150, 299):
+            assert big[i, i] == pytest.approx(0.0)
+            assert big[0, i] == pytest.approx(manhattan(X[0], X[i]), rel=1e-9)

@@ -1,0 +1,92 @@
+"""Tests for agglomerative hierarchical clustering."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.hierarchical import AgglomerativeClustering, hierarchical_fit
+
+
+def blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0, 0.2, size=(15, 3))
+    b = rng.normal(4, 0.2, size=(15, 3))
+    return np.vstack([a, b])
+
+
+class TestDendrogram:
+    def test_merge_count(self):
+        X = blobs()
+        dendrogram = AgglomerativeClustering("average", "euclidean").fit(X)
+        assert dendrogram.n_leaves == 30
+        assert len(dendrogram.merges) == 29
+
+    def test_cut_extremes(self):
+        X = blobs()
+        dendrogram = AgglomerativeClustering("average", "euclidean").fit(X)
+        assert len(np.unique(dendrogram.cut(1))) == 1
+        assert len(np.unique(dendrogram.cut(30))) == 30
+
+    def test_cut_out_of_range(self):
+        dendrogram = AgglomerativeClustering().fit(np.eye(4))
+        with pytest.raises(ValueError):
+            dendrogram.cut(0)
+        with pytest.raises(ValueError):
+            dendrogram.cut(5)
+
+    def test_monotone_refinement(self):
+        """Cutting at K+1 only splits one cluster of the K-cut (§6.1)."""
+        X = blobs()
+        dendrogram = AgglomerativeClustering("average", "euclidean").fit(X)
+        for k in range(1, 8):
+            coarse = dendrogram.cut(k)
+            fine = dendrogram.cut(k + 1)
+            # every fine cluster maps into exactly one coarse cluster
+            for label in np.unique(fine):
+                parents = np.unique(coarse[fine == label])
+                assert len(parents) == 1
+
+    def test_merge_heights_nondecreasing_average(self):
+        """Average linkage on a metric yields monotone merge heights."""
+        X = blobs()
+        dendrogram = AgglomerativeClustering("average", "euclidean").fit(X)
+        heights = [h for _, _, h, _ in dendrogram.merges]
+        assert all(b >= a - 1e-9 for a, b in zip(heights, heights[1:]))
+
+
+class TestLinkages:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average", "weighted"])
+    def test_blobs_separate(self, linkage):
+        X = blobs()
+        labels = hierarchical_fit(X, 2, linkage=linkage, metric="euclidean")
+        assert len(set(labels[:15])) == 1
+        assert len(set(labels[15:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_ward_on_euclidean(self):
+        X = blobs()
+        labels = hierarchical_fit(X, 2, linkage="ward", metric="euclidean")
+        assert labels[0] != labels[-1]
+
+    def test_ward_requires_euclidean(self):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering("ward", "hamming")
+
+    def test_unknown_linkage(self):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering("centroid")
+
+    def test_empty_input(self):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering().fit(np.zeros((0, 2)))
+
+    def test_hamming_metric_on_binary(self):
+        rng = np.random.default_rng(1)
+        a = np.tile([1, 1, 0, 0, 0, 0], (10, 1)).astype(float)
+        b = np.tile([0, 0, 0, 0, 1, 1], (10, 1)).astype(float)
+        X = np.vstack([a, b]) + 0.0
+        labels = hierarchical_fit(X, 2, metric="hamming")
+        assert labels[0] != labels[-1]
+
+    def test_single_point(self):
+        labels = hierarchical_fit(np.zeros((1, 2)), 1)
+        assert labels.tolist() == [0]

@@ -1,0 +1,108 @@
+"""Tests for weighted KMeans."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import KMeans, kmeans_fit
+
+
+def two_blobs(n=30, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 0.3, size=(n, 4))
+    b = rng.normal(5.0, 0.3, size=(n, 4))
+    return np.vstack([a, b])
+
+
+class TestBasics:
+    def test_separates_two_blobs(self):
+        X = two_blobs()
+        result = KMeans(2, seed=0).fit(X)
+        labels = result.labels
+        assert len(set(labels[:30])) == 1
+        assert len(set(labels[30:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_inertia_decreases_with_k(self):
+        X = two_blobs()
+        inertias = [KMeans(k, seed=0, n_init=5).fit(X).inertia for k in (1, 2, 4)]
+        assert inertias[0] > inertias[1] >= inertias[2]
+
+    def test_k_equals_n_gives_zero_inertia(self):
+        X = np.arange(12, dtype=float).reshape(4, 3)
+        result = KMeans(4, seed=0).fit(X)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_k_larger_than_n_is_clamped(self):
+        X = np.eye(3)
+        result = KMeans(10, seed=0).fit(X)
+        assert result.centers.shape[0] == 3
+
+    def test_predict_matches_fit_labels(self):
+        X = two_blobs()
+        model = KMeans(2, seed=0)
+        result = model.fit(X)
+        assert np.array_equal(model.predict(X), result.labels)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.zeros((2, 2)))
+
+    def test_deterministic_given_seed(self):
+        X = two_blobs()
+        a = KMeans(3, seed=42).fit(X)
+        b = KMeans(3, seed=42).fit(X)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_convergence_flag(self):
+        result = KMeans(2, seed=0).fit(two_blobs())
+        assert result.converged
+        assert result.n_iter >= 1
+
+
+class TestWeights:
+    def test_weights_shift_centers(self):
+        # Two points; weight one of them heavily -> single center near it.
+        X = np.array([[0.0], [10.0]])
+        heavy = KMeans(1, seed=0).fit(X, sample_weight=np.array([99.0, 1.0]))
+        assert heavy.centers[0, 0] == pytest.approx(0.1, abs=1e-9)
+
+    def test_weight_equivalent_to_duplication(self):
+        rng = np.random.default_rng(3)
+        X = rng.random((10, 3))
+        weights = rng.integers(1, 4, size=10).astype(float)
+        expanded = np.repeat(X, weights.astype(int), axis=0)
+        a = KMeans(3, seed=5, n_init=10).fit(X, sample_weight=weights)
+        b = KMeans(3, seed=5, n_init=10).fit(expanded)
+        assert a.inertia == pytest.approx(b.inertia, rel=1e-6)
+
+    def test_invalid_weights(self):
+        X = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            KMeans(2).fit(X, sample_weight=np.array([1.0, -1.0, 1.0]))
+        with pytest.raises(ValueError):
+            KMeans(2).fit(X, sample_weight=np.zeros(3))
+        with pytest.raises(ValueError):
+            KMeans(2).fit(X, sample_weight=np.ones(2))
+
+
+class TestValidation:
+    def test_empty_matrix_raises(self):
+        with pytest.raises(ValueError):
+            KMeans(2).fit(np.zeros((0, 3)))
+
+    def test_bad_k_raises(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+
+    def test_1d_input_raises(self):
+        with pytest.raises(ValueError):
+            KMeans(2).fit(np.zeros(5))
+
+    def test_functional_wrapper(self):
+        result = kmeans_fit(two_blobs(), 2, seed=0)
+        assert result.centers.shape == (2, 4)
+
+    def test_identical_points(self):
+        X = np.ones((8, 3))
+        result = KMeans(3, seed=0).fit(X)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)

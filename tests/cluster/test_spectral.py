@@ -1,0 +1,63 @@
+"""Tests for spectral clustering."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spectral import SpectralClustering, spectral_fit
+
+
+def binary_blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    a = (rng.random((25, 10)) < 0.08).astype(float)
+    a[:, :3] = 1.0
+    b = (rng.random((25, 10)) < 0.08).astype(float)
+    b[:, 7:] = 1.0
+    return np.vstack([a, b])
+
+
+class TestSpectral:
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan", "minkowski", "hamming"])
+    def test_separates_blobs_under_every_metric(self, metric):
+        X = binary_blobs()
+        labels = spectral_fit(X, 2, metric=metric, seed=1, n_init=5).labels
+        assert len(set(labels[:25])) == 1
+        assert len(set(labels[25:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_embedding_shape(self):
+        X = binary_blobs()
+        result = SpectralClustering(3, metric="hamming", seed=0).fit(X)
+        assert result.embedding.shape == (50, 3)
+        assert result.affinity.shape == (50, 50)
+
+    def test_affinity_in_unit_interval(self):
+        X = binary_blobs()
+        result = SpectralClustering(2, seed=0).fit(X)
+        assert (result.affinity >= 0).all()
+        assert (result.affinity <= 1 + 1e-12).all()
+        assert np.allclose(np.diag(result.affinity), 1.0)
+
+    def test_explicit_gamma(self):
+        X = binary_blobs()
+        labels = SpectralClustering(2, gamma=0.5, seed=0).fit(X).labels
+        assert len(np.unique(labels)) == 2
+
+    def test_k_clamped_to_n(self):
+        X = np.eye(3)
+        result = SpectralClustering(10, seed=0).fit(X)
+        assert len(np.unique(result.labels)) <= 3
+
+    def test_identical_points_single_cluster(self):
+        X = np.ones((6, 4))
+        labels = SpectralClustering(2, seed=0).fit(X).labels
+        assert labels.shape == (6,)
+
+    def test_deterministic_given_seed(self):
+        X = binary_blobs()
+        a = spectral_fit(X, 3, seed=9).labels
+        b = spectral_fit(X, 3, seed=9).labels
+        assert np.array_equal(a, b)
+
+    def test_bad_k_raises(self):
+        with pytest.raises(ValueError):
+            SpectralClustering(0)

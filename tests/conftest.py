@@ -1,0 +1,88 @@
+"""Shared fixtures: toy logs from the paper's worked examples."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.log import QueryLog
+from repro.core.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def example2_log() -> QueryLog:
+    """The four-query log of the paper's Example 2/3.
+
+    Features (paper order): (1) <_id, SELECT>, (2) <_time, SELECT>,
+    (3) <sms_type, SELECT>, (4) <status=?, WHERE>, (5) <sms_type=?, WHERE>,
+    (6) <Messages, FROM>.  q1 = q3, so the log has 3 distinct rows.
+    """
+    vocab = Vocabulary(
+        [
+            ("_id", "SELECT"),
+            ("_time", "SELECT"),
+            ("sms_type", "SELECT"),
+            ("status=?", "WHERE"),
+            ("sms_type=?", "WHERE"),
+            ("Messages", "FROM"),
+        ]
+    )
+    matrix = np.array(
+        [
+            [1, 0, 0, 1, 0, 1],  # q1 (and q3)
+            [0, 1, 0, 1, 1, 1],  # q2
+            [0, 1, 1, 0, 1, 1],  # q4
+        ],
+        dtype=np.uint8,
+    )
+    counts = np.array([2, 1, 1])
+    return QueryLog(vocab, matrix, counts)
+
+
+@pytest.fixture()
+def example4_log() -> QueryLog:
+    """The three-query toy log of §5.1 (naive mixture example).
+
+    Features: <id, SELECT>, <sms_type, SELECT>, <Messages, FROM>,
+    <status = ?, WHERE>; queries (1,0,1,1), (1,0,1,0), (0,1,1,0).
+    """
+    vocab = Vocabulary(
+        [
+            ("id", "SELECT"),
+            ("sms_type", "SELECT"),
+            ("Messages", "FROM"),
+            ("status = ?", "WHERE"),
+        ]
+    )
+    matrix = np.array(
+        [[1, 0, 1, 1], [1, 0, 1, 0], [0, 1, 1, 0]], dtype=np.uint8
+    )
+    return QueryLog(vocab, matrix, np.array([1, 1, 1]))
+
+
+@pytest.fixture()
+def random_log() -> QueryLog:
+    """A medium random binary log for statistical tests."""
+    rng = np.random.default_rng(7)
+    n_features = 12
+    matrix = (rng.random((60, n_features)) < 0.35).astype(np.uint8)
+    # Deduplicate rows to satisfy the distinct-row invariant.
+    unique, counts = np.unique(matrix, axis=0, return_counts=True)
+    vocab = Vocabulary(range(n_features))
+    return QueryLog(vocab, unique, counts * rng.integers(1, 5, size=len(unique)))
+
+
+@pytest.fixture(scope="session")
+def small_pocketdata_log():
+    """Session-cached small PocketData-like encoded log."""
+    from repro.workloads import generate_pocketdata
+
+    return generate_pocketdata(total=20_000, n_distinct=200, seed=3).to_query_log()
+
+
+@pytest.fixture(scope="session")
+def small_bank_log():
+    """Session-cached small bank-like encoded log."""
+    from repro.workloads import generate_bank
+
+    return generate_bank(total=20_000, n_templates=120, seed=3).to_query_log()

@@ -1,0 +1,125 @@
+"""Tests for the LogR compressor API."""
+
+import numpy as np
+import pytest
+
+from repro.core.compress import (
+    LogRCompressor,
+    compress_sweep,
+    compress_to_error,
+)
+from repro.core.pattern import Pattern
+
+
+class TestCompressor:
+    def test_basic_compression(self, small_pocketdata_log):
+        compressed = LogRCompressor(n_clusters=4, seed=0, n_init=3).compress(
+            small_pocketdata_log
+        )
+        assert compressed.n_clusters == 4
+        assert compressed.error >= 0
+        assert compressed.total_verbosity > 0
+        assert compressed.labels.shape == (small_pocketdata_log.n_distinct,)
+
+    def test_single_cluster(self, small_pocketdata_log):
+        compressed = LogRCompressor(n_clusters=1).compress(small_pocketdata_log)
+        assert len(compressed.mixture.components) == 1
+
+    def test_more_clusters_lower_error(self, small_pocketdata_log):
+        errors = []
+        for k in (1, 4, 12):
+            compressed = LogRCompressor(n_clusters=k, seed=0, n_init=5).compress(
+                small_pocketdata_log
+            )
+            errors.append(compressed.error)
+        assert errors[-1] <= errors[0] + 1e-9
+
+    def test_estimate_count_close_to_truth(self, small_pocketdata_log):
+        compressed = LogRCompressor(n_clusters=10, seed=0, n_init=3).compress(
+            small_pocketdata_log
+        )
+        marginals = small_pocketdata_log.feature_marginals()
+        top = int(np.argmax(marginals))
+        pattern = Pattern([top])
+        true_count = small_pocketdata_log.pattern_count(pattern)
+        estimated = compressed.estimate_count(pattern)
+        assert estimated == pytest.approx(true_count, rel=0.05)
+
+    def test_estimate_by_features(self, small_pocketdata_log):
+        compressed = LogRCompressor(n_clusters=2, seed=0, n_init=2).compress(
+            small_pocketdata_log
+        )
+        feature = small_pocketdata_log.vocabulary.feature(0)
+        count = compressed.estimate_count([feature])
+        assert count >= 0
+
+    def test_refinement_runs(self, example4_log):
+        compressed = LogRCompressor(
+            n_clusters=1, refine_patterns=1, min_support=0.2
+        ).compress(example4_log)
+        assert compressed.refined_patterns == 1
+        # refined error no worse than the plain naive encoding
+        plain = LogRCompressor(n_clusters=1).compress(example4_log)
+        assert compressed.error <= plain.error + 1e-9
+
+    def test_compression_report(self, small_pocketdata_log):
+        compressed = LogRCompressor(n_clusters=4, seed=0, n_init=2).compress(
+            small_pocketdata_log
+        )
+        raw_bytes = 10_000_000
+        report = compressed.compression_report(raw_bytes)
+        assert report["artifact_bytes"] == compressed.size_bytes()
+        assert report["compression_ratio"] == pytest.approx(
+            raw_bytes / compressed.size_bytes()
+        )
+        assert report["error_bits"] == pytest.approx(compressed.error)
+
+    def test_serialization_roundtrip(self, small_pocketdata_log):
+        from repro.core.mixture import PatternMixtureEncoding
+
+        compressed = LogRCompressor(n_clusters=3, seed=0, n_init=2).compress(
+            small_pocketdata_log
+        )
+        restored = PatternMixtureEncoding.from_json(compressed.to_json())
+        assert restored.total_verbosity == compressed.total_verbosity
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            LogRCompressor(n_clusters=0)
+
+    @pytest.mark.parametrize(
+        "method,metric",
+        [("spectral", "hamming"), ("hierarchical", "hamming")],
+    )
+    def test_alternative_methods(self, example4_log, method, metric):
+        compressed = LogRCompressor(
+            n_clusters=2, method=method, metric=metric, seed=0, n_init=2
+        ).compress(example4_log)
+        assert compressed.error >= 0
+
+
+class TestSweep:
+    def test_sweep_points(self, small_pocketdata_log):
+        points = compress_sweep(small_pocketdata_log, [1, 3, 6], seed=0, n_init=2)
+        assert [p.n_clusters for p in points] == [1, 3, 6]
+        assert all(p.seconds >= 0 for p in points)
+        # verbosity grows (weakly) with K
+        assert points[-1].verbosity >= points[0].verbosity
+
+    def test_error_trend(self, small_pocketdata_log):
+        points = compress_sweep(small_pocketdata_log, [1, 8], seed=0, n_init=4)
+        assert points[1].error <= points[0].error + 1e-9
+
+
+class TestCompressToError:
+    def test_meets_target(self, small_pocketdata_log):
+        base = LogRCompressor(n_clusters=1).compress(small_pocketdata_log)
+        target = base.error / 2
+        compressed = compress_to_error(
+            small_pocketdata_log, target, max_clusters=64, seed=0
+        )
+        assert compressed.error <= target or compressed.n_clusters == 64
+
+    def test_trivial_target(self, small_pocketdata_log):
+        compressed = compress_to_error(small_pocketdata_log, 1e9, seed=0)
+        assert compressed.n_clusters == 1

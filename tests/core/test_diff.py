@@ -1,0 +1,112 @@
+"""Tests for workload drift analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.diff import (
+    blended_marginals,
+    feature_drift,
+    mixture_divergence,
+)
+from repro.core.log import QueryLog
+from repro.core.mixture import PatternMixtureEncoding
+from repro.core.vocabulary import Vocabulary
+
+
+def make_log(rows, counts, vocab=None):
+    matrix = np.asarray(rows, dtype=np.uint8)
+    vocab = vocab or Vocabulary(range(matrix.shape[1]))
+    return QueryLog(vocab, matrix, counts)
+
+
+class TestBlendedMarginals:
+    def test_matches_log_marginals(self, random_log):
+        labels = np.arange(random_log.n_distinct) % 3
+        mixture = PatternMixtureEncoding.from_partitions(random_log.partition(labels))
+        blended = blended_marginals(mixture)
+        assert np.allclose(blended, random_log.feature_marginals())
+
+    def test_single_component(self, example4_log):
+        mixture = PatternMixtureEncoding.from_log(example4_log)
+        assert np.allclose(
+            blended_marginals(mixture), example4_log.feature_marginals()
+        )
+
+
+class TestDivergence:
+    def test_self_divergence_zero(self, random_log):
+        a = PatternMixtureEncoding.from_log(random_log)
+        labels = np.arange(random_log.n_distinct) % 4
+        b = PatternMixtureEncoding.from_partitions(
+            random_log.partition(labels), random_log.vocabulary
+        )
+        # different partitionings of the same log have the same blended
+        # feature marginals -> zero divergence
+        assert mixture_divergence(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetry(self):
+        log_a = make_log([[1, 0], [0, 1]], [3, 1])
+        log_b = make_log([[1, 0], [0, 1]], [1, 3])
+        a = PatternMixtureEncoding.from_log(log_a)
+        b = PatternMixtureEncoding.from_log(log_b)
+        assert mixture_divergence(a, b) == pytest.approx(mixture_divergence(b, a))
+
+    def test_positive_on_disagreement(self):
+        log_a = make_log([[1, 0]], [1])
+        log_b = make_log([[0, 1]], [1])
+        a = PatternMixtureEncoding.from_log(log_a)
+        b = PatternMixtureEncoding.from_log(log_b)
+        # completely flipped marginals: 1 bit JSD per feature
+        assert mixture_divergence(a, b) == pytest.approx(2.0)
+
+    def test_alignment_by_feature_identity(self):
+        """Grown codebooks align by feature, not position."""
+        vocab_a = Vocabulary(["x", "y"])
+        vocab_b = Vocabulary(["y", "x", "z"])
+        log_a = QueryLog(vocab_a, np.array([[1, 1]], dtype=np.uint8), [1])
+        log_b = QueryLog(vocab_b, np.array([[1, 1, 0]], dtype=np.uint8), [1])
+        a = PatternMixtureEncoding.from_log(log_a)
+        b = PatternMixtureEncoding.from_log(log_b)
+        assert mixture_divergence(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shape_mismatch_without_vocab(self):
+        a = PatternMixtureEncoding.from_log(make_log([[1, 0]], [1]))
+        b = PatternMixtureEncoding.from_log(make_log([[1, 0, 0]], [1]))
+        a.vocabulary = None
+        b.vocabulary = None
+        with pytest.raises(ValueError):
+            mixture_divergence(a, b)
+
+
+class TestFeatureDrift:
+    def test_identifies_changed_feature(self):
+        vocab = Vocabulary(["stable", "drifting"])
+        log_a = QueryLog(vocab, np.array([[1, 1], [1, 0]], dtype=np.uint8), [5, 5])
+        log_b = QueryLog(vocab, np.array([[1, 1], [1, 0]], dtype=np.uint8), [9, 1])
+        a = PatternMixtureEncoding.from_log(log_a)
+        b = PatternMixtureEncoding.from_log(log_b)
+        drifts = feature_drift(a, b, top_k=5)
+        assert drifts
+        assert drifts[0].feature == "drifting"
+        assert drifts[0].direction == "up"
+
+    def test_top_k_and_threshold(self, random_log):
+        a = PatternMixtureEncoding.from_log(random_log)
+        drifts = feature_drift(a, a, top_k=5)
+        assert drifts == []  # no drift vs self
+
+    def test_requires_vocabulary(self, random_log):
+        a = PatternMixtureEncoding.from_log(random_log)
+        b = PatternMixtureEncoding.from_log(random_log)
+        a.vocabulary = None
+        with pytest.raises(ValueError):
+            feature_drift(a, b)
+
+    def test_direction_labels(self):
+        vocab = Vocabulary(["up_f", "down_f"])
+        log_a = QueryLog(vocab, np.array([[0, 1]], dtype=np.uint8), [1])
+        log_b = QueryLog(vocab, np.array([[1, 0]], dtype=np.uint8), [1])
+        a = PatternMixtureEncoding.from_log(log_a)
+        b = PatternMixtureEncoding.from_log(log_b)
+        directions = {d.feature: d.direction for d in feature_drift(a, b, top_k=4)}
+        assert directions == {"up_f": "up", "down_f": "down"}

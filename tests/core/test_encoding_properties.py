@@ -1,0 +1,110 @@
+"""Property-based tests for encodings (hypothesis)."""
+
+from __future__ import annotations
+
+import itertools
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.encoding import NaiveEncoding, PatternEncoding
+from repro.core.pattern import Pattern
+
+_marginal_vectors = st.lists(
+    st.floats(0.0, 1.0), min_size=2, max_size=8
+).map(lambda xs: np.asarray(xs))
+
+
+@settings(max_examples=80, deadline=None)
+@given(_marginal_vectors)
+def test_point_probabilities_sum_to_one(marginals):
+    """The naive maxent distribution is a proper distribution."""
+    encoding = NaiveEncoding(marginals)
+    n = len(marginals)
+    total = 0.0
+    for bits in itertools.product([0, 1], repeat=n):
+        total += encoding.point_probability(np.asarray(bits))
+    assert abs(total - 1.0) < 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(_marginal_vectors, st.data())
+def test_pattern_probability_bounded_by_min_marginal(marginals, data):
+    """p(Q ⊇ b) ≤ min_i∈b p_i under any distribution; the naive
+    product form respects it."""
+    encoding = NaiveEncoding(marginals)
+    n = len(marginals)
+    indices = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=1, max_size=n, unique=True)
+    )
+    pattern = Pattern(indices)
+    probability = encoding.pattern_probability(pattern)
+    assert probability <= float(marginals[sorted(indices)].min()) + 1e-12
+    assert probability >= -1e-12
+
+
+@settings(max_examples=80, deadline=None)
+@given(_marginal_vectors, st.data())
+def test_pattern_probability_antitone_in_containment(marginals, data):
+    """b' ⊆ b ⇒ ρ(Q ⊇ b') ≥ ρ(Q ⊇ b)."""
+    encoding = NaiveEncoding(marginals)
+    n = len(marginals)
+    big = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=1, max_size=n, unique=True)
+    )
+    small = data.draw(st.lists(st.sampled_from(big), min_size=1, unique=True))
+    assert encoding.pattern_probability(Pattern(small)) >= (
+        encoding.pattern_probability(Pattern(big)) - 1e-12
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(_marginal_vectors)
+def test_maxent_entropy_matches_point_enumeration(marginals):
+    """Σ h(p_i) equals the entropy of the enumerated joint."""
+    encoding = NaiveEncoding(marginals)
+    n = len(marginals)
+    entropy = 0.0
+    for bits in itertools.product([0, 1], repeat=n):
+        p = encoding.point_probability(np.asarray(bits))
+        if p > 0:
+            entropy -= p * np.log2(p)
+    assert abs(entropy - encoding.maxent_entropy()) < 1e-8
+
+
+@settings(max_examples=80, deadline=None)
+@given(_marginal_vectors)
+def test_marginals_recovered_from_point_probabilities(marginals):
+    """Summing point probabilities over the halfspace X_i = 1 recovers
+    each encoded marginal (the bi-directionality of the codebook)."""
+    encoding = NaiveEncoding(marginals)
+    n = len(marginals)
+    recovered = np.zeros(n)
+    for bits in itertools.product([0, 1], repeat=n):
+        p = encoding.point_probability(np.asarray(bits))
+        for i, bit in enumerate(bits):
+            if bit:
+                recovered[i] += p
+    assert np.allclose(recovered, np.clip(marginals, 0, 1), atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_pattern_encoding_subset_is_partial_order(data):
+    """subset_of is reflexive, antisymmetric (on equal verbosity),
+    and transitive over random encodings."""
+    n = 5
+    pool = [Pattern(c) for c in itertools.combinations(range(n), 2)]
+    def enc():
+        chosen = data.draw(
+            st.lists(st.sampled_from(pool), min_size=0, max_size=4, unique=True)
+        )
+        return PatternEncoding(n, {p: 0.25 for p in chosen})
+
+    e1, e2, e3 = enc(), enc(), enc()
+    assert e1.subset_of(e1)
+    if e1.subset_of(e2) and e2.subset_of(e3):
+        assert e1.subset_of(e3)
+    if e1.subset_of(e2) and e2.subset_of(e1):
+        assert set(e1.patterns()) == set(e2.patterns())

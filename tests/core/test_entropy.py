@@ -1,0 +1,89 @@
+"""Tests for entropy and divergence primitives."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.entropy import (
+    bernoulli_entropy,
+    entropy,
+    independent_entropy,
+    kl_divergence,
+)
+
+
+class TestEntropy:
+    def test_uniform(self):
+        assert entropy(np.full(8, 1 / 8)) == pytest.approx(3.0)
+
+    def test_deterministic_is_zero(self):
+        assert entropy(np.array([1.0, 0.0, 0.0])) == 0.0
+
+    def test_empty_is_zero(self):
+        assert entropy(np.array([])) == 0.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            entropy(np.array([-0.1, 1.1]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0.01, 1.0), min_size=2, max_size=16))
+    def test_bounds(self, weights):
+        p = np.asarray(weights)
+        p /= p.sum()
+        h = entropy(p)
+        assert -1e-9 <= h <= np.log2(len(p)) + 1e-9
+
+
+class TestBernoulli:
+    def test_extremes(self):
+        assert bernoulli_entropy(0.0) == 0.0
+        assert bernoulli_entropy(1.0) == 0.0
+
+    def test_half_is_one_bit(self):
+        assert bernoulli_entropy(0.5) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        assert bernoulli_entropy(0.2) == pytest.approx(bernoulli_entropy(0.8))
+
+    def test_vectorized(self):
+        out = bernoulli_entropy(np.array([0.0, 0.5, 1.0]))
+        assert out.tolist() == pytest.approx([0.0, 1.0, 0.0])
+
+    def test_independent_entropy_sums(self):
+        marginals = np.array([0.5, 0.5, 0.0, 1.0])
+        assert independent_entropy(marginals) == pytest.approx(2.0)
+
+
+class TestKl:
+    def test_zero_on_identical(self):
+        p = np.array([0.25, 0.75])
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([0.25, 0.75])
+        expected = 0.5 * np.log2(2) + 0.5 * np.log2(0.5 / 0.75)
+        assert kl_divergence(p, q) == pytest.approx(expected)
+
+    def test_absolute_continuity_violation_is_inf(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([1.0, 0.0])
+        assert kl_divergence(p, q) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kl_divergence(np.array([1.0]), np.array([0.5, 0.5]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(0.01, 1.0), min_size=3, max_size=3),
+        st.lists(st.floats(0.01, 1.0), min_size=3, max_size=3),
+    )
+    def test_nonnegativity(self, ws, vs):
+        p = np.asarray(ws)
+        p /= p.sum()
+        q = np.asarray(vs)
+        q /= q.sum()
+        assert kl_divergence(p, q) >= -1e-9

@@ -1,0 +1,100 @@
+"""Tests for synthesis error and marginal deviation (§6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import NaiveEncoding
+from repro.core.estimate import (
+    estimation_quality,
+    marginal_deviation,
+    synthesis_error,
+    synthesize_patterns,
+)
+
+
+class TestSynthesize:
+    def test_pattern_count(self, example4_log):
+        encoding = NaiveEncoding.from_log(example4_log)
+        patterns = synthesize_patterns(encoding, 50, seed=0)
+        assert len(patterns) == 50
+
+    def test_certain_features_always_present(self, example4_log):
+        encoding = NaiveEncoding.from_log(example4_log)  # feature 2 has p=1
+        for pattern in synthesize_patterns(encoding, 30, seed=1):
+            assert 2 in pattern
+
+    def test_zero_marginal_features_never_present(self):
+        encoding = NaiveEncoding(np.array([1.0, 0.0, 0.5]))
+        for pattern in synthesize_patterns(encoding, 30, seed=2):
+            assert 1 not in pattern
+
+
+class TestSynthesisError:
+    def test_single_query_partition_is_perfect(self):
+        """A partition holding one distinct query synthesizes itself."""
+        from repro.core.log import QueryLog
+        from repro.core.vocabulary import Vocabulary
+
+        log = QueryLog(
+            Vocabulary(range(3)), np.array([[1, 0, 1]], dtype=np.uint8), [4]
+        )
+        assert synthesis_error([log], n_patterns=200, seed=0) == pytest.approx(0.0)
+
+    def test_partitioning_reduces_synthesis_error(self, example4_log):
+        whole = synthesis_error([example4_log], n_patterns=2000, seed=0)
+        parts = example4_log.partition(np.array([0, 0, 1]))
+        split = synthesis_error(parts, n_patterns=2000, seed=0)
+        assert split <= whole + 1e-9
+
+    def test_error_in_unit_interval(self, random_log):
+        error = synthesis_error([random_log], n_patterns=500, seed=1)
+        assert 0.0 <= error <= 1.0
+
+
+class TestMarginalDeviation:
+    def test_zero_for_deterministic_partitions(self, example4_log):
+        parts = example4_log.partition(np.array([0, 0, 1]))
+        # partition 2 is a single query; partition 1 has an independent
+        # feature -> its two queries also estimate exactly.
+        assert marginal_deviation(parts) == pytest.approx(0.0, abs=1e-9)
+
+    def test_partitioning_reduces_deviation(self, example4_log):
+        whole = marginal_deviation([example4_log])
+        parts = example4_log.partition(np.array([0, 0, 1]))
+        assert marginal_deviation(parts) <= whole + 1e-9
+
+    def test_nonnegative(self, random_log):
+        assert marginal_deviation([random_log]) >= 0.0
+
+
+class TestQualityBundle:
+    def test_fields_populated(self, random_log):
+        labels = np.arange(random_log.n_distinct) % 2
+        quality = estimation_quality(
+            random_log.partition(labels), n_patterns=300, seed=0
+        )
+        assert quality.n_clusters == 2
+        assert quality.reproduction_error >= 0
+        assert 0 <= quality.synthesis_error <= 1
+        assert quality.marginal_deviation >= 0
+
+    def test_more_clusters_improves_quality(self, random_log):
+        """Similarity clustering (not arbitrary splitting!) lowers Error.
+
+        An arbitrary partition can *increase* Generalized Error by up to
+        the mixing entropy H(w); the paper's Fig. 2/3 trends assume the
+        partition comes from clustering, so this test clusters.
+        """
+        from repro.cluster import cluster_vectors
+
+        one = estimation_quality([random_log], n_patterns=400, seed=0)
+        labels = cluster_vectors(
+            random_log.matrix.astype(float),
+            6,
+            sample_weight=random_log.counts.astype(float),
+            seed=0,
+            n_init=5,
+        )
+        six = estimation_quality(random_log.partition(labels), n_patterns=400, seed=0)
+        assert six.reproduction_error <= one.reproduction_error + 1e-9
+        assert six.synthesis_error <= one.synthesis_error + 0.05

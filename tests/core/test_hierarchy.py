@@ -1,0 +1,80 @@
+"""Tests for the hierarchical (dendrogram-backed) compressor."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import HierarchicalCompressor
+
+
+@pytest.fixture(scope="module")
+def fitted(small_pocketdata_log):
+    return HierarchicalCompressor(metric="hamming").fit(small_pocketdata_log)
+
+
+class TestCuts:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            HierarchicalCompressor().cut(2)
+
+    def test_cut_component_count(self, fitted):
+        for k in (1, 3, 7):
+            mixture = fitted.cut(k)
+            assert mixture.n_components == k
+
+    def test_k_clamped(self, fitted):
+        mixture = fitted.cut(10**6)
+        assert mixture.n_components == fitted.max_clusters
+
+    def test_monotone_labels(self, fitted):
+        coarse = fitted.labels(3)
+        fine = fitted.labels(4)
+        for label in np.unique(fine):
+            assert len(np.unique(coarse[fine == label])) == 1
+
+    def test_max_cut_has_zero_error(self, fitted):
+        """One cluster per distinct query: every component is a single
+        query, so every naive encoding is exact."""
+        mixture = fitted.cut(fitted.max_clusters)
+        assert mixture.error() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFrontier:
+    def test_frontier_shape(self, fitted):
+        points = fitted.frontier(max_clusters=10)
+        assert [p.n_clusters for p in points] == list(range(1, 11))
+
+    def test_frontier_matches_direct_cuts(self, fitted, small_pocketdata_log):
+        points = fitted.frontier(max_clusters=6)
+        for point in points:
+            direct = fitted.cut(point.n_clusters)
+            assert point.error == pytest.approx(direct.error(), abs=1e-9)
+            assert point.verbosity == direct.total_verbosity
+
+    def test_error_broadly_decreases(self, fitted):
+        points = fitted.frontier(max_clusters=12)
+        assert points[-1].error <= points[0].error + 1e-9
+
+    def test_verbosity_nondecreasing(self, fitted):
+        points = fitted.frontier(max_clusters=12)
+        verbosity = [p.verbosity for p in points]
+        assert all(b >= a for a, b in zip(verbosity, verbosity[1:]))
+
+
+class TestTargetedCuts:
+    def test_cut_for_error(self, fitted):
+        base = fitted.cut(1).error()
+        target = base / 3
+        mixture = fitted.cut_for_error(target)
+        assert mixture.error() <= target + 1e-9
+
+    def test_cut_for_error_unreachable_gives_max(self, fitted):
+        mixture = fitted.cut_for_error(-1.0)
+        assert mixture.n_components == fitted.max_clusters
+
+    def test_cut_for_verbosity(self, fitted):
+        base = fitted.cut(1).total_verbosity
+        budget = base + 40
+        mixture = fitted.cut_for_verbosity(budget)
+        assert mixture.total_verbosity <= budget
+        # and it used the budget to buy fidelity
+        assert mixture.error() <= fitted.cut(1).error() + 1e-9

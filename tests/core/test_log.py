@@ -1,0 +1,133 @@
+"""Tests for QueryLog: distributions, marginals, partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.log import LogBuilder, QueryLog
+from repro.core.pattern import Pattern
+from repro.core.vocabulary import Vocabulary
+
+
+class TestExample2:
+    """Checks against the paper's Example 2/3 numbers."""
+
+    def test_draw_probabilities(self, example2_log):
+        probs = dict(
+            zip((tuple(r) for r in example2_log.matrix), example2_log.probabilities())
+        )
+        assert probs[(1, 0, 0, 1, 0, 1)] == pytest.approx(0.5)  # q1 = q3
+        assert probs[(0, 1, 0, 1, 1, 1)] == pytest.approx(0.25)
+
+    def test_total_and_distinct(self, example2_log):
+        assert example2_log.total == 4
+        assert example2_log.n_distinct == 3
+
+    def test_entropy(self, example2_log):
+        # p = (1/2, 1/4, 1/4) -> H = 1.5 bits
+        assert example2_log.entropy() == pytest.approx(1.5)
+
+    def test_feature_marginals(self, example2_log):
+        marginals = example2_log.feature_marginals()
+        # <Messages, FROM> appears in every query.
+        assert marginals[5] == pytest.approx(1.0)
+        # <status=?, WHERE> appears in q1, q2, q3: 3/4.
+        assert marginals[3] == pytest.approx(0.75)
+
+    def test_pattern_marginal(self, example2_log):
+        # pattern {status=?, Messages} contained in q1,q2,q3
+        pattern = Pattern([3, 5])
+        assert example2_log.pattern_marginal(pattern) == pytest.approx(0.75)
+        assert example2_log.pattern_count(pattern) == 3
+
+    def test_empty_pattern_matches_everything(self, example2_log):
+        assert example2_log.pattern_marginal(Pattern([])) == 1.0
+
+
+class TestValidation:
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            QueryLog(Vocabulary(["a"]), np.zeros((1, 2), dtype=np.uint8), [1])
+
+    def test_counts_shape(self):
+        with pytest.raises(ValueError):
+            QueryLog(Vocabulary(["a", "b"]), np.zeros((1, 2), dtype=np.uint8), [1, 2])
+
+    def test_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            QueryLog(Vocabulary(["a", "b"]), np.zeros((1, 2), dtype=np.uint8), [0])
+
+
+class TestPartition:
+    def test_partition_preserves_mass(self, example2_log):
+        parts = example2_log.partition([0, 1, 0])
+        assert sum(p.total for p in parts) == example2_log.total
+        assert all(p.vocabulary is example2_log.vocabulary for p in parts)
+
+    def test_partition_label_shape_checked(self, example2_log):
+        with pytest.raises(ValueError):
+            example2_log.partition([0, 1])
+
+    def test_empty_labels_dropped(self, example2_log):
+        parts = example2_log.partition([5, 5, 9])
+        assert len(parts) == 2
+
+    def test_subset(self, example2_log):
+        sub = example2_log.subset([0])
+        assert sub.total == 2
+        assert sub.n_distinct == 1
+
+    def test_project_merges_duplicates(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        matrix = np.array([[1, 0, 1], [1, 1, 1]], dtype=np.uint8)
+        log = QueryLog(vocab, matrix, [2, 3])
+        projected = log.project([0, 2])
+        assert projected.n_distinct == 1  # rows agree on (a, c)
+        assert projected.total == 5
+        assert len(projected.vocabulary) == 2
+
+
+class TestEquality:
+    def test_row_order_irrelevant(self):
+        vocab = Vocabulary(["a", "b"])
+        log1 = QueryLog(vocab, np.array([[1, 0], [0, 1]], dtype=np.uint8), [1, 2])
+        log2 = QueryLog(vocab, np.array([[0, 1], [1, 0]], dtype=np.uint8), [2, 1])
+        assert log1 == log2
+
+    def test_count_matters(self):
+        vocab = Vocabulary(["a", "b"])
+        log1 = QueryLog(vocab, np.array([[1, 0]], dtype=np.uint8), [1])
+        log2 = QueryLog(vocab, np.array([[1, 0]], dtype=np.uint8), [2])
+        assert log1 != log2
+
+
+class TestLogBuilder:
+    def test_accumulates_duplicates(self):
+        builder = LogBuilder()
+        builder.add({"a", "b"})
+        builder.add({"b", "a"})
+        builder.add({"c"}, count=3)
+        log = builder.build()
+        assert log.total == 5
+        assert log.n_distinct == 2
+
+    def test_empty_builder_raises(self):
+        with pytest.raises(ValueError):
+            LogBuilder().build()
+
+    def test_nonpositive_count_raises(self):
+        with pytest.raises(ValueError):
+            LogBuilder().add({"a"}, count=0)
+
+    def test_average_features_per_query(self):
+        builder = LogBuilder()
+        builder.add({"a", "b"}, count=3)  # 2 features
+        builder.add({"a"}, count=1)  # 1 feature
+        log = builder.build()
+        assert log.average_features_per_query() == pytest.approx(7 / 4)
+
+    def test_feature_support(self):
+        builder = LogBuilder()
+        builder.add({"a"})
+        builder.add({"b"})
+        log = builder.build()
+        assert set(log.feature_support()) == {0, 1}

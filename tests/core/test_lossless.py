@@ -1,0 +1,69 @@
+"""Tests verifying Proposition 1 (lossless reconstruction from E_max)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lossless import (
+    lossless_encoding,
+    point_probability_from_marginals,
+    reconstruct_distribution,
+)
+from repro.core.log import QueryLog
+from repro.core.vocabulary import Vocabulary
+
+
+class TestProposition1:
+    def test_reconstructs_example2(self, example2_log):
+        encoding = lossless_encoding(example2_log)
+        probs = example2_log.probabilities()
+        for row, expected in zip(example2_log.matrix, probs):
+            got = point_probability_from_marginals(lambda b: encoding[b], row)
+            assert got == pytest.approx(expected, abs=1e-9)
+
+    def test_absent_queries_have_zero_probability(self, example2_log):
+        encoding = lossless_encoding(example2_log)
+        phantom = np.zeros(example2_log.n_features, dtype=np.uint8)
+        phantom[0] = 1  # '_id' alone never occurs
+        got = point_probability_from_marginals(lambda b: encoding[b], phantom)
+        assert got == pytest.approx(0.0, abs=1e-9)
+
+    def test_full_distribution_reconstruction(self, example4_log):
+        encoding = lossless_encoding(example4_log)
+        distribution = reconstruct_distribution(encoding, example4_log.n_features)
+        assert len(distribution) == example4_log.n_distinct
+        for row, prob in zip(example4_log.matrix, example4_log.probabilities()):
+            assert distribution[row.tobytes()] == pytest.approx(prob)
+
+    def test_reconstruction_sums_to_one(self, example4_log):
+        encoding = lossless_encoding(example4_log)
+        distribution = reconstruct_distribution(encoding, example4_log.n_features)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_random_log_roundtrip(self):
+        rng = np.random.default_rng(5)
+        matrix = (rng.random((10, 6)) < 0.4).astype(np.uint8)
+        unique, counts = np.unique(matrix, axis=0, return_counts=True)
+        log = QueryLog(Vocabulary(range(6)), unique, counts)
+        encoding = lossless_encoding(log)
+        for row, prob in zip(log.matrix, log.probabilities()):
+            got = point_probability_from_marginals(lambda b: encoding[b], row)
+            assert got == pytest.approx(prob, abs=1e-9)
+
+
+class TestGuards:
+    def test_feature_cap(self):
+        rng = np.random.default_rng(0)
+        matrix = (rng.random((4, 25)) < 0.5).astype(np.uint8)
+        unique, counts = np.unique(matrix, axis=0, return_counts=True)
+        log = QueryLog(Vocabulary(range(25)), unique, counts)
+        with pytest.raises(ValueError):
+            lossless_encoding(log)
+
+    def test_reconstruction_cap(self):
+        query = np.zeros(30, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            point_probability_from_marginals(lambda b: 0.0, query, max_absent=10)
+
+    def test_verbosity_of_emax(self, example4_log):
+        encoding = lossless_encoding(example4_log)
+        assert encoding.verbosity == 2 ** example4_log.n_features

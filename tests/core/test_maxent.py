@@ -1,0 +1,261 @@
+"""Tests for the maximum-entropy machinery.
+
+The key correctness anchors:
+
+* equivalence-class cardinalities vs. brute-force enumeration;
+* IPF over atoms vs. analytic solutions (independence, parity cases);
+* ClassBasedMaxent entropy vs. brute-force maxent on tiny spaces;
+* block decomposition agreeing with the closed form when the extra
+  pattern set is empty or redundant.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import NaiveEncoding, PatternEncoding
+from repro.core.entropy import independent_entropy
+from repro.core.maxent import (
+    MAX_CLASS_PATTERNS,
+    equivalence_classes,
+    fit_extended_naive,
+    fit_pattern_encoding,
+    ipf_atoms,
+    log2_bigint,
+    maxent_entropy,
+)
+from repro.core.pattern import Pattern
+
+
+class TestLog2Bigint:
+    def test_small_values(self):
+        assert log2_bigint(1) == 0.0
+        assert log2_bigint(8) == 3.0
+
+    def test_huge_value(self):
+        assert log2_bigint(1 << 5000) == pytest.approx(5000.0)
+
+    def test_zero_is_neg_inf(self):
+        assert log2_bigint(0) == float("-inf")
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            log2_bigint(-1)
+
+    def test_mantissa_precision(self):
+        value = (1 << 200) + (1 << 199)  # 1.5 * 2^200
+        assert log2_bigint(value) == pytest.approx(200 + np.log2(1.5))
+
+
+def brute_force_class_sizes(patterns, n):
+    """Enumerate {0,1}^n and bucket by containment profile."""
+    sizes = {}
+    for bits in itertools.product([0, 1], repeat=n):
+        q = set(i for i, b in enumerate(bits) if b)
+        profile = tuple(int(p.indices <= q) for p in patterns)
+        sizes[profile] = sizes.get(profile, 0) + 1
+    return sizes
+
+
+class TestEquivalenceClasses:
+    @pytest.mark.parametrize(
+        "patterns,n",
+        [
+            ([Pattern([0, 1])], 3),
+            ([Pattern([0, 1]), Pattern([1, 2])], 4),
+            ([Pattern([0]), Pattern([1]), Pattern([0, 1])], 3),
+            ([Pattern([0, 1, 2]), Pattern([2, 3]), Pattern([4])], 6),
+        ],
+    )
+    def test_sizes_match_brute_force(self, patterns, n):
+        classes = equivalence_classes(patterns, n)
+        covered = {i for p in patterns for i in p.indices}
+        expected = brute_force_class_sizes(patterns, len(covered))
+        got = {
+            tuple(int(x) for x in profile): round(2.0 ** log_size)
+            for profile, log_size in zip(classes.profiles, classes.log2_sizes)
+        }
+        expected = {k: v for k, v in expected.items() if v > 0}
+        assert got == expected
+        assert classes.n_free == n - len(covered)
+
+    def test_total_mass_is_full_space(self):
+        patterns = [Pattern([0, 1]), Pattern([2, 3]), Pattern([1, 2])]
+        classes = equivalence_classes(patterns, 6)
+        total = sum(2.0 ** s for s in classes.log2_sizes)
+        assert total == pytest.approx(2 ** classes.n_covered)
+
+    def test_empty_pattern_set(self):
+        classes = equivalence_classes([], 5)
+        assert classes.profiles.shape == (1, 0)
+        assert classes.n_free == 5
+
+    def test_pattern_limit_enforced(self):
+        patterns = [Pattern([i]) for i in range(MAX_CLASS_PATTERNS + 1)]
+        with pytest.raises(ValueError):
+            equivalence_classes(patterns, 30)
+
+
+class TestIpfAtoms:
+    def test_no_constraints_is_uniform(self):
+        prob = ipf_atoms(3, [])
+        assert np.allclose(prob, 1 / 8)
+
+    def test_single_marginal(self):
+        prob = ipf_atoms(2, [(0b01, 0.3)])
+        atoms = np.arange(4)
+        achieved = prob[(atoms & 1) == 1].sum()
+        assert achieved == pytest.approx(0.3, abs=1e-8)
+        # remaining feature stays at 1/2 (maximum entropy)
+        other = prob[(atoms & 2) == 2].sum()
+        assert other == pytest.approx(0.5, abs=1e-8)
+
+    def test_independence_solution(self):
+        """With only singleton constraints, IPF reproduces the product."""
+        prob = ipf_atoms(3, [(1, 0.2), (2, 0.5), (4, 0.9)])
+        expected = []
+        for atom in range(8):
+            p = 1.0
+            for bit, marginal in zip((1, 2, 4), (0.2, 0.5, 0.9)):
+                p *= marginal if atom & bit else 1 - marginal
+            expected.append(p)
+        assert np.allclose(prob, expected, atol=1e-8)
+
+    def test_joint_constraint(self):
+        """Pin p(X0=1)=p(X1=1)=1/2 and p(both)=1/2 -> perfectly correlated.
+
+        The solution sits on the boundary of the probability simplex,
+        where IPF converges sublinearly — hence the loose tolerance.
+        """
+        prob = ipf_atoms(2, [(1, 0.5), (2, 0.5), (3, 0.5)], max_iter=5000)
+        assert prob[0] == pytest.approx(0.5, abs=1e-3)
+        assert prob[3] == pytest.approx(0.5, abs=1e-3)
+        assert prob[1] == pytest.approx(0.0, abs=1e-3)
+
+    def test_zero_and_one_marginals(self):
+        prob = ipf_atoms(2, [(1, 0.0), (2, 1.0)])
+        assert prob[2] == pytest.approx(1.0, abs=1e-9)
+
+    def test_block_cap(self):
+        with pytest.raises(ValueError):
+            ipf_atoms(25, [])
+
+
+def brute_force_maxent_entropy(patterns, marginals, n, iterations=4000):
+    """Maxent entropy on {0,1}^n by IPF over the explicit space."""
+    constraints = []
+    for pattern, marginal in zip(patterns, marginals):
+        mask = sum(1 << i for i in pattern.indices)
+        constraints.append((mask, marginal))
+    prob = ipf_atoms(n, constraints, max_iter=iterations)
+    mask = prob > 0
+    return float(-(prob[mask] * np.log2(prob[mask])).sum())
+
+
+class TestClassBasedMaxent:
+    @pytest.mark.parametrize(
+        "spec,n",
+        [
+            ([(Pattern([0, 1]), 0.25)], 3),
+            ([(Pattern([0, 1]), 0.3), (Pattern([1, 2]), 0.2)], 4),
+            ([(Pattern([0, 1]), 0.4), (Pattern([2, 3]), 0.1)], 5),
+            ([(Pattern([0]), 0.7), (Pattern([0, 1, 2]), 0.2)], 4),
+        ],
+    )
+    def test_entropy_matches_brute_force(self, spec, n):
+        encoding = PatternEncoding(n, dict(spec))
+        model = fit_pattern_encoding(encoding)
+        expected = brute_force_maxent_entropy(
+            [p for p, _ in spec], [m for _, m in spec], n
+        )
+        assert model.entropy() == pytest.approx(expected, abs=1e-4)
+        assert model.max_constraint_violation() < 1e-6
+
+    def test_achieves_targets(self):
+        encoding = PatternEncoding(6, {Pattern([0, 1]): 0.33, Pattern([3, 4, 5]): 0.11})
+        model = fit_pattern_encoding(encoding)
+        assert np.allclose(model.achieved, model.targets, atol=1e-7)
+
+    def test_empty_encoding_entropy_is_n_bits(self):
+        model = fit_pattern_encoding(PatternEncoding(7))
+        assert model.entropy() == pytest.approx(7.0)
+
+    def test_free_features_add_one_bit_each(self):
+        base = PatternEncoding(3, {Pattern([0, 1]): 0.25})
+        extended_space = PatternEncoding(5, {Pattern([0, 1]): 0.25})
+        h1 = fit_pattern_encoding(base).entropy()
+        h2 = fit_pattern_encoding(extended_space).entropy()
+        assert h2 - h1 == pytest.approx(2.0, abs=1e-6)
+
+
+class TestBlockwiseMaxent:
+    def test_no_extra_patterns_equals_closed_form(self, example4_log):
+        naive = NaiveEncoding.from_log(example4_log)
+        model = fit_extended_naive(naive, PatternEncoding(example4_log.n_features))
+        assert model.entropy() == pytest.approx(naive.maxent_entropy())
+
+    def test_redundant_pattern_keeps_entropy(self):
+        """A pattern whose marginal equals the independence product adds
+        no constraint, so entropy is unchanged."""
+        marginals = np.array([0.5, 0.5, 0.3])
+        naive = NaiveEncoding(marginals)
+        extra = PatternEncoding(3, {Pattern([0, 1]): 0.25})
+        model = fit_extended_naive(naive, extra)
+        assert model.entropy() == pytest.approx(independent_entropy(marginals), abs=1e-6)
+
+    def test_informative_pattern_reduces_entropy(self):
+        marginals = np.array([0.5, 0.5, 0.3])
+        naive = NaiveEncoding(marginals)
+        extra = PatternEncoding(3, {Pattern([0, 1]): 0.5})  # perfectly correlated
+        model = fit_extended_naive(naive, extra)
+        assert model.entropy() < independent_entropy(marginals) - 0.5
+
+    def test_pattern_probability_factorizes(self):
+        marginals = np.array([0.5, 0.5, 0.3, 0.8])
+        naive = NaiveEncoding(marginals)
+        extra = PatternEncoding(4, {Pattern([0, 1]): 0.5})
+        model = fit_extended_naive(naive, extra)
+        # pattern over block + free feature
+        got = model.pattern_probability(Pattern([0, 1, 3]))
+        assert got == pytest.approx(0.5 * 0.8, abs=1e-6)
+
+    def test_blocks_merge_via_shared_feature(self):
+        marginals = np.full(5, 0.5)
+        naive = NaiveEncoding(marginals)
+        extra = PatternEncoding(
+            5, {Pattern([0, 1]): 0.3, Pattern([1, 2]): 0.3, Pattern([3, 4]): 0.25}
+        )
+        model = fit_extended_naive(naive, extra)
+        block_sizes = sorted(len(b.features) for b in model.blocks)
+        assert block_sizes == [2, 3]
+
+    def test_oversized_block_raises(self):
+        n = 30
+        naive = NaiveEncoding(np.full(n, 0.5))
+        chain = PatternEncoding(
+            n, {Pattern([i, i + 1]): 0.25 for i in range(n - 1)}
+        )
+        with pytest.raises(ValueError):
+            fit_extended_naive(naive, chain)
+
+
+class TestDispatcher:
+    def test_naive_dispatch(self, example4_log):
+        naive = NaiveEncoding.from_log(example4_log)
+        assert maxent_entropy(naive) == pytest.approx(naive.maxent_entropy())
+
+    def test_singleton_pattern_encoding_uses_half_for_unmentioned(self):
+        encoding = PatternEncoding(3, {Pattern([0]): 0.5})
+        # features 1, 2 unconstrained -> one bit each; feature 0 -> 1 bit.
+        assert maxent_entropy(encoding) == pytest.approx(3.0)
+
+    def test_general_dispatch(self):
+        encoding = PatternEncoding(3, {Pattern([0, 1]): 0.25})
+        assert maxent_entropy(encoding) == pytest.approx(
+            fit_pattern_encoding(encoding).entropy()
+        )
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            maxent_entropy("not an encoding")

@@ -1,0 +1,95 @@
+"""Stress and boundary tests for the maxent engines."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import NaiveEncoding, PatternEncoding
+from repro.core.maxent import (
+    MAX_CLASS_PATTERNS,
+    equivalence_classes,
+    fit_extended_naive,
+    fit_pattern_encoding,
+    ipf_atoms,
+)
+from repro.core.pattern import Pattern
+
+
+class TestLargeFeatureSpaces:
+    def test_class_model_on_wide_vocabulary(self):
+        """5,000 features (bank scale): log-space arithmetic must not
+        overflow, and entropy ≈ free bits + class entropy."""
+        n = 5_000
+        encoding = PatternEncoding(
+            n, {Pattern([0, 1]): 0.3, Pattern([2, 3, 4]): 0.05}
+        )
+        model = fit_pattern_encoding(encoding)
+        entropy = model.entropy()
+        assert 4_990 < entropy <= n
+        assert model.max_constraint_violation() < 1e-6
+
+    def test_equivalence_classes_huge_cardinalities(self):
+        """Exact big-int cardinalities for 1,000-feature patterns."""
+        patterns = [Pattern(range(0, 500)), Pattern(range(400, 1_000))]
+        classes = equivalence_classes(patterns, 1_000)
+        total = sum(2.0 ** (s - 1_000) for s in classes.log2_sizes)
+        assert total == pytest.approx(1.0, rel=1e-9)
+
+    def test_many_patterns_near_limit(self):
+        patterns = [Pattern([i, i + 1]) for i in range(0, 2 * (MAX_CLASS_PATTERNS - 1), 2)]
+        assert len(patterns) == MAX_CLASS_PATTERNS - 1
+        encoding = PatternEncoding(64, {p: 0.25 for p in patterns})
+        model = fit_pattern_encoding(encoding, max_iter=200)
+        assert model.entropy() == pytest.approx(64.0, abs=1e-3)
+
+
+class TestBoundaryMarginals:
+    def test_pattern_marginal_zero(self):
+        encoding = PatternEncoding(4, {Pattern([0, 1]): 0.0})
+        model = fit_pattern_encoding(encoding)
+        # classes containing the pattern carry no mass
+        profiles = model.classes.profiles
+        probs = np.exp(model.class_log_probs)
+        assert probs[profiles[:, 0] > 0].sum() < 1e-6
+
+    def test_pattern_marginal_one(self):
+        encoding = PatternEncoding(4, {Pattern([0, 1]): 1.0})
+        model = fit_pattern_encoding(encoding)
+        profiles = model.classes.profiles
+        probs = np.exp(model.class_log_probs)
+        assert probs[profiles[:, 0] > 0].sum() > 1.0 - 1e-6
+
+    def test_ipf_with_conflicting_constraints_terminates(self):
+        """p(X0)=0.1 but p(X0,X1)=0.5 is infeasible; IPF must still
+        terminate and return a distribution."""
+        prob = ipf_atoms(2, [(1, 0.1), (3, 0.5)], max_iter=100)
+        assert prob.sum() == pytest.approx(1.0)
+        assert (prob >= 0).all()
+
+    def test_blockwise_with_zero_singleton(self):
+        """A pattern over a feature with marginal zero is consistent
+        only with pattern marginal zero."""
+        naive = NaiveEncoding(np.array([0.0, 0.5, 0.5]))
+        extra = PatternEncoding(3, {Pattern([0, 1]): 0.0})
+        model = fit_extended_naive(naive, extra)
+        assert model.pattern_probability(Pattern([0, 1])) == pytest.approx(0.0, abs=1e-9)
+
+    def test_blockwise_chain_block_exact(self):
+        """Three overlapping patterns in one block solved exactly."""
+        naive = NaiveEncoding(np.array([0.5, 0.5, 0.5, 0.5]))
+        extra = PatternEncoding(
+            4,
+            {
+                Pattern([0, 1]): 0.4,
+                Pattern([1, 2]): 0.4,
+                Pattern([2, 3]): 0.4,
+            },
+        )
+        model = fit_extended_naive(naive, extra)
+        for pattern, target in extra.items():
+            assert model.pattern_probability(pattern) == pytest.approx(
+                target, abs=1e-6
+            )
+        for i in range(4):
+            assert model.pattern_probability(Pattern([i])) == pytest.approx(
+                0.5, abs=1e-6
+            )

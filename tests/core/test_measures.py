@@ -1,0 +1,151 @@
+"""Tests for Reproduction Error, Deviation, Ambiguity ordering.
+
+These encode the paper's analytical results:
+
+* Lemma 1 — containment implies Reproduction Error order;
+* Lemma 2 — containment implies Ambiguity order (via constraint rank);
+* ρ* ∈ Ω_E, so e(E) ≥ 0.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core.encoding import NaiveEncoding, PatternEncoding
+from repro.core.measures import (
+    ambiguity_precedes,
+    constraint_rank,
+    deviation,
+    reproduction_error,
+)
+from repro.core.pattern import Pattern
+
+
+class TestReproductionError:
+    def test_nonnegative_for_naive(self, random_log):
+        naive = NaiveEncoding.from_log(random_log)
+        assert reproduction_error(naive, random_log) >= -1e-9
+
+    def test_zero_for_deterministic_partition(self, example4_log):
+        """§5.1: each partition of the example has zero Error."""
+        parts = example4_log.partition(np.array([0, 0, 1]))
+        for part in parts:
+            naive = NaiveEncoding.from_log(part)
+            assert reproduction_error(naive, part) == pytest.approx(0.0, abs=1e-9)
+
+    def test_example4_unpartitioned_error(self, example4_log):
+        """Unpartitioned naive encoding: H = h(2/3)+h(1/3)+0+h(1/3),
+        H(ρ*) = log2(3)."""
+        naive = NaiveEncoding.from_log(example4_log)
+        h13 = -(1 / 3) * np.log2(1 / 3) - (2 / 3) * np.log2(2 / 3)
+        expected = 3 * h13 - np.log2(3)
+        assert reproduction_error(naive, example4_log) == pytest.approx(expected)
+
+    def test_lemma1_monotonicity(self, random_log):
+        """E1 ⊇ E2 (more patterns) -> e(E1) <= e(E2)."""
+        pool = [Pattern([0, 1]), Pattern([2, 3]), Pattern([1, 4])]
+        for size in range(len(pool)):
+            smaller = PatternEncoding.from_log(random_log, pool[: size])
+            larger = PatternEncoding.from_log(random_log, pool[: size + 1])
+            assert (
+                reproduction_error(larger, random_log)
+                <= reproduction_error(smaller, random_log) + 1e-6
+            )
+
+    def test_nonnegative_for_patterns(self, random_log):
+        encoding = PatternEncoding.from_log(random_log, [Pattern([0, 1])])
+        assert reproduction_error(encoding, random_log) >= -1e-9
+
+
+class TestDeviation:
+    def test_estimate_fields(self, random_log):
+        encoding = PatternEncoding.from_log(random_log, [Pattern([0])])
+        estimate = deviation(encoding, random_log, n_samples=30, seed=0)
+        assert estimate.n_samples == 30
+        assert estimate.std >= 0
+        assert float(estimate) == estimate.mean
+
+    def test_deviation_positive(self, random_log):
+        encoding = PatternEncoding.from_log(random_log, [Pattern([0])])
+        estimate = deviation(encoding, random_log, n_samples=30, seed=0)
+        assert estimate.mean > 0
+
+    def test_richer_encoding_tends_lower(self, random_log):
+        """Statistical analogue of Fig. 4a/b.
+
+        Under the cardinality-weighted class prior (the measure induced
+        by "PE uniform over Ω_E"), the deviation of nested encodings
+        follows containment up to sampling noise: pattern pairs pin the
+        joint-class mass toward the truth.
+        """
+        empty = PatternEncoding(random_log.n_features)
+        rich = PatternEncoding.from_log(
+            random_log,
+            [Pattern([0, 1]), Pattern([2, 3]), Pattern([4, 5])],
+        )
+        gaps = []
+        for seed in (1, 2, 3):
+            d_empty = deviation(empty, random_log, n_samples=150, seed=seed).mean
+            d_rich = deviation(rich, random_log, n_samples=150, seed=seed).mean
+            gaps.append(d_empty - d_rich)
+        assert float(np.mean(gaps)) > -0.1
+
+    def test_deterministic_with_seed(self, random_log):
+        encoding = PatternEncoding.from_log(random_log, [Pattern([0])])
+        a = deviation(encoding, random_log, n_samples=10, seed=3).mean
+        b = deviation(encoding, random_log, n_samples=10, seed=3).mean
+        assert a == pytest.approx(b)
+
+
+class TestAmbiguity:
+    def test_rank_grows_with_patterns(self, random_log):
+        e0 = PatternEncoding(random_log.n_features)
+        e1 = PatternEncoding.from_log(random_log, [Pattern([0, 1])])
+        e2 = PatternEncoding.from_log(random_log, [Pattern([0, 1]), Pattern([2])])
+        assert constraint_rank(e0) == 1  # simplex row only
+        assert constraint_rank(e0) <= constraint_rank(e1) <= constraint_rank(e2)
+
+    def test_lemma2_order(self, random_log):
+        """E2 ⊃ E1 -> I(E2) <= I(E1): the richer encoding precedes."""
+        e1 = PatternEncoding.from_log(random_log, [Pattern([0, 1])])
+        e2 = PatternEncoding.from_log(random_log, [Pattern([0, 1]), Pattern([2, 3])])
+        assert ambiguity_precedes(e2, e1)
+
+    def test_feature_space_mismatch(self):
+        with pytest.raises(ValueError):
+            ambiguity_precedes(PatternEncoding(2), PatternEncoding(3))
+
+    def test_duplicate_pattern_does_not_increase_rank(self, random_log):
+        base = [Pattern([0, 1])]
+        e1 = PatternEncoding.from_log(random_log, base)
+        # A pattern implied by the same column structure cannot exceed
+        # the class count; rank is bounded by #classes.
+        assert constraint_rank(e1) <= e1.verbosity + 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_lemma1_property(data):
+    """Randomized Lemma-1 check over random pattern chains."""
+    # Build a small deterministic log inline (hypothesis provides choices).
+    rng = np.random.default_rng(0)
+    from repro.core.log import QueryLog
+    from repro.core.vocabulary import Vocabulary
+
+    matrix = (rng.random((12, 6)) < 0.5).astype(np.uint8)
+    unique, counts = np.unique(matrix, axis=0, return_counts=True)
+    log = QueryLog(Vocabulary(range(6)), unique, counts)
+
+    pool = [Pattern(c) for c in itertools.combinations(range(6), 2)]
+    chosen = data.draw(
+        st.lists(st.sampled_from(pool), min_size=1, max_size=4, unique=True)
+    )
+    smaller = PatternEncoding.from_log(log, chosen[:-1])
+    larger = PatternEncoding.from_log(log, chosen)
+    assert (
+        reproduction_error(larger, log)
+        <= reproduction_error(smaller, log) + 1e-6
+    )

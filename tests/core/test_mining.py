@@ -1,0 +1,82 @@
+"""Tests for the weighted Apriori miner."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.log import QueryLog
+from repro.core.mining import frequent_patterns, pattern_support
+from repro.core.pattern import Pattern
+from repro.core.vocabulary import Vocabulary
+
+
+def brute_force(log, min_support, max_size):
+    out = {}
+    for size in range(1, max_size + 1):
+        for combo in itertools.combinations(range(log.n_features), size):
+            pattern = Pattern(combo)
+            support = log.pattern_marginal(pattern)
+            if support >= min_support:
+                out[pattern] = support
+    return out
+
+
+@pytest.fixture()
+def mining_log():
+    rng = np.random.default_rng(11)
+    matrix = (rng.random((40, 7)) < 0.4).astype(np.uint8)
+    unique, counts = np.unique(matrix, axis=0, return_counts=True)
+    return QueryLog(Vocabulary(range(7)), unique, counts)
+
+
+class TestApriori:
+    @pytest.mark.parametrize("min_support", [0.05, 0.2, 0.5])
+    @pytest.mark.parametrize("max_size", [1, 2, 3])
+    def test_matches_brute_force(self, mining_log, min_support, max_size):
+        expected = brute_force(mining_log, min_support, max_size)
+        got = dict(frequent_patterns(mining_log, min_support, max_size))
+        assert got.keys() == expected.keys()
+        for pattern, support in got.items():
+            assert support == pytest.approx(expected[pattern])
+
+    def test_multiplicity_weighting(self):
+        vocab = Vocabulary(["a", "b"])
+        matrix = np.array([[1, 1], [1, 0]], dtype=np.uint8)
+        log = QueryLog(vocab, matrix, [9, 1])
+        got = dict(frequent_patterns(log, 0.5, 2))
+        assert got[Pattern([0, 1])] == pytest.approx(0.9)
+
+    def test_min_size_filter(self, mining_log):
+        got = frequent_patterns(mining_log, 0.05, 3, min_size=2)
+        assert all(len(p) >= 2 for p, _ in got)
+
+    def test_max_patterns_keeps_most_frequent(self, mining_log):
+        all_patterns = frequent_patterns(mining_log, 0.05, 2)
+        top = frequent_patterns(mining_log, 0.05, 2, max_patterns=5)
+        assert len(top) == 5
+        assert [s for _, s in top] == [s for _, s in all_patterns[:5]]
+
+    def test_sorted_by_support(self, mining_log):
+        got = frequent_patterns(mining_log, 0.05, 3)
+        supports = [s for _, s in got]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_invalid_arguments(self, mining_log):
+        with pytest.raises(ValueError):
+            frequent_patterns(mining_log, 0.0, 2)
+        with pytest.raises(ValueError):
+            frequent_patterns(mining_log, 0.5, 0)
+
+    def test_pattern_support_alias(self, mining_log):
+        pattern = Pattern([0])
+        assert pattern_support(mining_log, pattern) == pytest.approx(
+            mining_log.pattern_marginal(pattern)
+        )
+
+    def test_support_threshold_one(self):
+        vocab = Vocabulary(["a", "b"])
+        matrix = np.array([[1, 1]], dtype=np.uint8)
+        log = QueryLog(vocab, matrix, [4])
+        got = dict(frequent_patterns(log, 1.0, 2))
+        assert Pattern([0, 1]) in got

@@ -1,0 +1,151 @@
+"""Tests for pattern mixture encodings (§5) and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import NaiveEncoding, PatternEncoding
+from repro.core.mixture import MixtureComponent, PatternMixtureEncoding
+from repro.core.pattern import Pattern
+from repro.sql.features import Feature
+
+
+class TestSection51Example:
+    """The worked example of §5.1."""
+
+    def test_partitioned_error_is_zero(self, example4_log):
+        parts = example4_log.partition(np.array([0, 0, 1]))
+        mixture = PatternMixtureEncoding.from_partitions(parts)
+        assert mixture.error() == pytest.approx(0.0, abs=1e-12)
+
+    def test_partition_marginals(self, example4_log):
+        parts = example4_log.partition(np.array([0, 0, 1]))
+        mixture = PatternMixtureEncoding.from_partitions(parts)
+        enc1 = mixture.components[0].encoding
+        assert enc1.marginals.tolist() == pytest.approx([1, 0, 1, 0.5])
+        enc2 = mixture.components[1].encoding
+        assert enc2.marginals.tolist() == pytest.approx([0, 1, 1, 0])
+
+    def test_verbosity_is_five(self, example4_log):
+        """Partition 1 has 3 features, partition 2 has 2 -> total 5."""
+        parts = example4_log.partition(np.array([0, 0, 1]))
+        mixture = PatternMixtureEncoding.from_partitions(parts)
+        assert mixture.total_verbosity == 5
+
+    def test_splitting_increases_verbosity(self, example4_log):
+        whole = PatternMixtureEncoding.from_log(example4_log)
+        parts = PatternMixtureEncoding.from_partitions(
+            example4_log.partition(np.array([0, 0, 1]))
+        )
+        # common feature <Messages, FROM> is double counted after split
+        assert parts.total_verbosity >= whole.total_verbosity
+
+    def test_point_probability_mixes(self, example4_log):
+        parts = example4_log.partition(np.array([0, 0, 1]))
+        mixture = PatternMixtureEncoding.from_partitions(parts)
+        q1 = np.array([1, 0, 1, 1])
+        # component 1 (weight 2/3): p = 1 * 1 * 1 * 0.5; component 2: 0
+        assert mixture.point_probability(q1) == pytest.approx(2 / 3 * 0.5)
+
+
+class TestEstimation:
+    def test_estimate_count_example(self, example4_log):
+        parts = example4_log.partition(np.array([0, 0, 1]))
+        mixture = PatternMixtureEncoding.from_partitions(parts)
+        pattern = Pattern([0, 3])  # id AND status=?
+        assert mixture.estimate_count(pattern) == pytest.approx(1.0)
+        assert example4_log.pattern_count(pattern) == 1
+
+    def test_unpartitioned_estimate_is_biased(self, example4_log):
+        whole = PatternMixtureEncoding.from_log(example4_log)
+        pattern = Pattern([0, 3])
+        # independence estimate: 3 * (2/3) * (1/3) = 2/3 < true 1
+        assert whole.estimate_count(pattern) == pytest.approx(2 / 3)
+
+    def test_estimate_marginal_normalizes(self, example4_log):
+        mixture = PatternMixtureEncoding.from_log(example4_log)
+        pattern = Pattern([2])
+        assert mixture.estimate_marginal(pattern) == pytest.approx(1.0)
+
+    def test_estimate_by_features_requires_vocabulary(self, example4_log):
+        mixture = PatternMixtureEncoding.from_partitions(
+            example4_log.partition(np.zeros(3, dtype=int)), vocabulary=None
+        )
+        mixture.vocabulary = None
+        with pytest.raises(ValueError):
+            mixture.estimate_count_features([("id", "SELECT")])
+
+    def test_estimate_by_features(self, example4_log):
+        mixture = PatternMixtureEncoding.from_log(example4_log)
+        count = mixture.estimate_count_features([("Messages", "FROM")])
+        assert count == pytest.approx(3.0)
+
+    def test_unknown_feature_estimates_zero(self, example4_log):
+        mixture = PatternMixtureEncoding.from_log(example4_log)
+        assert mixture.estimate_count_features([("nope", "FROM")]) == 0.0
+
+
+class TestGeneralizedMeasures:
+    def test_error_is_weighted_sum(self, random_log):
+        labels = np.arange(random_log.n_distinct) % 3
+        parts = random_log.partition(labels)
+        mixture = PatternMixtureEncoding.from_partitions(parts)
+        weights = mixture.weights
+        per_cluster = [c.error() for c in mixture.components]
+        assert mixture.error() == pytest.approx(
+            float(np.dot(weights, per_cluster))
+        )
+
+    def test_weights_sum_to_one(self, random_log):
+        parts = random_log.partition(np.arange(random_log.n_distinct) % 4)
+        mixture = PatternMixtureEncoding.from_partitions(parts)
+        assert mixture.weights.sum() == pytest.approx(1.0)
+
+    def test_empty_mixture_rejected(self):
+        with pytest.raises(ValueError):
+            PatternMixtureEncoding([])
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_estimates(self, example4_log):
+        parts = example4_log.partition(np.array([0, 0, 1]))
+        mixture = PatternMixtureEncoding.from_partitions(parts)
+        restored = PatternMixtureEncoding.from_json(mixture.to_json())
+        pattern = Pattern([0, 3])
+        assert restored.estimate_count(pattern) == pytest.approx(
+            mixture.estimate_count(pattern)
+        )
+        assert restored.error() == pytest.approx(mixture.error())
+        assert restored.total_verbosity == mixture.total_verbosity
+
+    def test_roundtrip_with_sql_features(self):
+        from repro.core.log import LogBuilder
+
+        builder = LogBuilder()
+        builder.add({Feature("a", "SELECT"), Feature("t", "FROM")}, count=2)
+        builder.add({Feature("b", "SELECT"), Feature("t", "FROM")})
+        log = builder.build()
+        mixture = PatternMixtureEncoding.from_log(log)
+        restored = PatternMixtureEncoding.from_json(mixture.to_json())
+        assert restored.estimate_count_features(
+            [Feature("t", "FROM")]
+        ) == pytest.approx(3.0)
+
+    def test_roundtrip_with_pattern_component(self):
+        encoding = PatternEncoding(3, {Pattern([0, 1]): 0.5})
+        component = MixtureComponent(size=10, encoding=encoding, true_entropy=1.0)
+        mixture = PatternMixtureEncoding([component])
+        restored = PatternMixtureEncoding.from_json(mixture.to_json())
+        enc = restored.components[0].encoding
+        assert isinstance(enc, PatternEncoding)
+        assert enc[Pattern([0, 1])] == pytest.approx(0.5)
+
+    def test_roundtrip_with_refinement_extra(self, example4_log):
+        mixture = PatternMixtureEncoding.from_log(example4_log)
+        mixture.components[0].extra = PatternEncoding(4, {Pattern([0, 2]): 2 / 3})
+        restored = PatternMixtureEncoding.from_json(mixture.to_json())
+        assert restored.components[0].extra.verbosity == 1
+        assert restored.total_verbosity == mixture.total_verbosity
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(ValueError):
+            PatternMixtureEncoding.from_json('{"format": "other"}')

@@ -1,0 +1,73 @@
+"""Tests for Pattern containment and matching."""
+
+import numpy as np
+import pytest
+
+from repro.core.pattern import Pattern
+
+
+class TestBasics:
+    def test_construction_and_iteration(self):
+        pattern = Pattern([3, 1, 1])
+        assert len(pattern) == 2
+        assert list(pattern) == [1, 3]
+        assert 3 in pattern
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern([-1])
+
+    def test_hash_equality(self):
+        assert Pattern([1, 2]) == Pattern([2, 1])
+        assert len({Pattern([1, 2]), Pattern([2, 1])}) == 1
+
+    def test_from_vector_roundtrip(self):
+        vector = np.array([0, 1, 0, 1, 1], dtype=np.uint8)
+        pattern = Pattern.from_vector(vector)
+        assert np.array_equal(pattern.as_vector(5), vector)
+
+    def test_singleton(self):
+        assert list(Pattern.singleton(4)) == [4]
+
+    def test_as_vector_range_check(self):
+        with pytest.raises(ValueError):
+            Pattern([5]).as_vector(3)
+
+
+class TestContainment:
+    def test_le_is_subset(self):
+        assert Pattern([1]) <= Pattern([1, 2])
+        assert not Pattern([1, 3]) <= Pattern([1, 2])
+        assert Pattern([1]) < Pattern([1, 2])
+        assert not Pattern([1, 2]) < Pattern([1, 2])
+
+    def test_paper_definition_via_vectors(self):
+        """b' ⊆ b  iff  ∀i x'_i <= x_i (§2.1)."""
+        b_prime = Pattern([0, 2])
+        b = Pattern([0, 1, 2])
+        x_prime = b_prime.as_vector(4)
+        x = b.as_vector(4)
+        assert (b_prime <= b) == bool((x_prime <= x).all())
+
+    def test_union_intersection_overlap(self):
+        a, b = Pattern([1, 2]), Pattern([2, 3])
+        assert a.union(b) == Pattern([1, 2, 3])
+        assert a.intersection(b) == Pattern([2])
+        assert a.overlaps(b)
+        assert not Pattern([1]).overlaps(Pattern([2]))
+
+
+class TestMatching:
+    MATRIX = np.array(
+        [[1, 1, 0], [1, 0, 0], [1, 1, 1], [0, 1, 1]], dtype=np.uint8
+    )
+
+    def test_matches_mask(self):
+        mask = Pattern([0, 1]).matches(self.MATRIX)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_empty_pattern_matches_all(self):
+        assert Pattern([]).matches(self.MATRIX).all()
+
+    def test_single_feature(self):
+        assert Pattern([2]).matches(self.MATRIX).tolist() == [False, False, True, True]

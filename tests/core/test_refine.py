@@ -1,0 +1,115 @@
+"""Tests for corr_rank refinement (§6.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import NaiveEncoding, PatternEncoding
+from repro.core.log import QueryLog
+from repro.core.pattern import Pattern
+from repro.core.refine import (
+    corr_rank,
+    feature_correlation,
+    refine_greedy,
+    refined_error,
+)
+from repro.core.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def correlated_log():
+    """Features 0,1 perfectly correlated; 2 independent; 3 anti-correlated
+    with 0."""
+    vocab = Vocabulary(range(4))
+    matrix = np.array(
+        [
+            [1, 1, 0, 0],
+            [1, 1, 1, 0],
+            [0, 0, 0, 1],
+            [0, 0, 1, 1],
+        ],
+        dtype=np.uint8,
+    )
+    return QueryLog(vocab, matrix, [5, 5, 5, 5])
+
+
+class TestCorrRank:
+    def test_correlated_pattern_positive(self, correlated_log):
+        naive = NaiveEncoding.from_log(correlated_log)
+        assert corr_rank(correlated_log, naive, Pattern([0, 1])) > 0
+
+    def test_independent_pattern_zero(self, correlated_log):
+        naive = NaiveEncoding.from_log(correlated_log)
+        # feature 2 occurs with probability 1/2 independently of 0.
+        assert corr_rank(correlated_log, naive, Pattern([0, 2])) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_anticorrelated_pattern_zero_marginal(self, correlated_log):
+        naive = NaiveEncoding.from_log(correlated_log)
+        # pattern {0,3} never occurs -> marginal 0 -> corr_rank 0 by definition
+        assert corr_rank(correlated_log, naive, Pattern([0, 3])) == 0.0
+
+    def test_feature_correlation_value(self, correlated_log):
+        naive = NaiveEncoding.from_log(correlated_log)
+        # p({0,1}) = 1/2; independence estimate = 1/4 -> WC = 1 bit.
+        assert feature_correlation(
+            correlated_log, naive, Pattern([0, 1])
+        ) == pytest.approx(1.0)
+
+    def test_corr_rank_is_marginal_times_wc(self, correlated_log):
+        naive = NaiveEncoding.from_log(correlated_log)
+        pattern = Pattern([0, 1])
+        assert corr_rank(correlated_log, naive, pattern) == pytest.approx(
+            correlated_log.pattern_marginal(pattern)
+            * feature_correlation(correlated_log, naive, pattern)
+        )
+
+
+class TestRefineGreedy:
+    def test_picks_the_correlated_pattern_first(self, correlated_log):
+        result = refine_greedy(correlated_log, 1, min_support=0.2)
+        assert result.extra.verbosity == 1
+        (chosen,) = result.extra.patterns()
+        assert chosen == Pattern([0, 1])
+
+    def test_error_decreases(self, correlated_log):
+        naive = NaiveEncoding.from_log(correlated_log)
+        base_error = naive.maxent_entropy() - correlated_log.entropy()
+        result = refine_greedy(correlated_log, 2, min_support=0.2)
+        assert result.error <= base_error + 1e-9
+
+    def test_verbosity_accounting(self, correlated_log):
+        result = refine_greedy(correlated_log, 1, min_support=0.2)
+        naive = NaiveEncoding.from_log(correlated_log)
+        assert result.verbosity == naive.verbosity + 1
+
+    def test_diversified_vs_single_pass(self, correlated_log):
+        single = refine_greedy(correlated_log, 2, min_support=0.2, diversify=False)
+        diverse = refine_greedy(correlated_log, 2, min_support=0.2, diversify=True)
+        # both should reach a no-worse error than the naive encoding,
+        # and diversification never does worse here
+        assert diverse.error <= single.error + 1e-6
+
+    def test_stops_when_no_gain(self):
+        """A perfectly independent log offers no refinement patterns."""
+        rng = np.random.default_rng(0)
+        matrix = (rng.random((200, 4)) < 0.5).astype(np.uint8)
+        unique, counts = np.unique(matrix, axis=0, return_counts=True)
+        log = QueryLog(Vocabulary(range(4)), unique, counts)
+        result = refine_greedy(log, 5, min_support=0.05)
+        # scores must all be small; the greedy loop stops at <= 5
+        assert result.extra.verbosity <= 5
+        for _, score in result.scores:
+            assert score > 0
+
+    def test_custom_candidates(self, correlated_log):
+        candidates = [(Pattern([0, 1]), 0.5)]
+        result = refine_greedy(correlated_log, 3, candidates=candidates)
+        assert result.extra.patterns() == [Pattern([0, 1])]
+
+    def test_refined_error_helper(self, correlated_log):
+        naive = NaiveEncoding.from_log(correlated_log)
+        extra = PatternEncoding(4, {Pattern([0, 1]): 0.5})
+        error = refined_error(correlated_log, naive, extra)
+        base = naive.maxent_entropy() - correlated_log.entropy()
+        assert error < base

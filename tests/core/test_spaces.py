@@ -1,0 +1,58 @@
+"""Tests for the Ω_E distribution sampler (Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import PatternEncoding
+from repro.core.pattern import Pattern
+from repro.core.spaces import DistributionSampler
+
+
+class TestSampler:
+    def test_samples_are_distributions(self, random_log):
+        encoding = PatternEncoding.from_log(random_log, [Pattern([0, 1])])
+        sampler = DistributionSampler(encoding, random_log, seed=0)
+        for sample in sampler.sample_many(10):
+            assert sample.class_probs.sum() == pytest.approx(1.0, abs=1e-9)
+            assert (sample.class_probs >= -1e-12).all()
+            assert (sample.row_probs >= 0).all()
+            # the log's rows are a subset of all queries
+            assert sample.row_probs.sum() <= 1.0 + 1e-9
+
+    def test_constraints_hold_after_projection(self, random_log):
+        patterns = [Pattern([0, 1]), Pattern([2])]
+        encoding = PatternEncoding.from_log(random_log, patterns)
+        sampler = DistributionSampler(encoding, random_log, seed=1)
+        profiles = sampler.classes.profiles
+        for sample in sampler.sample_many(20):
+            for j, pattern in enumerate(patterns):
+                achieved = sample.class_probs[profiles[:, j] > 0].sum()
+                assert achieved == pytest.approx(encoding[pattern], abs=1e-6)
+
+    def test_empty_encoding_single_class(self, random_log):
+        sampler = DistributionSampler(PatternEncoding(random_log.n_features), random_log, seed=0)
+        sample = sampler.sample()
+        assert sample.class_probs.shape == (1,)
+        assert sample.class_probs[0] == pytest.approx(1.0)
+
+    def test_row_class_assignment(self, example2_log):
+        pattern = Pattern([3, 5])  # contained in q1, q2 but not q4
+        encoding = PatternEncoding.from_log(example2_log, [pattern])
+        sampler = DistributionSampler(encoding, example2_log, seed=0)
+        contained = pattern.matches(example2_log.matrix)
+        profiles = sampler.classes.profiles
+        for row, is_in in enumerate(contained):
+            profile = profiles[sampler._row_class[row]]
+            assert bool(profile[0]) == bool(is_in)
+
+    def test_deterministic_with_seed(self, random_log):
+        encoding = PatternEncoding.from_log(random_log, [Pattern([0])])
+        a = DistributionSampler(encoding, random_log, seed=5).sample()
+        b = DistributionSampler(encoding, random_log, seed=5).sample()
+        assert np.allclose(a.row_probs, b.row_probs)
+
+    def test_distinct_samples_differ(self, random_log):
+        encoding = PatternEncoding.from_log(random_log, [Pattern([0])])
+        sampler = DistributionSampler(encoding, random_log, seed=6)
+        a, b = sampler.sample(), sampler.sample()
+        assert not np.allclose(a.row_probs, b.row_probs)

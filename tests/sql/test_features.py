@@ -1,0 +1,124 @@
+"""Tests for Aligon / Makiyama feature extraction."""
+
+import pytest
+
+from repro.sql import (
+    AligonExtractor,
+    Clause,
+    Feature,
+    MakiyamaExtractor,
+    extract_features,
+    query_features,
+)
+from repro.sql.errors import FeatureExtractionError
+
+
+def feats(sql, **kwargs):
+    sets = extract_features(sql, **kwargs)
+    assert len(sets) == 1
+    return {(f.value, f.clause) for f in sets[0]}
+
+
+class TestPaperExample1:
+    """Example 1 of the paper, §2.2."""
+
+    SQL = (
+        "SELECT _id, sms_type, _time FROM Messages "
+        "WHERE status = ? AND transport_type = ?"
+    )
+
+    def test_six_features(self):
+        assert feats(self.SQL) == {
+            ("_id", Clause.SELECT),
+            ("sms_type", Clause.SELECT),
+            ("_time", Clause.SELECT),
+            ("messages", Clause.FROM),
+            ("status = ?", Clause.WHERE),
+            ("transport_type = ?", Clause.WHERE),
+        }
+
+
+class TestAligon:
+    def test_star_select(self):
+        assert ("*", Clause.SELECT) in feats("SELECT * FROM t")
+
+    def test_subquery_from_feature(self):
+        result = feats("SELECT a FROM (SELECT b FROM u) AS s")
+        from_features = {v for v, c in result if c == Clause.FROM}
+        assert from_features == {"(SELECT b FROM u)"}
+
+    def test_join_condition_becomes_where_feature(self):
+        result = feats("SELECT a FROM t1 JOIN t2 ON t1.id = t2.id")
+        assert ("t1.id = t2.id", Clause.WHERE) in result
+
+    def test_constants_removed_by_default(self):
+        a = feats("SELECT a FROM t WHERE x = 5")
+        b = feats("SELECT a FROM t WHERE x = 99")
+        assert a == b
+        assert ("x = ?", Clause.WHERE) in a
+
+    def test_constants_kept_when_requested(self):
+        result = feats("SELECT a FROM t WHERE x = 5", remove_constants=False)
+        assert ("x = 5", Clause.WHERE) in result
+
+    def test_union_branches_are_separate_sets(self):
+        sets = extract_features("SELECT a FROM t WHERE x = 1 OR y = 2")
+        assert len(sets) == 2
+        wheres = sorted(
+            next(f.value for f in s if f.clause == Clause.WHERE) for s in sets
+        )
+        assert wheres == ["x = ?", "y = ?"]
+
+    def test_query_features_merges_branches(self):
+        merged = query_features("SELECT a FROM t WHERE x = 1 OR y = 2")
+        values = {f.value for f in merged if f.clause == Clause.WHERE}
+        assert values == {"x = ?", "y = ?"}
+
+    def test_aligon_ignores_group_order(self):
+        result = feats("SELECT a FROM t GROUP BY a ORDER BY a DESC LIMIT 5")
+        clauses = {c for _, c in result}
+        assert clauses == {Clause.SELECT, Clause.FROM}
+
+    def test_extract_single_raises_on_union(self):
+        extractor = AligonExtractor()
+        with pytest.raises(FeatureExtractionError):
+            extractor.extract_single("SELECT a FROM t WHERE x = 1 OR y = 2")
+
+    def test_feature_set_isomorphism(self):
+        """Same structure modulo commutativity -> same feature set (§2.1)."""
+        a = feats("SELECT a, b FROM t WHERE x = ? AND y = ?")
+        b = feats("SELECT b, a FROM t WHERE y = ? AND x = ?")
+        assert a == b
+
+
+class TestMakiyama:
+    SQL = (
+        "SELECT type, count(*) AS n FROM photoobj "
+        "WHERE clean = 1 GROUP BY type HAVING count(*) > 10 "
+        "ORDER BY n DESC"
+    )
+
+    def test_aggregation_features(self):
+        result = feats(self.SQL, scheme="makiyama")
+        assert ("type", Clause.GROUPBY) in result
+        assert ("n DESC", Clause.ORDERBY) in result
+        assert ("count(*) > ?", Clause.HAVING) in result
+        assert ("count(*)", Clause.AGG) in result
+
+    def test_superset_of_aligon(self):
+        aligon = feats(self.SQL)
+        makiyama = feats(self.SQL, scheme="makiyama")
+        assert aligon <= makiyama
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ValueError):
+            extract_features("SELECT a FROM t", scheme="nope")
+
+
+class TestFeatureType:
+    def test_feature_is_hashable_and_ordered(self):
+        a = Feature("x = ?", Clause.WHERE)
+        b = Feature("x = ?", Clause.WHERE)
+        assert a == b
+        assert len({a, b}) == 1
+        assert str(a) == "<x = ?, WHERE>"

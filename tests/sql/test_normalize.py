@@ -1,0 +1,72 @@
+"""Tests for constant parameterization and case folding."""
+
+from repro.sql import parse, to_sql
+from repro.sql.normalize import fold_identifier_case, normalize, parameterize
+
+
+class TestParameterize:
+    def test_literals_become_parameters(self):
+        stmt = parse("SELECT a FROM t WHERE x = 42 AND y = 'abc'")
+        assert to_sql(parameterize(stmt)) == "SELECT a FROM t WHERE x = ? AND y = ?"
+
+    def test_queries_differing_only_in_constants_collapse(self):
+        a = parse("SELECT a FROM t WHERE x = 1")
+        b = parse("SELECT a FROM t WHERE x = 99")
+        assert to_sql(parameterize(a)) == to_sql(parameterize(b))
+
+    def test_null_is_preserved(self):
+        stmt = parse("SELECT a FROM t WHERE x IS NULL")
+        assert "IS NULL" in to_sql(parameterize(stmt))
+
+    def test_limit_is_preserved(self):
+        stmt = parse("SELECT a FROM t LIMIT 500")
+        assert "LIMIT 500" in to_sql(parameterize(stmt))
+
+    def test_in_list_constants(self):
+        stmt = parse("SELECT a FROM t WHERE x IN (1, 2, 3)")
+        assert "IN (?, ?, ?)" in to_sql(parameterize(stmt))
+
+    def test_between_constants(self):
+        stmt = parse("SELECT a FROM t WHERE x BETWEEN 1 AND 9")
+        assert "BETWEEN ? AND ?" in to_sql(parameterize(stmt))
+
+    def test_subquery_constants(self):
+        stmt = parse("SELECT a FROM (SELECT b FROM u WHERE c = 7) AS s")
+        assert "c = ?" in to_sql(parameterize(stmt))
+
+    def test_union_branches_both_parameterized(self):
+        stmt = parse("SELECT a FROM t WHERE x = 1 UNION SELECT a FROM t WHERE x = 2")
+        text = to_sql(parameterize(stmt))
+        assert text.count("= ?") == 2
+
+    def test_case_expression_constants(self):
+        stmt = parse("SELECT CASE WHEN x = 3 THEN 5 ELSE 6 END FROM t")
+        text = to_sql(parameterize(stmt))
+        assert "WHEN x = ? THEN ? ELSE ?" in text
+
+
+class TestCaseFolding:
+    def test_identifiers_lowercased(self):
+        stmt = parse("SELECT Foo, T.Bar FROM MyTable T")
+        text = to_sql(fold_identifier_case(stmt))
+        assert text == "SELECT foo, t.bar FROM mytable AS t"
+
+    def test_function_names_lowercased(self):
+        stmt = parse("SELECT COUNT(*), UPPER(Name) FROM T")
+        text = to_sql(fold_identifier_case(stmt))
+        assert "count(*)" in text
+        assert "upper(name)" in text
+
+    def test_string_literals_untouched(self):
+        stmt = parse("SELECT a FROM t WHERE x = 'MixedCase'")
+        assert "'MixedCase'" in to_sql(fold_identifier_case(stmt))
+
+    def test_normalize_pipeline(self):
+        stmt = parse("SELECT A FROM T WHERE X = 5")
+        assert to_sql(normalize(stmt)) == "SELECT a FROM t WHERE x = ?"
+
+    def test_normalize_can_keep_constants(self):
+        stmt = parse("SELECT A FROM T WHERE X = 5")
+        assert to_sql(normalize(stmt, remove_constants=False)) == (
+            "SELECT a FROM t WHERE x = 5"
+        )

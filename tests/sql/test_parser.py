@@ -1,0 +1,244 @@
+"""Unit tests for the recursive-descent SQL parser."""
+
+import pytest
+
+from repro.sql import ast, parse
+from repro.sql.errors import ParseError
+
+
+class TestSelectList:
+    def test_simple_columns(self):
+        stmt = parse("SELECT a, b FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert [item.expr.name for item in stmt.items] == ["a", "b"]
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.items[0].expr.table == "t"
+
+    def test_alias_with_as(self):
+        stmt = parse("SELECT a AS x FROM t")
+        assert stmt.items[0].alias == "x"
+
+    def test_alias_without_as(self):
+        stmt = parse("SELECT a x FROM t")
+        assert stmt.items[0].alias == "x"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+        assert not parse("SELECT ALL a FROM t").distinct
+
+    def test_function_call(self):
+        stmt = parse("SELECT count(*), max(x) FROM t")
+        count = stmt.items[0].expr
+        assert isinstance(count, ast.FuncCall)
+        assert count.name == "count"
+        assert isinstance(count.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        expr = parse("SELECT count(DISTINCT x) FROM t").items[0].expr
+        assert expr.distinct
+
+    def test_arithmetic_precedence(self):
+        expr = parse("SELECT a + b * c FROM t").items[0].expr
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_select_without_from(self):
+        stmt = parse("SELECT 1")
+        assert stmt.from_items == ()
+        assert stmt.items[0].expr.value == 1
+
+
+class TestFromClause:
+    def test_table_alias(self):
+        stmt = parse("SELECT a FROM Orders o")
+        table = stmt.from_items[0]
+        assert table.name == "Orders"
+        assert table.alias == "o"
+
+    def test_schema_qualified_table(self):
+        table = parse("SELECT a FROM prod.orders").from_items[0]
+        assert table.name == "prod.orders"
+
+    def test_implicit_join(self):
+        stmt = parse("SELECT a FROM t1, t2")
+        assert len(stmt.from_items) == 2
+
+    def test_explicit_join_with_on(self):
+        stmt = parse("SELECT a FROM t1 JOIN t2 ON t1.id = t2.id")
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.Join)
+        assert join.join_type == ast.JoinType.INNER
+        assert isinstance(join.condition, ast.Comparison)
+
+    @pytest.mark.parametrize(
+        "sql,expected",
+        [
+            ("LEFT JOIN", ast.JoinType.LEFT),
+            ("LEFT OUTER JOIN", ast.JoinType.LEFT),
+            ("RIGHT JOIN", ast.JoinType.RIGHT),
+            ("FULL OUTER JOIN", ast.JoinType.FULL),
+            ("CROSS JOIN", ast.JoinType.CROSS),
+            ("INNER JOIN", ast.JoinType.INNER),
+        ],
+    )
+    def test_join_types(self, sql, expected):
+        stmt = parse(f"SELECT a FROM t1 {sql} t2")
+        assert stmt.from_items[0].join_type == expected
+
+    def test_chained_joins(self):
+        stmt = parse("SELECT a FROM t1 JOIN t2 ON t1.x = t2.x JOIN t3 ON t2.y = t3.y")
+        outer = stmt.from_items[0]
+        assert isinstance(outer.left, ast.Join)
+
+    def test_derived_table(self):
+        stmt = parse("SELECT a FROM (SELECT b FROM t) AS sub")
+        derived = stmt.from_items[0]
+        assert isinstance(derived, ast.SubqueryTable)
+        assert derived.alias == "sub"
+
+
+class TestWhereClause:
+    def test_comparison_operators(self):
+        for op in ["=", "!=", "<", "<=", ">", ">="]:
+            stmt = parse(f"SELECT a FROM t WHERE x {op} 1")
+            assert stmt.where.op == op
+
+    def test_and_flattens(self):
+        stmt = parse("SELECT a FROM t WHERE x = 1 AND y = 2 AND z = 3")
+        assert isinstance(stmt.where, ast.And)
+        assert len(stmt.where.operands) == 3
+
+    def test_or_binds_looser_than_and(self):
+        stmt = parse("SELECT a FROM t WHERE x = 1 AND y = 2 OR z = 3")
+        assert isinstance(stmt.where, ast.Or)
+        assert isinstance(stmt.where.operands[0], ast.And)
+
+    def test_parenthesized_predicate(self):
+        stmt = parse("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3")
+        assert isinstance(stmt.where, ast.And)
+        assert isinstance(stmt.where.operands[0], ast.Or)
+
+    def test_parenthesized_expression_comparison(self):
+        stmt = parse("SELECT a FROM t WHERE (x + 1) * 2 > 10")
+        assert isinstance(stmt.where, ast.Comparison)
+
+    def test_not(self):
+        stmt = parse("SELECT a FROM t WHERE NOT x = 1")
+        assert isinstance(stmt.where, ast.Not)
+
+    def test_in_list(self):
+        stmt = parse("SELECT a FROM t WHERE x IN (1, 2, 3)")
+        assert isinstance(stmt.where, ast.InList)
+        assert len(stmt.where.items) == 3
+
+    def test_not_in_list(self):
+        assert parse("SELECT a FROM t WHERE x NOT IN (1)").where.negated
+
+    def test_in_subquery(self):
+        stmt = parse("SELECT a FROM t WHERE x IN (SELECT y FROM u)")
+        assert isinstance(stmt.where, ast.InSubquery)
+
+    def test_between(self):
+        stmt = parse("SELECT a FROM t WHERE x BETWEEN 1 AND 10")
+        assert isinstance(stmt.where, ast.Between)
+
+    def test_not_between(self):
+        assert parse("SELECT a FROM t WHERE x NOT BETWEEN 1 AND 2").where.negated
+
+    def test_like(self):
+        stmt = parse("SELECT a FROM t WHERE name LIKE 'A%'")
+        assert isinstance(stmt.where, ast.Like)
+
+    def test_is_null_and_is_not_null(self):
+        assert not parse("SELECT a FROM t WHERE x IS NULL").where.negated
+        assert parse("SELECT a FROM t WHERE x IS NOT NULL").where.negated
+
+    def test_exists(self):
+        stmt = parse("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)")
+        assert isinstance(stmt.where, ast.Exists)
+
+    def test_parameters_are_numbered(self):
+        stmt = parse("SELECT a FROM t WHERE x = ? AND y = ?")
+        params = [
+            atom.right for atom in stmt.where.operands
+        ]
+        assert [p.index for p in params] == [1, 2]
+
+    def test_column_to_column_comparison(self):
+        stmt = parse("SELECT a FROM t WHERE t.x = t.y")
+        assert stmt.where.left.table == "t"
+        assert stmt.where.right.name == "y"
+
+
+class TestTrailingClauses:
+    def test_group_by_and_having(self):
+        stmt = parse("SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 5")
+        assert len(stmt.group_by) == 1
+        assert isinstance(stmt.having, ast.Comparison)
+
+    def test_order_by_directions(self):
+        stmt = parse("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert [k.descending for k in stmt.order_by] == [True, False, False]
+
+    def test_limit_offset(self):
+        stmt = parse("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert stmt.limit == 10
+        assert stmt.offset == 5
+
+    def test_case_expression(self):
+        stmt = parse(
+            "SELECT CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END FROM t"
+        )
+        case = stmt.items[0].expr
+        assert isinstance(case, ast.CaseExpr)
+        assert case.else_result.value == "neg"
+
+    def test_cast(self):
+        expr = parse("SELECT CAST(x AS varchar(32)) FROM t").items[0].expr
+        assert isinstance(expr, ast.CastExpr)
+        assert expr.type_name == "varchar(32)"
+
+
+class TestUnion:
+    def test_union(self):
+        stmt = parse("SELECT a FROM t UNION SELECT b FROM u")
+        assert isinstance(stmt, ast.Union)
+        assert not stmt.all
+        assert len(stmt.selects) == 2
+
+    def test_union_all(self):
+        assert parse("SELECT a FROM t UNION ALL SELECT b FROM u").all
+
+    def test_three_way_union(self):
+        stmt = parse("SELECT a FROM t UNION SELECT b FROM u UNION SELECT c FROM v")
+        assert len(stmt.selects) == 3
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t WHERE x =",
+            "SELECT a FROM t GROUP",
+            "SELECT a FROM t LIMIT x",
+            "SELECT a FROM t extra garbage (",
+            "UPDATE t SET x = 1",
+        ],
+    )
+    def test_malformed_queries_raise(self, sql):
+        with pytest.raises(ParseError):
+            parse(sql)
+
+    def test_not_without_tail_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t WHERE x NOT 5")

@@ -1,0 +1,109 @@
+"""Edge-case parser/printer tests beyond the core grammar suite."""
+
+import pytest
+
+from repro.sql import ast, parse, to_sql
+from repro.sql.errors import ParseError
+
+
+class TestQuotedIdentifiers:
+    def test_double_quoted_table(self):
+        stmt = parse('SELECT a FROM "Order Details"')
+        assert stmt.from_items[0].name == "Order Details"
+
+    def test_backtick_column(self):
+        stmt = parse("SELECT `weird col` FROM t")
+        assert stmt.items[0].expr.name == "weird col"
+
+    def test_quoted_roundtrip_parses(self):
+        # Our canonical printer emits identifiers bare; quoted names
+        # containing spaces are preserved in the AST even though the
+        # printer targets the common no-quote case.
+        stmt = parse('SELECT a FROM "T"')
+        assert stmt.from_items[0].name == "T"
+
+
+class TestNumericEdges:
+    def test_float_select(self):
+        assert parse("SELECT 3.25 FROM t").items[0].expr.value == 3.25
+
+    def test_scientific_notation(self):
+        assert parse("SELECT 1e3 FROM t").items[0].expr.value == 1000.0
+
+    def test_negative_literal_via_unary(self):
+        expr = parse("SELECT -5 FROM t").items[0].expr
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_leading_dot_decimal(self):
+        assert parse("SELECT .5 FROM t").items[0].expr.value == 0.5
+
+
+class TestNesting:
+    def test_deeply_nested_parens(self):
+        stmt = parse("SELECT a FROM t WHERE ((((x = 1))))")
+        assert isinstance(stmt.where, ast.Comparison)
+
+    def test_subquery_in_subquery(self):
+        stmt = parse(
+            "SELECT a FROM (SELECT b FROM (SELECT c FROM t) AS inner1) AS outer1"
+        )
+        derived = stmt.from_items[0]
+        assert isinstance(derived.select.from_items[0], ast.SubqueryTable)
+
+    def test_exists_with_correlated_predicate(self):
+        stmt = parse(
+            "SELECT a FROM t WHERE EXISTS "
+            "(SELECT 1 FROM u WHERE u.id = t.id AND u.x > 3)"
+        )
+        assert isinstance(stmt.where, ast.Exists)
+        assert parse(to_sql(stmt)) == stmt
+
+    def test_in_subquery_with_where(self):
+        stmt = parse(
+            "SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE z = 1)"
+        )
+        assert isinstance(stmt.where, ast.InSubquery)
+        assert parse(to_sql(stmt)) == stmt
+
+
+class TestWhitespaceAndComments:
+    def test_query_with_comments(self):
+        stmt = parse(
+            "SELECT a -- the column\nFROM t /* the table */ WHERE x = 1"
+        )
+        assert to_sql(stmt) == "SELECT a FROM t WHERE x = 1"
+
+    def test_multiline_query(self):
+        stmt = parse("SELECT a,\n       b\nFROM t\nWHERE x = 1\n")
+        assert len(stmt.items) == 2
+
+    def test_trailing_semicolon(self):
+        assert to_sql(parse("SELECT a FROM t;")) == "SELECT a FROM t"
+
+    def test_double_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t;;")
+
+
+class TestOperatorEdges:
+    def test_modulo(self):
+        expr = parse("SELECT a % 2 FROM t").items[0].expr
+        assert expr.op == "%"
+
+    def test_concat_chain(self):
+        expr = parse("SELECT a || b || c FROM t").items[0].expr
+        assert expr.op == "||"
+        assert expr.left.op == "||"
+
+    def test_comparison_of_function_results(self):
+        stmt = parse("SELECT a FROM t WHERE upper(name) = lower(other)")
+        assert isinstance(stmt.where.left, ast.FuncCall)
+        assert isinstance(stmt.where.right, ast.FuncCall)
+
+    def test_arithmetic_in_predicate(self):
+        stmt = parse("SELECT a FROM t WHERE (price * qty) - discount > 100")
+        assert parse(to_sql(stmt)) == stmt
+
+    def test_between_with_expressions(self):
+        stmt = parse("SELECT a FROM t WHERE x + 1 BETWEEN y - 2 AND y + 2")
+        assert isinstance(stmt.where, ast.Between)

@@ -1,0 +1,72 @@
+"""Printer tests: canonical rendering and parse/print round trips."""
+
+import pytest
+
+from repro.sql import parse, to_sql
+
+
+class TestRoundTrip:
+    """to_sql output must re-parse to the same canonical text."""
+
+    CASES = [
+        "SELECT a FROM t",
+        "SELECT DISTINCT a, b AS x FROM t",
+        "SELECT * FROM t WHERE x = 1 AND y != 'abc'",
+        "SELECT a FROM t1 JOIN t2 ON t1.id = t2.id WHERE t1.x > 5",
+        "SELECT a FROM t1 LEFT JOIN t2 ON t1.id = t2.id",
+        "SELECT a FROM (SELECT b FROM u WHERE c = ?) AS sub",
+        "SELECT a FROM t WHERE x IN (1, 2, 3) OR y IS NULL",
+        "SELECT a FROM t WHERE x BETWEEN 1 AND 10 AND name LIKE 'A%'",
+        "SELECT a FROM t WHERE NOT (x = 1 OR y = 2)",
+        "SELECT a, count(*) AS n FROM t GROUP BY a HAVING count(*) > 2",
+        "SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 2",
+        "SELECT a FROM t UNION ALL SELECT b FROM u",
+        "SELECT CASE WHEN x > 0 THEN 1 ELSE 0 END FROM t",
+        "SELECT CAST(x AS int) FROM t",
+        "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)",
+        "SELECT -x, a + b * c, (a + b) * c FROM t",
+        "SELECT a || b FROM t",
+        "SELECT upper(name) FROM t WHERE t.x = ?",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_fixpoint(self, sql):
+        once = to_sql(parse(sql))
+        twice = to_sql(parse(once))
+        assert once == twice
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_ast_equality_after_roundtrip(self, sql):
+        first = parse(sql)
+        second = parse(to_sql(first))
+        assert first == second
+
+
+class TestCanonicalForms:
+    def test_keywords_uppercased(self):
+        assert to_sql(parse("select a from t where x = 1")) == (
+            "SELECT a FROM t WHERE x = 1"
+        )
+
+    def test_or_inside_and_is_parenthesized(self):
+        text = to_sql(parse("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3"))
+        assert "(x = 1 OR y = 2) AND z = 3" in text
+
+    def test_string_escaping(self):
+        text = to_sql(parse("SELECT a FROM t WHERE x = 'it''s'"))
+        assert "'it''s'" in text
+
+    def test_null_true_false(self):
+        text = to_sql(parse("SELECT NULL, TRUE, FALSE FROM t"))
+        assert text == "SELECT NULL, TRUE, FALSE FROM t"
+
+    def test_not_is_parenthesized(self):
+        text = to_sql(parse("SELECT a FROM t WHERE NOT x = 1"))
+        assert "NOT (x = 1)" in text
+
+    def test_right_associative_subtraction_parens(self):
+        text = to_sql(parse("SELECT a - (b - c) FROM t"))
+        assert "a - (b - c)" in text
+
+    def test_inequality_normalized(self):
+        assert "x != 1" in to_sql(parse("SELECT a FROM t WHERE x <> 1"))

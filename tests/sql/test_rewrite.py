@@ -1,0 +1,182 @@
+"""Tests for the conjunctive-form regularizer (NNF, DNF, flattening)."""
+
+import pytest
+
+from repro.sql import ast, parse, to_sql
+from repro.sql.errors import RegularizationError
+from repro.sql.rewrite import (
+    conjuncts,
+    expand_atoms,
+    flatten_joins,
+    is_conjunctive,
+    regularize,
+    regularize_statement,
+    to_dnf,
+    to_nnf,
+)
+
+
+def _where(sql: str) -> ast.Predicate:
+    return parse(f"SELECT a FROM t WHERE {sql}").where
+
+
+class TestNnf:
+    def test_double_negation(self):
+        pred = to_nnf(_where("NOT (NOT x = 1)"))
+        assert isinstance(pred, ast.Comparison)
+        assert pred.op == "="
+
+    def test_de_morgan_and(self):
+        pred = to_nnf(_where("NOT (x = 1 AND y = 2)"))
+        assert isinstance(pred, ast.Or)
+        assert all(op.op == "!=" for op in pred.operands)
+
+    def test_de_morgan_or(self):
+        pred = to_nnf(_where("NOT (x = 1 OR y = 2)"))
+        assert isinstance(pred, ast.And)
+
+    @pytest.mark.parametrize(
+        "op,negated", [("=", "!="), ("<", ">="), (">", "<="), ("<=", ">"), (">=", "<")]
+    )
+    def test_comparison_negation(self, op, negated):
+        pred = to_nnf(_where(f"NOT x {op} 1"))
+        assert pred.op == negated
+
+    def test_negated_in_toggles_flag(self):
+        pred = to_nnf(_where("NOT x IN (1, 2)"))
+        assert isinstance(pred, ast.InList)
+        assert pred.negated
+
+    def test_negated_is_null(self):
+        pred = to_nnf(_where("NOT x IS NULL"))
+        assert pred.negated
+
+
+class TestExpandAtoms:
+    def test_between_becomes_two_inequalities(self):
+        pred = expand_atoms(to_nnf(_where("x BETWEEN 1 AND 5")))
+        assert isinstance(pred, ast.And)
+        ops = sorted(op.op for op in pred.operands)
+        assert ops == ["<=", ">="]
+
+    def test_negated_between_becomes_disjunction(self):
+        pred = expand_atoms(to_nnf(_where("x NOT BETWEEN 1 AND 5")))
+        assert isinstance(pred, ast.Or)
+
+    def test_in_list_becomes_equalities(self):
+        pred = expand_atoms(to_nnf(_where("x IN (1, 2, 3)")))
+        assert isinstance(pred, ast.Or)
+        assert len(pred.operands) == 3
+        assert all(op.op == "=" for op in pred.operands)
+
+    def test_negated_in_becomes_conjunction(self):
+        pred = expand_atoms(to_nnf(_where("x NOT IN (1, 2)")))
+        assert isinstance(pred, ast.And)
+        assert all(op.op == "!=" for op in pred.operands)
+
+
+class TestDnf:
+    def test_atom_is_single_disjunct(self):
+        assert to_dnf(_where("x = 1")) == [[_where("x = 1")]]
+
+    def test_distribution(self):
+        pred = _where("(x = 1 OR y = 2) AND z = 3")
+        disjuncts = to_dnf(pred)
+        assert len(disjuncts) == 2
+        assert all(len(d) == 2 for d in disjuncts)
+
+    def test_cross_product_size(self):
+        pred = _where("(a = 1 OR a = 2) AND (b = 1 OR b = 2) AND (c = 1 OR c = 2)")
+        assert len(to_dnf(pred)) == 8
+
+    def test_cap_raises(self):
+        pred = _where(" AND ".join(f"(x{i} = 1 OR x{i} = 2)" for i in range(8)))
+        with pytest.raises(RegularizationError):
+            to_dnf(pred, max_disjuncts=64)
+
+
+class TestFlattenJoins:
+    def test_on_condition_moves_to_where(self):
+        stmt = parse("SELECT a FROM t1 JOIN t2 ON t1.id = t2.id WHERE t1.x = 1")
+        flat = flatten_joins(stmt)
+        assert all(isinstance(ref, ast.NamedTable) for ref in flat.from_items)
+        assert len(conjuncts(flat.where)) == 2
+
+    def test_nested_joins(self):
+        stmt = parse(
+            "SELECT a FROM t1 JOIN t2 ON t1.x = t2.x JOIN t3 ON t2.y = t3.y"
+        )
+        flat = flatten_joins(stmt)
+        assert len(flat.from_items) == 3
+        assert len(conjuncts(flat.where)) == 2
+
+    def test_no_join_is_identity(self):
+        stmt = parse("SELECT a FROM t WHERE x = 1")
+        assert flatten_joins(stmt) == stmt
+
+
+class TestRegularize:
+    def test_conjunctive_query_is_single_branch(self):
+        stmt = parse("SELECT a FROM t WHERE x = 1 AND y = 2")
+        branches = regularize(stmt)
+        assert len(branches) == 1
+        assert is_conjunctive(branches[0])
+
+    def test_or_splits_into_branches(self):
+        stmt = parse("SELECT a FROM t WHERE x = 1 OR y = 2")
+        branches = regularize(stmt)
+        assert len(branches) == 2
+        assert all(is_conjunctive(b) for b in branches)
+
+    def test_branch_semantics(self):
+        stmt = parse("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3")
+        branch_texts = sorted(to_sql(b) for b in regularize(stmt))
+        assert branch_texts == [
+            "SELECT a FROM t WHERE x = 1 AND z = 3",
+            "SELECT a FROM t WHERE y = 2 AND z = 3",
+        ]
+
+    def test_no_where(self):
+        stmt = parse("SELECT a FROM t")
+        assert regularize(stmt) == [stmt]
+
+    def test_union_statement(self):
+        stmt = parse("SELECT a FROM t WHERE x = 1 OR x = 2 UNION SELECT a FROM u")
+        branches = regularize_statement(stmt)
+        assert len(branches) == 3
+
+    def test_in_list_regularizes(self):
+        stmt = parse("SELECT a FROM t WHERE x IN (1, 2, 3)")
+        assert len(regularize(stmt)) == 3
+
+    def test_empty_in_list_contradiction_kept(self):
+        # An IN over an empty expansion yields FALSE; we keep one branch.
+        pred = ast.InList(ast.ColumnRef("x"), (), negated=False)
+        stmt = ast.Select(
+            items=(ast.SelectItem(ast.ColumnRef("a")),),
+            from_items=(ast.NamedTable("t"),),
+            where=pred,
+        )
+        branches = regularize(stmt)
+        assert len(branches) == 1
+        assert isinstance(branches[0].where, ast.BoolLiteral)
+
+
+class TestIsConjunctive:
+    @pytest.mark.parametrize(
+        "sql,expected",
+        [
+            ("SELECT a FROM t", True),
+            ("SELECT a FROM t WHERE x = 1", True),
+            ("SELECT a FROM t WHERE x = 1 AND y > 2", True),
+            ("SELECT a FROM t WHERE x = 1 OR y = 2", False),
+            ("SELECT a FROM t WHERE NOT x = 1", False),
+            ("SELECT a FROM t WHERE x IN (1, 2)", False),
+            ("SELECT a FROM t WHERE x BETWEEN 1 AND 2", False),
+            ("SELECT a FROM t WHERE x IS NULL", True),
+            ("SELECT a FROM t WHERE name LIKE 'A%'", True),
+            ("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)", True),
+        ],
+    )
+    def test_cases(self, sql, expected):
+        assert is_conjunctive(parse(sql)) is expected

@@ -1,0 +1,93 @@
+"""Tests for the logr command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import generate_pocketdata, write_log
+
+
+@pytest.fixture(scope="module")
+def log_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "log.sql"
+    workload = generate_pocketdata(total=2_000, n_distinct=60, seed=4)
+    write_log(workload, path)
+    return path
+
+
+class TestCompress:
+    def test_compress_writes_artifact(self, log_file, tmp_path, capsys):
+        out = tmp_path / "summary.json"
+        rc = main(["compress", str(log_file), "-o", str(out), "-k", "4"])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "logr-mixture-v1"
+        assert len(payload["components"]) <= 4
+        printed = capsys.readouterr().out
+        assert "Error=" in printed
+
+    def test_compress_with_spectral(self, log_file, tmp_path):
+        out = tmp_path / "summary.json"
+        rc = main(
+            [
+                "compress", str(log_file), "-o", str(out),
+                "-k", "2", "--method", "spectral", "--metric", "hamming",
+            ]
+        )
+        assert rc == 0
+
+
+class TestStats:
+    def test_stats_output(self, log_file, capsys):
+        rc = main(["stats", str(log_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# Distinct queries" in out
+        assert "True entropy" in out
+
+
+class TestEstimateAndVisualize:
+    @pytest.fixture()
+    def artifact(self, log_file, tmp_path):
+        out = tmp_path / "summary.json"
+        main(["compress", str(log_file), "-o", str(out), "-k", "3"])
+        return out
+
+    def test_estimate(self, artifact, capsys):
+        rc = main(
+            ["estimate", str(artifact), "--feature", "messages:FROM"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "estimated count" in out
+
+    def test_estimate_bad_spec(self, artifact):
+        with pytest.raises(SystemExit):
+            main(["estimate", str(artifact), "--feature", "no-colon"])
+
+    def test_visualize(self, artifact, capsys):
+        rc = main(["visualize", str(artifact), "--min-marginal", "0.4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cluster" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_synthesize(self, artifact, capsys):
+        rc = main(["synthesize", str(artifact), "-n", "5"])
+        assert rc == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert len(lines) == 5
+        from repro.sql import parse
+
+        for line in lines:
+            parse(line)
+
+    def test_drift_self_is_zero(self, artifact, capsys):
+        rc = main(["drift", str(artifact), str(artifact)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "workload divergence: 0.0000 bits" in out

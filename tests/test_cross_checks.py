@@ -1,0 +1,173 @@
+"""Cross-module consistency checks.
+
+Mathematical agreements between independent implementations:
+
+* BlockwiseMaxent (IPF over atoms) vs ClassBasedMaxent (equivalence
+  classes) on encodings where both apply;
+* the three feature schemes (Aligon, Makiyama, tree) on one workload;
+* hierarchical vs flat compression reaching comparable Error;
+* Laserlight's summary.estimate vs its internal greedy bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import NaiveEncoding, PatternEncoding
+from repro.core.log import LogBuilder, QueryLog
+from repro.core.maxent import (
+    fit_extended_naive,
+    fit_pattern_encoding,
+    ipf_atoms,
+)
+from repro.core.pattern import Pattern
+from repro.core.vocabulary import Vocabulary
+
+
+class TestMaxentEngineAgreement:
+    """Two maxent engines must agree where their domains overlap."""
+
+    @pytest.mark.parametrize(
+        "pattern_spec",
+        [
+            {(0, 1): 0.25},
+            {(0, 1): 0.25, (2, 3): 0.25},
+            {(0, 1, 2): 0.125, (3, 4): 0.25},
+        ],
+    )
+    def test_uniform_consistent_patterns_agree(self, pattern_spec):
+        """When pattern marginals equal their uniform defaults 2^-|b|,
+        the pattern constraints are satisfied by the all-1/2 product
+        distribution — so blockwise maxent (naive at 1/2 + patterns)
+        and the class-based engine (patterns alone) coincide."""
+        n = 6
+        naive = NaiveEncoding(np.full(n, 0.5))
+        extra = PatternEncoding(
+            n, {Pattern(k): v for k, v in pattern_spec.items()}
+        )
+        blockwise = fit_extended_naive(naive, extra)
+        class_based = fit_pattern_encoding(extra)
+        assert blockwise.entropy() == pytest.approx(
+            class_based.entropy(), abs=1e-4
+        )
+        assert blockwise.entropy() == pytest.approx(float(n), abs=1e-4)
+
+    @pytest.mark.parametrize(
+        "pattern_spec",
+        [
+            {(0, 1): 0.3},
+            {(0, 1): 0.4, (1, 2): 0.2},
+            {(0, 1, 2): 0.1, (3, 4): 0.35},
+        ],
+    )
+    def test_singleton_constraints_only_reduce_entropy(self, pattern_spec):
+        """Adding singleton constraints (a superset encoding) can only
+        lower maxent entropy — Lemma 1 across the two engines."""
+        n = 6
+        naive = NaiveEncoding(np.full(n, 0.5))
+        extra = PatternEncoding(
+            n, {Pattern(k): v for k, v in pattern_spec.items()}
+        )
+        blockwise = fit_extended_naive(naive, extra)
+        class_based = fit_pattern_encoding(extra)
+        assert blockwise.entropy() <= class_based.entropy() + 1e-6
+
+    def test_class_model_matches_direct_atom_ipf(self):
+        """Class-based maxent vs brute-force atom IPF on a small space."""
+        n = 5
+        encoding = PatternEncoding(
+            n, {Pattern([0, 1]): 0.22, Pattern([1, 2]): 0.18, Pattern([4]): 0.7}
+        )
+        class_entropy = fit_pattern_encoding(encoding).entropy()
+        constraints = [
+            (0b00011, 0.22), (0b00110, 0.18), (0b10000, 0.7),
+        ]
+        atoms = ipf_atoms(n, constraints, max_iter=3000)
+        mask = atoms > 0
+        atom_entropy = float(-(atoms[mask] * np.log2(atoms[mask])).sum())
+        assert class_entropy == pytest.approx(atom_entropy, abs=1e-3)
+
+
+class TestFeatureSchemeConsistency:
+    STATEMENTS = [
+        ("SELECT a, b FROM t WHERE x = 1 AND y = 2", 3),
+        ("SELECT a FROM t WHERE x = 5 OR y = 9", 2),
+        ("SELECT c, count(*) FROM u GROUP BY c ORDER BY c DESC", 1),
+        ("SELECT a FROM t JOIN u ON t.id = u.id WHERE u.z > 4", 2),
+    ]
+
+    def _encode(self, scheme):
+        from repro.sql import AligonExtractor, MakiyamaExtractor
+        from repro.sql.features_tree import TreeExtractor
+
+        builder = LogBuilder()
+        for sql, count in self.STATEMENTS:
+            if scheme == "tree":
+                builder.add(TreeExtractor().extract(sql), count)
+            else:
+                extractor = (
+                    AligonExtractor() if scheme == "aligon" else MakiyamaExtractor()
+                )
+                merged: set = set()
+                for feature_set in extractor.extract(sql):
+                    merged.update(feature_set)
+                builder.add(frozenset(merged), count)
+        return builder.build()
+
+    def test_all_schemes_preserve_total(self):
+        total = sum(count for _, count in self.STATEMENTS)
+        for scheme in ("aligon", "makiyama", "tree"):
+            assert self._encode(scheme).total == total
+
+    def test_scheme_granularity_ordering(self):
+        """Makiyama ⊇ Aligon in features; tree sees structure both miss."""
+        aligon = self._encode("aligon")
+        makiyama = self._encode("makiyama")
+        tree = self._encode("tree")
+        assert makiyama.n_features >= aligon.n_features
+        assert tree.n_features > 0
+        # every scheme distinguishes the four statement shapes
+        for log in (aligon, makiyama, tree):
+            assert log.n_distinct == len(self.STATEMENTS)
+
+    def test_all_schemes_compress(self):
+        from repro.core.compress import LogRCompressor
+
+        for scheme in ("aligon", "makiyama", "tree"):
+            log = self._encode(scheme)
+            compressed = LogRCompressor(n_clusters=2, seed=0, n_init=2).compress(log)
+            assert compressed.error >= -1e-9
+
+
+class TestHierarchicalVsFlat:
+    def test_comparable_error_at_same_k(self, small_pocketdata_log):
+        from repro.core.compress import LogRCompressor
+        from repro.core.hierarchy import HierarchicalCompressor
+
+        k = 8
+        flat = LogRCompressor(n_clusters=k, seed=0, n_init=5).compress(
+            small_pocketdata_log
+        )
+        hierarchical = HierarchicalCompressor(metric="hamming").fit(
+            small_pocketdata_log
+        )
+        mixture = hierarchical.cut(k)
+        # same K: neither should be wildly worse than the other
+        assert mixture.error() <= max(3.0 * flat.error, flat.error + 3.0)
+        assert flat.error <= max(3.0 * mixture.error(), mixture.error() + 3.0)
+
+
+class TestLaserlightBookkeeping:
+    def test_final_error_matches_estimate_recompute(self):
+        from repro.baselines.laserlight import Laserlight, laserlight_error
+
+        rng = np.random.default_rng(2)
+        matrix = (rng.random((60, 8)) < 0.5).astype(np.uint8)
+        unique, counts = np.unique(matrix, axis=0, return_counts=True)
+        log = QueryLog(Vocabulary(range(8)), unique, counts)
+        outcomes = unique[:, 0].astype(float)
+        summary = Laserlight(n_patterns=6, seed=0).fit(log, outcomes)
+        assert laserlight_error(log, outcomes, summary) == pytest.approx(
+            summary.error, abs=1e-9
+        )

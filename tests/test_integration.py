@@ -1,0 +1,124 @@
+"""End-to-end integration tests: the full paper pipeline.
+
+raw SQL text -> parse -> normalize -> regularize -> encode ->
+cluster -> naive mixture encoding -> statistics / serialization /
+applications, on both synthetic workload families.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LogRCompressor, PatternMixtureEncoding, load_log
+from repro.apps import IndexAdvisor, WorkloadMonitor
+from repro.core.pattern import Pattern
+from repro.workloads import generate_bank, generate_pocketdata, write_log
+
+
+class TestPocketDataPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self, tmp_path_factory):
+        workload = generate_pocketdata(total=15_000, n_distinct=150, seed=11)
+        path = tmp_path_factory.mktemp("e2e") / "pocket.sql"
+        write_log(workload, path, shuffle=True, seed=0)
+        from repro.workloads import read_log
+
+        log, report = load_log(read_log(path))
+        compressed = LogRCompressor(n_clusters=8, seed=0, n_init=3).compress(log)
+        return workload, log, report, compressed
+
+    def test_load_accounting(self, pipeline):
+        workload, log, report, _ = pipeline
+        assert report.total_statements == workload.total
+        assert report.parsed == workload.total
+        assert log.total == workload.total
+
+    def test_compression_reduces_error(self, pipeline):
+        _, log, _, compressed = pipeline
+        single = LogRCompressor(n_clusters=1).compress(log)
+        assert compressed.error < single.error
+
+    def test_marginal_estimates_match_truth(self, pipeline):
+        """Frequent single-feature marginals within 5% (the §6.2 use)."""
+        _, log, _, compressed = pipeline
+        marginals = log.feature_marginals()
+        for index in np.argsort(-marginals)[:5]:
+            pattern = Pattern([int(index)])
+            true_count = log.pattern_count(pattern)
+            estimate = compressed.estimate_count(pattern)
+            assert estimate == pytest.approx(true_count, rel=0.05)
+
+    def test_pair_estimates_reasonable(self, pipeline):
+        _, log, _, compressed = pipeline
+        marginals = log.feature_marginals()
+        top = [int(i) for i in np.argsort(-marginals)[:4]]
+        pattern = Pattern(top[:2])
+        true_count = log.pattern_count(pattern)
+        estimate = compressed.estimate_count(pattern)
+        if true_count > 100:
+            assert estimate == pytest.approx(true_count, rel=0.35)
+
+    def test_artifact_roundtrip_preserves_stats(self, pipeline):
+        _, log, _, compressed = pipeline
+        restored = PatternMixtureEncoding.from_json(compressed.to_json())
+        marginals = log.feature_marginals()
+        top = Pattern([int(np.argmax(marginals))])
+        assert restored.estimate_count(top) == pytest.approx(
+            compressed.estimate_count(top)
+        )
+
+    def test_applications_run(self, pipeline):
+        _, log, _, compressed = pipeline
+        assert IndexAdvisor(compressed).recommend(3)
+        monitor = WorkloadMonitor(compressed.mixture, log)
+        assert monitor.score("SELECT zz FROM unknown_table WHERE q = 1").anomalous
+
+
+class TestBankPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        workload = generate_bank(total=15_000, n_templates=100, seed=11,
+                                 include_noise=True)
+        log, report = load_log(workload.statements())
+        compressed = LogRCompressor(
+            n_clusters=10, method="spectral", metric="hamming", seed=0, n_init=3
+        ).compress(log)
+        return workload, log, report, compressed
+
+    def test_noise_excluded(self, pipeline):
+        _, _, report, _ = pipeline
+        assert report.stored_procedures > 0
+        assert report.unparseable > 0
+
+    def test_diverse_workload_needs_more_clusters(self, pipeline):
+        """Bank-like diversity: error at K=10 still well above zero but
+        below K=1 (the Fig. 2a bank trend)."""
+        _, log, _, compressed = pipeline
+        single = LogRCompressor(n_clusters=1).compress(log)
+        assert 0 < compressed.error < single.error
+
+    def test_verbosity_grows_with_k(self, pipeline):
+        _, log, _, compressed = pipeline
+        single = LogRCompressor(n_clusters=1).compress(log)
+        assert compressed.total_verbosity >= single.total_verbosity
+
+    def test_constant_removal_applied(self, pipeline):
+        _, log, _, _ = pipeline
+        values = [f.value for f in log.vocabulary if f.clause == "WHERE"]
+        assert values
+        # no raw literals should survive in features
+        assert not any("'" in v and "?" not in v for v in values if "LIKE" not in v)
+
+
+class TestCrossDatasetProperties:
+    def test_pocket_more_stable_than_bank(self):
+        """The paper's qualitative contrast: the machine-generated
+        PocketData workload reaches low Error with far fewer clusters
+        than the diverse bank workload (relative to its K=1 error)."""
+        pocket = generate_pocketdata(total=8_000, n_distinct=120, seed=2).to_query_log()
+        bank = generate_bank(total=8_000, n_templates=120, seed=2).to_query_log()
+        improvements = {}
+        for name, log in (("pocket", pocket), ("bank", bank)):
+            e1 = LogRCompressor(n_clusters=1).compress(log).error
+            e8 = LogRCompressor(n_clusters=8, seed=0, n_init=4).compress(log).error
+            improvements[name] = e8 / max(e1, 1e-9)
+        assert improvements["pocket"] < improvements["bank"] + 0.25

@@ -1,0 +1,123 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants spanning the whole pipeline, on randomly generated logs:
+
+* encode/decode isomorphism through the codebook;
+* Γ_b estimation is exact for single features regardless of K;
+* Generalized Error is a convex-combination of component errors;
+* compression never produces negative Error;
+* artifact JSON round trips preserve every estimate;
+* maxent entropy dominates true entropy (ρ* ∈ Ω_E).
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.encoding import NaiveEncoding
+from repro.core.log import QueryLog
+from repro.core.mixture import PatternMixtureEncoding
+from repro.core.pattern import Pattern
+from repro.core.vocabulary import Vocabulary
+
+
+@st.composite
+def query_logs(draw, max_features=8, max_rows=12):
+    n_features = draw(st.integers(2, max_features))
+    n_rows = draw(st.integers(1, max_rows))
+    rows = draw(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=n_features, max_size=n_features),
+            min_size=n_rows,
+            max_size=n_rows,
+        )
+    )
+    matrix = np.asarray(rows, dtype=np.uint8)
+    unique, inverse = np.unique(matrix, axis=0, return_inverse=True)
+    counts = np.bincount(inverse)
+    multipliers = draw(
+        st.lists(st.integers(1, 50), min_size=len(unique), max_size=len(unique))
+    )
+    counts = counts * np.asarray(multipliers)
+    return QueryLog(Vocabulary(range(n_features)), unique, counts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(query_logs())
+def test_codebook_roundtrip(log):
+    for row in log.matrix:
+        features = log.vocabulary.decode(row)
+        assert np.array_equal(log.vocabulary.encode(features), row)
+
+
+@settings(max_examples=60, deadline=None)
+@given(query_logs(), st.integers(0, 7))
+def test_single_feature_estimates_exact(log, feature_seed):
+    """Any partitioning estimates singleton marginals exactly."""
+    feature = feature_seed % log.n_features
+    labels = np.arange(log.n_distinct) % 3
+    mixture = PatternMixtureEncoding.from_partitions(log.partition(labels))
+    pattern = Pattern([feature])
+    estimated = mixture.estimate_count(pattern)
+    assert abs(estimated - log.pattern_count(pattern)) < 1e-6 * max(log.total, 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(query_logs())
+def test_maxent_entropy_dominates_truth(log):
+    """ρ* ∈ Ω_E -> H(ρ_E) >= H(ρ*), i.e. Error >= 0 (§4.1)."""
+    naive = NaiveEncoding.from_log(log)
+    assert naive.maxent_entropy() >= log.entropy() - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(query_logs())
+def test_error_is_weighted_component_sum(log):
+    labels = np.arange(log.n_distinct) % 2
+    mixture = PatternMixtureEncoding.from_partitions(log.partition(labels))
+    weights = mixture.weights
+    component_errors = [c.error() for c in mixture.components]
+    assert abs(mixture.error() - float(np.dot(weights, component_errors))) < 1e-9
+    assert all(e >= -1e-9 for e in component_errors)
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_logs())
+def test_artifact_roundtrip_preserves_all_estimates(log):
+    labels = np.arange(log.n_distinct) % 2
+    mixture = PatternMixtureEncoding.from_partitions(
+        log.partition(labels), log.vocabulary
+    )
+    restored = PatternMixtureEncoding.from_json(mixture.to_json())
+    for i in range(log.n_features):
+        pattern = Pattern([i])
+        assert abs(
+            restored.estimate_count(pattern) - mixture.estimate_count(pattern)
+        ) < 1e-9
+    assert abs(restored.error() - mixture.error()) < 1e-9
+    assert restored.total_verbosity == mixture.total_verbosity
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_logs())
+def test_per_distinct_partition_is_lossless(log):
+    """K = n_distinct: every component is one query; Error = 0 and
+    point probabilities reproduce the true distribution exactly."""
+    labels = np.arange(log.n_distinct)
+    mixture = PatternMixtureEncoding.from_partitions(log.partition(labels))
+    assert mixture.error() < 1e-9
+    for row, prob in zip(log.matrix, log.probabilities()):
+        assert abs(mixture.point_probability(row) - prob) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_logs(), st.integers(0, 6), st.integers(0, 6))
+def test_pattern_marginal_monotone_in_containment(log, a_seed, b_seed):
+    """b' ⊆ b  ->  p(Q ⊇ b') >= p(Q ⊇ b)."""
+    i = a_seed % log.n_features
+    j = b_seed % log.n_features
+    small = Pattern([i])
+    large = Pattern([i, j])
+    assert log.pattern_marginal(small) >= log.pattern_marginal(large) - 1e-12

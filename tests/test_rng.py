@@ -1,0 +1,35 @@
+"""Tests for the shared RNG helper."""
+
+import numpy as np
+
+from repro._rng import DEFAULT_SEED, ensure_rng
+
+
+class TestEnsureRng:
+    def test_none_is_deterministic(self):
+        a = ensure_rng(None).random(4)
+        b = ensure_rng(None).random(4)
+        assert np.allclose(a, b)
+
+    def test_none_uses_default_seed(self):
+        a = ensure_rng(None).random(4)
+        b = ensure_rng(DEFAULT_SEED).random(4)
+        assert np.allclose(a, b)
+
+    def test_int_seed(self):
+        a = ensure_rng(42).random(4)
+        b = ensure_rng(42).random(4)
+        assert np.allclose(a, b)
+        c = ensure_rng(43).random(4)
+        assert not np.allclose(a, c)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_shared_generator_advances(self):
+        """Passing one generator through two consumers chains the stream."""
+        generator = np.random.default_rng(0)
+        first = ensure_rng(generator).random(2)
+        second = ensure_rng(generator).random(2)
+        assert not np.allclose(first, second)

@@ -1,0 +1,68 @@
+"""Tests for correlation-aware (Fig. 1b) rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.log import LogBuilder, QueryLog
+from repro.core.vocabulary import Vocabulary
+from repro.sql.features import Feature
+from repro.viz.patterns import render_pattern_groups
+
+
+@pytest.fixture()
+def correlated_sql_log():
+    builder = LogBuilder()
+    # two strongly correlated query shapes
+    builder.add(
+        {
+            Feature("sms_type", "SELECT"),
+            Feature("messages", "FROM"),
+            Feature("sms_type = ?", "WHERE"),
+        },
+        count=10,
+    )
+    builder.add(
+        {
+            Feature("sms_type", "SELECT"),
+            Feature("messages", "FROM"),
+            Feature("status = ?", "WHERE"),
+        },
+        count=10,
+    )
+    builder.add({Feature("name", "SELECT"), Feature("contacts", "FROM")}, count=5)
+    return builder.build()
+
+
+class TestPatternGroups:
+    def test_renders_groups(self, correlated_sql_log):
+        text = render_pattern_groups(correlated_sql_log, n_patterns=3, min_support=0.2)
+        assert "pattern group" in text
+        assert "FROM" in text
+
+    def test_group_shows_marginal(self, correlated_sql_log):
+        text = render_pattern_groups(correlated_sql_log, n_patterns=1, min_support=0.2)
+        assert "%" in text
+        assert "corr_rank" in text
+
+    def test_correlated_features_grouped_together(self, correlated_sql_log):
+        text = render_pattern_groups(correlated_sql_log, n_patterns=2, min_support=0.3)
+        # the messages-table cluster should appear as one group
+        blocks = text.split("\n\n")
+        assert any("messages" in block and "sms_type" in block for block in blocks)
+
+    def test_no_patterns_message(self):
+        """An independent log has no correlated groups to show."""
+        rng = np.random.default_rng(0)
+        matrix = (rng.random((64, 4)) < 0.5).astype(np.uint8)
+        unique, counts = np.unique(matrix, axis=0, return_counts=True)
+        log = QueryLog(Vocabulary(range(4)), unique, counts)
+        text = render_pattern_groups(log, n_patterns=3, min_support=0.99)
+        assert "no correlated pattern groups" in text
+
+    def test_non_sql_features_listed_as_other(self):
+        builder = LogBuilder()
+        builder.add({("attr0", "a"), ("attr1", "b")}, count=4)
+        builder.add({("attr0", "a"), ("attr2", "c")}, count=1)
+        log = builder.build()
+        text = render_pattern_groups(log, n_patterns=1, min_support=0.3)
+        assert "also:" in text

@@ -1,0 +1,112 @@
+"""Tests for encoding visualization."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import NaiveEncoding
+from repro.core.log import LogBuilder
+from repro.core.mixture import PatternMixtureEncoding
+from repro.sql.features import Feature
+from repro.viz.render import render_encoding, render_mixture, shade_char
+
+
+@pytest.fixture()
+def sql_log():
+    builder = LogBuilder()
+    builder.add(
+        {
+            Feature("status", "SELECT"),
+            Feature("messages", "FROM"),
+            Feature("status = ?", "WHERE"),
+        },
+        count=8,
+    )
+    builder.add(
+        {
+            Feature("sms_type", "SELECT"),
+            Feature("messages", "FROM"),
+            Feature("sms_type = ?", "WHERE"),
+        },
+        count=2,
+    )
+    return builder.build()
+
+
+class TestShadeChar:
+    def test_extremes(self):
+        assert shade_char(0.0) == " "
+        assert shade_char(1.0) == "@"
+
+    def test_monotone(self):
+        ramp = " .:-=+*#%@"
+        chars = [shade_char(x) for x in np.linspace(0, 1, 20)]
+        positions = [ramp.index(c) for c in chars]
+        assert positions == sorted(positions)
+
+    def test_clamps_out_of_range(self):
+        assert shade_char(-0.5) == " "
+        assert shade_char(1.5) == "@"
+
+
+class TestRenderEncoding:
+    def test_contains_clause_sections(self, sql_log):
+        encoding = NaiveEncoding.from_log(sql_log)
+        text = render_encoding(encoding, sql_log.vocabulary)
+        assert text.startswith("SELECT ")
+        assert "\nFROM " in text
+        assert "\nWHERE " in text
+
+    def test_min_marginal_hides_rare_features(self, sql_log):
+        encoding = NaiveEncoding.from_log(sql_log)
+        text = render_encoding(encoding, sql_log.vocabulary, min_marginal=0.5)
+        assert "sms_type" not in text  # marginal 0.2 < 0.5
+        assert "status" in text
+
+    def test_certain_feature_shaded_full(self, sql_log):
+        encoding = NaiveEncoding.from_log(sql_log)
+        text = render_encoding(encoding, sql_log.vocabulary)
+        assert "messages[@]" in text
+
+    def test_title_rendered(self, sql_log):
+        encoding = NaiveEncoding.from_log(sql_log)
+        text = render_encoding(encoding, sql_log.vocabulary, title="cluster 0")
+        assert text.splitlines()[0] == "-- cluster 0"
+
+    def test_ansi_mode(self, sql_log):
+        encoding = NaiveEncoding.from_log(sql_log)
+        text = render_encoding(encoding, sql_log.vocabulary, use_ansi=True)
+        assert "\x1b[38;5;" in text
+
+    def test_non_sql_features_grouped_as_other(self):
+        builder = LogBuilder()
+        builder.add({("attr0", "v1"), ("attr1", "v2")})
+        log = builder.build()
+        text = render_encoding(NaiveEncoding.from_log(log), log.vocabulary)
+        assert "other" in text
+
+
+class TestRenderMixture:
+    def test_one_block_per_component(self, sql_log):
+        parts = sql_log.partition(np.array([0, 1]))
+        mixture = PatternMixtureEncoding.from_partitions(parts, sql_log.vocabulary)
+        text = render_mixture(mixture)
+        assert text.count("-- cluster") == 2
+
+    def test_components_sorted_by_weight(self, sql_log):
+        parts = sql_log.partition(np.array([0, 1]))
+        mixture = PatternMixtureEncoding.from_partitions(parts, sql_log.vocabulary)
+        text = render_mixture(mixture)
+        first_block = text.split("\n\n")[0]
+        assert "80.0% of the log" in first_block
+
+    def test_max_components(self, sql_log):
+        parts = sql_log.partition(np.array([0, 1]))
+        mixture = PatternMixtureEncoding.from_partitions(parts, sql_log.vocabulary)
+        text = render_mixture(mixture, max_components=1)
+        assert text.count("-- cluster") == 1
+
+    def test_vocabulary_required(self, sql_log):
+        mixture = PatternMixtureEncoding.from_log(sql_log)
+        mixture.vocabulary = None
+        with pytest.raises(ValueError):
+            render_mixture(mixture)

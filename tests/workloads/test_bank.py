@@ -1,0 +1,90 @@
+"""Tests for the US-Bank-like workload generator."""
+
+import pytest
+
+from repro.sql import SqlError, parse
+from repro.workloads.bank import generate_bank
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_bank(total=25_000, n_templates=150, seed=2)
+
+
+class TestShape:
+    def test_total(self, workload):
+        assert workload.total == 25_000
+
+    def test_distinct_with_constants_exceeds_templates(self, workload):
+        """Machine templates emit several constant-variants each."""
+        assert workload.n_distinct > 150
+
+    def test_constant_removal_collapses(self, workload):
+        with_const = workload.to_query_log(remove_constants=False)
+        without = workload.to_query_log(remove_constants=True)
+        assert without.n_distinct < with_const.n_distinct
+        assert without.n_features < with_const.n_features
+
+    def test_distinct_shapes_near_templates(self, workload):
+        log = workload.to_query_log(remove_constants=True)
+        # shape count tracks n_templates (within tolerance: ad-hoc OR
+        # queries may collide after normalization)
+        assert 100 <= log.n_distinct <= 220
+
+    def test_all_parseable(self, workload):
+        for text, _ in workload.entries:
+            parse(text)
+
+    def test_diverse_tables(self, workload):
+        log = workload.to_query_log()
+        tables = {f.value for f in log.vocabulary if f.clause == "FROM"}
+        assert len(tables) >= 8
+
+    def test_deterministic(self):
+        a = generate_bank(total=4_000, n_templates=40, seed=5)
+        b = generate_bank(total=4_000, n_templates=40, seed=5)
+        assert a.entries == b.entries
+
+
+class TestNoise:
+    def test_noise_entries_excluded_from_log(self):
+        noisy = generate_bank(total=4_000, n_templates=40, seed=0, include_noise=True)
+        clean = generate_bank(total=4_000, n_templates=40, seed=0)
+        assert noisy.total > clean.total  # noise adds raw entries
+        log = noisy.to_query_log()  # skip_unparseable drops them
+        assert log.total <= clean.total
+
+    def test_noise_is_unparseable_or_proc(self):
+        noisy = generate_bank(total=4_000, n_templates=40, seed=0, include_noise=True)
+        tail = noisy.entries[-5:]
+        for text, _ in tail:
+            upper = text.upper()
+            if upper.startswith("EXEC") or upper.startswith("CALL"):
+                continue
+            with pytest.raises(SqlError):
+                parse(text)
+
+
+class TestWorkloadMix:
+    def test_conjunctive_majority(self, workload):
+        """Paper: 1494/1712 bank shapes are conjunctive (~87%)."""
+        from repro.sql import is_conjunctive, normalize
+        from repro.sql import ast as sql_ast
+        from repro.sql.rewrite import flatten_joins
+
+        conjunctive = 0
+        for text, _ in workload.entries:
+            stmt = normalize(parse(text))
+            if isinstance(stmt, sql_ast.Select) and is_conjunctive(flatten_joins(stmt)):
+                conjunctive += 1
+        share = conjunctive / workload.n_distinct
+        assert share > 0.6
+
+    def test_contains_group_by_reporting(self, workload):
+        assert any("GROUP BY" in text for text, _ in workload.entries)
+
+    def test_contains_or_adhoc(self, workload):
+        assert any(" OR " in text for text, _ in workload.entries)
+
+    def test_contains_literal_constants(self, workload):
+        assert any("'" in text for text, _ in workload.entries)

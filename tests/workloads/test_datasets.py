@@ -1,0 +1,75 @@
+"""Tests for the Mushroom-like and Income-like datasets (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import income_like, mushroom_like
+
+
+@pytest.fixture(scope="module")
+def mushroom():
+    return mushroom_like(n_tuples=3_000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def income():
+    return income_like(n_tuples=5_000, seed=0)
+
+
+class TestMushroom:
+    def test_table2_dimensions(self, mushroom):
+        assert mushroom.n_attributes == 21
+        assert mushroom.n_distinct_values == 95
+        assert mushroom.n_tuples == 3_000
+        assert mushroom.class_name == "edibility"
+
+    def test_one_hot_rows(self, mushroom):
+        """Every tuple carries exactly one value per attribute."""
+        assert (mushroom.log.matrix.sum(axis=1) == 21).all()
+
+    def test_class_fraction_range(self, mushroom):
+        assert ((mushroom.class_fraction >= 0) & (mushroom.class_fraction <= 1)).all()
+        assert 0.1 < mushroom.class_rate() < 0.9
+
+    def test_anticorrelation_within_attribute(self, mushroom):
+        """Values of one attribute never co-occur (the §8.1.2 structure)."""
+        from repro.core.pattern import Pattern
+
+        features = list(mushroom.log.vocabulary)
+        first_attr = [i for i, f in enumerate(features) if f[0] == "attr0"]
+        pattern = Pattern(first_attr[:2])
+        assert mushroom.log.pattern_marginal(pattern) == 0.0
+
+    def test_segment_structure_is_clusterable(self, mushroom):
+        """Latent segments make partitioned naive encodings much better."""
+        from repro.cluster import cluster_vectors
+        from repro.core.mixture import PatternMixtureEncoding
+
+        log = mushroom.log
+        whole = PatternMixtureEncoding.from_log(log).error()
+        labels = cluster_vectors(
+            log.matrix.astype(float), 8,
+            sample_weight=log.counts.astype(float), seed=0, n_init=3,
+        )
+        split = PatternMixtureEncoding.from_partitions(log.partition(labels)).error()
+        assert split < whole * 0.9
+
+
+class TestIncome:
+    def test_table2_dimensions(self, income):
+        assert income.n_attributes == 9
+        assert income.n_distinct_values == 783
+        assert income.class_name == "income_gt_100k"
+
+    def test_one_hot_rows(self, income):
+        assert (income.log.matrix.sum(axis=1) == 9).all()
+
+    def test_near_unit_multiplicity(self, income):
+        """Table 2 assumes multiplicity 1; wide domains make duplicates rare."""
+        assert income.log.n_distinct > 0.95 * income.n_tuples
+
+    def test_deterministic(self):
+        a = income_like(n_tuples=500, seed=4)
+        b = income_like(n_tuples=500, seed=4)
+        assert a.log == b.log
+        assert np.allclose(a.class_fraction.sum(), b.class_fraction.sum())

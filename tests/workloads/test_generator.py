@@ -1,0 +1,116 @@
+"""Tests for shared workload machinery."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import SyntheticWorkload, zipf_multiplicities
+
+
+class TestZipf:
+    def test_sums_to_total(self):
+        counts = zipf_multiplicities(100, 10_000, rng=0)
+        assert counts.sum() == 10_000
+        assert counts.min() >= 1
+
+    def test_skew(self):
+        counts = zipf_multiplicities(200, 100_000, exponent=1.3, rng=0)
+        assert counts.max() > 20 * np.median(counts)
+
+    def test_total_must_cover_distinct(self):
+        with pytest.raises(ValueError):
+            zipf_multiplicities(10, 5)
+
+    def test_n_distinct_positive(self):
+        with pytest.raises(ValueError):
+            zipf_multiplicities(0, 5)
+
+    def test_deterministic(self):
+        a = zipf_multiplicities(50, 500, rng=3)
+        b = zipf_multiplicities(50, 500, rng=3)
+        assert np.array_equal(a, b)
+
+    def test_exact_total_small(self):
+        counts = zipf_multiplicities(7, 7, rng=1)
+        assert counts.tolist() == [1] * 7
+
+
+class TestSyntheticWorkload:
+    @pytest.fixture()
+    def workload(self):
+        return SyntheticWorkload(
+            "toy",
+            [
+                ("SELECT a FROM t WHERE x = 1", 3),
+                ("SELECT b FROM t WHERE x = 2 OR y = 3", 2),
+            ],
+        )
+
+    def test_totals(self, workload):
+        assert workload.total == 5
+        assert workload.n_distinct == 2
+        assert workload.max_multiplicity == 3
+
+    def test_statements_repeat(self, workload):
+        statements = list(workload.statements())
+        assert len(statements) == 5
+        assert statements.count("SELECT a FROM t WHERE x = 1") == 3
+
+    def test_statements_shuffled_same_bag(self, workload):
+        ordered = sorted(workload.statements())
+        shuffled = sorted(workload.statements(shuffle=True, seed=1))
+        assert ordered == shuffled
+
+    def test_to_query_log_union_mode(self, workload):
+        log = workload.to_query_log()
+        # union mode: one entry per query occurrence
+        assert log.total == 5
+
+    def test_to_query_log_branch_mode(self, workload):
+        log = workload.to_query_log(branch_mode="branches")
+        # the OR query splits into 2 branches per occurrence: 3 + 2*2
+        assert log.total == 7
+
+    def test_constants_removed_collapse(self):
+        workload = SyntheticWorkload(
+            "toy",
+            [("SELECT a FROM t WHERE x = 1", 1), ("SELECT a FROM t WHERE x = 2", 1)],
+        )
+        log = workload.to_query_log(remove_constants=True)
+        assert log.n_distinct == 1
+        log2 = workload.to_query_log(remove_constants=False)
+        assert log2.n_distinct == 2
+
+    def test_unparseable_skipped(self):
+        workload = SyntheticWorkload(
+            "noisy", [("SELECT a FROM t", 1), ("EXEC sp_nope", 5)]
+        )
+        log = workload.to_query_log()
+        assert log.total == 1
+
+    def test_unparseable_raises_when_strict(self):
+        workload = SyntheticWorkload("noisy", [("@@@", 1)])
+        with pytest.raises(Exception):
+            workload.to_query_log(skip_unparseable=False)
+
+    def test_invalid_branch_mode(self, workload):
+        with pytest.raises(ValueError):
+            workload.to_query_log(branch_mode="nope")
+
+    def test_subsample(self, workload):
+        sub = workload.subsample(0.5)
+        assert sub.total < workload.total
+        assert sub.n_distinct == workload.n_distinct
+        with pytest.raises(ValueError):
+            workload.subsample(0.0)
+
+    def test_makiyama_scheme(self):
+        workload = SyntheticWorkload(
+            "agg", [("SELECT a, count(*) FROM t GROUP BY a", 2)]
+        )
+        log = workload.to_query_log(scheme="makiyama")
+        clauses = {f.clause for f in log.vocabulary}
+        assert "GROUPBY" in clauses
+
+    def test_unknown_scheme(self, workload):
+        with pytest.raises(ValueError):
+            workload.to_query_log(scheme="nope")

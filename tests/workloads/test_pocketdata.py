@@ -1,0 +1,77 @@
+"""Tests for the PocketData-like workload generator."""
+
+import pytest
+
+from repro.sql import parse
+from repro.workloads.pocketdata import generate_pocketdata
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_pocketdata(total=30_000, n_distinct=300, seed=1)
+
+
+class TestShape:
+    def test_requested_counts(self, workload):
+        assert workload.total == 30_000
+        assert workload.n_distinct == 300
+
+    def test_texts_are_distinct(self, workload):
+        texts = [text for text, _ in workload.entries]
+        assert len(set(texts)) == len(texts)
+
+    def test_all_parseable(self, workload):
+        for text, _ in workload.entries:
+            parse(text)  # must not raise
+
+    def test_all_parameterized(self, workload):
+        """PocketData uses JDBC parameters, never string literals."""
+        for text, _ in workload.entries:
+            assert "'" not in text
+
+    def test_multiplicity_skew(self, workload):
+        # stable machine workloads are dominated by a few queries
+        assert workload.max_multiplicity > workload.total * 0.02
+
+    def test_deterministic(self):
+        a = generate_pocketdata(total=5_000, n_distinct=80, seed=9)
+        b = generate_pocketdata(total=5_000, n_distinct=80, seed=9)
+        assert a.entries == b.entries
+
+    def test_seed_changes_output(self):
+        a = generate_pocketdata(total=5_000, n_distinct=80, seed=1)
+        b = generate_pocketdata(total=5_000, n_distinct=80, seed=2)
+        assert a.entries != b.entries
+
+
+class TestEncodedShape:
+    def test_encoded_log_statistics(self, workload):
+        log = workload.to_query_log()
+        assert log.total == workload.total
+        # feature density in the paper's ballpark (14.78 for PocketData)
+        assert 8 <= log.average_features_per_query() <= 20
+        assert log.n_features >= 80
+
+    def test_mixed_conjunctive_share(self, workload):
+        """Most variations carry an IN/OR atom (135/605 conjunctive
+        in the paper); require a genuine mix."""
+        from repro.sql import is_conjunctive, normalize
+        from repro.sql import ast as sql_ast
+        from repro.sql.rewrite import flatten_joins
+
+        conjunctive = 0
+        for text, _ in workload.entries:
+            stmt = normalize(parse(text))
+            if isinstance(stmt, sql_ast.Select) and is_conjunctive(flatten_joins(stmt)):
+                conjunctive += 1
+        share = conjunctive / workload.n_distinct
+        assert 0.05 <= share <= 0.6
+
+    def test_tables_from_messages_schema(self, workload):
+        from repro.workloads.schema import MESSAGES_SCHEMA
+
+        log = workload.to_query_log()
+        tables = {
+            f.value for f in log.vocabulary if f.clause == "FROM"
+        }
+        assert tables <= set(MESSAGES_SCHEMA.table_names)

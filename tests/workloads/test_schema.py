@@ -1,0 +1,57 @@
+"""Tests for schema definitions."""
+
+import pytest
+
+from repro.workloads.schema import (
+    BANK_SCHEMA,
+    MESSAGES_SCHEMA,
+    SDSS_SCHEMA,
+    Schema,
+    Table,
+)
+from repro.workloads.tpch import TPCH_SCHEMA
+
+
+class TestTable:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table("empty", ())
+
+    def test_columns_ordered(self):
+        table = Table("t", ("a", "b"))
+        assert table.columns == ("a", "b")
+
+
+class TestSchema:
+    @pytest.mark.parametrize(
+        "schema", [MESSAGES_SCHEMA, BANK_SCHEMA, SDSS_SCHEMA, TPCH_SCHEMA]
+    )
+    def test_table_lookup(self, schema):
+        for name in schema.table_names:
+            assert schema.table(name).name == name
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(KeyError):
+            MESSAGES_SCHEMA.table("nope")
+
+    @pytest.mark.parametrize(
+        "schema", [MESSAGES_SCHEMA, BANK_SCHEMA, SDSS_SCHEMA, TPCH_SCHEMA]
+    )
+    def test_table_names_unique(self, schema):
+        names = schema.table_names
+        assert len(names) == len(set(names))
+
+    @pytest.mark.parametrize(
+        "schema", [MESSAGES_SCHEMA, BANK_SCHEMA, SDSS_SCHEMA, TPCH_SCHEMA]
+    )
+    def test_columns_unique_within_table(self, schema):
+        for table in schema.tables:
+            assert len(table.columns) == len(set(table.columns))
+
+    def test_messages_schema_matches_paper_examples(self):
+        """Tables referenced in the paper's Fig. 10 visualizations."""
+        expected = {
+            "messages", "conversations", "message_notifications_view",
+            "conversation_participants_view", "suggested_contacts",
+        }
+        assert expected <= set(MESSAGES_SCHEMA.table_names)

@@ -1,0 +1,58 @@
+"""Tests for the SDSS-like analytic workload generator."""
+
+import pytest
+
+from repro.sql import parse
+from repro.workloads.sdss import generate_sdss
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_sdss(total=5_000, n_distinct=120, seed=0)
+
+
+class TestShape:
+    def test_counts(self, workload):
+        assert workload.total == 5_000
+        assert workload.n_distinct == 120
+
+    def test_all_parseable(self, workload):
+        for text, _ in workload.entries:
+            parse(text)
+
+    def test_deterministic(self):
+        a = generate_sdss(total=1_000, n_distinct=50, seed=3)
+        b = generate_sdss(total=1_000, n_distinct=50, seed=3)
+        assert a.entries == b.entries
+
+    def test_analytic_constructs_present(self, workload):
+        texts = [text for text, _ in workload.entries]
+        assert any("GROUP BY" in t for t in texts)
+        assert any("HAVING" in t for t in texts)
+        assert any("BETWEEN" in t for t in texts)
+        assert any("ORDER BY" in t for t in texts)
+
+
+class TestMakiyamaEncoding:
+    def test_aggregation_features_captured(self, workload):
+        log = workload.to_query_log(scheme="makiyama")
+        clauses = {f.clause for f in log.vocabulary}
+        assert {"GROUPBY", "AGG"} <= clauses
+
+    def test_aligon_encoding_also_works(self, workload):
+        log = workload.to_query_log(scheme="aligon")
+        clauses = {f.clause for f in log.vocabulary}
+        assert clauses <= {"SELECT", "FROM", "WHERE"}
+
+    def test_makiyama_has_more_features(self, workload):
+        aligon = workload.to_query_log(scheme="aligon")
+        makiyama = workload.to_query_log(scheme="makiyama")
+        assert makiyama.n_features > aligon.n_features
+
+    def test_compressible(self, workload):
+        from repro.core.compress import LogRCompressor
+
+        log = workload.to_query_log(scheme="makiyama")
+        compressed = LogRCompressor(n_clusters=4, seed=0, n_init=2).compress(log)
+        single = LogRCompressor(n_clusters=1).compress(log)
+        assert compressed.error <= single.error + 1e-9

@@ -1,0 +1,58 @@
+"""Tests for the SQLShare-like ad-hoc workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.sql import parse
+from repro.workloads.sqlshare import generate_sqlshare
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_sqlshare(total=3_000, n_distinct=2_000, seed=0)
+
+
+class TestShape:
+    def test_counts(self, workload):
+        assert workload.total == 3_000
+        assert workload.n_distinct == 2_000
+
+    def test_mostly_one_off(self, workload):
+        """The defining SQLShare property: multiplicity concentrates at 1."""
+        ones = sum(1 for _, count in workload.entries if count == 1)
+        assert ones >= 0.99 * workload.n_distinct
+
+    def test_all_parseable(self, workload):
+        for text, _ in workload.entries:
+            parse(text)
+
+    def test_total_must_cover_distinct(self):
+        with pytest.raises(ValueError):
+            generate_sqlshare(total=10, n_distinct=20)
+
+    def test_deterministic(self):
+        a = generate_sqlshare(total=300, n_distinct=250, seed=2)
+        b = generate_sqlshare(total=300, n_distinct=250, seed=2)
+        assert a.entries == b.entries
+
+
+class TestEncodedProperties:
+    def test_low_skew_relative_to_pocketdata(self, workload):
+        from repro.workloads import generate_pocketdata
+
+        pocket = generate_pocketdata(total=3_000, n_distinct=100, seed=0)
+        sqlshare_skew = workload.max_multiplicity / workload.total
+        pocket_skew = pocket.max_multiplicity / pocket.total
+        assert sqlshare_skew < pocket_skew
+
+    def test_encodes_and_compresses(self, workload):
+        from repro.core.compress import LogRCompressor
+
+        log = workload.to_query_log()
+        assert log.n_distinct > 1_000
+        compressed = LogRCompressor(n_clusters=8, seed=0, n_init=2).compress(log)
+        single = LogRCompressor(n_clusters=1).compress(log)
+        assert compressed.error < single.error
+
+    def test_contains_derived_tables(self, workload):
+        assert any("(SELECT" in text for text, _ in workload.entries)

@@ -1,0 +1,66 @@
+"""Tests for Table-1 statistics computation."""
+
+import pytest
+
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.stats import workload_stats
+
+
+@pytest.fixture()
+def workload():
+    return SyntheticWorkload(
+        "toy",
+        [
+            ("SELECT a FROM t WHERE x = 1", 5),
+            ("SELECT a FROM t WHERE x = 2", 3),  # same shape, diff const
+            ("SELECT b FROM t WHERE y = 1 OR y = 2", 2),  # rewritable
+            ("SELECT c FROM u", 1),
+        ],
+    )
+
+
+class TestTable1:
+    def test_query_counts(self, workload):
+        stats = workload_stats(workload)
+        assert stats.n_queries == 11
+        assert stats.n_distinct == 4
+        assert stats.n_distinct_no_const == 3  # shapes collapse
+        assert stats.max_multiplicity == 5
+
+    def test_conjunctive_and_rewritable(self, workload):
+        stats = workload_stats(workload)
+        assert stats.n_distinct_conjunctive == 2  # the x=? and bare shapes
+        assert stats.n_distinct_rewritable == 3
+
+    def test_feature_counts(self, workload):
+        stats = workload_stats(workload)
+        # w/ const: x = 1 and x = 2 are distinct features
+        assert stats.n_features > stats.n_features_no_const
+
+    def test_avg_features(self, workload):
+        stats = workload_stats(workload)
+        # per query: 3 features for the x-shapes, 3 for OR-shape, 2 for bare
+        expected = (8 * 3 + 2 * 3 + 1 * 2) / 11
+        assert stats.avg_features_per_query == pytest.approx(expected, rel=0.01)
+
+    def test_rows_table(self, workload):
+        rows = workload_stats(workload).rows()
+        labels = [label for label, _ in rows]
+        assert labels[0] == "# Queries"
+        assert len(rows) == 9
+
+    def test_noise_excluded(self):
+        noisy = SyntheticWorkload(
+            "noisy",
+            [("SELECT a FROM t", 2), ("EXEC sp_x", 100), ("^^^", 50)],
+        )
+        stats = workload_stats(noisy)
+        assert stats.n_queries == 2
+        assert stats.n_distinct == 1
+
+    def test_non_rewritable_excluded_from_rewritable_count(self):
+        wide = "SELECT a FROM t WHERE " + " OR ".join(f"x = {i}" for i in range(100))
+        workload = SyntheticWorkload("wide", [(wide, 1)])
+        stats = workload_stats(workload, max_disjuncts=16)
+        assert stats.n_distinct == 1
+        assert stats.n_distinct_rewritable == 0

@@ -1,0 +1,69 @@
+"""Tests for the TPC-H-like workload generator."""
+
+import pytest
+
+from repro.sql import parse
+from repro.workloads.tpch import TPCH_SCHEMA, generate_tpch
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_tpch(total=10_000, variants_per_template=6, seed=0)
+
+
+class TestShape:
+    def test_total(self, workload):
+        assert workload.total >= 10_000
+
+    def test_distinct_count(self, workload):
+        # 8 templates x 6 variants
+        assert workload.n_distinct == 48
+
+    def test_all_parseable(self, workload):
+        for text, _ in workload.entries:
+            parse(text)
+
+    def test_even_multiplicities(self, workload):
+        """A reporting cycle: no extreme skew."""
+        counts = [count for _, count in workload.entries]
+        assert max(counts) < 6 * min(counts)
+
+    def test_deterministic(self):
+        a = generate_tpch(total=2_000, variants_per_template=3, seed=4)
+        b = generate_tpch(total=2_000, variants_per_template=3, seed=4)
+        assert a.entries == b.entries
+
+    def test_tables_belong_to_schema(self, workload):
+        log = workload.to_query_log()
+        tables = {f.value for f in log.vocabulary if f.clause == "FROM"}
+        assert tables <= set(TPCH_SCHEMA.table_names)
+
+
+class TestAnalyticContent:
+    def test_classic_shapes_present(self, workload):
+        texts = [text for text, _ in workload.entries]
+        assert any("l_returnflag" in t and "GROUP BY" in t for t in texts)  # Q1
+        assert any("c_mktsegment" in t for t in texts)  # Q3
+        assert any("r_name" in t for t in texts)  # Q5
+        assert any("BETWEEN" in t for t in texts)  # Q6/Q19
+
+    def test_constant_removal_collapses_to_templates(self, workload):
+        log = workload.to_query_log(remove_constants=True)
+        # variants collapse to (roughly) the 8 template shapes; the IN
+        # list sizes can split a template into two shapes
+        assert log.n_distinct <= 16
+
+    def test_compresses_tightly(self, workload):
+        """A cyclic reporting workload is the easy case for LogR."""
+        from repro.core.compress import LogRCompressor
+
+        log = workload.to_query_log()
+        compressed = LogRCompressor(n_clusters=8, seed=0, n_init=3).compress(log)
+        single = LogRCompressor(n_clusters=1).compress(log)
+        assert compressed.error <= single.error
+        assert compressed.error < 2.0  # ~8 shapes, 8 clusters: near zero
+
+    def test_makiyama_features_rich(self, workload):
+        log = workload.to_query_log(scheme="makiyama")
+        clauses = {f.clause for f in log.vocabulary}
+        assert {"GROUPBY", "ORDERBY", "AGG"} <= clauses
