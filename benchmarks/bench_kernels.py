@@ -1,0 +1,108 @@
+"""Microbenchmark: packed-bitset kernels vs the dense containment path.
+
+The summarizer's hot path is pattern containment: `pattern_marginal`
+per mined pattern, and level-wise support counting inside the Apriori
+miner.  This bench times both operations on TPC-H-like and SDSS-like
+workloads (constants kept, so every parameter variant is a distinct
+query — the shape where scan cost actually bites) under the two
+:class:`repro.core.log.QueryLog` backends and asserts
+
+* bit-exact agreement between the backends, and
+* the ≥5× speedup target for the packed kernels on both operations.
+
+Run with::
+
+    pytest benchmarks/bench_kernels.py -s
+
+The printed table is archived under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.mining import frequent_patterns
+from repro.workloads.sdss import generate_sdss
+from repro.workloads.tpch import generate_tpch
+
+from conftest import print_table
+
+#: Mining parameters for the timed runs: low support so the candidate
+#: lattice (and therefore support counting) dominates, as it does at
+#: production scale.
+MIN_SUPPORT = 0.02
+MAX_SIZE = 3
+REPS = 5
+SPEEDUP_TARGET = 5.0
+
+
+@pytest.fixture(scope="module")
+def tpch_log():
+    """TPC-H-like log, constants kept: 600 variants per template."""
+    return generate_tpch(total=240_000, variants_per_template=600, seed=0).to_query_log(
+        remove_constants=False
+    )
+
+
+@pytest.fixture(scope="module")
+def sdss_log():
+    """SDSS-like analytic log, constants kept."""
+    return generate_sdss(total=100_000, n_distinct=1500, seed=0).to_query_log(
+        scheme="makiyama", remove_constants=False
+    )
+
+
+def _time(fn, reps=REPS) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _bench_workload(name: str, log) -> list[list]:
+    packed = log.with_backend("packed")
+    dense = log.with_backend("dense")
+    patterns = [p for p, _ in frequent_patterns(packed, MIN_SUPPORT, MAX_SIZE)]
+    packed.packed_columns  # pre-build the caches outside the timed region
+    packed._byte_tally
+
+    t_packed, got_packed = _time(lambda: packed.pattern_marginals(patterns))
+    t_dense, got_dense = _time(
+        lambda: np.array([dense.pattern_marginal(p) for p in patterns])
+    )
+    assert np.array_equal(got_packed, got_dense), "backends disagree on marginals"
+    marginal_speedup = t_dense / t_packed
+
+    m_packed, mined_packed = _time(
+        lambda: frequent_patterns(packed, MIN_SUPPORT, MAX_SIZE)
+    )
+    m_dense, mined_dense = _time(lambda: frequent_patterns(dense, MIN_SUPPORT, MAX_SIZE))
+    assert mined_packed == mined_dense, "backends disagree on mined patterns"
+    mining_speedup = m_dense / m_packed
+
+    return [
+        [name, "pattern_marginals", len(patterns), log.n_distinct,
+         t_packed * 1e3, t_dense * 1e3, marginal_speedup],
+        [name, "frequent_patterns", len(patterns), log.n_distinct,
+         m_packed * 1e3, m_dense * 1e3, mining_speedup],
+    ]
+
+
+def test_kernel_speedup(tpch_log, sdss_log):
+    rows = _bench_workload("tpch", tpch_log) + _bench_workload("sdss", sdss_log)
+    print_table(
+        "Bench kernels: packed-bitset vs dense containment",
+        ["workload", "operation", "patterns", "distinct", "packed ms", "dense ms", "speedup"],
+        rows,
+    )
+    for row in rows:
+        assert row[-1] >= SPEEDUP_TARGET, (
+            f"{row[0]} {row[1]}: packed speedup {row[-1]:.1f}x "
+            f"below the {SPEEDUP_TARGET:.0f}x target"
+        )

@@ -32,8 +32,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .._rng import ensure_rng
+from ..core import kernels
 from ..core.entropy import bernoulli_entropy
-from ..core.log import QueryLog
+from ..core.log import BACKENDS, QueryLog
 from ..core.pattern import Pattern
 
 __all__ = [
@@ -75,11 +76,14 @@ class LaserlightSummary:
 
     def estimate(self, matrix: np.ndarray) -> np.ndarray:
         """``u_E(t)`` per row: most-specific covering pattern's rate."""
-        n = matrix.shape[0]
+        n, n_features = matrix.shape
+        masks = kernels.contains_many(
+            kernels.pack_rows(matrix),
+            kernels.pack_patterns([p.indices for p in self.patterns], n_features),
+        )
         estimates = np.full(n, self.global_rate)
         specificity = np.zeros(n, dtype=int)
-        for pattern, rate in zip(self.patterns, self.rates):
-            mask = pattern.matches(matrix)
+        for pattern, rate, mask in zip(self.patterns, self.rates, masks):
             better = mask & (len(pattern) >= specificity)
             estimates[better] = rate
             specificity[better] = len(pattern)
@@ -96,6 +100,8 @@ class Laserlight:
         max_features: optional cap re-imposing the 100-argument limit;
             features are selected by entropy (Appendix D.1).
         max_pattern_size: largest candidate pattern (in features).
+        backend: containment backend (``packed`` bitset kernels or the
+            ``dense`` reference scan); results are bit-identical.
         seed: RNG seed or generator.
     """
 
@@ -105,14 +111,18 @@ class Laserlight:
         n_samples: int = 16,
         max_features: int | None = 100,
         max_pattern_size: int = 3,
+        backend: str = "packed",
         seed: int | np.random.Generator | None = None,
     ):
         if n_patterns < 0:
             raise ValueError("n_patterns must be non-negative")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         self.n_patterns = n_patterns
         self.n_samples = n_samples
         self.max_features = max_features
         self.max_pattern_size = max_pattern_size
+        self.backend = backend
         self._rng = ensure_rng(seed)
 
     def fit(self, log: QueryLog, outcomes: np.ndarray) -> LaserlightSummary:
@@ -132,6 +142,7 @@ class Laserlight:
         if self.max_features is not None and log.n_features > self.max_features:
             feature_subset = top_entropy_features(log, self.max_features)
             matrix = matrix[:, feature_subset]
+        cover = _Containment(matrix, self.backend)
 
         total_weight = weights.sum()
         global_rate = float((weights * outcomes).sum() / total_weight)
@@ -149,10 +160,10 @@ class Laserlight:
             # (Fig. 7a) — an intentional fidelity choice, not an
             # optimization oversight.
             estimates, specificity = self._estimates_from(
-                matrix, local_patterns, summary.rates, global_rate
+                cover, local_patterns, summary.rates, global_rate
             )
             best = self._best_candidate(
-                matrix, weights, outcomes, estimates, specificity
+                cover, weights, outcomes, estimates, specificity
             )
             if best is None:
                 break
@@ -168,16 +179,16 @@ class Laserlight:
 
     @staticmethod
     def _estimates_from(
-        matrix: np.ndarray,
+        cover: "_Containment",
         patterns: list[Pattern],
         rates: list[float],
         global_rate: float,
     ) -> tuple[np.ndarray, np.ndarray]:
         """u_E(t) and covering-pattern specificity for the full summary."""
-        estimates = np.full(matrix.shape[0], global_rate)
-        specificity = np.zeros(matrix.shape[0], dtype=int)
-        for pattern, rate in zip(patterns, rates):
-            mask = pattern.matches(matrix)
+        n = cover.matrix.shape[0]
+        estimates = np.full(n, global_rate)
+        specificity = np.zeros(n, dtype=int)
+        for pattern, rate, mask in zip(patterns, rates, cover.masks(patterns)):
             better = mask & (len(pattern) >= specificity)
             estimates[better] = rate
             specificity[better] = len(pattern)
@@ -186,7 +197,7 @@ class Laserlight:
     # ------------------------------------------------------------------
     def _best_candidate(
         self,
-        matrix: np.ndarray,
+        cover: "_Containment",
         weights: np.ndarray,
         outcomes: np.ndarray,
         estimates: np.ndarray,
@@ -194,6 +205,7 @@ class Laserlight:
     ):
         """Sample candidates; return (pattern, rate, mask, error) or None."""
         rng = self._rng
+        matrix = cover.matrix
         total_weight = weights.sum()
         best = None
         best_error = _binary_kl_terms(outcomes, estimates, weights)
@@ -205,7 +217,7 @@ class Laserlight:
             size = int(rng.integers(1, min(self.max_pattern_size, support.size) + 1))
             chosen = rng.choice(support, size=size, replace=False)
             pattern = Pattern(int(i) for i in chosen)
-            mask = pattern.matches(matrix)
+            mask = cover.mask(pattern)
             cover_weight = weights[mask].sum()
             if cover_weight <= 0 or cover_weight >= total_weight:
                 continue
@@ -224,6 +236,38 @@ class Laserlight:
         if feature_subset is None:
             return pattern
         return Pattern(int(feature_subset[i]) for i in pattern.indices)
+
+
+class _Containment:
+    """Containment oracle over one (possibly column-subset) matrix.
+
+    Packs the rows once so every subsequent pattern test is a bitwise
+    AND/compare sweep; falls back to the dense row scan when the
+    ``dense`` backend is selected.
+    """
+
+    def __init__(self, matrix: np.ndarray, backend: str):
+        self.matrix = matrix
+        self.n_features = matrix.shape[1]
+        self._packed = kernels.pack_rows(matrix) if backend == "packed" else None
+
+    def mask(self, pattern: Pattern) -> np.ndarray:
+        if self._packed is not None:
+            return kernels.contains(
+                self._packed, kernels.pack_indices(pattern.indices, self.n_features)
+            )
+        return pattern.matches(self.matrix)
+
+    def masks(self, patterns: list[Pattern]) -> np.ndarray:
+        """``(k, m)`` containment masks for a whole summary at once."""
+        if not patterns:
+            return np.empty((0, self.matrix.shape[0]), dtype=bool)
+        if self._packed is not None:
+            return kernels.contains_many(
+                self._packed,
+                kernels.pack_patterns([p.indices for p in patterns], self.n_features),
+            )
+        return np.stack([p.matches(self.matrix) for p in patterns])
 
 
 def laserlight_error(

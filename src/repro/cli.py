@@ -40,6 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["kmeans", "spectral", "hierarchical"])
     compress.add_argument("--metric", default="euclidean")
     compress.add_argument("--keep-constants", action="store_true")
+    compress.add_argument(
+        "--backend", default="packed", choices=["packed", "dense"],
+        help="pattern-containment kernel (packed uint64 bitsets or dense scans)",
+    )
     compress.add_argument("--seed", type=int, default=0)
 
     stats = sub.add_parser("stats", help="dataset statistics for a SQL log file")
@@ -98,7 +102,7 @@ def _cmd_compress(args) -> int:
     log, report = load_log(statements, remove_constants=not args.keep_constants)
     compressor = LogRCompressor(
         n_clusters=args.clusters, method=args.method, metric=args.metric,
-        seed=args.seed,
+        backend=args.backend, seed=args.seed,
     )
     compressed = compressor.compress(log)
     args.output.write_text(compressed.to_json(), encoding="utf-8")

@@ -28,7 +28,8 @@ from .estimate import (
     synthesis_error,
     synthesize_patterns,
 )
-from .log import LogBuilder, QueryLog
+from . import kernels
+from .log import BACKENDS, LogBuilder, QueryLog
 from .lossless import (
     lossless_encoding,
     point_probability_from_marginals,
@@ -69,6 +70,8 @@ __all__ = [
     "Vocabulary",
     "QueryLog",
     "LogBuilder",
+    "BACKENDS",
+    "kernels",
     "Pattern",
     "NaiveEncoding",
     "PatternEncoding",

@@ -28,7 +28,7 @@ import numpy as np
 
 from .._rng import ensure_rng
 from ..cluster import cluster_vectors
-from .log import QueryLog
+from .log import BACKENDS, QueryLog
 from .mixture import PatternMixtureEncoding
 from .pattern import Pattern
 from .refine import refine_greedy
@@ -104,6 +104,11 @@ class LogRCompressor:
         n_init: restarts for the clustering step.
         refine_patterns: per-cluster non-naive patterns to add (§6.4).
         min_support / max_pattern_size: Apriori bounds for refinement.
+        backend: pattern-containment backend used by the mining and
+            refinement hot paths — ``packed`` (uint64 bitset kernels,
+            the default) or ``dense`` (reference uint8 scans).  Both
+            are exact; ``dense`` exists as a fallback and for
+            equivalence testing.
         seed: RNG seed or generator.
     """
 
@@ -116,10 +121,13 @@ class LogRCompressor:
         refine_patterns: int = 0,
         min_support: float = 0.05,
         max_pattern_size: int = 3,
+        backend: str = "packed",
         seed: int | np.random.Generator | None = None,
     ):
         if n_clusters < 1:
             raise ValueError("n_clusters must be >= 1")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         self.n_clusters = n_clusters
         self.method = method
         self.metric = metric
@@ -127,11 +135,13 @@ class LogRCompressor:
         self.refine_patterns = refine_patterns
         self.min_support = min_support
         self.max_pattern_size = max_pattern_size
+        self.backend = backend
         self._rng = ensure_rng(seed)
 
     def compress(self, log: QueryLog) -> CompressedLog:
         """Compress *log* into a pattern mixture encoding."""
         start = time.perf_counter()
+        log = log.with_backend(self.backend)
         labels = self.partition_labels(log)
         partitions = log.partition(labels)
         mixture = PatternMixtureEncoding.from_partitions(partitions, log.vocabulary)
@@ -186,6 +196,7 @@ def compress_sweep(
     method: str = "kmeans",
     metric: str = "euclidean",
     n_init: int = 10,
+    backend: str = "packed",
     seed: int | np.random.Generator | None = None,
 ) -> list[SweepPoint]:
     """Compress *log* for each K in *ks*; the Fig. 2 measurement loop."""
@@ -193,7 +204,8 @@ def compress_sweep(
     points: list[SweepPoint] = []
     for k in ks:
         compressor = LogRCompressor(
-            n_clusters=k, method=method, metric=metric, n_init=n_init, seed=rng
+            n_clusters=k, method=method, metric=metric, n_init=n_init,
+            backend=backend, seed=rng,
         )
         compressed = compressor.compress(log)
         points.append(
@@ -213,21 +225,39 @@ def compress_to_error(
     max_clusters: int = 64,
     method: str = "kmeans",
     metric: str = "euclidean",
+    backend: str = "packed",
     seed: int | np.random.Generator | None = None,
 ) -> CompressedLog:
     """Grow K (doubling) until Generalized Error ≤ *target_error*.
 
     Returns the first compression meeting the target, or the
     ``max_clusters`` compression when the target is unreachable.
+
+    Each doubling step gets its own fresh generator derived from
+    *seed*, so the clustering at a given K is independent of how many
+    earlier iterations ran: with an integer seed it is bit-identical
+    to calling ``LogRCompressor(n_clusters=K, seed=seed)`` directly.
+    (A shared generator would be consumed across iterations, making
+    per-K results depend on the search trajectory.)
     """
-    rng = ensure_rng(seed)
     k = 1
     best: CompressedLog | None = None
     while True:
         compressor = LogRCompressor(
-            n_clusters=min(k, max_clusters), method=method, metric=metric, seed=rng
+            n_clusters=min(k, max_clusters),
+            method=method,
+            metric=metric,
+            backend=backend,
+            seed=_fresh_child(seed),
         )
         best = compressor.compress(log)
         if best.error <= target_error or k >= max_clusters:
             return best
         k *= 2
+
+
+def _fresh_child(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """A per-iteration generator: re-seeded for ints, spawned for generators."""
+    if isinstance(seed, np.random.Generator):
+        return seed.spawn(1)[0]
+    return ensure_rng(seed)

@@ -14,11 +14,16 @@ from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
+from . import kernels
 from .entropy import entropy
 from .pattern import Pattern
 from .vocabulary import Vocabulary
 
-__all__ = ["QueryLog", "LogBuilder"]
+__all__ = ["QueryLog", "LogBuilder", "BACKENDS"]
+
+#: Containment backends: ``packed`` scans uint64 bitset words (the
+#: default hot path), ``dense`` scans the raw uint8 matrix (reference).
+BACKENDS = ("packed", "dense")
 
 
 class QueryLog:
@@ -29,6 +34,10 @@ class QueryLog:
         matrix: ``(n_distinct, n_features)`` 0/1 array of distinct rows.
         counts: multiplicity of each distinct row; ``counts.sum()`` is
             the total number of log entries ``|L|``.
+        backend: containment backend, ``packed`` (bitset kernels) or
+            ``dense`` (reference uint8 scans).  Both are exact and
+            bit-identical; derived logs (partition/subset/project)
+            inherit it.
     """
 
     def __init__(
@@ -36,6 +45,7 @@ class QueryLog:
         vocabulary: Vocabulary,
         matrix: np.ndarray,
         counts: np.ndarray | Sequence[int],
+        backend: str = "packed",
     ):
         matrix = np.ascontiguousarray(np.asarray(matrix, dtype=np.uint8))
         counts = np.asarray(counts, dtype=np.int64)
@@ -50,9 +60,15 @@ class QueryLog:
             raise ValueError("counts must have one entry per distinct row")
         if (counts <= 0).any():
             raise ValueError("multiplicities must be positive")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         self.vocabulary = vocabulary
         self.matrix = matrix
         self.counts = counts
+        self.backend = backend
+        self._packed: np.ndarray | None = None
+        self._columns: np.ndarray | None = None
+        self._tally: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # basic properties
@@ -75,6 +91,33 @@ class QueryLog:
     def __len__(self) -> int:
         return self.total
 
+    @property
+    def packed(self) -> np.ndarray:
+        """``(n_distinct, ceil(n/64))`` uint64 bitset rows (lazy, cached)."""
+        if self._packed is None:
+            self._packed = kernels.pack_rows(self.matrix)
+        return self._packed
+
+    @property
+    def packed_columns(self) -> np.ndarray:
+        """``(n_features, ceil(m/64))`` per-feature tidsets (lazy, cached)."""
+        if self._columns is None:
+            self._columns = kernels.pack_columns(self.matrix)
+        return self._columns
+
+    @property
+    def _byte_tally(self) -> np.ndarray:
+        """Weighted-popcount table over ``counts`` (lazy, cached)."""
+        if self._tally is None:
+            self._tally = kernels.weighted_byte_tally(self.counts)
+        return self._tally
+
+    def with_backend(self, backend: str) -> "QueryLog":
+        """This log with another containment backend (shares the arrays)."""
+        if backend == self.backend:
+            return self
+        return QueryLog(self.vocabulary, self.matrix, self.counts, backend=backend)
+
     # ------------------------------------------------------------------
     # distributional views
     # ------------------------------------------------------------------
@@ -95,15 +138,43 @@ class QueryLog:
         """Indices of features appearing in at least one query."""
         return np.flatnonzero(self.matrix.any(axis=0))
 
+    def pattern_mask(self, pattern: Pattern) -> np.ndarray:
+        """Boolean mask of distinct rows containing *pattern*."""
+        if self.backend == "packed":
+            return kernels.contains(
+                self.packed, kernels.pack_indices(pattern.indices, self.n_features)
+            )
+        return pattern.matches(self.matrix)
+
     def pattern_marginal(self, pattern: Pattern) -> float:
         """True marginal ``p(Q ⊇ b | L)`` of *pattern* (§2.3.1)."""
-        mask = pattern.matches(self.matrix)
-        return float(self.counts[mask].sum()) / self.total
+        return self.pattern_count(pattern) / self.total
 
     def pattern_count(self, pattern: Pattern) -> int:
         """True count ``Γ_b(L) = |{q ∈ L : b ⊆ q}|`` (§6.2)."""
-        mask = pattern.matches(self.matrix)
-        return int(self.counts[mask].sum())
+        if self.backend == "packed":
+            return int(
+                kernels.support_counts(
+                    self.packed_columns, self._byte_tally, [pattern.indices]
+                )[0]
+            )
+        return int(self.counts[self.pattern_mask(pattern)].sum())
+
+    def pattern_counts(self, patterns: Sequence[Pattern]) -> np.ndarray:
+        """Batched ``Γ_b(L)`` for many patterns in one kernel sweep."""
+        if not len(patterns):
+            return np.zeros(0, dtype=np.int64)
+        if self.backend == "packed":
+            return kernels.support_counts(
+                self.packed_columns, self._byte_tally, [p.indices for p in patterns]
+            )
+        return np.array(
+            [self.pattern_count(pattern) for pattern in patterns], dtype=np.int64
+        )
+
+    def pattern_marginals(self, patterns: Sequence[Pattern]) -> np.ndarray:
+        """Batched ``p(Q ⊇ b | L)`` for many patterns."""
+        return self.pattern_counts(patterns) / self.total
 
     def average_features_per_query(self) -> float:
         """Mean feature-set size weighted by multiplicity (Table 1)."""
@@ -126,14 +197,24 @@ class QueryLog:
         for label in np.unique(labels):
             mask = labels == label
             partitions.append(
-                QueryLog(self.vocabulary, self.matrix[mask], self.counts[mask])
+                QueryLog(
+                    self.vocabulary,
+                    self.matrix[mask],
+                    self.counts[mask],
+                    backend=self.backend,
+                )
             )
         return partitions
 
     def subset(self, row_indices: np.ndarray | Sequence[int]) -> "QueryLog":
         """Sub-log containing the given distinct rows."""
         row_indices = np.asarray(row_indices, dtype=int)
-        return QueryLog(self.vocabulary, self.matrix[row_indices], self.counts[row_indices])
+        return QueryLog(
+            self.vocabulary,
+            self.matrix[row_indices],
+            self.counts[row_indices],
+            backend=self.backend,
+        )
 
     def project(self, feature_indices: np.ndarray | Sequence[int]) -> "QueryLog":
         """Project onto a feature subset (used by Laserlight's 100-col cap).
@@ -146,7 +227,7 @@ class QueryLog:
         reduced = self.matrix[:, feature_indices]
         new_vocab = Vocabulary(self.vocabulary.feature(i) for i in feature_indices)
         merged = _merge_duplicates(reduced, self.counts)
-        return QueryLog(new_vocab, merged[0], merged[1])
+        return QueryLog(new_vocab, merged[0], merged[1], backend=self.backend)
 
     # ------------------------------------------------------------------
     # equality (used heavily by tests)
@@ -179,20 +260,13 @@ def _row_multiset(matrix: np.ndarray, counts: np.ndarray) -> dict[bytes, int]:
 
 
 def _merge_duplicates(matrix: np.ndarray, counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Collapse duplicate rows, summing multiplicities."""
-    order: dict[bytes, int] = {}
-    rows: list[np.ndarray] = []
-    merged: list[int] = []
-    for row, count in zip(matrix, counts):
-        key = row.tobytes()
-        index = order.get(key)
-        if index is None:
-            order[key] = len(rows)
-            rows.append(row)
-            merged.append(int(count))
-        else:
-            merged[index] += int(count)
-    return np.asarray(rows, dtype=np.uint8), np.asarray(merged, dtype=np.int64)
+    """Collapse duplicate rows, summing multiplicities.
+
+    Preserves first-occurrence order and the ``(0, n)`` shape of an
+    empty input (the old per-row loop returned a ``(0,)`` array that
+    broke downstream ``matrix[:, cols]`` indexing).
+    """
+    return kernels.merge_duplicate_rows(matrix, counts)
 
 
 class LogBuilder:

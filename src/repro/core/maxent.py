@@ -34,6 +34,7 @@ from scipy.special import logsumexp
 
 from .encoding import NaiveEncoding, PatternEncoding
 from .entropy import bernoulli_entropy, independent_entropy
+from .kernels import atoms_containing
 from .pattern import Pattern
 
 __all__ = [
@@ -172,9 +173,8 @@ def ipf_atoms(
         raise ValueError(f"block of {n_bits} features exceeds {MAX_BLOCK_FEATURES}")
     constraints = list(constraints)
     size = 1 << n_bits
-    atoms = np.arange(size)
     masks = [
-        ((atoms & mask) == mask, float(np.clip(p, 0.0, 1.0)))
+        (atoms_containing(n_bits, mask), float(np.clip(p, 0.0, 1.0)))
         for mask, p in constraints
     ]
     prob = np.full(size, 1.0 / size)
@@ -282,8 +282,7 @@ class BlockwiseMaxent:
             remaining -= overlap
             bit_of = {feature: bit for bit, feature in enumerate(block.features)}
             mask = sum(1 << bit_of[feature] for feature in overlap)
-            atoms = np.arange(block.atom_probs.shape[0])
-            member = (atoms & mask) == mask
+            member = atoms_containing(len(block.features), mask)
             probability *= float(block.atom_probs[member].sum())
         for feature in remaining:
             probability *= float(self.marginals[feature])

@@ -21,8 +21,11 @@ class Pattern:
     __slots__ = ("_indices", "_hash")
 
     def __init__(self, indices: Iterable[int]):
-        self._indices = frozenset(int(i) for i in indices)
-        if any(i < 0 for i in self._indices):
+        if isinstance(indices, np.ndarray) and indices.dtype.kind in "iu":
+            self._indices = frozenset(indices.tolist())
+        else:
+            self._indices = frozenset(int(i) for i in indices)
+        if self._indices and min(self._indices) < 0:
             raise ValueError("feature indices must be non-negative")
         self._hash = hash(self._indices)
 

@@ -97,6 +97,7 @@ class TestLaserlightMixture:
 
 
 class TestMtvMixture:
+    @pytest.mark.slow
     def test_budget_capped_at_limit(self, partitioned):
         partitions, _ = partitioned
         run = mtv_mixture(
@@ -104,6 +105,7 @@ class TestMtvMixture:
         )
         assert all(b <= MTV_PATTERN_LIMIT for b in run.per_cluster_patterns)
 
+    @pytest.mark.slow
     def test_combined_error_improves_on_naive(self, partitioned):
         """MTV mixture may not beat the naive mixture (§8.1.4 says they
         are close), but partitioning must improve on classical MTV's

@@ -34,12 +34,14 @@ def itemset_log():
 
 
 class TestMtv:
+    @pytest.mark.slow
     def test_error_history_monotone(self, itemset_log):
         summary = MTV(n_patterns=3, min_support=0.1, seed=0).fit(itemset_log)
         assert all(
             b <= a + 1e-9 for a, b in zip(summary.history, summary.history[1:])
         )
 
+    @pytest.mark.slow
     def test_finds_the_block(self, itemset_log):
         summary = MTV(n_patterns=3, min_support=0.1, seed=0).fit(itemset_log)
         covered = set()
@@ -47,6 +49,7 @@ class TestMtv:
             covered |= pattern.indices
         assert {0, 1, 2} <= covered
 
+    @pytest.mark.slow
     def test_improves_on_empty_model(self, itemset_log):
         from repro.baselines.mtv import _bic_error
         from repro.core.maxent import fit_pattern_encoding
@@ -71,6 +74,7 @@ class TestMtv:
         summary = MTV(n_patterns=2, min_support=0.1, seed=0).fit(itemset_log)
         assert mtv_error(itemset_log, summary) == pytest.approx(summary.error)
 
+    @pytest.mark.slow
     def test_verbosity_bounded(self, itemset_log):
         summary = MTV(n_patterns=3, min_support=0.1, seed=0).fit(itemset_log)
         assert summary.verbosity <= 3
@@ -89,6 +93,7 @@ class TestNaiveMtvError:
         expected = 10 * 2.0 + 0.5 * 2 * np.log2(10)
         assert naive_mtv_error(log) == pytest.approx(expected)
 
+    @pytest.mark.slow
     def test_naive_beats_mtv_on_sparse_data(self):
         """§8.1.2: the naive encoding outperforms classical MTV because
         MTV's model leaves most features unconstrained (~1 bit each).

@@ -123,3 +123,22 @@ class TestCompressToError:
     def test_trivial_target(self, small_pocketdata_log):
         compressed = compress_to_error(small_pocketdata_log, 1e9, seed=0)
         assert compressed.n_clusters == 1
+
+    def test_per_k_clustering_matches_direct_call(self, small_pocketdata_log):
+        # Regression: a single shared rng used to be consumed across
+        # the doubling iterations, so the clustering at a given K
+        # depended on how many earlier iterations had run.  Each K now
+        # gets a fresh child generator: with an integer seed, the
+        # result for the final K is bit-identical to calling
+        # LogRCompressor(n_clusters=K, seed=seed) directly.
+        compressed = compress_to_error(small_pocketdata_log, 0.0, max_clusters=4, seed=7)
+        direct = LogRCompressor(n_clusters=compressed.n_clusters, seed=7).compress(
+            small_pocketdata_log
+        )
+        assert np.array_equal(compressed.labels, direct.labels)
+        assert compressed.error == pytest.approx(direct.error)
+
+    def test_generator_seed_still_accepted(self, small_pocketdata_log):
+        rng = np.random.default_rng(3)
+        compressed = compress_to_error(small_pocketdata_log, 1e9, seed=rng)
+        assert compressed.n_clusters == 1

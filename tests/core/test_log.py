@@ -85,6 +85,17 @@ class TestPartition:
         assert projected.total == 5
         assert len(projected.vocabulary) == 2
 
+    def test_project_empty_log_keeps_feature_width(self):
+        # Regression: _merge_duplicates used to collapse an empty input
+        # to shape (0,), which broke the projected QueryLog's 2-D
+        # matrix invariant and downstream column indexing.
+        vocab = Vocabulary(["a", "b", "c"])
+        empty = QueryLog(vocab, np.zeros((0, 3), dtype=np.uint8), np.zeros(0, dtype=np.int64))
+        projected = empty.project([0, 2])
+        assert projected.matrix.shape == (0, 2)
+        assert projected.total == 0
+        assert projected.n_distinct == 0
+
 
 class TestEquality:
     def test_row_order_irrelevant(self):

@@ -57,6 +57,16 @@ class TestApriori:
         assert len(top) == 5
         assert [s for _, s in top] == [s for _, s in all_patterns[:5]]
 
+    def test_max_patterns_cap_is_global_not_per_level(self, mining_log):
+        # The cap is applied once, after all levels are mined: the
+        # result must equal the global top-N of the uncapped run, even
+        # when the top-N spans several itemset sizes.
+        uncapped = frequent_patterns(mining_log, 0.05, 3)
+        for cap in (1, 3, 8, len(uncapped), len(uncapped) + 10):
+            capped = frequent_patterns(mining_log, 0.05, 3, max_patterns=cap)
+            assert capped == uncapped[:cap]
+        assert len({len(p) for p, _ in uncapped[:8]}) > 1  # spans sizes
+
     def test_sorted_by_support(self, mining_log):
         got = frequent_patterns(mining_log, 0.05, 3)
         supports = [s for _, s in got]

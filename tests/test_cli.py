@@ -37,6 +37,31 @@ class TestCompress:
         )
         assert rc == 0
 
+    def test_compress_backends_agree(self, log_file, tmp_path):
+        # --backend selects the containment kernel; both are exact, so
+        # the artifacts must be byte-identical for the same seed.
+        outputs = {}
+        for backend in ("packed", "dense"):
+            out = tmp_path / f"summary-{backend}.json"
+            rc = main(
+                [
+                    "compress", str(log_file), "-o", str(out),
+                    "-k", "3", "--backend", backend, "--seed", "1",
+                ]
+            )
+            assert rc == 0
+            outputs[backend] = out.read_text()
+        assert outputs["packed"] == outputs["dense"]
+
+    def test_compress_rejects_unknown_backend(self, log_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "compress", str(log_file), "-o", str(tmp_path / "x.json"),
+                    "--backend", "sparse",
+                ]
+            )
+
 
 class TestStats:
     def test_stats_output(self, log_file, capsys):
