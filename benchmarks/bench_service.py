@@ -1,0 +1,173 @@
+"""Service-layer benchmark: incremental ingest and batched scoring.
+
+Measures the two performance claims of the analytics service layer:
+
+* **Incremental ingest vs full recompression** — merging a mini-batch
+  into a stored profile with :class:`repro.service.ingest.
+  IncrementalIngestor` must be ≥5× faster than re-running
+  :class:`repro.core.compress.LogRCompressor` on the merged log, while
+  landing within a small Error tolerance of the recompressed summary
+  (the staleness trigger covers the drift beyond that tolerance).
+
+* **Batched scoring throughput** — one ``/score`` request carrying a
+  256-statement batch must beat a 256-request single-query loop by
+  ≥10× (one encode + one mixture evaluation + one HTTP round trip,
+  instead of 256 of each).  Also prints queries/sec across batch sizes.
+
+Plus the store round-trip check: a profile loaded back from disk must
+score bit-identically to the in-memory artifact.
+
+Run with::
+
+    pytest benchmarks/bench_service.py -s
+
+The printed tables are archived under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.compress import LogRCompressor
+from repro.service import AnalyticsClient, AnalyticsServer, SummaryStore
+from repro.service.ingest import IncrementalIngestor
+from repro.workloads import generate_bank, generate_tpch
+
+from conftest import print_table
+
+INGEST_SPEEDUP_TARGET = 5.0
+SCORE_SPEEDUP_TARGET = 10.0
+ERROR_TOLERANCE_BITS = 0.25
+BATCH_SIZE = 256
+REPS = 3
+
+
+def _time(fn, reps: int = REPS):
+    best = math.inf
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def profile():
+    """A US-Bank-like profile at laptop scale.
+
+    The ingest comparison needs a log with a realistic distinct-query
+    count (the paper's bank log has 1712 distinct shapes): full
+    recompression re-clusters every distinct row, which is exactly the
+    O(log) cost incremental maintenance avoids.
+    """
+    workload = generate_bank(total=150_000, n_templates=1_200, seed=0)
+    log = workload.to_query_log()
+    compressed = LogRCompressor(n_clusters=8, seed=0).compress(log)
+    return workload, log, compressed
+
+
+def test_incremental_ingest_speedup(profile):
+    workload, log, compressed = profile
+    extractor_batch = [
+        frozenset(features)
+        for features, count in _batch_feature_sets(workload, n=1_000)
+        for _ in range(count)
+    ]
+
+    def incremental():
+        ingestor = IncrementalIngestor(
+            compressed, log, staleness_threshold=float("inf")
+        )
+        ingestor.ingest_feature_sets(extractor_batch)
+        return ingestor
+
+    t_incremental, ingestor = _time(incremental)
+    merged = ingestor.log
+
+    def full():
+        return LogRCompressor(n_clusters=8, seed=0).compress(merged)
+
+    t_full, recompressed = _time(full)
+    speedup = t_full / t_incremental
+    print_table(
+        "Bench service: incremental ingest vs full recompression",
+        ["batch", "log entries", "incremental ms", "recompress ms",
+         "speedup", "inc Error", "full Error"],
+        [[len(extractor_batch), merged.total, t_incremental * 1e3,
+          t_full * 1e3, speedup, ingestor.compressed.error,
+          recompressed.error]],
+    )
+    assert speedup >= INGEST_SPEEDUP_TARGET, (
+        f"incremental ingest speedup {speedup:.1f}x below the "
+        f"{INGEST_SPEEDUP_TARGET:.0f}x target"
+    )
+    assert ingestor.compressed.error <= recompressed.error + ERROR_TOLERANCE_BITS, (
+        "incremental merge drifted past the Error tolerance"
+    )
+
+
+def _batch_feature_sets(workload, n: int):
+    """(features, count) pairs for the first *n* entries of a shuffle."""
+    statements = list(workload.statements(shuffle=True, seed=1))[:n]
+    from repro.sql import AligonExtractor
+
+    extractor = AligonExtractor(remove_constants=True)
+    cache: dict[str, frozenset] = {}
+    for statement in statements:
+        if statement not in cache:
+            cache[statement] = extractor.extract_merged(statement)
+        yield cache[statement], 1
+
+
+def test_batched_scoring_throughput(tmp_path):
+    store = SummaryStore(tmp_path / "store")
+    workload = generate_tpch(total=20_000, variants_per_template=64, seed=0)
+    log = workload.to_query_log()
+    compressed = LogRCompressor(n_clusters=8, seed=0).compress(log)
+    store.save("tpch", compressed, log)
+    statements = list(workload.statements(shuffle=True, seed=1))[:BATCH_SIZE]
+
+    with AnalyticsServer(store, port=0) as server:
+        client = AnalyticsClient(server.url)
+        client.score("tpch", statements)  # warm profile + parse caches
+
+        rows = []
+        for size in (16, 64, BATCH_SIZE):
+            batch = statements[:size]
+            t_batch, _ = _time(lambda: client.score("tpch", batch))
+            rows.append(["batched", size, t_batch * 1e3, size / t_batch])
+        t_loop, _ = _time(
+            lambda: [client.score("tpch", [s]) for s in statements]
+        )
+        rows.append(["single-query loop", BATCH_SIZE, t_loop * 1e3,
+                     BATCH_SIZE / t_loop])
+
+    t_best = rows[-2][2] / 1e3  # batched at BATCH_SIZE
+    speedup = t_loop / t_best
+    rows.append(["speedup", BATCH_SIZE, float("nan"), speedup])
+    print_table(
+        "Bench service: /score throughput vs batch size",
+        ["mode", "batch size", "ms / request", "queries/sec"],
+        rows,
+    )
+    assert speedup >= SCORE_SPEEDUP_TARGET, (
+        f"batched /score speedup {speedup:.1f}x below the "
+        f"{SCORE_SPEEDUP_TARGET:.0f}x target"
+    )
+
+
+def test_store_roundtrip_bit_exact(profile, tmp_path):
+    _, log, compressed = profile
+    store = SummaryStore(tmp_path / "store")
+    store.save("bank", compressed, log)
+    loaded, loaded_log = store.load_state("bank")
+    original = compressed.mixture.point_probabilities(log.matrix)
+    restored = loaded.mixture.point_probabilities(loaded_log.matrix)
+    assert np.array_equal(original, restored), (
+        "store round-trip must preserve scores bit-exactly"
+    )

@@ -1,0 +1,104 @@
+"""The service layer end to end: ingest → drift → alert.
+
+A day in the life of a long-lived workload profile:
+
+1. **Bootstrap** — compress a typical TPC-H-style reporting workload
+   and persist it (with its encoded training state) as a named profile
+   in a :class:`repro.service.SummaryStore`.
+2. **Serve** — start the analytics server over the store and keep the
+   profile current by ingesting mini-batches of arriving traffic: the
+   incremental merge is O(batch), and the staleness score decides when
+   a full recompression is worth it.
+3. **Detect** — midway, the traffic mix shifts (an OLTP-style app
+   starts hammering the warehouse).  The ``/drift`` endpoint flags the
+   divergence and names the features that moved, and ``/score`` flags
+   the individually-implausible statements.
+
+Run: ``python examples/service_monitoring.py``
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.core.compress import LogRCompressor
+from repro.service import AnalyticsClient, AnalyticsServer, SummaryStore
+from repro.workloads import generate_pocketdata, generate_tpch
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. bootstrap: one-off compression, persisted as a named profile
+    # ------------------------------------------------------------------
+    typical = generate_tpch(total=20_000, variants_per_template=16, seed=0)
+    log = typical.to_query_log()
+    compressed = LogRCompressor(n_clusters=4, seed=0).compress(log)
+
+    root = tempfile.mkdtemp(prefix="logr-store-")
+    store = SummaryStore(root)
+    record = store.save("warehouse", compressed, log, note="baseline")
+    print(f"profile 'warehouse' v{record.version}: "
+          f"Error={record.error_bits:.2f} bits, "
+          f"{record.total_queries:,} queries -> {root}")
+
+    # ------------------------------------------------------------------
+    # 2. serve and keep current with incremental ingest
+    # ------------------------------------------------------------------
+    with AnalyticsServer(store, port=0, staleness_threshold=0.5) as server:
+        client = AnalyticsClient(server.url)
+        stream = list(typical.statements(shuffle=True, seed=1))
+
+        print("\n-- steady state: typical traffic, O(batch) merges --")
+        for hour in range(3):
+            batch = stream[hour * 500:(hour + 1) * 500]
+            out = client.ingest("warehouse", batch)
+            report = out["report"]
+            print(f"hour {hour}: merged {report['n_encoded']} stmts in "
+                  f"{report['seconds'] * 1e3:.0f} ms, "
+                  f"staleness {report['staleness']:+.3f} bits, "
+                  f"recompressed={report['recompressed']} "
+                  f"-> v{out['version']}")
+
+        # --------------------------------------------------------------
+        # 3. the mix shifts: an OLTP app joins the party
+        # --------------------------------------------------------------
+        print("\n-- traffic shift: OLTP statements appear --")
+        oltp = list(
+            generate_pocketdata(total=2_000, n_distinct=60, seed=2).statements()
+        )
+        mixed = stream[1500:2000] + oltp[:500]
+
+        drift = client.drift("warehouse", mixed, window_size=250)
+        flag = "DRIFT" if drift["batch_drifted"] else "ok"
+        print(f"batch divergence {drift['batch_divergence_bits']:.2f} bits "
+              f"(threshold {drift['threshold']:.2f}) [{flag}]")
+        print("features driving the shift:")
+        for feature in drift["top_features"][:5]:
+            print(f"  [{feature['direction']:>4}] {feature['feature']}  "
+                  f"{feature['baseline_marginal']:.3f} -> "
+                  f"{feature['current_marginal']:.3f}")
+
+        scored = client.score("warehouse", oltp[:200])
+        alerts = [s for s in scored["scores"] if s["anomalous"]]
+        print(f"\nper-query alerts: {len(alerts)}/200 OLTP statements flagged "
+              f"(threshold {scored['threshold']:.1f})")
+
+        # ingesting the shifted mix drives staleness up until the
+        # profile recompresses itself
+        print("\n-- ingesting the shifted mix until recompression fires --")
+        for round_index in range(6):
+            batch = oltp[round_index * 250:(round_index + 1) * 250]
+            out = client.ingest("warehouse", batch)
+            report = out["report"]
+            print(f"round {round_index}: staleness {report['staleness']:+.3f} "
+                  f"bits, recompressed={report['recompressed']}")
+            if report["recompressed"]:
+                break
+
+        versions = client.profile("warehouse")["versions"]
+        print(f"\nprofile history: {len(versions)} versions on disk; "
+              f"latest Error {versions[-1]['error_bits']:.2f} bits")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""CI smoke test: compress → store → serve → score → ingest → teardown.
+
+Builds a tiny TPC-H-like profile in a temp store, starts the analytics
+server on an ephemeral port, scores a 100-query batch through the HTTP
+client, runs one ingest round, verifies the store advanced a version,
+and shuts down.  Exits non-zero on any failure; runtime is a few
+seconds so it fits the fast CI budget.
+
+Run with::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro.core.compress import LogRCompressor
+from repro.service import AnalyticsClient, AnalyticsServer, SummaryStore
+from repro.workloads import generate_tpch
+
+
+def main() -> int:
+    workload = generate_tpch(total=1_000, variants_per_template=4, seed=0)
+    log = workload.to_query_log()
+    compressed = LogRCompressor(n_clusters=2, seed=0, n_init=2).compress(log)
+
+    with tempfile.TemporaryDirectory() as root:
+        store = SummaryStore(root)
+        store.save("tpch", compressed, log, note="smoke seed")
+
+        with AnalyticsServer(store, port=0) as server:
+            client = AnalyticsClient(server.url)
+
+            profiles = client.profiles()
+            assert [p["name"] for p in profiles] == ["tpch"], profiles
+
+            batch = list(workload.statements(shuffle=True, seed=1))[:100]
+            scored = client.score("tpch", batch)
+            assert len(scored["scores"]) == 100, len(scored["scores"])
+            assert all(
+                isinstance(s["log2_likelihood"], float)
+                for s in scored["scores"]
+            ), "training-distribution statements must all parse"
+            anomalous = sum(s["anomalous"] for s in scored["scores"])
+            assert anomalous <= 5, f"{anomalous} false alarms on typical traffic"
+
+            ingested = client.ingest("tpch", batch)
+            assert ingested["version"] == 2, ingested
+            assert ingested["report"]["n_encoded"] == 100, ingested
+
+            rescored = client.score("tpch", batch[:10])
+            assert rescored["version"] == 2
+
+            stats = client.stats()
+            assert stats["requests"]["score"] >= 2, stats
+
+        reloaded = store.load("tpch")
+        assert reloaded.mixture.total == log.total + 100
+
+    print("service smoke: PASS (scored 100-query batch, ingested, v2 persisted)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

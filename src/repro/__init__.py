@@ -35,6 +35,7 @@ from .core import (
     compress_sweep,
     compress_to_error,
     deviation,
+    load_artifact,
     reproduction_error,
 )
 from .workloads.logio import load_log
@@ -57,4 +58,5 @@ __all__ = [
     "reproduction_error",
     "deviation",
     "load_log",
+    "load_artifact",
 ]

@@ -11,8 +11,10 @@ account, the §5 intrusion-detection motivation — raise alerts.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
@@ -40,27 +42,47 @@ class WorkloadMonitor:
     Args:
         mixture: the LogR mixture profiling normal behaviour (must
             carry a vocabulary).
+        training_log: the encoded log the mixture was built from; used
+            to calibrate the alert threshold.  May be ``None`` when an
+            explicit *threshold* is given instead (e.g. a profile loaded
+            from a store without its training state).
         threshold_quantile: the alert threshold is calibrated so this
             fraction of the *training* log scores as normal.
+        threshold: explicit log2-likelihood alert threshold, bypassing
+            calibration.
+        parse_cache_size: statement → feature-set memo capacity.  Query
+            logs are hugely repetitive (the paper's PocketData log has
+            629,582 entries over 605 distinct statements), so caching
+            extraction makes steady-state scoring parse-free.  0
+            disables the cache.
     """
 
     def __init__(
         self,
         mixture: PatternMixtureEncoding,
-        training_log: QueryLog,
+        training_log: QueryLog | None = None,
         threshold_quantile: float = 0.001,
+        threshold: float | None = None,
+        parse_cache_size: int = 4096,
     ):
         if mixture.vocabulary is None:
             raise ValueError("mixture has no vocabulary attached")
         self.mixture = mixture
         self._extractor = AligonExtractor(remove_constants=True)
-        scores = self._training_scores(training_log)
-        self.threshold = float(np.quantile(scores, threshold_quantile))
+        self._parse_cache_size = parse_cache_size
+        self._parse_cache: OrderedDict[str, frozenset | SqlError] = OrderedDict()
+        self._parse_lock = threading.Lock()
+        if threshold is not None:
+            self.threshold = float(threshold)
+        elif training_log is not None:
+            scores = self._training_scores(training_log)
+            self.threshold = float(np.quantile(scores, threshold_quantile))
+        else:
+            raise ValueError("need either training_log or an explicit threshold")
 
     def _training_scores(self, log: QueryLog) -> np.ndarray:
-        scores = np.empty(log.n_distinct)
-        for i, row in enumerate(log.matrix):
-            scores[i] = float(safe_log2(self.mixture.point_probability(row)))
+        probabilities = self.mixture.point_probabilities(log.matrix)
+        scores = safe_log2(probabilities)
         return np.repeat(scores, log.counts)
 
     # ------------------------------------------------------------------
@@ -79,15 +101,30 @@ class WorkloadMonitor:
             probability = 0.0
         return float(safe_log2(probability))
 
+    def _extract_merged(self, sql: str) -> frozenset | SqlError:
+        """Merged feature set of *sql* (memoized), or its parse error."""
+        if self._parse_cache_size:
+            with self._parse_lock:
+                hit = self._parse_cache.get(sql)
+                if hit is not None:
+                    self._parse_cache.move_to_end(sql)
+                    return hit
+        try:
+            result: frozenset | SqlError = self._extractor.extract_merged(sql)
+        except SqlError as exc:
+            result = exc
+        if self._parse_cache_size:
+            with self._parse_lock:
+                self._parse_cache[sql] = result
+                while len(self._parse_cache) > self._parse_cache_size:
+                    self._parse_cache.popitem(last=False)
+        return result
+
     def score(self, sql: str) -> QueryScore:
         """Parse and score one SQL statement."""
-        try:
-            feature_sets = self._extractor.extract(sql)
-        except SqlError as exc:
-            return QueryScore(sql, float("-inf"), True, f"unparseable: {exc}")
-        merged: set = set()
-        for feature_set in feature_sets:
-            merged.update(feature_set)
+        merged = self._extract_merged(sql)
+        if isinstance(merged, SqlError):
+            return QueryScore(sql, float("-inf"), True, f"unparseable: {merged}")
         log2_likelihood = self.score_features(merged)
         anomalous = log2_likelihood < self.threshold
         reason = ""
@@ -101,3 +138,59 @@ class WorkloadMonitor:
     def scan(self, statements: Iterable[str]) -> list[QueryScore]:
         """Score a stream of statements; returns one entry each."""
         return [self.score(sql) for sql in statements]
+
+    def score_batch(self, statements: Sequence[str]) -> list[QueryScore]:
+        """Score a batch with one encode pass and one mixture evaluation.
+
+        The service layer's hot path: instead of ``len(statements)``
+        separate mixture evaluations, all parseable statements are
+        encoded into one ``(m, n)`` matrix and scored by a single
+        :meth:`PatternMixtureEncoding.point_probabilities` sweep.  The
+        per-query arithmetic matches :meth:`score` exactly, so results
+        are bit-identical to the one-at-a-time loop.
+        """
+        n = self.mixture.components[0].encoding.n_features
+        vocabulary = self.mixture.vocabulary
+        # Distinct feature sets only: repeated statements (the common
+        # case in query logs) share one matrix row and one score.
+        rows: dict[frozenset, int] = {}
+        assignment: list[tuple[int, int]] = []  # (output position, row)
+        results: list[QueryScore | None] = []
+        for sql in statements:
+            merged = self._extract_merged(sql)
+            if isinstance(merged, SqlError):
+                results.append(
+                    QueryScore(sql, float("-inf"), True, f"unparseable: {merged}")
+                )
+                continue
+            row = rows.setdefault(merged, len(rows))
+            assignment.append((len(results), row))
+            results.append(None)  # placeholder filled from the batch sweep
+        if rows:
+            matrix = np.zeros((len(rows), n), dtype=np.uint8)
+            unknown = np.zeros(len(rows), dtype=bool)
+            for features, row in rows.items():
+                for feature in features:
+                    index = vocabulary.get(feature)
+                    # An index past the encoding width means the codebook
+                    # grew after this mixture was built: unknown here.
+                    if index is None or index >= n:
+                        unknown[row] = True
+                    else:
+                        matrix[row, index] = 1
+            probabilities = self.mixture.point_probabilities(matrix)
+            probabilities[unknown] = 0.0
+            scores = safe_log2(probabilities)
+            for position, row in assignment:
+                log2_likelihood = float(scores[row])
+                anomalous = log2_likelihood < self.threshold
+                reason = ""
+                if anomalous:
+                    reason = (
+                        f"log-likelihood {log2_likelihood:.1f} below threshold "
+                        f"{self.threshold:.1f}"
+                    )
+                results[position] = QueryScore(
+                    statements[position], log2_likelihood, anomalous, reason
+                )
+        return results  # type: ignore[return-value]

@@ -3,11 +3,17 @@
 Commands:
 
 * ``logr compress LOG.sql -o SUMMARY.json -k 8`` — compress a raw SQL
-  log file into a mixture-encoding artifact.
+  log file into a full compressed artifact (add ``--store DIR
+  --profile NAME`` to also persist it as a store profile).
 * ``logr stats LOG.sql`` — Table-1-style dataset statistics.
 * ``logr estimate SUMMARY.json --feature "<status = ?, WHERE>" ...`` —
   estimate Γ_b from a compressed artifact.
 * ``logr visualize SUMMARY.json`` — Fig.-10-style shaded skeletons.
+* ``logr serve STORE_DIR`` — run the analytics HTTP server.
+* ``logr ingest STORE_DIR PROFILE LOG.sql`` — merge a mini-batch into a
+  stored profile (staleness-triggered recompression).
+* ``logr score QUERIES.sql --store DIR --profile NAME`` — batch-score
+  statements against a stored profile or a summary file.
 """
 
 from __future__ import annotations
@@ -16,8 +22,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from .core.compress import LogRCompressor
-from .core.mixture import PatternMixtureEncoding
+from .core.compress import LogRCompressor, load_artifact
 from .sql.features import Feature
 from .viz.render import render_mixture
 from .workloads.logio import load_log, read_log
@@ -45,6 +50,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="pattern-containment kernel (packed uint64 bitsets or dense scans)",
     )
     compress.add_argument("--seed", type=int, default=0)
+    compress.add_argument(
+        "--store", type=Path, default=None,
+        help="also save the artifact (with ingestable state) into this store",
+    )
+    compress.add_argument(
+        "--profile", default=None,
+        help="profile name to save under (requires --store)",
+    )
 
     stats = sub.add_parser("stats", help="dataset statistics for a SQL log file")
     stats.add_argument("log", type=Path)
@@ -77,6 +90,49 @@ def build_parser() -> argparse.ArgumentParser:
     drift.add_argument("baseline", type=Path)
     drift.add_argument("current", type=Path)
     drift.add_argument("--top", type=int, default=10)
+
+    serve = sub.add_parser(
+        "serve", help="run the workload-analytics HTTP server over a store"
+    )
+    serve.add_argument("store", type=Path, help="profile store directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--cache-profiles", type=int, default=8)
+    serve.add_argument(
+        "--staleness-threshold", type=float, default=0.5,
+        help="Error drift (bits) before an ingest triggers recompression",
+    )
+
+    ingest = sub.add_parser(
+        "ingest", help="merge a statement mini-batch into a stored profile"
+    )
+    ingest.add_argument("store", type=Path, help="profile store directory")
+    ingest.add_argument("profile", help="profile name inside the store")
+    ingest.add_argument("log", type=Path, help="one-statement-per-line SQL file")
+    ingest.add_argument(
+        "--staleness-threshold", type=float, default=0.5,
+        help="Error drift (bits) before a full recompression is triggered",
+    )
+    ingest.add_argument("--seed", type=int, default=0)
+
+    score = sub.add_parser(
+        "score", help="batch-score statements against a compressed profile"
+    )
+    score.add_argument("queries", type=Path, help="one-statement-per-line SQL file")
+    score.add_argument(
+        "--summary", type=Path, default=None,
+        help="compressed artifact file (alternative to --store/--profile)",
+    )
+    score.add_argument("--store", type=Path, default=None)
+    score.add_argument("--profile", default=None)
+    score.add_argument(
+        "--quantile", type=float, default=0.001,
+        help="training-score quantile used to calibrate the alert threshold",
+    )
+    score.add_argument(
+        "--threshold", type=float, default=None,
+        help="explicit log2-likelihood alert threshold (skips calibration)",
+    )
     return parser
 
 
@@ -94,10 +150,18 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_synthesize(args)
     if args.command == "drift":
         return _cmd_drift(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "ingest":
+        return _cmd_ingest(args)
+    if args.command == "score":
+        return _cmd_score(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
 def _cmd_compress(args) -> int:
+    if (args.store is None) != (args.profile is None):
+        raise SystemExit("--store and --profile must be given together")
     statements = read_log(args.log)
     log, report = load_log(statements, remove_constants=not args.keep_constants)
     compressor = LogRCompressor(
@@ -114,6 +178,13 @@ def _cmd_compress(args) -> int:
         f"K={compressed.n_clusters}  Error={compressed.error:.3f} bits  "
         f"Verbosity={compressed.total_verbosity}  -> {args.output}"
     )
+    if args.store is not None:
+        from .service import SummaryStore
+
+        record = SummaryStore(args.store).save(
+            args.profile, compressed, log, note=f"compress {args.log.name}"
+        )
+        print(f"profile {args.profile!r} v{record.version} -> {args.store}")
     return 0
 
 
@@ -140,9 +211,7 @@ def _parse_feature(spec: str) -> Feature:
 
 
 def _cmd_estimate(args) -> int:
-    mixture = PatternMixtureEncoding.from_json(
-        args.summary.read_text(encoding="utf-8")
-    )
+    mixture = load_artifact(args.summary).mixture
     features = [_parse_feature(spec) for spec in args.feature]
     count = mixture.estimate_count_features(features)
     marginal = count / mixture.total
@@ -153,9 +222,7 @@ def _cmd_estimate(args) -> int:
 
 
 def _cmd_visualize(args) -> int:
-    mixture = PatternMixtureEncoding.from_json(
-        args.summary.read_text(encoding="utf-8")
-    )
+    mixture = load_artifact(args.summary).mixture
     print(render_mixture(mixture, min_marginal=args.min_marginal, use_ansi=args.ansi))
     return 0
 
@@ -163,9 +230,7 @@ def _cmd_visualize(args) -> int:
 def _cmd_synthesize(args) -> int:
     from .apps.synthesis import WorkloadSynthesizer
 
-    mixture = PatternMixtureEncoding.from_json(
-        args.summary.read_text(encoding="utf-8")
-    )
+    mixture = load_artifact(args.summary).mixture
     synthesizer = WorkloadSynthesizer(mixture, seed=args.seed)
     for query in synthesizer.sample(args.queries):
         print(query.sql)
@@ -175,12 +240,8 @@ def _cmd_synthesize(args) -> int:
 def _cmd_drift(args) -> int:
     from .core.diff import feature_drift, mixture_divergence
 
-    baseline = PatternMixtureEncoding.from_json(
-        args.baseline.read_text(encoding="utf-8")
-    )
-    current = PatternMixtureEncoding.from_json(
-        args.current.read_text(encoding="utf-8")
-    )
+    baseline = load_artifact(args.baseline).mixture
+    current = load_artifact(args.current).mixture
     divergence = mixture_divergence(baseline, current)
     print(f"workload divergence: {divergence:.4f} bits")
     for drift in feature_drift(baseline, current, top_k=args.top):
@@ -189,6 +250,93 @@ def _cmd_drift(args) -> int:
             f"{drift.baseline_marginal:.3f} -> {drift.current_marginal:.3f}  "
             f"(+{drift.divergence_bits:.4f} bits)"
         )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import AnalyticsServer, SummaryStore
+
+    server = AnalyticsServer(
+        SummaryStore(args.store),
+        host=args.host,
+        port=args.port,
+        cache_profiles=args.cache_profiles,
+        staleness_threshold=args.staleness_threshold,
+    )
+    host, port = server.address
+    print(f"serving {args.store} on http://{host}:{port} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    from .service import IncrementalIngestor, SummaryStore
+
+    store = SummaryStore(args.store)
+    compressed, log = store.load_state(args.profile)
+    if log is None:
+        raise SystemExit(
+            f"profile {args.profile!r} was stored without training state; "
+            "re-create it with `logr compress --store --profile`"
+        )
+    ingestor = IncrementalIngestor(
+        compressed,
+        log,
+        staleness_threshold=args.staleness_threshold,
+        seed=args.seed,
+    )
+    report = ingestor.ingest_statements(read_log(args.log))
+    record = store.save(
+        args.profile,
+        ingestor.compressed,
+        ingestor.log,
+        note=f"ingest {args.log.name}",
+    )
+    print(report)
+    print(f"profile {args.profile!r} -> v{record.version}")
+    return 0
+
+
+def _cmd_score(args) -> int:
+    from .apps.monitor import WorkloadMonitor
+
+    if (args.store is None) != (args.profile is None):
+        raise SystemExit("--store and --profile must be given together")
+    if (args.summary is None) == (args.store is None):
+        raise SystemExit("give either --summary or --store/--profile")
+    log = None
+    if args.store is not None:
+        from .service import SummaryStore
+
+        compressed, log = SummaryStore(args.store).load_state(args.profile)
+    else:
+        compressed = load_artifact(args.summary)
+    if args.threshold is None and log is None:
+        raise SystemExit(
+            "no training state available to calibrate a threshold; "
+            "pass --threshold"
+        )
+    monitor = WorkloadMonitor(
+        compressed.mixture,
+        log,
+        threshold_quantile=args.quantile,
+        threshold=args.threshold,
+    )
+    statements = read_log(args.queries)
+    anomalies = 0
+    for result in monitor.score_batch(statements):
+        flag = "ANOMALY" if result.anomalous else "ok"
+        anomalies += result.anomalous
+        print(f"{result.log2_likelihood:10.2f}  [{flag:>7}]  {result.sql[:100]}")
+    print(
+        f"{len(statements)} scored, {anomalies} anomalous "
+        f"(threshold {monitor.threshold:.2f})"
+    )
     return 0
 
 

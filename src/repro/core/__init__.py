@@ -6,6 +6,7 @@ from .compress import (
     SweepPoint,
     compress_sweep,
     compress_to_error,
+    load_artifact,
 )
 from .diff import (
     FeatureDrift,
@@ -115,6 +116,7 @@ __all__ = [
     "SweepPoint",
     "compress_sweep",
     "compress_to_error",
+    "load_artifact",
     "lossless_encoding",
     "point_probability_from_marginals",
     "reconstruct_distribution",

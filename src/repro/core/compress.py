@@ -20,8 +20,10 @@ Error is met.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Hashable, Iterable, Sequence
 
 import numpy as np
@@ -33,7 +35,14 @@ from .mixture import PatternMixtureEncoding
 from .pattern import Pattern
 from .refine import refine_greedy
 
-__all__ = ["LogRCompressor", "CompressedLog", "SweepPoint", "compress_sweep", "compress_to_error"]
+__all__ = [
+    "LogRCompressor",
+    "CompressedLog",
+    "SweepPoint",
+    "compress_sweep",
+    "compress_to_error",
+    "load_artifact",
+]
 
 
 @dataclass
@@ -47,6 +56,7 @@ class CompressedLog:
     metric: str
     build_seconds: float
     refined_patterns: int = 0
+    backend: str = "packed"
 
     # -- measures -------------------------------------------------------
     @property
@@ -71,12 +81,78 @@ class CompressedLog:
         return self.estimate_count(pattern) / self.mixture.total
 
     def to_json(self) -> str:
-        """Serialize the compressed artifact (no raw log content)."""
-        return self.mixture.to_json()
+        """Serialize the full artifact (no raw log content).
+
+        Unlike the mixture-only payload this keeps the provenance the
+        dataclass carries — labels, K, method/metric, build time,
+        refinement count, and the kernel backend — so the artifact
+        round-trips losslessly through :meth:`from_json`.
+        """
+        return json.dumps(self.to_payload())
+
+    def to_payload(self) -> dict:
+        """The JSON-ready dict behind :meth:`to_json` (format v1)."""
+        return {
+            "format": "logr-compressed-v1",
+            "mixture": self.mixture.to_payload(),
+            "labels": [int(label) for label in np.asarray(self.labels)],
+            "n_clusters": int(self.n_clusters),
+            "method": self.method,
+            "metric": self.metric,
+            "build_seconds": float(self.build_seconds),
+            "refined_patterns": int(self.refined_patterns),
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_json(cls, text: str) -> "CompressedLog":
+        """Rebuild an artifact from :meth:`to_json` output.
+
+        Also accepts a bare ``logr-mixture-v1`` payload (the pre-service
+        interchange format): the mixture is wrapped with placeholder
+        provenance (``method="unknown"`` and an empty label array, since
+        per-row assignments were never stored in that format).
+        """
+        return cls.from_payload(json.loads(text))
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CompressedLog":
+        """Rebuild an artifact from a :meth:`to_payload` dict."""
+        fmt = payload.get("format")
+        if fmt == "logr-mixture-v1":
+            mixture = PatternMixtureEncoding.from_payload(payload)
+            return cls(
+                mixture=mixture,
+                labels=np.zeros(0, dtype=np.int64),
+                n_clusters=mixture.n_components,
+                method="unknown",
+                metric="unknown",
+                build_seconds=0.0,
+            )
+        if fmt != "logr-compressed-v1":
+            raise ValueError(f"not a LogR artifact payload (format={fmt!r})")
+        return cls(
+            mixture=PatternMixtureEncoding.from_payload(payload["mixture"]),
+            labels=np.asarray(payload["labels"], dtype=np.int64),
+            n_clusters=int(payload["n_clusters"]),
+            method=str(payload["method"]),
+            metric=str(payload["metric"]),
+            build_seconds=float(payload["build_seconds"]),
+            refined_patterns=int(payload.get("refined_patterns", 0)),
+            backend=str(payload.get("backend", "packed")),
+        )
 
     def size_bytes(self) -> int:
-        """Serialized artifact size in bytes."""
-        return len(self.to_json().encode("utf-8"))
+        """Serialized *summary* size in bytes (the paper's metric).
+
+        Measures the mixture payload alone: the full artifact
+        (:meth:`to_json`) additionally carries per-distinct-row labels
+        and provenance, which are bookkeeping, not summary content —
+        including them would scale the "compressed size" with the
+        number of distinct queries and silently deflate compression
+        ratios.
+        """
+        return len(self.mixture.to_json().encode("utf-8"))
 
     def compression_report(self, raw_bytes: int) -> dict[str, float]:
         """Size/fidelity summary against a raw-log byte count.
@@ -163,6 +239,7 @@ class LogRCompressor:
             metric=self.metric,
             build_seconds=elapsed,
             refined_patterns=self.refine_patterns,
+            backend=self.backend,
         )
 
     def partition_labels(self, log: QueryLog) -> np.ndarray:
@@ -261,3 +338,14 @@ def _fresh_child(seed: int | np.random.Generator | None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed.spawn(1)[0]
     return ensure_rng(seed)
+
+
+def load_artifact(path: str | Path) -> CompressedLog:
+    """Load a compressed artifact from disk, whatever its vintage.
+
+    The one place that understands both on-disk formats — the full
+    ``logr-compressed-v1`` artifact and the legacy mixture-only
+    ``logr-mixture-v1`` payload — so every consumer (CLI subcommands,
+    the service layer's profile store) parses them the same way.
+    """
+    return CompressedLog.from_json(Path(path).read_text(encoding="utf-8"))

@@ -347,8 +347,6 @@ def fit_pattern_encoding(
     achieved = np.zeros_like(targets)
     logp = log_base - logsumexp(log_base)
     for _ in range(max_iter):
-        logp = log_base + profiles @ log_mu
-        logp -= logsumexp(logp)
         worst = 0.0
         for j in range(len(patterns)):
             member = profiles[:, j] > 0
@@ -359,9 +357,16 @@ def fit_pattern_encoding(
             m_j = min(max(m_j, eps), 1.0 - eps)
             achieved[j] = m_j
             worst = max(worst, abs(m_j - targets[j]))
-            log_mu[j] += math.log(clipped[j] / m_j) - math.log(
-                (1.0 - clipped[j]) / (1.0 - m_j)
+            delta = math.log(clipped[j] / (1.0 - clipped[j])) - math.log(
+                m_j / (1.0 - m_j)
             )
+            log_mu[j] += delta
+            # Cyclic IPF (Gauss-Seidel): re-project onto constraint j
+            # immediately.  Updating every multiplier from the same
+            # stale distribution (the previous Jacobi-style sweep) can
+            # oscillate without converging once patterns overlap.
+            logp = logp + delta * profiles[:, j]
+            logp -= logsumexp(logp)
         if worst < tol:
             break
     logp = log_base + profiles @ log_mu

@@ -172,6 +172,30 @@ class PatternMixtureEncoding:
             total += w * model.point_probability(vector)
         return float(total)
 
+    def point_probabilities(self, matrix: np.ndarray) -> np.ndarray:
+        """Vectorized ``ρ_S(q)`` for a batch of encoded rows.
+
+        One ``(m, n)`` pass per component instead of ``m`` separate
+        :meth:`point_probability` calls — the batched-scoring hot path.
+        Per row the arithmetic (feature-order product, component-order
+        sum) matches :meth:`point_probability`, so a one-row batch is
+        bit-identical to the scalar path.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-D (one encoded query per row)")
+        weights = self.weights
+        total = np.zeros(matrix.shape[0])
+        for w, component in zip(weights, self.components):
+            if not isinstance(component.encoding, NaiveEncoding):
+                raise TypeError("point probability requires naive components")
+            p = component.encoding.marginals
+            if matrix.shape[1] != p.shape[0]:
+                raise ValueError("matrix width must match feature count")
+            terms = np.where(matrix > 0, p, 1.0 - p)
+            total += w * np.prod(terms, axis=1)
+        return total
+
     # ------------------------------------------------------------------
     # serialization: the compressed artifact
     # ------------------------------------------------------------------
@@ -179,6 +203,17 @@ class PatternMixtureEncoding:
         self, feature_codec: Callable[[Hashable], object] | None = None
     ) -> str:
         """Serialize to a JSON string (sparse marginals per component)."""
+        return json.dumps(self.to_payload(feature_codec))
+
+    def to_payload(
+        self, feature_codec: Callable[[Hashable], object] | None = None
+    ) -> dict:
+        """The JSON-ready dict behind :meth:`to_json`.
+
+        Exposed separately so richer artifacts (``CompressedLog``, the
+        service-layer profile store) can embed the mixture without
+        double-encoding it as a string.
+        """
         codec = feature_codec or _default_feature_codec
         payload: dict = {"format": "logr-mixture-v1", "components": []}
         if self.vocabulary is not None:
@@ -212,7 +247,7 @@ class PatternMixtureEncoding:
                     for p, m in component.extra.items()
                 ]
             payload["components"].append(entry)
-        return json.dumps(payload)
+        return payload
 
     @classmethod
     def from_json(
@@ -221,8 +256,16 @@ class PatternMixtureEncoding:
         feature_decoder: Callable[[object], Hashable] | None = None,
     ) -> "PatternMixtureEncoding":
         """Rebuild a mixture from :meth:`to_json` output."""
+        return cls.from_payload(json.loads(text), feature_decoder)
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: dict,
+        feature_decoder: Callable[[object], Hashable] | None = None,
+    ) -> "PatternMixtureEncoding":
+        """Rebuild a mixture from a :meth:`to_payload` dict."""
         decoder = feature_decoder or _default_feature_decoder
-        payload = json.loads(text)
         if payload.get("format") != "logr-mixture-v1":
             raise ValueError("not a LogR mixture payload")
         vocabulary = None

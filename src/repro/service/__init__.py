@@ -1,0 +1,26 @@
+"""The workload-analytics service layer: persistent, living summaries.
+
+The core library compresses a log once; this package keeps the result
+alive.  :class:`SummaryStore` persists versioned, multi-tenant
+profiles; :class:`IncrementalIngestor` merges arriving mini-batches in
+O(batch) with a staleness-triggered full recompression;
+:class:`AnalyticsServer` / :class:`AnalyticsClient` expose batched
+scoring, ingestion, and drift detection over a stdlib HTTP JSON API.
+"""
+
+from .client import AnalyticsClient, ServiceError
+from .ingest import IncrementalIngestor, IngestReport
+from .server import AnalyticsServer, serve
+from .store import ProfileVersion, StoreError, SummaryStore
+
+__all__ = [
+    "SummaryStore",
+    "ProfileVersion",
+    "StoreError",
+    "IncrementalIngestor",
+    "IngestReport",
+    "AnalyticsServer",
+    "serve",
+    "AnalyticsClient",
+    "ServiceError",
+]

@@ -1,0 +1,116 @@
+"""A thin stdlib client for the analytics server's JSON API.
+
+Mirrors the endpoint surface of :class:`repro.service.server.
+AnalyticsServer` one method per endpoint, speaking
+``urllib.request`` so no dependency is added.  All methods return the
+decoded JSON payload; non-2xx responses raise :class:`ServiceError`
+with the server's error message.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Sequence
+
+__all__ = ["ServiceError", "AnalyticsClient"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the analytics server."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class AnalyticsClient:
+    """Client for one analytics server.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8080``.
+        timeout: per-request timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(self, path: str, payload: dict | None = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                message = exc.reason
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {url}: {exc.reason}") from None
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def profiles(self) -> list[dict]:
+        """The stored profiles with their latest-version metadata."""
+        return self._request("/profiles")["profiles"]
+
+    def profile(self, name: str) -> dict:
+        """One profile's detail, including its version history."""
+        return self._request(f"/profiles/{name}")
+
+    def stats(self) -> dict:
+        """Server counters: requests per endpoint, cache, uptime."""
+        return self._request("/stats")
+
+    def score(self, profile: str, statements: Sequence[str]) -> dict:
+        """Batch-score *statements* against *profile* (one round trip)."""
+        return self._request(
+            "/score", {"profile": profile, "statements": list(statements)}
+        )
+
+    def ingest(
+        self, profile: str, statements: Sequence[str], persist: bool = True
+    ) -> dict:
+        """Merge a mini-batch into *profile*; returns the ingest report."""
+        return self._request(
+            "/ingest",
+            {
+                "profile": profile,
+                "statements": list(statements),
+                "persist": persist,
+            },
+        )
+
+    def drift(
+        self,
+        profile: str,
+        statements: Sequence[str],
+        window_size: int | None = None,
+        threshold: float | None = None,
+        top: int = 10,
+    ) -> dict:
+        """Divergence of a statement batch against *profile*."""
+        payload: dict = {
+            "profile": profile,
+            "statements": list(statements),
+            "top": top,
+        }
+        if window_size is not None:
+            payload["window_size"] = window_size
+        if threshold is not None:
+            payload["threshold"] = threshold
+        return self._request("/drift", payload)

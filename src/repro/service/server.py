@@ -1,0 +1,616 @@
+"""A concurrent JSON scoring service over a profile store.
+
+The serving front end for the §2 operational use cases: long-lived
+compressed profiles (one per workload tenant) answering scoring, drift
+and statistics queries while traffic keeps arriving.  Pure stdlib —
+:class:`http.server.ThreadingHTTPServer` with a JSON body protocol —
+so the service runs anywhere the library does.
+
+Endpoints::
+
+    GET  /profiles              profile index (latest version metadata)
+    GET  /profiles/<name>       one profile, with its version history
+    GET  /stats                 server counters (requests, cache, uptime)
+    POST /score   {"profile", "statements": [...]}
+    POST /ingest  {"profile", "statements": [...], "persist": bool}
+    POST /drift   {"profile", "statements": [...], "window_size", "threshold"}
+
+Concurrency model — hot profiles live in an LRU cache as
+:class:`_Profile` handles.  Each handle separates the *live* state (an
+:class:`repro.service.ingest.IncrementalIngestor`, mutated only under
+the handle's lock) from the *published* scoring snapshot (a
+:class:`repro.apps.monitor.WorkloadMonitor` built over copied arrays
+and a frozen codebook).  ``/score`` reads the snapshot reference once
+— an atomic pointer load — and never touches live state, so readers
+take no lock, see no torn updates, and return bit-identical scores
+whether or not an ingest is running; ``/ingest`` builds the successor
+snapshot and swaps the reference in one assignment.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+import numpy as np
+
+from ..apps.monitor import WorkloadMonitor
+from ..apps.stream import StreamingDriftMonitor
+from ..core.compress import CompressedLog
+from ..core.diff import feature_drift, mixture_divergence
+from ..core.log import LogBuilder, QueryLog
+from ..core.mixture import MixtureComponent, PatternMixtureEncoding
+from ..core.encoding import NaiveEncoding
+from ..core.vocabulary import Vocabulary
+from ..sql import AligonExtractor, SqlError
+from .ingest import IncrementalIngestor
+from .store import StoreError, SummaryStore
+
+__all__ = ["AnalyticsServer", "serve"]
+
+#: Default drift window, matching ``StreamingDriftMonitor``.
+DEFAULT_WINDOW_SIZE = 500
+
+
+def _snapshot_mixture(mixture: PatternMixtureEncoding) -> PatternMixtureEncoding:
+    """A frozen copy: cloned codebook, copied marginal vectors.
+
+    Published scorers must not share mutable structure with the live
+    ingest state — the live vocabulary keeps growing and components
+    keep being replaced, and a scorer that chased those references
+    could mix marginals from two different profile versions mid-batch.
+    """
+    vocabulary = Vocabulary(mixture.vocabulary) if mixture.vocabulary else None
+    components = [
+        MixtureComponent(
+            size=component.size,
+            encoding=NaiveEncoding(component.encoding.marginals.copy()),
+            true_entropy=component.true_entropy,
+        )
+        for component in mixture.components
+    ]
+    return PatternMixtureEncoding(components, vocabulary)
+
+
+class _Profile:
+    """One hot profile: live ingest state plus a published snapshot."""
+
+    def __init__(
+        self,
+        name: str,
+        version: int,
+        compressed: CompressedLog,
+        log: QueryLog | None,
+        threshold_quantile: float,
+        staleness_threshold: float,
+        seed: int,
+    ):
+        self.name = name
+        self.version = version
+        self.lock = threading.Lock()  # serializes ingest/drift mutation
+        self.threshold_quantile = threshold_quantile
+        self.ingestor: IncrementalIngestor | None = None
+        if log is not None:
+            try:
+                self.ingestor = IncrementalIngestor(
+                    compressed,
+                    log,
+                    staleness_threshold=staleness_threshold,
+                    seed=seed,
+                )
+            except ValueError:
+                # e.g. a refined mixture: it cannot be incrementally
+                # maintained, but scoring and drift must still work.
+                self.ingestor = None
+        self.state_log = log
+        self.monitor = self._build_monitor(compressed, log)
+        self.dirty = False  # merged-but-unpersisted ingest state
+        self._drift: StreamingDriftMonitor | None = None
+        self._drift_window = 0
+        self._drift_threshold: float | None = None
+
+    def _build_monitor(
+        self, compressed: CompressedLog, log: QueryLog | None
+    ) -> WorkloadMonitor:
+        mixture = _snapshot_mixture(compressed.mixture)
+        if log is None:
+            # No training state: likelihoods only, nothing ever flagged.
+            return WorkloadMonitor(mixture, threshold=float("-inf"))
+        return WorkloadMonitor(
+            mixture, log, threshold_quantile=self.threshold_quantile
+        )
+
+    def publish(self, version: int) -> None:
+        """Swap in a fresh snapshot of the live state (caller holds lock)."""
+        assert self.ingestor is not None
+        self.state_log = self.ingestor.log
+        monitor = self._build_monitor(self.ingestor.compressed, self.state_log)
+        self.version = version
+        self.monitor = monitor  # atomic reference swap: readers see old or new
+        self._drift = None  # baseline moved; recalibrate lazily
+
+    def drift_monitor(
+        self, window_size: int, threshold: float | None, seed: int
+    ) -> StreamingDriftMonitor:
+        """The profile's windowed drift monitor (caller holds lock)."""
+        if (
+            self._drift is None
+            or self._drift_window != window_size
+            or self._drift_threshold != threshold
+        ):
+            baseline = self.monitor.mixture
+            baseline_log = self.state_log
+            if threshold is None and baseline_log is None:
+                raise ValueError(
+                    "profile has no stored training state; pass an explicit "
+                    "drift threshold"
+                )
+            self._drift = StreamingDriftMonitor(
+                baseline,
+                window_size=window_size,
+                threshold=threshold,
+                baseline_log=baseline_log,
+                seed=seed,
+            )
+            self._drift_window = window_size
+            self._drift_threshold = threshold
+        return self._drift
+
+
+class AnalyticsServer:
+    """Thread-per-request scoring server over a :class:`SummaryStore`.
+
+    Args:
+        store: the profile store to serve (shared, thread-safe).
+        host / port: bind address; port 0 picks a free port.
+        cache_profiles: hot-profile LRU capacity.
+        threshold_quantile: anomaly calibration for scoring snapshots.
+        staleness_threshold: Error drift (bits) before an ingest
+            triggers full recompression.
+        seed: RNG seed for recompression and drift calibration.
+    """
+
+    def __init__(
+        self,
+        store: SummaryStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_profiles: int = 8,
+        threshold_quantile: float = 0.001,
+        staleness_threshold: float = 0.5,
+        seed: int = 0,
+    ):
+        self.store = store
+        self.cache_profiles = cache_profiles
+        self.threshold_quantile = threshold_quantile
+        self.staleness_threshold = staleness_threshold
+        self.seed = seed
+        self._cache: OrderedDict[str, _Profile] = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._load_locks: dict[str, threading.Lock] = {}
+        self._counters: dict[str, int] = {}
+        self._counters_lock = threading.Lock()
+        self._started = time.time()
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` the server is bound to."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        """Base URL for a client."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> tuple[str, int]:
+        """Serve in a daemon thread; returns the bound address."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI entry point)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "AnalyticsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # profile cache
+    # ------------------------------------------------------------------
+    def _profile(self, name: str) -> _Profile:
+        with self._cache_lock:
+            handle = self._cache.get(name)
+            if handle is not None:
+                self._cache.move_to_end(name)
+                return handle
+            load_lock = self._load_locks.setdefault(name, threading.Lock())
+        # Cold load outside the global lock: reading a large profile and
+        # calibrating its monitor can take a while, and requests for
+        # already-hot profiles must not stall behind it.
+        with load_lock:
+            with self._cache_lock:
+                handle = self._cache.get(name)
+                if handle is not None:
+                    self._cache.move_to_end(name)
+                    return handle
+            latest = self.store.latest(name)  # raises StoreError when unknown
+            compressed, log = self.store.load_state(name, latest.version)
+            handle = _Profile(
+                name=name,
+                version=latest.version,
+                compressed=compressed,
+                log=log,
+                threshold_quantile=self.threshold_quantile,
+                staleness_threshold=self.staleness_threshold,
+                seed=self.seed,
+            )
+            with self._cache_lock:
+                self._cache[name] = handle
+                evict = self._pick_evictions()
+        for victim in evict:
+            self._retire(victim)
+        return handle
+
+    def _pick_evictions(self) -> list[_Profile]:
+        """Over-capacity LRU victims (caller holds the cache lock).
+
+        A handle whose per-profile lock is currently held (an ingest in
+        flight) is skipped this round rather than yanked mid-mutation.
+        """
+        victims: list[_Profile] = []
+        if len(self._cache) <= self.cache_profiles:
+            return victims
+        for name in list(self._cache):
+            if len(self._cache) - len(victims) <= self.cache_profiles:
+                break
+            handle = self._cache[name]
+            if handle.lock.locked():
+                continue
+            victims.append(handle)
+            del self._cache[name]
+        return victims
+
+    def _retire(self, handle: _Profile) -> None:
+        """Persist a victim's unpersisted ingest state before dropping it."""
+        with handle.lock:
+            if handle.dirty and handle.ingestor is not None:
+                self.store.save(
+                    handle.name,
+                    handle.ingestor.compressed,
+                    handle.ingestor.log,
+                    note="persisted on cache eviction",
+                )
+                handle.dirty = False
+
+    def _count(self, endpoint: str, queries: int = 0) -> None:
+        with self._counters_lock:
+            self._counters[endpoint] = self._counters.get(endpoint, 0) + 1
+            if queries:
+                self._counters["queries_scored"] = (
+                    self._counters.get("queries_scored", 0) + queries
+                )
+
+    # ------------------------------------------------------------------
+    # endpoint implementations (return JSON-ready dicts; raise for errors)
+    # ------------------------------------------------------------------
+    def handle_profiles(self) -> dict:
+        """GET /profiles"""
+        self._count("profiles")
+        entries = []
+        for name in self.store.profiles():
+            latest = self.store.latest(name)
+            entries.append(
+                {
+                    "name": name,
+                    "version": latest.version,
+                    "error_bits": latest.error_bits,
+                    "verbosity": latest.verbosity,
+                    "total_queries": latest.total_queries,
+                    "n_components": latest.n_components,
+                    "has_state": latest.has_state,
+                }
+            )
+        return {"profiles": entries}
+
+    def handle_profile_detail(self, name: str) -> dict:
+        """GET /profiles/<name>"""
+        self._count("profile_detail")
+        versions = self.store.versions(name)
+        return {
+            "name": name,
+            "current_version": versions[-1].version,
+            "versions": [v.to_payload() for v in versions],
+        }
+
+    def handle_stats(self) -> dict:
+        """GET /stats"""
+        with self._counters_lock:
+            counters = dict(self._counters)
+        with self._cache_lock:
+            cached = list(self._cache)
+        return {
+            "uptime_seconds": time.time() - self._started,
+            "requests": counters,
+            "hot_profiles": cached,
+            "cache_capacity": self.cache_profiles,
+            "profiles": self.store.profiles(),
+        }
+
+    def handle_score(self, body: dict) -> dict:
+        """POST /score — batched likelihood scoring."""
+        name, statements = _require(body, "profile", "statements")
+        handle = self._profile(name)
+        monitor = handle.monitor  # atomic snapshot read: no lock
+        scores = monitor.score_batch(statements)
+        self._count("score", queries=len(statements))
+        return {
+            "profile": name,
+            "version": handle.version,
+            "threshold": _json_float(monitor.threshold),
+            "scores": [
+                {
+                    "log2_likelihood": _json_float(s.log2_likelihood),
+                    "anomalous": s.anomalous,
+                    "reason": s.reason,
+                }
+                for s in scores
+            ],
+        }
+
+    def handle_ingest(self, body: dict) -> dict:
+        """POST /ingest — merge a mini-batch, persist, republish."""
+        name, statements = _require(body, "profile", "statements")
+        persist = bool(body.get("persist", True))
+        while True:
+            handle = self._profile(name)
+            if handle.ingestor is None:
+                raise ValueError(
+                    f"profile {name!r} cannot be incrementally ingested "
+                    "(stored without training state, or a refined mixture)"
+                )
+            handle.lock.acquire()
+            # The LRU may have evicted this handle between lookup and
+            # lock: ingesting into an orphaned handle would silently
+            # drop the batch.  Eviction skips locked handles, so once
+            # we hold the lock AND are still the cached handle, we
+            # cannot be evicted until we release it.
+            with self._cache_lock:
+                current = self._cache.get(name) is handle
+            if current:
+                break
+            handle.lock.release()
+        try:
+            report = handle.ingestor.ingest_statements(statements)
+            version = handle.version
+            if persist:
+                record = self.store.save(
+                    name,
+                    handle.ingestor.compressed,
+                    handle.ingestor.log,
+                    note=f"ingest {report.n_encoded} statements",
+                )
+                version = record.version
+                handle.dirty = False
+            else:
+                handle.dirty = True  # persisted later, on cache eviction
+            handle.publish(version)
+        finally:
+            handle.lock.release()
+        self._count("ingest")
+        return {
+            "profile": name,
+            "version": version,
+            "persisted": persist,
+            "report": {
+                "n_statements": report.n_statements,
+                "n_encoded": report.n_encoded,
+                "n_skipped": report.n_skipped,
+                "n_batch_distinct": report.n_batch_distinct,
+                "n_new_rows": report.n_new_rows,
+                "n_new_features": report.n_new_features,
+                "error_bits": _json_float(report.error_bits),
+                "staleness": _json_float(report.staleness),
+                "recompressed": report.recompressed,
+                "seconds": report.seconds,
+            },
+        }
+
+    def handle_drift(self, body: dict) -> dict:
+        """POST /drift — batch divergence plus windowed stream reports."""
+        name, statements = _require(body, "profile", "statements")
+        window_size = int(body.get("window_size", DEFAULT_WINDOW_SIZE))
+        threshold = body.get("threshold")
+        threshold = None if threshold is None else float(threshold)
+        handle = self._profile(name)
+        baseline = handle.monitor.mixture
+        with handle.lock:
+            monitor = handle.drift_monitor(window_size, threshold, self.seed)
+            windows = monitor.observe_many(statements)
+        one_shot = _batch_divergence(baseline, statements)
+        self._count("drift")
+        top = []
+        if one_shot["mixture"] is not None:
+            top = [
+                {
+                    "feature": str(d.feature),
+                    "baseline_marginal": d.baseline_marginal,
+                    "current_marginal": d.current_marginal,
+                    "divergence_bits": d.divergence_bits,
+                    "direction": d.direction,
+                }
+                for d in feature_drift(
+                    baseline, one_shot["mixture"], top_k=int(body.get("top", 10))
+                )
+            ]
+        return {
+            "profile": name,
+            "version": handle.version,
+            "batch_divergence_bits": _json_float(one_shot["divergence"]),
+            "batch_drifted": (
+                one_shot["divergence"] > monitor.threshold
+                if np.isfinite(one_shot["divergence"])
+                else True
+            ),
+            "threshold": _json_float(monitor.threshold),
+            "n_encoded": one_shot["n_encoded"],
+            "top_features": top,
+            "windows": [
+                {
+                    "window_index": w.window_index,
+                    "n_statements": w.n_statements,
+                    "n_encoded": w.n_encoded,
+                    "divergence_bits": _json_float(w.divergence_bits),
+                    "drifted": w.drifted,
+                }
+                for w in windows
+            ],
+        }
+
+
+def _batch_divergence(
+    baseline: PatternMixtureEncoding, statements: list[str]
+) -> dict:
+    """One-shot divergence of a statement batch against *baseline*."""
+    extractor = AligonExtractor(remove_constants=True)
+    builder = LogBuilder(Vocabulary(baseline.vocabulary))
+    encoded = 0
+    for statement in statements:
+        try:
+            builder.add(extractor.extract_merged(statement))
+        except SqlError:
+            continue
+        encoded += 1
+    if not encoded:
+        return {"divergence": float("inf"), "mixture": None, "n_encoded": 0}
+    window = PatternMixtureEncoding.from_log(builder.build())
+    return {
+        "divergence": mixture_divergence(baseline, window),
+        "mixture": window,
+        "n_encoded": encoded,
+    }
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+def _require(body: dict, *keys: str):
+    values = []
+    for key in keys:
+        if key not in body:
+            raise ValueError(f"request body is missing {key!r}")
+        values.append(body[key])
+    return values
+
+
+def _json_float(value: float) -> float | str:
+    """JSON has no inf/nan literals; encode them as strings."""
+    value = float(value)
+    if np.isfinite(value):
+        return value
+    return repr(value)
+
+
+def _make_handler(service: AnalyticsServer):
+    """A request-handler class bound to *service*."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # -- helpers ---------------------------------------------------
+        def _send(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _body(self) -> dict:
+            length = int(self.headers.get("Content-Length", 0))
+            raw = self.rfile.read(length) if length else b"{}"
+            payload = json.loads(raw.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+            return payload
+
+        def _dispatch(self, fn, *args) -> None:
+            try:
+                self._send(200, fn(*args))
+            except StoreError as exc:
+                self._send(404, {"error": str(exc)})
+            except (ValueError, KeyError, TypeError) as exc:
+                self._send(400, {"error": str(exc)})
+            except Exception as exc:  # pragma: no cover - defensive
+                self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+        def log_message(self, fmt, *args):  # noqa: N802 - stdlib name
+            pass  # keep the test/CI output clean
+
+        # -- routes ----------------------------------------------------
+        def do_GET(self):  # noqa: N802 - stdlib name
+            path = self.path.rstrip("/")
+            if path == "/profiles" or path == "":
+                self._dispatch(service.handle_profiles)
+            elif path.startswith("/profiles/"):
+                name = path[len("/profiles/"):]
+                self._dispatch(service.handle_profile_detail, name)
+            elif path == "/stats":
+                self._dispatch(service.handle_stats)
+            else:
+                self._send(404, {"error": f"unknown endpoint {self.path!r}"})
+
+        def do_POST(self):  # noqa: N802 - stdlib name
+            routes = {
+                "/score": service.handle_score,
+                "/ingest": service.handle_ingest,
+                "/drift": service.handle_drift,
+            }
+            fn = routes.get(self.path.rstrip("/"))
+            if fn is None:
+                self._send(404, {"error": f"unknown endpoint {self.path!r}"})
+                return
+            try:
+                body = self._body()
+            except (ValueError, json.JSONDecodeError) as exc:
+                self._send(400, {"error": f"bad request body: {exc}"})
+                return
+            self._dispatch(fn, body)
+
+    return Handler
+
+
+def serve(
+    store_root: str | Path,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    **kwargs,
+) -> AnalyticsServer:
+    """Build an :class:`AnalyticsServer` over *store_root* (not started)."""
+    return AnalyticsServer(SummaryStore(store_root), host=host, port=port, **kwargs)

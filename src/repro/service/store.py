@@ -1,0 +1,349 @@
+"""File-backed, versioned storage for compressed workload profiles.
+
+The §2 use cases (monitoring, auditing, drift detection) presume a
+*long-lived* summary: compress once, then query and maintain it for
+weeks.  :class:`SummaryStore` gives LogR artifacts that home — named
+profiles (one per workload tenant: tpch, sdss, bank, ...), each a
+sequence of immutable versions, indexed by a manifest.
+
+On disk::
+
+    <root>/
+        manifest.json                 # profile -> versions index
+        profiles/<name>/v000001.json  # one self-contained file per version
+
+Each version file carries the *full* :class:`repro.core.compress.
+CompressedLog` payload (mixture + labels + provenance + vocabulary +
+backend) and, optionally, the encoded training state (distinct rows +
+multiplicities) that incremental ingestion and threshold calibration
+need.  The raw SQL text is never stored.
+
+Writes are atomic: version files and the manifest are written to a
+temp file in the target directory and ``os.replace``-d into place, so
+a crash mid-save can leave a stray temp file but never a torn profile.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import re
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+import numpy as np
+
+from ..core.compress import CompressedLog
+from ..core.log import QueryLog
+
+__all__ = ["ProfileVersion", "SummaryStore", "StoreError"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+_MANIFEST_FORMAT = "logr-store-v1"
+_PROFILE_FORMAT = "logr-profile-v1"
+
+
+class StoreError(KeyError):
+    """Unknown profile/version or a malformed store layout."""
+
+
+@dataclass(frozen=True)
+class ProfileVersion:
+    """Index entry for one immutable profile version."""
+
+    name: str
+    version: int
+    created_at: float  # unix seconds
+    error_bits: float
+    verbosity: int
+    total_queries: int
+    n_components: int
+    has_state: bool
+    note: str = ""
+
+    def to_payload(self) -> dict:
+        """JSON-ready manifest entry."""
+        return {
+            "version": self.version,
+            "created_at": self.created_at,
+            "error_bits": self.error_bits,
+            "verbosity": self.verbosity,
+            "total_queries": self.total_queries,
+            "n_components": self.n_components,
+            "has_state": self.has_state,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_payload(cls, name: str, payload: dict) -> "ProfileVersion":
+        """Rebuild an entry from its manifest payload."""
+        return cls(
+            name=name,
+            version=int(payload["version"]),
+            created_at=float(payload["created_at"]),
+            error_bits=float(payload["error_bits"]),
+            verbosity=int(payload["verbosity"]),
+            total_queries=int(payload["total_queries"]),
+            n_components=int(payload["n_components"]),
+            has_state=bool(payload.get("has_state", False)),
+            note=str(payload.get("note", "")),
+        )
+
+
+class SummaryStore:
+    """Versioned, multi-tenant persistence for compressed profiles.
+
+    Args:
+        root: store directory (created if missing).
+
+    Thread safety: a single store instance serializes its writes with
+    an internal lock; reads go straight to immutable version files.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self._profiles_dir = self.root / "profiles"
+        self._manifest_path = self.root / "manifest.json"
+        self._lock = threading.Lock()
+        self._profiles_dir.mkdir(parents=True, exist_ok=True)
+        self._manifest = self._read_manifest()
+
+    # ------------------------------------------------------------------
+    # manifest
+    # ------------------------------------------------------------------
+    def _refresh_manifest(self) -> dict:
+        """Re-read the manifest from disk.
+
+        Another process may share the directory (``logr ingest`` while
+        ``logr serve`` is running); trusting only the copy cached at
+        construction would let the two silently overwrite each other's
+        versions.  Concurrent *writers* are additionally serialized by
+        the advisory file lock in :meth:`save`.
+        """
+        self._manifest = self._read_manifest()
+        return self._manifest
+
+    @contextlib.contextmanager
+    def _file_lock(self):
+        """Advisory cross-process write lock on the store directory.
+
+        Closes the refresh-then-write race between two processes saving
+        the same profile (both picking the same next version number).
+        No-op where ``fcntl`` is unavailable.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        handle = open(self.root / ".store.lock", "a+")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            handle.close()
+
+    def _read_manifest(self) -> dict:
+        if not self._manifest_path.exists():
+            return {"format": _MANIFEST_FORMAT, "profiles": {}}
+        payload = json.loads(self._manifest_path.read_text(encoding="utf-8"))
+        if payload.get("format") != _MANIFEST_FORMAT:
+            raise StoreError(f"{self._manifest_path} is not a LogR store manifest")
+        return payload
+
+    def _write_manifest(self) -> None:
+        _atomic_write(self._manifest_path, json.dumps(self._manifest, indent=1))
+
+    # ------------------------------------------------------------------
+    # listing
+    # ------------------------------------------------------------------
+    def profiles(self) -> list[str]:
+        """Stored profile names, sorted."""
+        with self._lock:
+            return sorted(self._refresh_manifest()["profiles"])
+
+    def has_profile(self, name: str) -> bool:
+        """Whether *name* has at least one stored version."""
+        with self._lock:
+            return name in self._refresh_manifest()["profiles"]
+
+    def versions(self, name: str) -> list[ProfileVersion]:
+        """All versions of *name*, oldest first."""
+        with self._lock:
+            entry = self._refresh_manifest()["profiles"].get(name)
+        if entry is None:
+            raise StoreError(f"unknown profile {name!r}")
+        return [ProfileVersion.from_payload(name, v) for v in entry["versions"]]
+
+    def latest(self, name: str) -> ProfileVersion:
+        """The current (highest) version of *name*."""
+        return self.versions(name)[-1]
+
+    # ------------------------------------------------------------------
+    # save / load
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        name: str,
+        compressed: CompressedLog,
+        log: QueryLog | None = None,
+        note: str = "",
+    ) -> ProfileVersion:
+        """Persist *compressed* as the next version of profile *name*.
+
+        When *log* (the encoded training log, aligned with
+        ``compressed.labels``) is given it is stored alongside the
+        artifact so the profile supports incremental ingestion and
+        threshold calibration after a restart.
+        """
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"profile name {name!r} must match {_NAME_RE.pattern}"
+            )
+        if log is not None and log.n_distinct != len(compressed.labels):
+            raise ValueError(
+                "state log must have one distinct row per artifact label"
+            )
+        vocabulary = compressed.mixture.vocabulary
+        if vocabulary is not None:
+            widths = {
+                c.encoding.n_features for c in compressed.mixture.components
+            }
+            if widths - {len(vocabulary)}:
+                raise ValueError(
+                    "artifact codebook outgrew its encodings (was this "
+                    "CompressedLog handed to an IncrementalIngestor? the "
+                    "ingestor owns it — save ingestor.compressed instead)"
+                )
+        payload: dict = {
+            "format": _PROFILE_FORMAT,
+            "artifact": compressed.to_payload(),
+            "state": None if log is None else _log_state_payload(log),
+        }
+        with self._lock, self._file_lock():
+            entry = self._refresh_manifest()["profiles"].setdefault(
+                name, {"versions": []}
+            )
+            version = 1 + max(
+                (int(v["version"]) for v in entry["versions"]), default=0
+            )
+            payload["version"] = version
+            directory = self._profiles_dir / name
+            directory.mkdir(parents=True, exist_ok=True)
+            _atomic_write(self._version_path(name, version), json.dumps(payload))
+            record = ProfileVersion(
+                name=name,
+                version=version,
+                created_at=time.time(),
+                error_bits=compressed.error,
+                verbosity=compressed.total_verbosity,
+                total_queries=compressed.mixture.total,
+                n_components=compressed.mixture.n_components,
+                has_state=log is not None,
+                note=note,
+            )
+            entry["versions"].append(record.to_payload())
+            self._write_manifest()
+        return record
+
+    def load(self, name: str, version: int | None = None) -> CompressedLog:
+        """Load the artifact of *name* (latest version by default)."""
+        compressed, _ = self.load_state(name, version)
+        return compressed
+
+    def load_state(
+        self, name: str, version: int | None = None
+    ) -> tuple[CompressedLog, QueryLog | None]:
+        """Load an artifact plus its encoded training state, if stored."""
+        payload = self._read_version(name, version)
+        compressed = CompressedLog.from_payload(payload["artifact"])
+        state = payload.get("state")
+        log = None
+        if state is not None:
+            if compressed.mixture.vocabulary is None:
+                raise StoreError(
+                    f"profile {name!r} stores state but no vocabulary"
+                )
+            log = _log_from_state(
+                state, compressed.mixture.vocabulary, compressed.backend
+            )
+        return compressed, log
+
+    def _read_version(self, name: str, version: int | None) -> dict:
+        if version is None:
+            version = self.latest(name).version
+        else:
+            known = {v.version for v in self.versions(name)}
+            if version not in known:
+                raise StoreError(f"profile {name!r} has no version {version}")
+        path = self._version_path(name, version)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("format") != _PROFILE_FORMAT:
+            raise StoreError(f"{path} is not a LogR profile file")
+        return payload
+
+    def _version_path(self, name: str, version: int) -> Path:
+        return self._profiles_dir / name / f"v{version:06d}.json"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SummaryStore(root={str(self.root)!r}, profiles={len(self.profiles())})"
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _atomic_write(path: Path, text: str) -> None:
+    """Write *text* to *path* via a same-directory temp file + rename."""
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _log_state_payload(log: QueryLog) -> dict:
+    """Encoded log as sparse JSON: feature indices + counts per row."""
+    return {
+        "n_features": log.n_features,
+        "rows": [
+            [int(i) for i in np.flatnonzero(row)] for row in log.matrix
+        ],
+        "counts": [int(c) for c in log.counts],
+    }
+
+
+def _log_from_state(state: dict, vocabulary, backend: str) -> QueryLog:
+    """Rebuild the encoded training log from its sparse payload.
+
+    The matrix is widened to the current vocabulary size (the stored
+    mixture's codebook may have grown past the state's width through
+    ingestion — absent features are zero).
+    """
+    n = max(int(state["n_features"]), len(vocabulary))
+    rows = state["rows"]
+    matrix = np.zeros((len(rows), n), dtype=np.uint8)
+    for r, indices in enumerate(rows):
+        matrix[r, indices] = 1
+    return QueryLog(
+        vocabulary,
+        matrix,
+        np.asarray(state["counts"], dtype=np.int64),
+        backend=backend,
+    )

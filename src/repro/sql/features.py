@@ -101,6 +101,19 @@ class AligonExtractor:
             )
         return sets[0]
 
+    def extract_merged(self, stmt: ast.Statement | str) -> frozenset[Feature]:
+        """The union of all conjunctive-branch feature sets of *stmt*.
+
+        The one-statement-one-row encoding used wherever the library
+        treats a whole query as a single log entry (log loading,
+        monitoring, incremental ingestion): a regularized ``UNION`` of
+        k branches contributes the union of the k feature sets.
+        """
+        merged: set[Feature] = set()
+        for feature_set in self.extract(stmt):
+            merged.update(feature_set)
+        return frozenset(merged)
+
     # -- internals -----------------------------------------------------
     def _extract_conjunctive(self, select: ast.Select) -> frozenset[Feature]:
         if not is_conjunctive(select):

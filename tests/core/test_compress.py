@@ -75,13 +75,64 @@ class TestCompressor:
         assert report["error_bits"] == pytest.approx(compressed.error)
 
     def test_serialization_roundtrip(self, small_pocketdata_log):
-        from repro.core.mixture import PatternMixtureEncoding
+        from repro.core.compress import CompressedLog
+
+        compressed = LogRCompressor(
+            n_clusters=3, method="kmeans", metric="euclidean", seed=0, n_init=2
+        ).compress(small_pocketdata_log)
+        restored = CompressedLog.from_json(compressed.to_json())
+        # the mixture round-trips ...
+        assert restored.mixture.total_verbosity == compressed.total_verbosity
+        assert restored.error == pytest.approx(compressed.error, abs=1e-12)
+        # ... and so does every provenance field to_json used to drop
+        assert np.array_equal(restored.labels, compressed.labels)
+        assert restored.n_clusters == compressed.n_clusters
+        assert restored.method == compressed.method
+        assert restored.metric == compressed.metric
+        assert restored.build_seconds == compressed.build_seconds
+        assert restored.refined_patterns == compressed.refined_patterns
+        assert restored.backend == compressed.backend
+
+    def test_serialization_bit_exact_scores(self, small_pocketdata_log):
+        from repro.core.compress import CompressedLog
 
         compressed = LogRCompressor(n_clusters=3, seed=0, n_init=2).compress(
             small_pocketdata_log
         )
-        restored = PatternMixtureEncoding.from_json(compressed.to_json())
-        assert restored.total_verbosity == compressed.total_verbosity
+        restored = CompressedLog.from_json(compressed.to_json())
+        original = compressed.mixture.point_probabilities(
+            small_pocketdata_log.matrix
+        )
+        loaded = restored.mixture.point_probabilities(small_pocketdata_log.matrix)
+        assert np.array_equal(original, loaded)
+
+    def test_from_json_accepts_legacy_mixture_payload(self, small_pocketdata_log):
+        from repro.core.compress import CompressedLog
+
+        compressed = LogRCompressor(n_clusters=3, seed=0, n_init=2).compress(
+            small_pocketdata_log
+        )
+        legacy = CompressedLog.from_json(compressed.mixture.to_json())
+        assert legacy.method == "unknown"
+        assert legacy.n_clusters == compressed.mixture.n_components
+        assert legacy.labels.shape == (0,)
+        assert legacy.mixture.total_verbosity == compressed.total_verbosity
+
+    def test_load_artifact_both_formats(self, small_pocketdata_log, tmp_path):
+        from repro.core.compress import load_artifact
+
+        compressed = LogRCompressor(n_clusters=2, seed=0, n_init=2).compress(
+            small_pocketdata_log
+        )
+        full = tmp_path / "full.json"
+        full.write_text(compressed.to_json(), encoding="utf-8")
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(compressed.mixture.to_json(), encoding="utf-8")
+        assert np.array_equal(load_artifact(full).labels, compressed.labels)
+        assert (
+            load_artifact(legacy).mixture.total_verbosity
+            == compressed.total_verbosity
+        )
 
     def test_invalid_k(self):
         with pytest.raises(ValueError):

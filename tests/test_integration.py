@@ -58,8 +58,10 @@ class TestPocketDataPipeline:
             assert estimate == pytest.approx(true_count, rel=0.35)
 
     def test_artifact_roundtrip_preserves_stats(self, pipeline):
+        from repro.core.compress import CompressedLog
+
         _, log, _, compressed = pipeline
-        restored = PatternMixtureEncoding.from_json(compressed.to_json())
+        restored = CompressedLog.from_json(compressed.to_json())
         marginals = log.feature_marginals()
         top = Pattern([int(np.argmax(marginals))])
         assert restored.estimate_count(top) == pytest.approx(

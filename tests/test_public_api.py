@@ -18,6 +18,7 @@ MODULES = [
     "repro.baselines",
     "repro.apps",
     "repro.viz",
+    "repro.service",
 ]
 
 
