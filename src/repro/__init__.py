@@ -32,9 +32,11 @@ from .core import (
     PatternMixtureEncoding,
     QueryLog,
     Vocabulary,
+    compress_sharded,
     compress_sweep,
     compress_to_error,
     deviation,
+    get_executor,
     load_artifact,
     reproduction_error,
 )
@@ -48,6 +50,8 @@ __all__ = [
     "CompressedLog",
     "compress_sweep",
     "compress_to_error",
+    "compress_sharded",
+    "get_executor",
     "QueryLog",
     "LogBuilder",
     "Vocabulary",

@@ -4,7 +4,11 @@ Commands:
 
 * ``logr compress LOG.sql -o SUMMARY.json -k 8`` — compress a raw SQL
   log file into a full compressed artifact (add ``--store DIR
-  --profile NAME`` to also persist it as a store profile).
+  --profile NAME`` to also persist it as a store profile; ``--jobs N``
+  parallelizes the fit/refine stages, ``--shards S`` switches to
+  shard-and-merge compression for huge logs).
+* ``logr sweep LOG.sql --ks 1,2,4,8`` — the Error/Verbosity trade-off
+  curve, evaluating K candidates concurrently with ``--jobs N``.
 * ``logr stats LOG.sql`` — Table-1-style dataset statistics.
 * ``logr estimate SUMMARY.json --feature "<status = ?, WHERE>" ...`` —
   estimate Γ_b from a compressed artifact.
@@ -19,10 +23,17 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from .core.compress import LogRCompressor, load_artifact
+from .core.compress import (
+    LogRCompressor,
+    compress_sharded,
+    compress_sweep,
+    load_artifact,
+)
+from .core.executor import EXECUTOR_KINDS
 from .sql.features import Feature
 from .viz.render import render_mixture
 from .workloads.logio import load_log, read_log
@@ -38,18 +49,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     compress = sub.add_parser("compress", help="compress a raw SQL log file")
-    compress.add_argument("log", type=Path, help="one-statement-per-line SQL file")
     compress.add_argument("-o", "--output", type=Path, required=True)
     compress.add_argument("-k", "--clusters", type=int, default=8)
-    compress.add_argument("--method", default="kmeans",
-                          choices=["kmeans", "spectral", "hierarchical"])
-    compress.add_argument("--metric", default="euclidean")
-    compress.add_argument("--keep-constants", action="store_true")
+    _add_compression_arguments(compress)
+    _add_parallel_arguments(compress)
     compress.add_argument(
-        "--backend", default="packed", choices=["packed", "dense"],
-        help="pattern-containment kernel (packed uint64 bitsets or dense scans)",
+        "--shards", type=int, default=1,
+        help="split the log into this many shards, compress them in "
+             "parallel, and merge the mixtures (K clusters per shard)",
     )
-    compress.add_argument("--seed", type=int, default=0)
+    compress.add_argument(
+        "--consolidate-to", type=int, default=None, metavar="K",
+        help="after a sharded merge, consolidate near-duplicate "
+             "components down to K (exact merge)",
+    )
     compress.add_argument(
         "--store", type=Path, default=None,
         help="also save the artifact (with ingestable state) into this store",
@@ -58,6 +71,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", default=None,
         help="profile name to save under (requires --store)",
     )
+
+    sweep = sub.add_parser(
+        "sweep", help="Error/Verbosity trade-off across a range of K"
+    )
+    sweep.add_argument(
+        "--ks", default="1,2,4,8,16",
+        help="comma-separated cluster counts to evaluate",
+    )
+    sweep.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="also write the sweep points as JSON",
+    )
+    _add_compression_arguments(sweep)
+    _add_parallel_arguments(sweep)
 
     stats = sub.add_parser("stats", help="dataset statistics for a SQL log file")
     stats.add_argument("log", type=Path)
@@ -102,6 +129,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--staleness-threshold", type=float, default=0.5,
         help="Error drift (bits) before an ingest triggers recompression",
     )
+    serve.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker count for staleness-triggered recompression",
+    )
 
     ingest = sub.add_parser(
         "ingest", help="merge a statement mini-batch into a stored profile"
@@ -114,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="Error drift (bits) before a full recompression is triggered",
     )
     ingest.add_argument("--seed", type=int, default=0)
+    _add_parallel_arguments(ingest)
 
     score = sub.add_parser(
         "score", help="batch-score statements against a compressed profile"
@@ -136,10 +168,45 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_compression_arguments(parser: argparse.ArgumentParser) -> None:
+    """The compression knobs shared by ``compress`` and ``sweep``."""
+    parser.add_argument("log", type=Path, help="one-statement-per-line SQL file")
+    parser.add_argument("--method", default="kmeans",
+                        choices=["kmeans", "spectral", "hierarchical"])
+    parser.add_argument("--metric", default="euclidean")
+    parser.add_argument("--keep-constants", action="store_true")
+    parser.add_argument(
+        "--backend", default="packed", choices=["packed", "dense"],
+        help="pattern-containment kernel (packed uint64 bitsets or dense scans)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    """The executor-layer knobs shared by the compression subcommands."""
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker count for the parallel stages (1 = serial reference)",
+    )
+    parser.add_argument(
+        "--executor", default="auto", choices=["auto", *EXECUTOR_KINDS],
+        help="execution backend; auto = process workers when --jobs > 1",
+    )
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "compress":
         return _cmd_compress(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "estimate":
@@ -162,13 +229,34 @@ def main(argv: list[str] | None = None) -> int:
 def _cmd_compress(args) -> int:
     if (args.store is None) != (args.profile is None):
         raise SystemExit("--store and --profile must be given together")
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    if args.consolidate_to is not None and args.shards == 1:
+        raise SystemExit("--consolidate-to requires --shards > 1")
+    if args.consolidate_to is not None and args.consolidate_to < 1:
+        raise SystemExit("--consolidate-to must be >= 1")
     statements = read_log(args.log)
     log, report = load_log(statements, remove_constants=not args.keep_constants)
-    compressor = LogRCompressor(
-        n_clusters=args.clusters, method=args.method, metric=args.metric,
-        backend=args.backend, seed=args.seed,
-    )
-    compressed = compressor.compress(log)
+    if args.shards > 1:
+        compressed = compress_sharded(
+            log,
+            n_shards=args.shards,
+            n_clusters=args.clusters,
+            method=args.method,
+            metric=args.metric,
+            backend=args.backend,
+            consolidate_to=args.consolidate_to,
+            jobs=args.jobs,
+            executor=args.executor,
+            seed=args.seed,
+        )
+    else:
+        compressor = LogRCompressor(
+            n_clusters=args.clusters, method=args.method, metric=args.metric,
+            backend=args.backend, jobs=args.jobs, executor=args.executor,
+            seed=args.seed,
+        )
+        compressed = compressor.compress(log)
     args.output.write_text(compressed.to_json(), encoding="utf-8")
     print(
         f"{report.parsed} parsed / {report.unparseable} unparseable / "
@@ -185,6 +273,54 @@ def _cmd_compress(args) -> int:
             args.profile, compressed, log, note=f"compress {args.log.name}"
         )
         print(f"profile {args.profile!r} v{record.version} -> {args.store}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    try:
+        ks = [int(part) for part in args.ks.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"--ks needs comma-separated ints, got {args.ks!r}")
+    if not ks or any(k < 1 for k in ks):
+        raise SystemExit("--ks needs at least one K >= 1")
+    statements = read_log(args.log)
+    log, report = load_log(statements, remove_constants=not args.keep_constants)
+    points = compress_sweep(
+        log,
+        ks,
+        method=args.method,
+        metric=args.metric,
+        backend=args.backend,
+        jobs=args.jobs,
+        executor=args.executor,
+        seed=args.seed,
+    )
+    print(
+        f"{report.parsed} parsed / {report.unparseable} unparseable / "
+        f"{report.stored_procedures} stored-proc"
+    )
+    print(f"{'K':>6}  {'Error(bits)':>12}  {'Verbosity':>10}  {'seconds':>8}")
+    for point in points:
+        print(
+            f"{point.n_clusters:>6}  {point.error:>12.4f}  "
+            f"{point.verbosity:>10}  {point.seconds:>8.3f}"
+        )
+    if args.output is not None:
+        args.output.write_text(
+            json.dumps(
+                [
+                    {
+                        "n_clusters": p.n_clusters,
+                        "error": p.error,
+                        "verbosity": p.verbosity,
+                        "seconds": p.seconds,
+                    }
+                    for p in points
+                ]
+            ),
+            encoding="utf-8",
+        )
+        print(f"-> {args.output}")
     return 0
 
 
@@ -262,6 +398,7 @@ def _cmd_serve(args) -> int:
         port=args.port,
         cache_profiles=args.cache_profiles,
         staleness_threshold=args.staleness_threshold,
+        jobs=args.jobs,
     )
     host, port = server.address
     print(f"serving {args.store} on http://{host}:{port} (Ctrl-C to stop)")
@@ -289,6 +426,8 @@ def _cmd_ingest(args) -> int:
         log,
         staleness_threshold=args.staleness_threshold,
         seed=args.seed,
+        jobs=args.jobs,
+        executor=args.executor,
     )
     report = ingestor.ingest_statements(read_log(args.log))
     record = store.save(

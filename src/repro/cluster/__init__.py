@@ -18,7 +18,7 @@ from .distance import (
 )
 from .hierarchical import AgglomerativeClustering, Dendrogram, hierarchical_fit
 from .kmeans import KMeans, KMeansResult, kmeans_fit
-from .pipeline import PAPER_STRATEGIES, cluster_vectors
+from .pipeline import PAPER_STRATEGIES, ClusterSpec, cluster_vectors
 from .spectral import SpectralClustering, SpectralResult, spectral_fit
 
 __all__ = [
@@ -41,5 +41,6 @@ __all__ = [
     "Dendrogram",
     "hierarchical_fit",
     "cluster_vectors",
+    "ClusterSpec",
     "PAPER_STRATEGIES",
 ]

@@ -15,6 +15,8 @@ plus ``("hierarchical", <metric>)`` for the monotonic alternative.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from .._rng import ensure_rng
@@ -22,7 +24,7 @@ from .hierarchical import AgglomerativeClustering
 from .kmeans import KMeans
 from .spectral import SpectralClustering
 
-__all__ = ["cluster_vectors", "PAPER_STRATEGIES"]
+__all__ = ["cluster_vectors", "ClusterSpec", "PAPER_STRATEGIES"]
 
 #: The four (method, metric) pairs compared in Figure 2.
 PAPER_STRATEGIES = (
@@ -31,6 +33,45 @@ PAPER_STRATEGIES = (
     ("spectral", "minkowski"),
     ("spectral", "hamming"),
 )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A picklable clustering recipe (the §6.1 strategy knobs).
+
+    Captures everything :func:`cluster_vectors` needs *except* the data,
+    K, and randomness, so compression stages and shard workers can ship
+    one value object across process boundaries instead of loose keyword
+    tails.  ``labels_for`` is the spec applied: randomness enters as a
+    caller-provided seed/generator, keeping the spec itself stateless
+    (the executor-layer determinism contract).
+    """
+
+    method: str = "kmeans"
+    metric: str = "euclidean"
+    n_init: int = 10
+    p: float = 4.0
+    linkage: str = "average"
+
+    def labels_for(
+        self,
+        X: np.ndarray,
+        n_clusters: int,
+        sample_weight: np.ndarray | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Partition rows of ``X`` under this spec (see ``cluster_vectors``)."""
+        return cluster_vectors(
+            X,
+            n_clusters,
+            method=self.method,
+            metric=self.metric,
+            sample_weight=sample_weight,
+            p=self.p,
+            linkage=self.linkage,
+            n_init=self.n_init,
+            seed=seed,
+        )
 
 
 def cluster_vectors(

@@ -4,9 +4,28 @@ from .compress import (
     CompressedLog,
     LogRCompressor,
     SweepPoint,
+    compress_sharded,
     compress_sweep,
     compress_to_error,
     load_artifact,
+)
+from .executor import (
+    EXECUTOR_KINDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    resolve_executor,
+    spawn_generators,
+)
+from .pipeline import (
+    CompressionPipeline,
+    EncodeStage,
+    FitStage,
+    PartitionStage,
+    PipelineResult,
+    RefineStage,
 )
 from .diff import (
     FeatureDrift,
@@ -55,7 +74,7 @@ from .measures import (
     reproduction_error,
 )
 from .mining import frequent_patterns, pattern_support
-from .mixture import MixtureComponent, PatternMixtureEncoding
+from .mixture import MixtureComponent, PatternMixtureEncoding, fit_component
 from .pattern import Pattern
 from .refine import (
     RefinementResult,
@@ -116,7 +135,23 @@ __all__ = [
     "SweepPoint",
     "compress_sweep",
     "compress_to_error",
+    "compress_sharded",
     "load_artifact",
+    "fit_component",
+    "EXECUTOR_KINDS",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "resolve_executor",
+    "spawn_generators",
+    "CompressionPipeline",
+    "EncodeStage",
+    "PartitionStage",
+    "FitStage",
+    "RefineStage",
+    "PipelineResult",
     "lossless_encoding",
     "point_probability_from_marginals",
     "reconstruct_distribution",

@@ -1,0 +1,238 @@
+"""Pluggable execution backends for the staged compression pipeline.
+
+The paper's §6 pipeline is embarrassingly parallel across partitions,
+across K candidates of a sweep, and across shards of a huge log — but
+only if the parallelism is *deterministic*: results must be
+bit-identical to the serial loop at any worker count, or parallel runs
+stop being reproductions.  Three rules make that hold everywhere this
+module is used:
+
+1. ``Executor.map`` preserves task order (task *i*'s result is slot
+   *i*, however the workers interleave);
+2. tasks never share mutable state — each task payload is a pure,
+   picklable value (spawn-safe: worker processes re-import the library
+   and receive the payload by value, so ``fork`` and ``spawn`` start
+   methods produce the same results);
+3. randomness is *pre-spawned*: the caller derives one child generator
+   per task (in task order) before submitting, so the stream a task
+   consumes depends only on the root seed and the task's index, never
+   on which worker ran it or what ran before it.
+
+``SerialExecutor`` is the reference semantics; ``ThreadExecutor`` and
+``ProcessExecutor`` are drop-in replacements that must never change a
+result, only the wall clock.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from .._rng import ensure_rng
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "resolve_executor",
+    "spawn_generators",
+    "available_jobs",
+]
+
+#: The pluggable backend names accepted by :func:`get_executor`.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+class Executor:
+    """Order-preserving ``map`` over independent task payloads.
+
+    Contract: ``map(fn, tasks)`` returns ``[fn(t) for t in tasks]`` —
+    same values, same order — regardless of backend or worker count.
+    Implementations may run tasks concurrently but must not reorder
+    results or share state between tasks.
+    """
+
+    #: Backend name, one of :data:`EXECUTOR_KINDS`.
+    kind: str = "serial"
+    #: Maximum concurrent workers this executor will use.
+    jobs: int = 1
+
+    def map(self, fn: Callable[[_T], _R], tasks: Sequence[_T]) -> list[_R]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; serial is a no-op)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class SerialExecutor(Executor):
+    """The reference backend: a plain in-process loop."""
+
+    kind = "serial"
+    jobs = 1
+
+    def map(self, fn: Callable[[_T], _R], tasks: Sequence[_T]) -> list[_R]:
+        return [fn(task) for task in tasks]
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool backend.
+
+    Useful when the work releases the GIL (NumPy kernels) or blocks on
+    I/O; pure-Python stages see little speedup but remain bit-identical.
+    The pool is created lazily and reused across ``map`` calls.
+    """
+
+    kind = "thread"
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self._pool: ThreadPoolExecutor | None = None
+
+    def map(self, fn: Callable[[_T], _R], tasks: Sequence[_T]) -> list[_R]:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.jobs)
+        return list(self._pool.map(fn, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessExecutor(Executor):
+    """Process-pool backend: true parallelism for Python-heavy stages.
+
+    Task functions must be module-level (picklable by reference) and
+    payloads picklable by value — the spawn-safety contract.  The start
+    method defaults to the platform default (``fork`` on Linux, cheap;
+    ``spawn`` elsewhere); pass ``start_method="spawn"`` to force the
+    stricter re-import semantics anywhere.  Results are bit-identical
+    either way because tasks carry their randomness with them.
+    """
+
+    kind = "process"
+
+    def __init__(self, jobs: int, start_method: str | None = None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+
+    def map(self, fn: Callable[[_T], _R], tasks: Sequence[_T]) -> list[_R]:
+        if self._pool is None:
+            import multiprocessing
+
+            context = (
+                multiprocessing.get_context(self.start_method)
+                if self.start_method
+                else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            )
+        return list(self._pool.map(fn, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def available_jobs() -> int:
+    """Worker count the current machine can actually run concurrently."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def get_executor(
+    kind: str = "auto", jobs: int = 1, start_method: str | None = None
+) -> Executor:
+    """Build an executor for *kind* and *jobs*.
+
+    ``"auto"`` picks ``serial`` for ``jobs <= 1`` and ``process``
+    otherwise (the only backend that speeds up the Python-heavy
+    clustering/refinement stages).  ``jobs <= 1`` always yields the
+    serial backend, whatever *kind* says — one worker has nothing to
+    parallelize and the serial loop avoids pool overhead.
+
+    A process kind may pin its start method with a ``:`` suffix —
+    ``"process:spawn"`` / ``"process:forkserver"`` / ``"process:fork"``
+    — so callers that plumb executor names through configuration (the
+    analytics server, the CLI) can request fork-safety without carrying
+    an extra parameter.  Multithreaded hosts must avoid ``fork``:
+    forking while other threads hold locks can deadlock the child.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if kind == "auto":
+        kind = "serial" if jobs <= 1 else "process"
+    if kind.startswith("process:"):
+        kind, _, requested = kind.partition(":")
+        if requested not in ("fork", "forkserver", "spawn"):
+            raise ValueError(f"unknown process start method {requested!r}")
+        start_method = start_method or requested
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(f"executor must be one of {EXECUTOR_KINDS}, got {kind!r}")
+    if jobs <= 1 or kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(jobs)
+    return ProcessExecutor(jobs, start_method=start_method)
+
+
+def resolve_executor(
+    executor: Executor | str | None, jobs: int = 1
+) -> Executor:
+    """Normalize the ``executor=`` / ``jobs=`` pair every API layer takes.
+
+    Accepts an :class:`Executor` instance (returned as-is), a backend
+    name from :data:`EXECUTOR_KINDS` (or ``"auto"``), or ``None``
+    (treated as ``"auto"``).
+    """
+    if isinstance(executor, Executor):
+        return executor
+    return get_executor(executor or "auto", jobs)
+
+
+def spawn_generators(
+    seed: int | np.random.Generator | None, n: int
+) -> list[np.random.Generator]:
+    """*n* child generators, one per task, in task order.
+
+    The per-task semantics match ``compress_to_error``'s documented
+    ``_fresh_child`` spawning: with an integer (or ``None``) seed every
+    task gets an *identically seeded* fresh generator, so task *i* is
+    bit-identical to running its stage alone with ``seed=seed``; with a
+    ``Generator`` the children are spawned off it in task order
+    (``seed.spawn(n)``), giving independent streams that depend only on
+    the generator's state and the task index.  Either way the result is
+    invariant under worker count and backend.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if isinstance(seed, np.random.Generator):
+        return list(seed.spawn(n))
+    return [ensure_rng(seed) for _ in range(n)]

@@ -25,7 +25,24 @@ from .maxent import IndependentMaxent, maxent_entropy
 from .pattern import Pattern
 from .vocabulary import Vocabulary
 
-__all__ = ["MixtureComponent", "PatternMixtureEncoding"]
+__all__ = ["MixtureComponent", "PatternMixtureEncoding", "fit_component"]
+
+
+def fit_component(partition: QueryLog) -> MixtureComponent:
+    """Naive-fit one partition into its mixture component (§5.1).
+
+    The per-partition half of :meth:`PatternMixtureEncoding.
+    from_partitions`, split out as a module-level function so executors
+    can ship it to worker processes (picklable by reference, with the
+    partition as a picklable payload).  Pure and deterministic: the
+    component depends only on the partition's rows and counts, so
+    fitting partitions in parallel is bit-identical to the serial loop.
+    """
+    return MixtureComponent(
+        size=partition.total,
+        encoding=NaiveEncoding.from_log(partition),
+        true_entropy=partition.entropy(),
+    )
 
 
 @dataclass
@@ -77,24 +94,146 @@ class PatternMixtureEncoding:
     # ------------------------------------------------------------------
     @classmethod
     def from_partitions(
-        cls, partitions: Sequence[QueryLog], vocabulary: Vocabulary | None = None
+        cls,
+        partitions: Sequence[QueryLog],
+        vocabulary: Vocabulary | None = None,
+        executor=None,
     ) -> "PatternMixtureEncoding":
-        """Naive mixture encoding of pre-partitioned logs (§5.1)."""
-        components = [
-            MixtureComponent(
-                size=part.total,
-                encoding=NaiveEncoding.from_log(part),
-                true_entropy=part.entropy(),
-            )
-            for part in partitions
-        ]
+        """Naive mixture encoding of pre-partitioned logs (§5.1).
+
+        The per-partition fits are independent (:func:`fit_component`),
+        so an optional :class:`repro.core.executor.Executor` can run
+        them concurrently — order-preserving ``map`` keeps the result
+        bit-identical to the serial loop.
+        """
+        if executor is not None:
+            components = executor.map(fit_component, list(partitions))
+        else:
+            components = [fit_component(part) for part in partitions]
         vocab = vocabulary or (partitions[0].vocabulary if partitions else None)
         return cls(components, vocab)
+
+    @classmethod
+    def from_components(
+        cls,
+        components: Sequence[MixtureComponent],
+        vocabulary: Vocabulary | None = None,
+    ) -> "PatternMixtureEncoding":
+        """The merge half of the fit/merge split: wrap fitted components."""
+        return cls(list(components), vocabulary)
 
     @classmethod
     def from_log(cls, log: QueryLog) -> "PatternMixtureEncoding":
         """Single-component (unpartitioned) naive encoding."""
         return cls.from_partitions([log], log.vocabulary)
+
+    @classmethod
+    def merged(
+        cls, mixtures: Sequence["PatternMixtureEncoding"]
+    ) -> "PatternMixtureEncoding":
+        """Union of several mixtures: the shard-and-merge merge step.
+
+        The merged mixture covers the *union vocabulary* (features
+        interned in first-seen order across the inputs) and carries the
+        concatenation of every input's components, with each encoding's
+        feature indices remapped into the union space.  Because
+        Generalized Error and Verbosity are sums over components, the
+        merged measures equal the size-weighted combination of the
+        inputs' measures — exact, with no refitting.
+
+        Inputs without a vocabulary are only mergeable when *no* input
+        has one and all feature counts agree (the index spaces must
+        already coincide).
+        """
+        mixtures = list(mixtures)
+        if not mixtures:
+            raise ValueError("need at least one mixture to merge")
+        if len(mixtures) == 1:
+            return mixtures[0]
+        with_vocab = [m for m in mixtures if m.vocabulary is not None]
+        if with_vocab and len(with_vocab) != len(mixtures):
+            raise ValueError("cannot merge mixtures with and without vocabularies")
+        if not with_vocab:
+            widths = {c.encoding.n_features for m in mixtures for c in m.components}
+            if len(widths) > 1:
+                raise ValueError(
+                    "vocabulary-less mixtures must share one feature space"
+                )
+            return cls(
+                [c for m in mixtures for c in m.components], None
+            )
+        union = Vocabulary()
+        index_maps = []
+        for mixture in mixtures:
+            index_maps.append(
+                np.array(
+                    [union.add(f) for f in mixture.vocabulary], dtype=np.int64
+                )
+            )
+        n = len(union)
+        components = []
+        for mixture, index_map in zip(mixtures, index_maps):
+            identity = len(index_map) == n and np.array_equal(
+                index_map, np.arange(n)
+            )
+            for component in mixture.components:
+                components.append(
+                    component
+                    if identity
+                    else _remap_component(component, index_map, n)
+                )
+        return cls(components, union)
+
+    def consolidated(
+        self,
+        n_clusters: int,
+        method: str = "kmeans",
+        metric: str = "euclidean",
+        n_init: int = 10,
+        seed=None,
+    ) -> tuple["PatternMixtureEncoding", np.ndarray]:
+        """Merge similar components down to *n_clusters* (shard cleanup).
+
+        Shard-and-merge concatenates S·K components; workloads split
+        across shards often land near-duplicate components that inflate
+        Verbosity without buying Error.  This clusters the component
+        marginal vectors (size-weighted, same machinery as §6.1) and
+        merges each group *exactly*: a group's merged marginals are the
+        size-weighted mean (identical to naive-fitting the union of the
+        underlying partitions) and its true entropy is recovered from
+        the members' ``size`` and ``true_entropy`` via
+        ``Σ c·log2 c = N_i (log2 N_i − H_i)``.  Both identities require
+        the components' underlying row sets to be disjoint — true for
+        any one compression and for shards split by distinct rows.
+
+        Requires naive, unrefined components.  Returns the consolidated
+        mixture and the old-component → new-component assignment.
+        """
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        for component in self.components:
+            if not isinstance(component.encoding, NaiveEncoding):
+                raise TypeError("consolidation requires naive components")
+            if component.extra is not None and component.extra.verbosity:
+                raise TypeError("consolidation requires unrefined components")
+        if n_clusters >= self.n_components:
+            return self, np.arange(self.n_components, dtype=np.int64)
+        from ..cluster import ClusterSpec  # local: cluster is a consumer too
+
+        matrix = np.stack([c.encoding.marginals for c in self.components])
+        sizes = np.array([c.size for c in self.components], dtype=float)
+        raw = ClusterSpec(method=method, metric=metric, n_init=n_init).labels_for(
+            matrix, n_clusters, sample_weight=sizes, seed=seed
+        )
+        _, assignment = np.unique(np.asarray(raw, dtype=np.int64), return_inverse=True)
+        assignment = assignment.astype(np.int64)
+        components = []
+        for group in range(int(assignment.max()) + 1):
+            members = [
+                c for c, g in zip(self.components, assignment) if g == group
+            ]
+            components.append(_merge_components(members))
+        return PatternMixtureEncoding(components, self.vocabulary), assignment
 
     # ------------------------------------------------------------------
     # aggregate measures (§5.2)
@@ -311,6 +450,73 @@ class PatternMixtureEncoding:
             f"PatternMixtureEncoding(components={self.n_components}, "
             f"verbosity={self.total_verbosity})"
         )
+
+
+def _remap_component(
+    component: MixtureComponent, index_map: np.ndarray, n_features: int
+) -> MixtureComponent:
+    """*component* re-addressed into a union feature space.
+
+    ``index_map[i]`` is the union index of the component's feature *i*;
+    marginals scatter into a width-``n_features`` vector (absent union
+    features keep marginal 0, i.e. "never occurs in this partition").
+    """
+    encoding = component.encoding
+    if isinstance(encoding, NaiveEncoding):
+        marginals = np.zeros(n_features)
+        marginals[index_map] = encoding.marginals
+        remapped: NaiveEncoding | PatternEncoding = NaiveEncoding(marginals)
+    else:
+        remapped = PatternEncoding(
+            n_features,
+            {
+                Pattern(index_map[list(p.indices)]): m
+                for p, m in encoding.items()
+            },
+        )
+    extra = None
+    if component.extra is not None:
+        extra = PatternEncoding(
+            n_features,
+            {
+                Pattern(index_map[list(p.indices)]): m
+                for p, m in component.extra.items()
+            },
+        )
+    return MixtureComponent(
+        size=component.size,
+        encoding=remapped,
+        true_entropy=component.true_entropy,
+        extra=extra,
+    )
+
+
+def _merge_components(members: Sequence[MixtureComponent]) -> MixtureComponent:
+    """Exact union of naive components over disjoint row sets.
+
+    Marginals are size-weighted means (the naive encoding of the merged
+    partition).  True entropy comes from inverting each member's
+    ``H_i = log2 N_i − S_i / N_i`` to its ``S_i = Σ c·log2 c`` sum —
+    exact because disjoint partitions keep every row's multiplicity
+    intact in the union.
+    """
+    if len(members) == 1:
+        return members[0]
+    sizes = np.array([m.size for m in members], dtype=float)
+    total = sizes.sum()
+    marginals = (
+        sizes[:, None] * np.stack([m.encoding.marginals for m in members])
+    ).sum(axis=0) / total
+    clog = sum(
+        size * (np.log2(size) - m.true_entropy)
+        for size, m in zip(sizes, members)
+    )
+    entropy = float(np.log2(total) - clog / total) if total > 0 else 0.0
+    return MixtureComponent(
+        size=int(total),
+        encoding=NaiveEncoding(np.clip(marginals, 0.0, 1.0)),
+        true_entropy=entropy,
+    )
 
 
 def _pattern_encoding_probability(encoding: PatternEncoding, pattern: Pattern) -> float:

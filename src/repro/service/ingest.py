@@ -82,6 +82,12 @@ class IncrementalIngestor:
             recompression.  ``float("inf")`` disables the trigger;
             a negative value recompresses on every batch.
         seed: RNG seed for the recompression clustering.
+        jobs / executor: forwarded to the recompression
+            :class:`~repro.core.compress.LogRCompressor`, so the
+            staleness escape hatch runs through the staged pipeline's
+            executor (partition-parallel fits) instead of pinning the
+            serving thread to one core.  Results stay bit-identical to
+            the serial path at any worker count.
         remove_constants / max_disjuncts: statement-parsing knobs,
             matching :func:`repro.workloads.logio.load_log`.
     """
@@ -92,6 +98,8 @@ class IncrementalIngestor:
         log: QueryLog,
         staleness_threshold: float = 0.5,
         seed: int | np.random.Generator | None = 0,
+        jobs: int = 1,
+        executor=None,
         remove_constants: bool = True,
         max_disjuncts: int = 64,
     ):
@@ -110,6 +118,8 @@ class IncrementalIngestor:
         self.compressed = compressed
         self.staleness_threshold = float(staleness_threshold)
         self._rng = ensure_rng(seed)
+        self.jobs = jobs
+        self.executor = executor
         self._extractor = AligonExtractor(
             remove_constants=remove_constants, max_disjuncts=max_disjuncts
         )
@@ -328,6 +338,8 @@ class IncrementalIngestor:
             method=method if method != "unknown" else "kmeans",
             metric=metric if metric != "unknown" else "euclidean",
             backend=self._backend,
+            jobs=self.jobs,
+            executor=self.executor,
             seed=self._rng.spawn(1)[0],
         )
         self.compressed = compressor.compress(self.log)

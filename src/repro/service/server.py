@@ -88,6 +88,7 @@ class _Profile:
         threshold_quantile: float,
         staleness_threshold: float,
         seed: int,
+        jobs: int = 1,
     ):
         self.name = name
         self.version = version
@@ -101,6 +102,16 @@ class _Profile:
                     log,
                     staleness_threshold=staleness_threshold,
                     seed=seed,
+                    jobs=jobs,
+                    # Recompression runs on a handler thread of a
+                    # multithreaded server: fork could duplicate locks
+                    # held by other threads, so pin the safe method.
+                    # Passing the *name* (not a live pool) means each
+                    # recompression builds and tears down its own pool —
+                    # acceptable because recompression is staleness-gated
+                    # and rare, and a per-profile pool would outlive LRU
+                    # eviction (no close hook on cache drop).
+                    executor="process:spawn" if jobs > 1 else None,
                 )
             except ValueError:
                 # e.g. a refined mixture: it cannot be incrementally
@@ -172,6 +183,9 @@ class AnalyticsServer:
         staleness_threshold: Error drift (bits) before an ingest
             triggers full recompression.
         seed: RNG seed for recompression and drift calibration.
+        jobs: worker count for staleness-triggered recompression (the
+            fit/refine stages run through a process executor when > 1;
+            results are bit-identical to the serial path).
     """
 
     def __init__(
@@ -183,12 +197,14 @@ class AnalyticsServer:
         threshold_quantile: float = 0.001,
         staleness_threshold: float = 0.5,
         seed: int = 0,
+        jobs: int = 1,
     ):
         self.store = store
         self.cache_profiles = cache_profiles
         self.threshold_quantile = threshold_quantile
         self.staleness_threshold = staleness_threshold
         self.seed = seed
+        self.jobs = jobs
         self._cache: OrderedDict[str, _Profile] = OrderedDict()
         self._cache_lock = threading.Lock()
         self._load_locks: dict[str, threading.Lock] = {}
@@ -270,6 +286,7 @@ class AnalyticsServer:
                 threshold_quantile=self.threshold_quantile,
                 staleness_threshold=self.staleness_threshold,
                 seed=self.seed,
+                jobs=self.jobs,
             )
             with self._cache_lock:
                 self._cache[name] = handle

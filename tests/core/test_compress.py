@@ -193,3 +193,97 @@ class TestCompressToError:
         rng = np.random.default_rng(3)
         compressed = compress_to_error(small_pocketdata_log, 1e9, seed=rng)
         assert compressed.n_clusters == 1
+
+
+class TestSweepRngIndependence:
+    def test_per_k_result_matches_direct_call(self, small_pocketdata_log):
+        # Regression: compress_sweep used to thread one shared generator
+        # through the K loop, so the result at a given K depended on
+        # which Ks ran before it.  Each K now gets the same fresh-child
+        # spawning compress_to_error documents: with an integer seed,
+        # every point is bit-identical to compressing at that K alone.
+        points = compress_sweep(small_pocketdata_log, [2, 4, 6], seed=17, n_init=2)
+        for point in points:
+            direct = LogRCompressor(
+                n_clusters=point.n_clusters, seed=17, n_init=2
+            ).compress(small_pocketdata_log)
+            assert point.error == direct.error
+            assert point.verbosity == direct.total_verbosity
+
+    def test_k_prefix_invariance(self, small_pocketdata_log):
+        # The point at K=6 must not depend on the Ks evaluated before it.
+        full = compress_sweep(small_pocketdata_log, [2, 4, 6], seed=17, n_init=2)
+        alone = compress_sweep(small_pocketdata_log, [6], seed=17, n_init=2)
+        assert full[-1].error == alone[0].error
+        assert full[-1].verbosity == alone[0].verbosity
+
+
+class TestLabelsPayload:
+    def test_compact_form_round_trips(self, small_pocketdata_log):
+        from repro.core.compress import CompressedLog
+
+        compressed = LogRCompressor(n_clusters=5, seed=0, n_init=2).compress(
+            small_pocketdata_log
+        )
+        payload = compressed.to_payload()
+        labels = payload["labels"]
+        assert labels["encoding"] == "b64"
+        assert labels["dtype"] == "<u1"  # 5 clusters fit one byte
+        assert labels["n"] == small_pocketdata_log.n_distinct
+        restored = CompressedLog.from_payload(payload)
+        assert np.array_equal(restored.labels, compressed.labels)
+
+    def test_legacy_v1_artifact_still_accepted(self, small_pocketdata_log):
+        # A v1 artifact written by the previous release: list labels
+        # under the v1 format string.  The format bump to v2 exists so
+        # v1-only readers reject the new dict form loudly; the new
+        # reader must keep accepting every older combination.
+        from repro.core.compress import CompressedLog
+
+        compressed = LogRCompressor(n_clusters=3, seed=0, n_init=2).compress(
+            small_pocketdata_log
+        )
+        payload = compressed.to_payload()
+        payload["format"] = "logr-compressed-v1"
+        payload["labels"] = [int(label) for label in compressed.labels]
+        restored = CompressedLog.from_payload(payload)
+        assert np.array_equal(restored.labels, compressed.labels)
+        # list labels under the v2 format string parse too
+        v2_list = compressed.to_payload()
+        v2_list["labels"] = [int(label) for label in compressed.labels]
+        assert np.array_equal(
+            CompressedLog.from_payload(v2_list).labels, compressed.labels
+        )
+
+    def test_compact_form_is_smaller_than_list(self, small_pocketdata_log):
+        import json
+
+        compressed = LogRCompressor(n_clusters=8, seed=0, n_init=2).compress(
+            small_pocketdata_log
+        )
+        compact = json.dumps(compressed.to_payload()["labels"])
+        legacy = json.dumps([int(label) for label in compressed.labels])
+        assert len(compact) < len(legacy)
+
+    def test_dtype_widens_with_label_range(self):
+        from repro.core.compress import _labels_from_payload, _labels_to_payload
+
+        for top, dtype in ((200, "<u1"), (60_000, "<u2"), (70_000, "<u4")):
+            labels = np.array([0, top], dtype=np.int64)
+            payload = _labels_to_payload(labels)
+            assert payload["dtype"] == dtype
+            assert np.array_equal(_labels_from_payload(payload), labels)
+
+    def test_empty_and_invalid_payloads(self):
+        from repro.core.compress import _labels_from_payload, _labels_to_payload
+
+        empty = _labels_to_payload(np.zeros(0, dtype=np.int64))
+        assert _labels_from_payload(empty).shape == (0,)
+        with pytest.raises(ValueError):
+            _labels_from_payload({"encoding": "hex", "data": ""})
+        bad = dict(empty, n=3)
+        with pytest.raises(ValueError):
+            _labels_from_payload(bad)
+        # dtypes outside the emit set are rejected, not misparsed
+        with pytest.raises(ValueError):
+            _labels_from_payload(dict(empty, dtype="<f8"))

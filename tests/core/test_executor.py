@@ -1,0 +1,156 @@
+"""Tests for the pluggable execution backends."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import (
+    EXECUTOR_KINDS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    resolve_executor,
+    spawn_generators,
+)
+from repro.core.mixture import fit_component
+
+
+def _all_executors(jobs=2):
+    return [
+        SerialExecutor(),
+        ThreadExecutor(jobs),
+        ProcessExecutor(jobs),
+    ]
+
+
+class TestMapContract:
+    def test_serial_map_is_plain_loop(self):
+        assert SerialExecutor().map(abs, [-3, 1, -2]) == [3, 1, 2]
+
+    def test_order_preserved_across_backends(self, small_pocketdata_log):
+        # fit_component is module-level and picklable, so the same call
+        # works for every backend; results must land in task order.
+        parts = small_pocketdata_log.partition(
+            np.arange(small_pocketdata_log.n_distinct) % 5
+        )
+        reference = [fit_component(part) for part in parts]
+        for executor in _all_executors():
+            with executor:
+                fitted = executor.map(fit_component, parts)
+            assert [c.size for c in fitted] == [c.size for c in reference]
+            for ours, theirs in zip(fitted, reference):
+                assert np.array_equal(
+                    ours.encoding.marginals, theirs.encoding.marginals
+                )
+                assert ours.true_entropy == theirs.true_entropy
+
+    def test_thread_exceptions_propagate(self):
+        with ThreadExecutor(2) as executor:
+            with pytest.raises(ZeroDivisionError):
+                executor.map(lambda x: 1 // x, [1, 0, 2])
+
+    def test_empty_task_list(self):
+        for executor in _all_executors():
+            with executor:
+                assert executor.map(abs, []) == []
+
+
+class TestResolution:
+    def test_jobs_one_is_always_serial(self):
+        for kind in ("auto", "thread", "process"):
+            assert isinstance(get_executor(kind, jobs=1), SerialExecutor)
+
+    def test_auto_picks_process_for_parallel(self):
+        executor = get_executor("auto", jobs=3)
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.jobs == 3
+
+    def test_kinds(self):
+        assert isinstance(get_executor("thread", 2), ThreadExecutor)
+        assert isinstance(get_executor("process", 2), ProcessExecutor)
+        assert isinstance(get_executor("serial", 2), SerialExecutor)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            get_executor("fleet", 2)
+        with pytest.raises(ValueError):
+            get_executor("auto", 0)
+        with pytest.raises(ValueError):
+            get_executor("process:vfork", 2)
+
+    def test_start_method_suffix(self):
+        # Multithreaded hosts (the analytics server) request fork-safety
+        # by name: "process:spawn" pins the start method.
+        executor = get_executor("process:spawn", 2)
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.start_method == "spawn"
+        assert get_executor("process:fork", 2).start_method == "fork"
+        # jobs=1 still collapses to serial whatever the suffix says
+        assert isinstance(get_executor("process:spawn", 1), SerialExecutor)
+
+    def test_resolve_passes_instances_through(self):
+        executor = ThreadExecutor(2)
+        assert resolve_executor(executor, jobs=8) is executor
+        assert isinstance(resolve_executor(None, jobs=1), SerialExecutor)
+        assert isinstance(resolve_executor("thread", jobs=2), ThreadExecutor)
+
+    def test_kinds_constant_matches(self):
+        assert set(EXECUTOR_KINDS) == {"serial", "thread", "process"}
+
+
+class TestSpawnGenerators:
+    def test_int_seed_gives_identical_fresh_children(self):
+        # _fresh_child semantics: every task is bit-identical to running
+        # its stage alone with seed=seed.
+        children = spawn_generators(7, 3)
+        draws = [rng.random(4).tolist() for rng in children]
+        assert draws[0] == draws[1] == draws[2]
+        assert draws[0] == np.random.default_rng(7).random(4).tolist()
+
+    def test_generator_seed_spawns_in_task_order(self):
+        a = spawn_generators(np.random.default_rng(5), 3)
+        b = np.random.default_rng(5).spawn(3)
+        for ours, theirs in zip(a, b):
+            assert ours.random(4).tolist() == theirs.random(4).tolist()
+
+    def test_sequential_spawning_matches_batch(self):
+        # compress_to_error spawns lazily one rung at a time; the waves
+        # of the parallel path spawn in batches.  Both must agree.
+        root_a = np.random.default_rng(9)
+        lazy = [spawn_generators(root_a, 1)[0] for _ in range(4)]
+        root_b = np.random.default_rng(9)
+        batch = spawn_generators(root_b, 4)
+        for ours, theirs in zip(lazy, batch):
+            assert ours.random(2).tolist() == theirs.random(2).tolist()
+
+    def test_counts(self):
+        assert spawn_generators(0, 0) == []
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestProcessExecutor:
+    def test_spawn_start_method_round_trips_payloads(self, small_pocketdata_log):
+        # The spawn-safety contract: a freshly imported interpreter must
+        # be able to unpickle the task payload and produce the same
+        # component as the in-process loop.
+        parts = small_pocketdata_log.partition(
+            np.arange(small_pocketdata_log.n_distinct) % 2
+        )
+        with ProcessExecutor(2, start_method="spawn") as executor:
+            fitted = executor.map(fit_component, parts)
+        reference = [fit_component(part) for part in parts]
+        for ours, theirs in zip(fitted, reference):
+            assert ours.size == theirs.size
+            assert np.array_equal(
+                ours.encoding.marginals, theirs.encoding.marginals
+            )
+
+    def test_pool_reused_across_maps(self):
+        with ProcessExecutor(2) as executor:
+            first = executor.map(abs, [-1, -2])
+            pool = executor._pool
+            second = executor.map(abs, [-3])
+            assert executor._pool is pool
+        assert first == [1, 2] and second == [3]
+        assert executor._pool is None  # closed on exit

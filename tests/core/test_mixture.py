@@ -149,3 +149,132 @@ class TestSerialization:
     def test_bad_payload_rejected(self):
         with pytest.raises(ValueError):
             PatternMixtureEncoding.from_json('{"format": "other"}')
+
+
+class TestMergedMixtures:
+    """The shard-and-merge merge step: vocabulary union + concatenation."""
+
+    def _mixture(self, features, rows, counts):
+        from repro.core.log import QueryLog
+        from repro.core.vocabulary import Vocabulary
+
+        log = QueryLog(
+            Vocabulary(features),
+            np.asarray(rows, dtype=np.uint8),
+            np.asarray(counts),
+        )
+        return log, PatternMixtureEncoding.from_log(log)
+
+    def test_identical_vocabularies_concatenate(self, example4_log):
+        parts = example4_log.partition(np.array([0, 0, 1]))
+        first = PatternMixtureEncoding.from_partitions(
+            [parts[0]], example4_log.vocabulary
+        )
+        second = PatternMixtureEncoding.from_partitions(
+            [parts[1]], example4_log.vocabulary
+        )
+        merged = PatternMixtureEncoding.merged([first, second])
+        reference = PatternMixtureEncoding.from_partitions(
+            parts, example4_log.vocabulary
+        )
+        assert merged.n_components == 2
+        assert merged.total == example4_log.total
+        assert merged.error() == pytest.approx(reference.error(), abs=1e-12)
+        assert merged.total_verbosity == reference.total_verbosity
+
+    def test_vocabulary_union_remaps_marginals(self):
+        _, first = self._mixture(["a", "b"], [[1, 0], [1, 1]], [2, 1])
+        _, second = self._mixture(["b", "c"], [[1, 1]], [4])
+        merged = PatternMixtureEncoding.merged([first, second])
+        assert [f for f in merged.vocabulary] == ["a", "b", "c"]
+        # component estimates must survive the index remap exactly
+        assert merged.estimate_count_features(["a"]) == pytest.approx(
+            first.estimate_count_features(["a"])
+        )
+        assert merged.estimate_count_features(["c"]) == pytest.approx(
+            second.estimate_count_features(["c"])
+        )
+        assert merged.estimate_count_features(["b"]) == pytest.approx(
+            first.estimate_count_features(["b"])
+            + second.estimate_count_features(["b"])
+        )
+        # verbosity counts non-zero marginals per component, unchanged
+        assert merged.total_verbosity == (
+            first.total_verbosity + second.total_verbosity
+        )
+
+    def test_single_input_returned_unchanged(self, example4_log):
+        mixture = PatternMixtureEncoding.from_log(example4_log)
+        assert PatternMixtureEncoding.merged([mixture]) is mixture
+
+    def test_mixed_vocab_presence_rejected(self, example4_log):
+        with_vocab = PatternMixtureEncoding.from_log(example4_log)
+        without = PatternMixtureEncoding(
+            [MixtureComponent(1, NaiveEncoding(np.array([0.5] * 4)), 0.0)], None
+        )
+        with pytest.raises(ValueError):
+            PatternMixtureEncoding.merged([with_vocab, without])
+        with pytest.raises(ValueError):
+            PatternMixtureEncoding.merged([])
+
+    def test_vocabulary_less_merge_needs_one_width(self):
+        a = PatternMixtureEncoding(
+            [MixtureComponent(1, NaiveEncoding(np.array([0.5, 0.5])), 0.0)], None
+        )
+        b = PatternMixtureEncoding(
+            [MixtureComponent(1, NaiveEncoding(np.array([0.5])), 0.0)], None
+        )
+        with pytest.raises(ValueError):
+            PatternMixtureEncoding.merged([a, b])
+        merged = PatternMixtureEncoding.merged([a, a])
+        assert merged.n_components == 2
+
+
+class TestConsolidation:
+    def test_merge_is_exact_for_disjoint_partitions(self, small_pocketdata_log):
+        # Consolidating everything into one component must reproduce the
+        # single-partition naive encoding bit-for-bit in its measures.
+        labels = np.arange(small_pocketdata_log.n_distinct) % 4
+        mixture = PatternMixtureEncoding.from_partitions(
+            small_pocketdata_log.partition(labels),
+            small_pocketdata_log.vocabulary,
+        )
+        consolidated, assignment = mixture.consolidated(1, seed=0)
+        reference = PatternMixtureEncoding.from_log(small_pocketdata_log)
+        assert consolidated.n_components == 1
+        assert np.array_equal(assignment, np.zeros(4, dtype=np.int64))
+        assert np.allclose(
+            consolidated.components[0].encoding.marginals,
+            reference.components[0].encoding.marginals,
+        )
+        assert consolidated.components[0].true_entropy == pytest.approx(
+            reference.components[0].true_entropy, abs=1e-9
+        )
+        assert consolidated.error() == pytest.approx(reference.error(), abs=1e-9)
+
+    def test_no_op_when_target_not_smaller(self, example4_log):
+        parts = example4_log.partition(np.array([0, 0, 1]))
+        mixture = PatternMixtureEncoding.from_partitions(
+            parts, example4_log.vocabulary
+        )
+        same, assignment = mixture.consolidated(5, seed=0)
+        assert same is mixture
+        assert np.array_equal(assignment, np.arange(2))
+
+    def test_refined_components_rejected(self, example4_log):
+        mixture = PatternMixtureEncoding.from_log(example4_log)
+        mixture.components[0].extra = PatternEncoding(4, {Pattern([0, 2]): 0.5})
+        with pytest.raises(TypeError):
+            mixture.consolidated(1, seed=0)
+
+    def test_pattern_components_rejected(self):
+        mixture = PatternMixtureEncoding(
+            [
+                MixtureComponent(
+                    1, PatternEncoding(2, {Pattern([0]): 0.5}), 0.0
+                ),
+                MixtureComponent(1, NaiveEncoding(np.array([0.5, 0.5])), 0.0),
+            ]
+        )
+        with pytest.raises(TypeError):
+            mixture.consolidated(1, seed=0)

@@ -146,3 +146,40 @@ class TestStaleness:
         ).compress(log)
         with pytest.raises(ValueError):
             IncrementalIngestor(refined, log)
+
+
+class TestExecutorRecompression:
+    def test_parallel_recompression_matches_serial(self):
+        # The staleness escape hatch runs through the pipeline executor;
+        # worker count must not change the recompressed profile.  The
+        # ingestor takes ownership of its artifact, so each run gets a
+        # freshly compressed profile.
+        batch = [
+            sql
+            for sql, _ in generate_pocketdata(
+                total=400, n_distinct=40, seed=9
+            ).entries
+        ]
+        results = []
+        for jobs in (1, 2):
+            log = generate_pocketdata(
+                total=5_000, n_distinct=100, seed=3
+            ).to_query_log()
+            compressed = LogRCompressor(n_clusters=4, seed=0, n_init=2).compress(
+                log
+            )
+            ingestor = IncrementalIngestor(
+                compressed,
+                log,
+                staleness_threshold=-1.0,  # force recompression every batch
+                seed=0,
+                jobs=jobs,
+                executor="process" if jobs > 1 else None,
+            )
+            report = ingestor.ingest_statements(batch)
+            assert report.recompressed
+            results.append(ingestor.compressed)
+        serial, parallel = results
+        assert np.array_equal(serial.labels, parallel.labels)
+        assert serial.error == parallel.error
+        assert serial.total_verbosity == parallel.total_verbosity

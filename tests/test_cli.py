@@ -22,7 +22,7 @@ class TestCompress:
         rc = main(["compress", str(log_file), "-o", str(out), "-k", "4"])
         assert rc == 0
         payload = json.loads(out.read_text())
-        assert payload["format"] == "logr-compressed-v1"
+        assert payload["format"] == "logr-compressed-v2"
         assert payload["n_clusters"] == 4
         assert len(payload["mixture"]["components"]) <= 4
         assert payload["labels"]  # per-row assignments survive serialization
@@ -192,3 +192,97 @@ class TestServiceCommands:
         )
         assert args.command == "serve"
         assert args.staleness_threshold == 1.5
+
+
+class TestParallelCompress:
+    def test_jobs_match_serial_artifact(self, log_file, tmp_path):
+        # --jobs only changes the schedule; the artifact must be
+        # byte-identical to serial apart from the recorded build time.
+        payloads = {}
+        for name, extra in {
+            "serial": [],
+            "process": ["--jobs", "2", "--executor", "process"],
+        }.items():
+            out = tmp_path / f"{name}.json"
+            rc = main(
+                ["compress", str(log_file), "-o", str(out), "-k", "4"] + extra
+            )
+            assert rc == 0
+            payload = json.loads(out.read_text())
+            payload.pop("build_seconds")
+            payloads[name] = payload
+        assert payloads["serial"] == payloads["process"]
+
+    def test_sharded_compress_round_trips(self, log_file, tmp_path, capsys):
+        out = tmp_path / "sharded.json"
+        rc = main(
+            [
+                "compress", str(log_file), "-o", str(out), "-k", "2",
+                "--shards", "2", "--jobs", "2", "--executor", "process",
+            ]
+        )
+        assert rc == 0
+        from repro.core.compress import load_artifact
+
+        artifact = load_artifact(out)
+        assert artifact.n_clusters == artifact.mixture.n_components
+        assert artifact.mixture.n_components <= 4  # 2 shards x K=2
+        assert "Error=" in capsys.readouterr().out
+        # jobs=1 same sharding must agree exactly
+        serial_out = tmp_path / "sharded-serial.json"
+        main(
+            [
+                "compress", str(log_file), "-o", str(serial_out), "-k", "2",
+                "--shards", "2",
+            ]
+        )
+        ours = json.loads(out.read_text())
+        theirs = json.loads(serial_out.read_text())
+        ours.pop("build_seconds"); theirs.pop("build_seconds")
+        assert ours == theirs
+
+    def test_consolidate_requires_shards(self, log_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "compress", str(log_file), "-o", str(tmp_path / "x.json"),
+                    "--consolidate-to", "2",
+                ]
+            )
+
+
+class TestSweepCommand:
+    def test_sweep_prints_points(self, log_file, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        rc = main(
+            [
+                "sweep", str(log_file), "--ks", "1,2,4", "-o", str(out),
+                "--jobs", "2", "--executor", "thread",
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "Error(bits)" in printed
+        points = json.loads(out.read_text())
+        assert [p["n_clusters"] for p in points] == [1, 2, 4]
+        assert all(p["error"] >= 0 for p in points)
+        # verbosity weakly grows with K
+        assert points[-1]["verbosity"] >= points[0]["verbosity"]
+
+    def test_sweep_rejects_bad_ks(self, log_file):
+        with pytest.raises(SystemExit):
+            main(["sweep", str(log_file), "--ks", "two,4"])
+        with pytest.raises(SystemExit):
+            main(["sweep", str(log_file), "--ks", "0,4"])
+
+    def test_rejects_invalid_parallel_values(self, log_file, tmp_path):
+        out = tmp_path / "x.json"
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "compress", str(log_file), "-o", str(out),
+                    "--shards", "2", "--consolidate-to", "0",
+                ]
+            )
+        with pytest.raises(SystemExit):
+            main(["compress", str(log_file), "-o", str(out), "--jobs", "0"])
