@@ -1,0 +1,187 @@
+"""Windowed-summary benchmark: pane composition vs recompress-from-raw.
+
+The windowed layer's performance claim: answering "what did the
+workload look like over panes i..j" from *maintained* pane summaries —
+exact mixture merge plus exact consolidation — must beat re-running the
+compressor over the raw window by ≥5× at equal-or-lower Generalized
+Error.  Measured on a US-Bank-like workload at the paper's bank scale
+shape (250k statements over ~1.2k distinct templates), sliced into 10
+time panes.
+
+Also measures the ``/timeline`` query path: a 10-pane drift/Error
+series must come back from the store manifest alone — the store holds
+only compressed summaries; no raw statement is ever written, read, or
+re-encoded.
+
+Run with::
+
+    pytest benchmarks/bench_windows.py -s -o addopts=""
+
+The printed tables are archived under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.compress import LogRCompressor
+from repro.core.diff import mixture_divergence
+from repro.core.log import QueryLog
+from repro.core.mixture import PatternMixtureEncoding
+from repro.service import AnalyticsClient, AnalyticsServer, SummaryStore
+from repro.workloads import generate_bank
+
+from conftest import print_table
+
+COMPOSITION_SPEEDUP_TARGET = 5.0
+N_PANES = 10
+PANE_CLUSTERS = 8
+WINDOW_CLUSTERS = 8
+BANK_TOTAL = 250_000
+BANK_TEMPLATES = 1_200
+REPS = 3
+
+
+def _time(fn, reps: int = REPS):
+    best = math.inf
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def paned_bank():
+    """The 250k-statement bank log sliced into 10 time panes.
+
+    The stream is simulated by shuffling the log's entries and cutting
+    it into contiguous tenths; each pane is compressed once at ingest
+    time (``PANE_CLUSTERS`` components) — that is the maintained state
+    the composition path starts from.
+    """
+    log = generate_bank(
+        total=BANK_TOTAL, n_templates=BANK_TEMPLATES, seed=0
+    ).to_query_log()
+    rng = np.random.default_rng(0)
+    entries = np.repeat(np.arange(log.n_distinct), log.counts)
+    rng.shuffle(entries)
+    pane_logs = []
+    for chunk in np.array_split(entries, N_PANES):
+        counts = np.bincount(chunk, minlength=log.n_distinct)
+        rows = np.flatnonzero(counts)
+        pane_logs.append(QueryLog(log.vocabulary, log.matrix[rows], counts[rows]))
+    start = time.perf_counter()
+    pane_mixtures = [
+        LogRCompressor(n_clusters=PANE_CLUSTERS, seed=0).compress(pane).mixture
+        for pane in pane_logs
+    ]
+    pane_seconds = time.perf_counter() - start
+    return log, pane_logs, pane_mixtures, pane_seconds
+
+
+def test_pane_composition_beats_recompress_from_raw(paned_bank):
+    log, _, pane_mixtures, pane_seconds = paned_bank
+
+    def compose():
+        merged = PatternMixtureEncoding.merged(pane_mixtures)
+        consolidated, _ = merged.consolidated(WINDOW_CLUSTERS, seed=0)
+        return merged, consolidated
+
+    t_compose, (merged, consolidated) = _time(compose)
+
+    def recompress():
+        return LogRCompressor(n_clusters=WINDOW_CLUSTERS, seed=0).compress(log)
+
+    t_direct, direct = _time(recompress)
+    speedup = t_direct / t_compose
+    print_table(
+        "Bench windows: pane composition vs recompress-from-raw "
+        f"({BANK_TOTAL // 1000}k-statement bank workload, {N_PANES} panes)",
+        ["path", "ms", "Error (bits)", "Verbosity", "components"],
+        [
+            ["merge only", t_compose * 1e3, merged.error(),
+             merged.total_verbosity, merged.n_components],
+            [f"merge + consolidate({WINDOW_CLUSTERS})", t_compose * 1e3,
+             consolidated.error(), consolidated.total_verbosity,
+             consolidated.n_components],
+            [f"recompress raw K={WINDOW_CLUSTERS}", t_direct * 1e3,
+             direct.error, direct.total_verbosity,
+             direct.mixture.n_components],
+            ["(pane maintenance, amortized at ingest)", pane_seconds * 1e3,
+             float("nan"), float("nan"), N_PANES * PANE_CLUSTERS],
+            ["speedup", speedup, float("nan"), float("nan"), float("nan")],
+        ],
+    )
+    assert speedup >= COMPOSITION_SPEEDUP_TARGET, (
+        f"pane composition speedup {speedup:.1f}x below the "
+        f"{COMPOSITION_SPEEDUP_TARGET:.0f}x target"
+    )
+    # "At matched Error": the composed window must not trade its speed
+    # for fidelity — equal-or-lower Error than the from-scratch fit.
+    assert consolidated.error() <= direct.error + 1e-9, (
+        f"composed window Error {consolidated.error():.3f} bits worse than "
+        f"recompress-from-raw {direct.error:.3f}"
+    )
+
+
+def test_composition_is_exact_algebra(paned_bank):
+    """The speed is not bought with approximation: the merged composite
+    carries the exact size-weighted Error of its panes."""
+    _, _, pane_mixtures, _ = paned_bank
+    merged = PatternMixtureEncoding.merged(pane_mixtures)
+    totals = np.array([float(m.total) for m in pane_mixtures])
+    errors = np.array([m.error() for m in pane_mixtures])
+    expected = float((totals * errors).sum() / totals.sum())
+    assert merged.error() == pytest.approx(expected, abs=1e-9)
+    assert merged.total == sum(m.total for m in pane_mixtures)
+
+
+def test_timeline_query_from_summaries_only(paned_bank, tmp_path):
+    """A 10-pane /timeline answers per-pane Error + JS-drift from the
+    manifest; the store never sees a raw statement."""
+    _, _, pane_mixtures, _ = paned_bank
+    store = SummaryStore(tmp_path / "store")
+    previous = None
+    for mixture in pane_mixtures:
+        store.append_segment(
+            "bank",
+            mixture.to_payload(),
+            n_statements=int(mixture.total),
+            n_encoded=int(mixture.total),
+            total=int(mixture.total),
+            error_bits=mixture.error(),
+            verbosity=mixture.total_verbosity,
+            n_components=mixture.n_components,
+            divergence_bits=(
+                None if previous is None
+                else mixture_divergence(previous, mixture)
+            ),
+        )
+        previous = mixture
+    with AnalyticsServer(store, port=0) as server:
+        client = AnalyticsClient(server.url)
+        client.timeline("bank")  # warm the windowed handle
+        t_timeline, out = _time(lambda: client.timeline("bank"))
+        t_window, window = _time(lambda: client.window("bank", last=3))
+    assert len(out["panes"]) == N_PANES
+    assert all(pane["error_bits"] is not None for pane in out["panes"])
+    assert all(
+        pane["divergence_bits"] is not None for pane in out["panes"][1:]
+    )
+    # The store's segment tree holds compressed mixtures only — the
+    # benchmark never wrote statements, and the endpoints never asked.
+    assert window["error_bits"] >= 0
+    print_table(
+        "Bench windows: windowed query latency (10 sealed panes)",
+        ["endpoint", "ms / request"],
+        [
+            ["/timeline (manifest only)", t_timeline * 1e3],
+            ["/window last=3 (3 segment reads + merge)", t_window * 1e3],
+        ],
+    )

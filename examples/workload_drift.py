@@ -1,86 +1,98 @@
-"""Workload drift analysis and summary-driven benchmark synthesis.
+"""Workload drift as a queryable timeline of windowed summaries.
 
-Two advanced uses of compressed artifacts:
+The old version of this example compared two hand-built snapshots — a
+scalar "how different is today" answer.  The windowed layer does
+better: traffic is routed into tumbling panes, each pane is a compressed
+summary persisted in the profile store, and drift becomes a *series*
+you can query, slice, decay, and localize — without ever re-reading raw
+statements.
 
-1. **Drift** — compare this hour's workload summary against a baseline
-   summary to quantify and localize workload change (the §2 monitoring
-   task at the aggregate level).  Both summaries share the baseline's
-   codebook, so the comparison never touches raw logs.
-2. **Synthesis** — treat the summary as a generative model and emit a
-   synthetic, shareable workload whose statistics match the original
-   (benchmark development, §1): the paper's US Bank log could never be
-   released, but a LogR artifact of it could drive a public benchmark.
+The walkthrough:
+
+1. stream six "hours" of traffic into a :class:`repro.service.
+   WindowedProfile` (hours 4–5 carry injected foreign traffic);
+2. read the per-pane Error/JS-drift **timeline** (the CLI equivalent is
+   ``logr timeline STORE PROFILE``; over HTTP it is ``POST /timeline``);
+3. compose **windows** with summary algebra — the sliding "last 2
+   hours" vs. the full history, and an exponentially decayed view
+   (``logr window STORE PROFILE --last 2 | --half-life H``);
+4. localize the drift spike to the features that drive it;
+5. synthesize a shareable benchmark workload from a window summary.
 
 Run: ``python examples/workload_drift.py``
 """
 
 from __future__ import annotations
 
-from repro import LogRCompressor
+import tempfile
+
 from repro.apps import WorkloadSynthesizer
 from repro.core import feature_drift, mixture_divergence
-from repro.core.log import LogBuilder
-from repro.sql import AligonExtractor
+from repro.service import SummaryStore, WindowedProfile
 from repro.workloads import generate_bank, generate_pocketdata
 
-
-def encode_with(vocabulary_log, statements):
-    """Encode statements against a copy of an existing codebook.
-
-    New features extend the copy (a live deployment's codebook grows);
-    drift analysis aligns features by identity, so growth is safe.
-    """
-    from repro.core import Vocabulary
-
-    extractor = AligonExtractor()
-    builder = LogBuilder(Vocabulary(vocabulary_log.vocabulary))
-    for sql in statements:
-        try:
-            sets = extractor.extract(sql)
-        except Exception:
-            continue
-        merged = set()
-        for feature_set in sets:
-            merged.update(feature_set)
-        builder.add(frozenset(merged))
-    return builder.build()
+PANE_STATEMENTS = 400  # one "hour" of traffic per pane
 
 
 def main() -> None:
-    # Baseline: yesterday's stable messaging workload.
-    baseline_workload = generate_pocketdata(total=40_000, seed=0)
-    baseline_log = baseline_workload.to_query_log()
-    baseline = LogRCompressor(n_clusters=8, seed=0).compress(baseline_log)
+    # A messaging service's normal workload, plus foreign (bank-style)
+    # analytics traffic that starts leaking in during hours 4-5.
+    normal = generate_pocketdata(total=40_000, seed=0)
+    foreign = generate_bank(total=2_000, n_templates=40, seed=7)
+    hours: list[list[str]] = []
+    for hour in range(6):
+        statements = list(
+            normal.subsample(0.05).statements(shuffle=True, seed=hour)
+        )[:PANE_STATEMENTS]
+        if hour >= 4:  # the injection: 30% foreign traffic
+            cut = int(len(statements) * 0.7)
+            statements = statements[:cut] + list(
+                foreign.subsample(0.4).statements(shuffle=True, seed=hour)
+            )[: PANE_STATEMENTS - cut]
+        hours.append(statements)
 
-    # Today: a normal slice of the same workload with 20% foreign
-    # (bank-style) traffic injected — a service being misused for
-    # ad-hoc analytics.
-    normal_slice = baseline_workload.subsample(0.2)
-    todays_statements = list(normal_slice.statements())
-    todays_statements += list(
-        generate_bank(total=2_000, n_templates=40, seed=7).statements()
+    # 1. Stream the hours into tumbling panes (persisted in the store).
+    store = SummaryStore(tempfile.mkdtemp(prefix="logr-windows-"))
+    profile = WindowedProfile(
+        store, "messaging", pane_statements=PANE_STATEMENTS, n_clusters=4,
+        seed=0,
     )
-    todays_log = encode_with(baseline_log, todays_statements)
-    today = LogRCompressor(n_clusters=8, seed=0).compress(todays_log)
+    for statements in hours:
+        profile.ingest(statements)
 
-    # Also: a control day — another normal slice, no injection.
-    control_log = encode_with(baseline_log, normal_slice.statements())
-    control = LogRCompressor(n_clusters=8, seed=0).compress(control_log)
+    # 2. The drift timeline: per-pane Error + JS-drift, manifest only.
+    print("hourly drift timeline (summaries only, no raw statements):")
+    print(f"  {'pane':>4}  {'encoded':>7}  {'Error(bits)':>11}  {'drift(bits)':>11}")
+    for pane in profile.timeline():
+        drift = "-" if pane.divergence_bits is None else f"{pane.divergence_bits:.4f}"
+        print(
+            f"  {pane.index:>4}  {pane.n_encoded:>7}  "
+            f"{pane.error_bits:>11.4f}  {drift:>11}"
+        )
 
-    d_control = mixture_divergence(baseline.mixture, control.mixture)
-    d_today = mixture_divergence(baseline.mixture, today.mixture)
-    print(f"divergence, baseline vs control day : {d_control:8.4f} bits")
-    print(f"divergence, baseline vs injected day: {d_today:8.4f} bits "
-          f"({d_today / max(d_control, 1e-9):.1f}x the control)\n")
+    # 3. Window composition: exact mixture algebra over sealed panes.
+    history = profile.window(panes=[0, 1, 2, 3], consolidate_to=4)
+    recent = profile.window(last=2, consolidate_to=4)  # hours 4-5
+    decayed = profile.window(half_life=1.0)  # newest panes dominate
+    print("\nwindow composition (no recompression, no raw statements):")
+    print(f"  baseline hours 0-3    : Error {history.error():7.3f} bits, "
+          f"{history.n_components} components")
+    print(f"  last 2 injected hours : Error {recent.error():7.3f} bits")
+    print(f"  divergence(baseline window, recent window) = "
+          f"{mixture_divergence(history, recent):.4f} bits")
+    print(f"  half-life-decayed view sits "
+          f"{mixture_divergence(decayed, recent):.4f} bits from recent vs "
+          f"{mixture_divergence(decayed, history):.4f} from baseline")
 
-    print("features driving the drift:")
-    for drift in feature_drift(baseline.mixture, today.mixture, top_k=6):
+    # 4. Localize: which features drive the recent drift?
+    print("\nfeatures driving the injected-hours drift:")
+    for drift in feature_drift(history, recent, top_k=6):
         print(f"  [{drift.direction:>4}] {drift.feature}  "
               f"{drift.baseline_marginal:.3f} -> {drift.current_marginal:.3f}")
 
-    # --- synthesis: a shareable benchmark workload ----------------------
-    print("\nsynthetic workload sampled from the baseline summary:")
-    synthesizer = WorkloadSynthesizer(baseline.mixture, seed=0)
+    # 5. Synthesis: a shareable benchmark from the baseline window.
+    print("\nsynthetic workload sampled from the baseline window summary:")
+    synthesizer = WorkloadSynthesizer(history, seed=0)
     for query in synthesizer.sample(5):
         print(f"  {query.sql[:110]}")
     report = synthesizer.fidelity_report(n_queries=1_500)

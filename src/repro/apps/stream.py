@@ -2,13 +2,24 @@
 
 Production monitoring (§2 "Online Database Monitoring") watches a
 *stream* of statements.  :class:`repro.apps.monitor.WorkloadMonitor`
-scores one query at a time; this module adds the aggregate layer: a
-sliding window of recent traffic is periodically re-encoded against the
-baseline codebook, and the window's naive mixture is diffed against the
-baseline summary (:func:`repro.core.diff.mixture_divergence`).  A
-sustained divergence above the calibrated threshold signals workload
-drift that per-query scoring can miss (many individually-plausible
-queries whose *mix* is wrong).
+scores one query at a time; this module adds the aggregate layer: the
+stream is sliced into tumbling panes of ``window_size`` statements,
+each pane is re-encoded against the baseline codebook, and the pane's
+naive mixture is diffed against the baseline summary
+(:func:`repro.core.diff.mixture_divergence`).  A sustained divergence
+above the calibrated threshold signals workload drift that per-query
+scoring can miss (many individually-plausible queries whose *mix* is
+wrong).
+
+The monitor keeps a *queryable drift timeline*, not just the latest
+alarm: every completed pane's report (divergence, per-pane Error,
+encode counts) is retained and served by :meth:`StreamingDriftMonitor.
+timeline`.  Batches are split **at pane boundaries** — when a batch
+straddles a rollover, the statements that fit the open pane close it
+and only the remainder is accounted to the next pane, so the first
+drift score after a rollover reflects exactly its own pane's traffic
+(attributing the whole straddling batch to the new pane would smear
+pre-boundary statements into it and skew that score).
 """
 
 from __future__ import annotations
@@ -29,7 +40,7 @@ __all__ = ["WindowReport", "StreamingDriftMonitor"]
 
 @dataclass
 class WindowReport:
-    """Divergence assessment of one completed window."""
+    """Divergence assessment of one completed window (pane)."""
 
     window_index: int
     n_statements: int
@@ -37,6 +48,9 @@ class WindowReport:
     divergence_bits: float
     drifted: bool
     threshold: float
+    #: The pane's own Reproduction Error (bits): how much structure its
+    #: naive summary loses.  ``None`` for an all-garbage pane.
+    error_bits: float | None = None
 
     def __str__(self) -> str:
         flag = "DRIFT" if self.drifted else "ok"
@@ -123,28 +137,53 @@ class StreamingDriftMonitor:
     # ------------------------------------------------------------------
     def observe(self, statement: str) -> WindowReport | None:
         """Feed one statement; returns a report when a window completes."""
-        self._pending_raw += 1
-        try:
-            feature_sets = self._extractor.extract(statement)
-        except SqlError:
-            feature_sets = []
-        if feature_sets:
-            merged: set = set()
-            for feature_set in feature_sets:
-                merged.update(feature_set)
-            self._buffer.append(frozenset(merged))
-        if self._pending_raw >= self.window_size:
-            return self._close_window()
-        return None
+        reports = self.observe_many([statement])
+        return reports[0] if reports else None
 
     def observe_many(self, statements) -> list[WindowReport]:
-        """Feed a batch; returns the reports of every completed window."""
+        """Feed a batch; returns the reports of every completed window.
+
+        The batch is split at pane boundaries: with R statements of
+        window budget left, exactly the first R close the open pane and
+        the remainder is accounted to the next one(s) — a batch larger
+        than ``window_size`` closes several.  Feeding one big batch is
+        therefore report-for-report identical to feeding the same
+        statements one at a time.
+        """
+        statements = list(statements)
         reports = []
-        for statement in statements:
-            report = self.observe(statement)
-            if report is not None:
-                reports.append(report)
+        position = 0
+        while position < len(statements):
+            room = self.window_size - self._pending_raw
+            chunk = statements[position : position + room]
+            position += len(chunk)
+            self._ingest_chunk(chunk)
+            if self._pending_raw >= self.window_size:
+                reports.append(self._close_window())
         return reports
+
+    def _ingest_chunk(self, chunk) -> None:
+        """Encode one within-pane chunk into the open window's buffer."""
+        for statement in chunk:
+            self._pending_raw += 1
+            try:
+                feature_sets = self._extractor.extract(statement)
+            except SqlError:
+                continue
+            if feature_sets:
+                merged: set = set()
+                for feature_set in feature_sets:
+                    merged.update(feature_set)
+                self._buffer.append(frozenset(merged))
+
+    def timeline(self) -> list[WindowReport]:
+        """Every completed pane's report, oldest first.
+
+        The queryable drift series this monitor maintains — the
+        in-memory analogue of the store-backed ``/timeline`` endpoint
+        (:mod:`repro.service.windows` persists panes across restarts).
+        """
+        return list(self.reports)
 
     def _close_window(self) -> WindowReport:
         n_statements = self._pending_raw
@@ -160,8 +199,10 @@ class StreamingDriftMonitor:
             window_log = builder.build()
             window_mixture = PatternMixtureEncoding.from_log(window_log)
             divergence = mixture_divergence(self.baseline, window_mixture)
+            error_bits = window_mixture.error()
         else:
             divergence = float("inf")  # a window of pure garbage
+            error_bits = None
         report = WindowReport(
             window_index=self._window_index,
             n_statements=n_statements,
@@ -169,6 +210,7 @@ class StreamingDriftMonitor:
             divergence_bits=divergence,
             drifted=divergence > self.threshold,
             threshold=self.threshold,
+            error_bits=error_bits,
         )
         self.reports.append(report)
         return report

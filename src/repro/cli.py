@@ -15,9 +15,17 @@ Commands:
 * ``logr visualize SUMMARY.json`` — Fig.-10-style shaded skeletons.
 * ``logr serve STORE_DIR`` — run the analytics HTTP server.
 * ``logr ingest STORE_DIR PROFILE LOG.sql`` — merge a mini-batch into a
-  stored profile (staleness-triggered recompression).
+  stored profile (staleness-triggered recompression); with
+  ``--pane-statements N`` the batch is also routed into the profile's
+  windowed time panes (split at pane boundaries).
 * ``logr score QUERIES.sql --store DIR --profile NAME`` — batch-score
   statements against a stored profile or a summary file.
+* ``logr window STORE_DIR PROFILE --last N`` — compose sealed time
+  panes into one summary (sliding, decayed with ``--half-life``,
+  consolidated with ``--consolidate-to``) and optionally score
+  ``--queries`` against it.
+* ``logr timeline STORE_DIR PROFILE`` — the per-pane Error/JS-drift
+  series of a windowed profile (summaries only, no raw statements).
 """
 
 from __future__ import annotations
@@ -133,6 +141,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=_positive_int, default=1,
         help="worker count for staleness-triggered recompression",
     )
+    serve.add_argument(
+        "--pane-statements", type=_positive_int, default=None, metavar="N",
+        help="route every /ingest batch into windowed time panes of N "
+             "statements (enables a growing /timeline per profile)",
+    )
+    serve.add_argument(
+        "--pane-clusters", type=_positive_int, default=4,
+        help="mixture components fitted per pane (with --pane-statements)",
+    )
 
     ingest = sub.add_parser(
         "ingest", help="merge a statement mini-batch into a stored profile"
@@ -145,7 +162,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="Error drift (bits) before a full recompression is triggered",
     )
     ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument(
+        "--pane-statements", type=_positive_int, default=None, metavar="N",
+        help="also route the batch into the profile's windowed time "
+             "panes, N statements per pane (split at pane boundaries)",
+    )
+    ingest.add_argument(
+        "--pane-clusters", type=_positive_int, default=4,
+        help="mixture components fitted per pane (with --pane-statements)",
+    )
     _add_parallel_arguments(ingest)
+
+    window = sub.add_parser(
+        "window", help="compose a profile's sealed time panes into one summary"
+    )
+    window.add_argument("store", type=Path, help="profile store directory")
+    window.add_argument("profile", help="profile name inside the store")
+    window.add_argument(
+        "--last", type=_positive_int, default=None, metavar="N",
+        help="compose only the newest N panes (default: all)",
+    )
+    window.add_argument(
+        "--panes", default=None, metavar="I,J,...",
+        help="explicit comma-separated pane indices instead of --last",
+    )
+    window.add_argument(
+        "--half-life", type=float, default=None, metavar="H",
+        help="exponentially decay panes by age: weight 0.5^(age/H) panes",
+    )
+    window.add_argument(
+        "--consolidate-to", type=_positive_int, default=None, metavar="K",
+        help="exactly merge near-duplicate components down to K",
+    )
+    window.add_argument(
+        "--queries", type=Path, default=None,
+        help="one-statement-per-line SQL file to score against the window",
+    )
+    window.add_argument("--seed", type=int, default=0)
+
+    timeline = sub.add_parser(
+        "timeline", help="per-pane Error/JS-drift series of a windowed profile"
+    )
+    timeline.add_argument("store", type=Path, help="profile store directory")
+    timeline.add_argument("profile", help="profile name inside the store")
+    timeline.add_argument(
+        "--last", type=_positive_int, default=None, metavar="N",
+        help="show only the newest N panes",
+    )
 
     score = sub.add_parser(
         "score", help="batch-score statements against a compressed profile"
@@ -223,6 +286,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_ingest(args)
     if args.command == "score":
         return _cmd_score(args)
+    if args.command == "window":
+        return _cmd_window(args)
+    if args.command == "timeline":
+        return _cmd_timeline(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -399,6 +466,8 @@ def _cmd_serve(args) -> int:
         cache_profiles=args.cache_profiles,
         staleness_threshold=args.staleness_threshold,
         jobs=args.jobs,
+        pane_statements=args.pane_statements,
+        pane_clusters=args.pane_clusters,
     )
     host, port = server.address
     print(f"serving {args.store} on http://{host}:{port} (Ctrl-C to stop)")
@@ -429,7 +498,8 @@ def _cmd_ingest(args) -> int:
         jobs=args.jobs,
         executor=args.executor,
     )
-    report = ingestor.ingest_statements(read_log(args.log))
+    statements = read_log(args.log)
+    report = ingestor.ingest_statements(statements)
     record = store.save(
         args.profile,
         ingestor.compressed,
@@ -438,6 +508,94 @@ def _cmd_ingest(args) -> int:
     )
     print(report)
     print(f"profile {args.profile!r} -> v{record.version}")
+    if args.pane_statements is not None:
+        from .service import WindowedProfile
+
+        windowed = WindowedProfile(
+            store,
+            args.profile,
+            pane_statements=args.pane_statements,
+            n_clusters=args.pane_clusters,
+            seed=args.seed,
+            jobs=args.jobs,
+            executor=args.executor,
+        )
+        sealed = windowed.ingest(statements)
+        final = windowed.roll(note=f"ingest {args.log.name}")
+        if final is not None:
+            sealed.append(final)
+        for pane in sealed:
+            error = (
+                "-" if pane.error_bits is None else f"{pane.error_bits:.3f}"
+            )
+            drift = (
+                "    -  " if pane.divergence_bits is None
+                else f"{pane.divergence_bits:7.3f}"
+            )
+            print(
+                f"pane {pane.index:>4}: {pane.n_encoded}/{pane.n_statements} "
+                f"encoded  Error={error} bits  drift={drift} bits"
+            )
+    return 0
+
+
+def _cmd_window(args) -> int:
+    from .service import SummaryStore, WindowedProfile
+
+    if args.last is not None and args.panes is not None:
+        raise SystemExit("give either --last or --panes, not both")
+    panes = None
+    if args.panes is not None:
+        try:
+            panes = [int(part) for part in args.panes.split(",") if part.strip()]
+        except ValueError:
+            raise SystemExit(f"--panes needs comma-separated ints, got {args.panes!r}")
+    windowed = WindowedProfile(
+        SummaryStore(args.store), args.profile, seed=args.seed
+    )
+    composite = windowed.window(
+        last=args.last,
+        panes=panes,
+        half_life=args.half_life,
+        consolidate_to=args.consolidate_to,
+    )
+    print(
+        f"window over {args.profile!r}: {composite.n_components} components  "
+        f"{float(composite.total):,.1f} entries  "
+        f"Error={composite.error():.3f} bits  "
+        f"Verbosity={composite.total_verbosity}"
+    )
+    if args.queries is not None:
+        from .apps.monitor import WorkloadMonitor
+
+        monitor = WorkloadMonitor(composite, threshold=float("-inf"))
+        for result in monitor.score_batch(read_log(args.queries)):
+            print(f"{result.log2_likelihood:10.2f}  {result.sql[:100]}")
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from .service import SummaryStore, WindowedProfile
+
+    windowed = WindowedProfile(SummaryStore(args.store), args.profile)
+    records = windowed.timeline(last=args.last)
+    if not records:
+        raise SystemExit(f"profile {args.profile!r} has no sealed panes")
+    print(
+        f"{'pane':>6}  {'statements':>10}  {'encoded':>8}  {'Error(bits)':>12}  "
+        f"{'drift(bits)':>12}  {'components':>10}"
+    )
+    for record in records:
+        error = "-" if record.error_bits is None else f"{record.error_bits:.4f}"
+        drift = (
+            "-" if record.divergence_bits is None
+            else f"{record.divergence_bits:.4f}"
+        )
+        print(
+            f"{record.index:>6}  {record.n_statements:>10}  "
+            f"{record.n_encoded:>8}  {error:>12}  {drift:>12}  "
+            f"{record.n_components:>10}"
+        )
     return 0
 
 

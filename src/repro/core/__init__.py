@@ -30,6 +30,7 @@ from .pipeline import (
 from .diff import (
     FeatureDrift,
     blended_marginals,
+    divergence_timeline,
     feature_drift,
     mixture_divergence,
 )
@@ -158,6 +159,7 @@ __all__ = [
     "HierarchicalCompressor",
     "FrontierPoint",
     "mixture_divergence",
+    "divergence_timeline",
     "feature_drift",
     "FeatureDrift",
     "blended_marginals",

@@ -25,7 +25,13 @@ import numpy as np
 from .encoding import NaiveEncoding
 from .mixture import PatternMixtureEncoding
 
-__all__ = ["FeatureDrift", "feature_drift", "mixture_divergence", "blended_marginals"]
+__all__ = [
+    "FeatureDrift",
+    "feature_drift",
+    "mixture_divergence",
+    "divergence_timeline",
+    "blended_marginals",
+]
 
 
 def blended_marginals(mixture: PatternMixtureEncoding) -> np.ndarray:
@@ -110,6 +116,30 @@ def mixture_divergence(
     """
     p, q, _ = _aligned(baseline, current)
     return float(sum(_js_term(float(a), float(b)) for a, b in zip(p, q)))
+
+
+def divergence_timeline(
+    mixtures,
+    baseline: PatternMixtureEncoding | None = None,
+) -> list[float | None]:
+    """Per-pane JS-drift series over a sequence of window summaries.
+
+    The aggregate half of the windowed accounting: for each mixture in
+    order, the divergence against its predecessor (consecutive-pane
+    drift, the default) or against a fixed *baseline* when one is
+    given.  The first entry is ``None`` in consecutive mode (pane 0 has
+    no predecessor).  Computed entirely from the summaries — raw
+    statements are never needed.
+    """
+    series: list[float | None] = []
+    previous = baseline
+    for mixture in mixtures:
+        series.append(
+            None if previous is None else mixture_divergence(previous, mixture)
+        )
+        if baseline is None:
+            previous = mixture
+    return series
 
 
 @dataclass

@@ -47,12 +47,33 @@ def fit_component(partition: QueryLog) -> MixtureComponent:
 
 @dataclass
 class MixtureComponent:
-    """One partition's share of a pattern mixture encoding."""
+    """One partition's share of a pattern mixture encoding.
 
-    size: int  # |L_i|, number of log entries in the partition
+    ``size`` is ``|L_i|`` — an ``int`` for real partitions, a positive
+    ``float`` for decay-weighted views produced by :meth:`scaled`
+    (pseudo-counts; the distributional content is unchanged either way).
+    """
+
+    size: int | float  # |L_i| log entries, or decayed pseudo-count
     encoding: NaiveEncoding | PatternEncoding
     true_entropy: float  # H(ρ*_i) bits, captured at construction
     extra: PatternEncoding | None = None  # refinement patterns, if any
+
+    def scaled(self, factor: float) -> "MixtureComponent":
+        """This component with its size scaled by *factor* (> 0).
+
+        Scaling every multiplicity in a partition by the same factor
+        leaves its empirical distribution — hence its marginals and
+        true entropy — untouched, so only ``size`` changes.
+        """
+        if not factor > 0:
+            raise ValueError(f"scale factor must be > 0, got {factor}")
+        return MixtureComponent(
+            size=_canonical_size(self.size * factor),
+            encoding=self.encoding,
+            true_entropy=self.true_entropy,
+            extra=self.extra,
+        )
 
     @property
     def verbosity(self) -> int:
@@ -235,12 +256,137 @@ class PatternMixtureEncoding:
             components.append(_merge_components(members))
         return PatternMixtureEncoding(components, self.vocabulary), assignment
 
+    def scaled(self, factor: float) -> "PatternMixtureEncoding":
+        """Decay-weight this mixture: every component size × *factor*.
+
+        The algebra's scalar action.  How much a summary *counts*
+        inside a later :meth:`merged` is proportional to its component
+        sizes, so an exponentially decayed composite of time panes is
+        ``merged([pane.scaled(0.5 ** (age / half_life)) for ...])``.
+        Uniform scaling preserves the empirical distribution, so
+        ``weights``, ``error()``, ``total_verbosity`` and every
+        marginal/point estimate are invariant; only ``total`` (and with
+        it absolute ``estimate_count``) scales by *factor*.
+        """
+        if not factor > 0:
+            raise ValueError(f"scale factor must be > 0, got {factor}")
+        if factor == 1.0:
+            return self
+        return PatternMixtureEncoding(
+            [component.scaled(factor) for component in self.components],
+            self.vocabulary,
+        )
+
+    def subtracted(
+        self, other: "PatternMixtureEncoding", atol: float = 1e-9
+    ) -> "PatternMixtureEncoding":
+        """Exact inverse of ``merged([result, other])``: retire *other*.
+
+        The sliding-window retire step.  A composite built by
+        :meth:`merged` carries each input pane's components verbatim
+        (up to re-addressing into the union vocabulary), so retiring an
+        expired pane is *dropping* its components — exact, with no
+        refitting.  Every component of *other* must match a distinct
+        component of this mixture (equal size, marginals and true
+        entropy after re-addressing *other* into this mixture's feature
+        space); a pane whose components were consolidated away
+        (:meth:`consolidated` merges them irreversibly) or never merged
+        in raises ``ValueError``.  The result keeps this mixture's
+        vocabulary — the union codebook never shrinks; features unique
+        to the retired pane simply read marginal 0 everywhere.
+        """
+        for component in other.components:
+            if not isinstance(component.encoding, NaiveEncoding):
+                raise TypeError("subtraction requires naive components")
+            if component.extra is not None and component.extra.verbosity:
+                raise TypeError("subtraction requires unrefined components")
+        if (self.vocabulary is None) != (other.vocabulary is None):
+            raise ValueError(
+                "cannot subtract mixtures with and without vocabularies"
+            )
+        if self.vocabulary is not None:
+            width = len(self.vocabulary)
+            index_map = []
+            for feature in other.vocabulary:
+                index = self.vocabulary.get(feature)
+                if index is None:
+                    raise ValueError(
+                        f"feature {feature!r} of the subtrahend never "
+                        "occurs in this mixture: it cannot have been "
+                        "merged in"
+                    )
+                index_map.append(index)
+            index_map = np.asarray(index_map, dtype=np.int64)
+        else:
+            width = max(c.encoding.n_features for c in self.components)
+            for component in other.components:
+                if component.encoding.n_features > width:
+                    raise ValueError(
+                        "subtrahend covers features beyond this mixture"
+                    )
+            index_map = None
+        used: set[int] = set()
+        for component in other.components:
+            target = np.zeros(width)
+            if index_map is not None:
+                target[index_map[: component.encoding.n_features]] = (
+                    component.encoding.marginals
+                )
+            else:
+                target[: component.encoding.n_features] = (
+                    component.encoding.marginals
+                )
+            match = self._find_component(component, target, width, used, atol)
+            if match is None:
+                raise ValueError(
+                    "no matching component for a subtrahend component "
+                    "(was the composite consolidated, or the pane never "
+                    "merged in?)"
+                )
+            used.add(match)
+        survivors = [
+            component
+            for position, component in enumerate(self.components)
+            if position not in used
+        ]
+        if not survivors:
+            raise ValueError("subtraction would leave an empty mixture")
+        return PatternMixtureEncoding(survivors, self.vocabulary)
+
+    def _find_component(
+        self,
+        wanted: MixtureComponent,
+        target: np.ndarray,
+        width: int,
+        used: set[int],
+        atol: float,
+    ) -> int | None:
+        """Index of an unused component equal to *wanted* (see subtracted)."""
+        for position, component in enumerate(self.components):
+            if position in used:
+                continue
+            if not isinstance(component.encoding, NaiveEncoding):
+                continue
+            if component.extra is not None and component.extra.verbosity:
+                continue
+            if not np.isclose(
+                float(component.size), float(wanted.size), rtol=1e-9, atol=atol
+            ):
+                continue
+            if abs(component.true_entropy - wanted.true_entropy) > 1e-6:
+                continue
+            mine = np.zeros(width)
+            mine[: component.encoding.n_features] = component.encoding.marginals
+            if np.allclose(mine, target, atol=atol):
+                return position
+        return None
+
     # ------------------------------------------------------------------
     # aggregate measures (§5.2)
     # ------------------------------------------------------------------
     @property
-    def total(self) -> int:
-        """|L|: total log entries across components."""
+    def total(self) -> int | float:
+        """|L|: total log entries (pseudo-counts for decayed views)."""
         return sum(component.size for component in self.components)
 
     @property
@@ -437,7 +583,7 @@ class PatternMixtureEncoding:
                 )
             components.append(
                 MixtureComponent(
-                    size=int(entry["size"]),
+                    size=_canonical_size(entry["size"]),
                     encoding=encoding,
                     true_entropy=float(entry["true_entropy"]),
                     extra=extra,
@@ -513,10 +659,23 @@ def _merge_components(members: Sequence[MixtureComponent]) -> MixtureComponent:
     )
     entropy = float(np.log2(total) - clog / total) if total > 0 else 0.0
     return MixtureComponent(
-        size=int(total),
+        size=_canonical_size(total),
         encoding=NaiveEncoding(np.clip(marginals, 0.0, 1.0)),
         true_entropy=entropy,
     )
+
+
+def _canonical_size(value: int | float) -> int | float:
+    """Integral sizes stay ``int``; decayed pseudo-counts stay ``float``.
+
+    Keeps real-partition sizes exact through scale/merge round trips
+    (and keeps serialized artifacts byte-stable: an int size is written
+    back as an int).
+    """
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    value = float(value)
+    return int(value) if value.is_integer() else value
 
 
 def _pattern_encoding_probability(encoding: PatternEncoding, pattern: Pattern) -> float:

@@ -2,23 +2,30 @@
 
 The core library compresses a log once; this package keeps the result
 alive.  :class:`SummaryStore` persists versioned, multi-tenant
-profiles; :class:`IncrementalIngestor` merges arriving mini-batches in
-O(batch) with a staleness-triggered full recompression;
-:class:`AnalyticsServer` / :class:`AnalyticsClient` expose batched
-scoring, ingestion, and drift detection over a stdlib HTTP JSON API.
+profiles plus append-only pane segments; :class:`IncrementalIngestor`
+merges arriving mini-batches in O(batch) with a staleness-triggered
+full recompression; :class:`WindowedProfile` slices each tenant's
+stream into tumbling panes and composes them (sliding, decayed,
+consolidated) with exact summary algebra; :class:`AnalyticsServer` /
+:class:`AnalyticsClient` expose batched scoring, ingestion, drift
+detection, and the windowed ``/window`` / ``/timeline`` queries over a
+stdlib HTTP JSON API.
 """
 
 from .client import AnalyticsClient, ServiceError
 from .ingest import IncrementalIngestor, IngestReport
 from .server import AnalyticsServer, serve
-from .store import ProfileVersion, StoreError, SummaryStore
+from .store import PaneSegment, ProfileVersion, StoreError, SummaryStore
+from .windows import WindowedProfile
 
 __all__ = [
     "SummaryStore",
     "ProfileVersion",
+    "PaneSegment",
     "StoreError",
     "IncrementalIngestor",
     "IngestReport",
+    "WindowedProfile",
     "AnalyticsServer",
     "serve",
     "AnalyticsClient",

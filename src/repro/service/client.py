@@ -95,6 +95,43 @@ class AnalyticsClient:
             },
         )
 
+    def window(
+        self,
+        profile: str,
+        last: int | None = None,
+        panes: Sequence[int] | None = None,
+        half_life: float | None = None,
+        consolidate_to: int | None = None,
+        statements: Sequence[str] | None = None,
+    ) -> dict:
+        """Compose *profile*'s sealed panes; optionally score a batch.
+
+        ``last=N`` for a sliding last-N-panes view, ``panes=[...]`` for
+        an explicit range, ``half_life=H`` for exponential decay by
+        pane age, ``consolidate_to=K`` to merge near-duplicate
+        components.  With *statements*, the response carries their
+        log2-likelihoods under the composed window.
+        """
+        payload: dict = {"profile": profile}
+        if last is not None:
+            payload["last"] = last
+        if panes is not None:
+            payload["panes"] = list(panes)
+        if half_life is not None:
+            payload["half_life"] = half_life
+        if consolidate_to is not None:
+            payload["consolidate_to"] = consolidate_to
+        if statements is not None:
+            payload["statements"] = list(statements)
+        return self._request("/window", payload)
+
+    def timeline(self, profile: str, last: int | None = None) -> dict:
+        """The per-pane Error/JS-drift series of *profile*."""
+        payload: dict = {"profile": profile}
+        if last is not None:
+            payload["last"] = last
+        return self._request("/timeline", payload)
+
     def drift(
         self,
         profile: str,

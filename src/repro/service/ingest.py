@@ -155,6 +155,49 @@ class IncrementalIngestor:
             self._clog[i] = float(contributions[mask].sum())
         self.baseline_error = compressed.error
 
+    @classmethod
+    def from_log(
+        cls,
+        log: QueryLog,
+        n_clusters: int = 4,
+        method: str = "kmeans",
+        metric: str = "euclidean",
+        n_init: int = 10,
+        seed: int | np.random.Generator | None = 0,
+        jobs: int = 1,
+        executor=None,
+        staleness_threshold: float = float("inf"),
+        **kwargs,
+    ) -> "IncrementalIngestor":
+        """Bootstrap an ingestor by compressing *log* from scratch.
+
+        The windowed layer opens a fresh pane from the first parseable
+        chunk of a time slice: compress it once, then maintain it
+        incrementally for the rest of the pane.  ``n_clusters`` is
+        clamped to the log's distinct-row count (a tiny first chunk
+        cannot support more components than rows).
+        """
+        rng = ensure_rng(seed)
+        compressor = LogRCompressor(
+            n_clusters=max(1, min(n_clusters, log.n_distinct)),
+            method=method,
+            metric=metric,
+            n_init=n_init,
+            backend=log.backend,
+            jobs=jobs,
+            executor=executor,
+            seed=rng.spawn(1)[0],
+        )
+        return cls(
+            compressor.compress(log),
+            log,
+            staleness_threshold=staleness_threshold,
+            seed=rng,
+            jobs=jobs,
+            executor=executor,
+            **kwargs,
+        )
+
     # ------------------------------------------------------------------
     # views
     # ------------------------------------------------------------------

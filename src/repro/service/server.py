@@ -11,9 +11,23 @@ Endpoints::
     GET  /profiles              profile index (latest version metadata)
     GET  /profiles/<name>       one profile, with its version history
     GET  /stats                 server counters (requests, cache, uptime)
-    POST /score   {"profile", "statements": [...]}
-    POST /ingest  {"profile", "statements": [...], "persist": bool}
-    POST /drift   {"profile", "statements": [...], "window_size", "threshold"}
+    POST /score    {"profile", "statements": [...]}
+    POST /ingest   {"profile", "statements": [...], "persist": bool}
+    POST /drift    {"profile", "statements": [...], "window_size", "threshold"}
+    POST /window   {"profile", "last"|"panes", "half_life",
+                    "consolidate_to", "statements": [...]}
+    POST /timeline {"profile", "last"}
+
+``/window`` composes a profile's sealed time panes (see
+:class:`repro.service.windows.WindowedProfile`) into one summary —
+sliding last-N, exponentially decayed, optionally consolidated — and
+scores an optional statement batch against it: range-scoped analytics
+straight from maintained summaries.  ``/timeline`` returns the per-pane
+Error/JS-drift series from the manifest; neither endpoint reads raw
+statements.  When the server is constructed with ``pane_statements``,
+``/ingest`` additionally routes each batch into the profile's windowed
+panes (splitting at pane boundaries), growing the timeline as traffic
+arrives.
 
 Concurrency model — hot profiles live in an LRU cache as
 :class:`_Profile` handles.  Each handle separates the *live* state (an
@@ -49,6 +63,7 @@ from ..core.vocabulary import Vocabulary
 from ..sql import AligonExtractor, SqlError
 from .ingest import IncrementalIngestor
 from .store import StoreError, SummaryStore
+from .windows import WindowedProfile
 
 __all__ = ["AnalyticsServer", "serve"]
 
@@ -186,6 +201,11 @@ class AnalyticsServer:
         jobs: worker count for staleness-triggered recompression (the
             fit/refine stages run through a process executor when > 1;
             results are bit-identical to the serial path).
+        pane_statements: when set, every ``/ingest`` batch is also
+            routed into the profile's windowed panes (tumbling panes of
+            this many statements, split at boundaries); ``/window`` and
+            ``/timeline`` serve sealed panes whether or not this is set.
+        pane_clusters: components fitted per pane.
     """
 
     def __init__(
@@ -198,6 +218,8 @@ class AnalyticsServer:
         staleness_threshold: float = 0.5,
         seed: int = 0,
         jobs: int = 1,
+        pane_statements: int | None = None,
+        pane_clusters: int = 4,
     ):
         self.store = store
         self.cache_profiles = cache_profiles
@@ -205,9 +227,13 @@ class AnalyticsServer:
         self.staleness_threshold = staleness_threshold
         self.seed = seed
         self.jobs = jobs
+        self.pane_statements = pane_statements
+        self.pane_clusters = pane_clusters
         self._cache: OrderedDict[str, _Profile] = OrderedDict()
         self._cache_lock = threading.Lock()
         self._load_locks: dict[str, threading.Lock] = {}
+        self._windows: dict[str, tuple[WindowedProfile, threading.Lock]] = {}
+        self._windows_lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self._counters_lock = threading.Lock()
         self._started = time.time()
@@ -326,6 +352,39 @@ class AnalyticsServer:
                 )
                 handle.dirty = False
 
+    def _windowed(self, name: str) -> tuple[WindowedProfile, threading.Lock]:
+        """The windowed-pane handle (and its mutation lock) for *name*.
+
+        Handles are tiny (open-pane state only; sealed panes live in
+        the store), so they are cached forever rather than LRU-evicted —
+        evicting one would silently drop its open pane.  The per-name
+        lock serializes pane ingestion; composition reads go straight
+        to the store's immutable segments.
+        """
+        with self._windows_lock:
+            entry = self._windows.get(name)
+            if entry is None:
+                # Existence check before caching: the handle cache has
+                # no eviction, so arbitrary client-supplied names must
+                # not grow it (a windowed-only tenant may have segments
+                # without a stored profile, hence the two probes).
+                if not (
+                    self.store.has_profile(name) or self.store.segments(name)
+                ):
+                    raise StoreError(f"unknown profile {name!r}")
+                handle = WindowedProfile(
+                    self.store,
+                    name,
+                    pane_statements=self.pane_statements or 1_000,
+                    n_clusters=self.pane_clusters,
+                    seed=self.seed,
+                    jobs=self.jobs,
+                    executor="process:spawn" if self.jobs > 1 else None,
+                )
+                entry = (handle, threading.Lock())
+                self._windows[name] = entry
+        return entry
+
     def _count(self, endpoint: str, queries: int = 0) -> None:
         with self._counters_lock:
             self._counters[endpoint] = self._counters.get(endpoint, 0) + 1
@@ -440,11 +499,22 @@ class AnalyticsServer:
             handle.publish(version)
         finally:
             handle.lock.release()
+        panes_sealed: list[int] = []
+        if self.pane_statements is not None:
+            # The pane layer re-parses the batch (its panes keep their
+            # own codebooks); acceptable on this opt-in path, but a
+            # shared extraction handoff would halve ingest parse cost.
+            windowed, window_lock = self._windowed(name)
+            with window_lock:
+                panes_sealed = [
+                    record.index for record in windowed.ingest(statements)
+                ]
         self._count("ingest")
         return {
             "profile": name,
             "version": version,
             "persisted": persist,
+            "panes_sealed": panes_sealed,
             "report": {
                 "n_statements": report.n_statements,
                 "n_encoded": report.n_encoded,
@@ -507,6 +577,100 @@ class AnalyticsServer:
                     "drifted": w.drifted,
                 }
                 for w in windows
+            ],
+        }
+
+
+    def handle_window(self, body: dict) -> dict:
+        """POST /window — compose sealed panes; optionally score a batch.
+
+        Range-scoped workload analytics from maintained summaries: pick
+        panes (``last`` N, an explicit ``panes`` list, or everything),
+        optionally decay by ``half_life`` and consolidate to
+        ``consolidate_to`` components, and answer with the composite's
+        measures — plus per-statement log-likelihoods under *that
+        window's* workload when ``statements`` are given.
+        """
+        (name,) = _require(body, "profile")
+        windowed, _ = self._windowed(name)
+        last = body.get("last")
+        panes = body.get("panes")
+        half_life = body.get("half_life")
+        consolidate_to = body.get("consolidate_to")
+        # One selection drives both the composite and the reported pane
+        # list, so the response can never describe panes the composite
+        # does not actually contain.
+        records = windowed.selected_panes(
+            last=None if last is None else int(last), panes=panes
+        )
+        composite = windowed.compose(
+            records,
+            half_life=None if half_life is None else float(half_life),
+            consolidate_to=None if consolidate_to is None else int(consolidate_to),
+        )
+        used = [record.index for record in records if record.total > 0]
+        response = {
+            "profile": name,
+            "panes": used,
+            "half_life": half_life,
+            "total": _json_float(composite.total),
+            "n_components": composite.n_components,
+            "error_bits": _json_float(composite.error()),
+            "verbosity": composite.total_verbosity,
+        }
+        statements = body.get("statements")
+        if statements is not None:
+            monitor = WorkloadMonitor(composite, threshold=float("-inf"))
+            response["scores"] = [
+                {
+                    "log2_likelihood": _json_float(score.log2_likelihood),
+                    "reason": score.reason,
+                }
+                for score in monitor.score_batch(statements)
+            ]
+            self._count("window", queries=len(statements))
+        else:
+            self._count("window")
+        return response
+
+    def handle_timeline(self, body: dict) -> dict:
+        """POST /timeline — the per-pane drift/Error series.
+
+        Pure manifest metadata: the queryable upgrade of the scalar
+        drift alarm.  No segment file or raw statement is read.
+        """
+        (name,) = _require(body, "profile")
+        windowed, _ = self._windowed(name)
+        last = body.get("last")
+        records = windowed.timeline(last=None if last is None else int(last))
+        if not records:
+            raise StoreError(f"profile {name!r} has no sealed panes")
+        self._count("timeline")
+        return {
+            "profile": name,
+            "open_statements": windowed.open_statements,
+            "panes": [
+                {
+                    "index": record.index,
+                    "created_at": record.created_at,
+                    "n_statements": record.n_statements,
+                    "n_encoded": record.n_encoded,
+                    "total": record.total,
+                    "error_bits": (
+                        None
+                        if record.error_bits is None
+                        else _json_float(record.error_bits)
+                    ),
+                    "verbosity": record.verbosity,
+                    "n_components": record.n_components,
+                    "divergence_bits": (
+                        None
+                        if record.divergence_bits is None
+                        else _json_float(record.divergence_bits)
+                    ),
+                    "recompressed": record.recompressed,
+                }
+                for record in records
             ],
         }
 
@@ -608,6 +772,8 @@ def _make_handler(service: AnalyticsServer):
                 "/score": service.handle_score,
                 "/ingest": service.handle_ingest,
                 "/drift": service.handle_drift,
+                "/window": service.handle_window,
+                "/timeline": service.handle_timeline,
             }
             fn = routes.get(self.path.rstrip("/"))
             if fn is None:

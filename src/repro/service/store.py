@@ -11,12 +11,19 @@ On disk::
     <root>/
         manifest.json                 # profile -> versions index
         profiles/<name>/v000001.json  # one self-contained file per version
+        segments/<name>/s000000.json  # one time pane per segment (0-based)
 
 Each version file carries the *full* :class:`repro.core.compress.
 CompressedLog` payload (mixture + labels + provenance + vocabulary +
 backend) and, optionally, the encoded training state (distinct rows +
 multiplicities) that incremental ingestion and threshold calibration
 need.  The raw SQL text is never stored.
+
+Segments are the windowed layer's pane log: an append-only sequence of
+compressed pane mixtures per profile (see :mod:`repro.service.windows`),
+indexed by the same manifest.  Unlike versions — snapshots of one
+evolving profile — segments are disjoint time slices meant to be
+*composed* (merged, decayed, subtracted) on demand.
 
 Writes are atomic: version files and the manifest are written to a
 temp file in the target directory and ``os.replace``-d into place, so
@@ -45,12 +52,13 @@ import numpy as np
 from ..core.compress import CompressedLog
 from ..core.log import QueryLog
 
-__all__ = ["ProfileVersion", "SummaryStore", "StoreError"]
+__all__ = ["ProfileVersion", "PaneSegment", "SummaryStore", "StoreError"]
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 _MANIFEST_FORMAT = "logr-store-v1"
 _PROFILE_FORMAT = "logr-profile-v1"
+_SEGMENT_FORMAT = "logr-pane-v1"
 
 
 class StoreError(KeyError):
@@ -100,6 +108,65 @@ class ProfileVersion:
         )
 
 
+@dataclass(frozen=True)
+class PaneSegment:
+    """Index entry for one pane segment of a windowed profile.
+
+    Everything the drift timeline needs lives here, in the manifest —
+    per-pane Error, Verbosity and JS-drift are answerable without
+    opening segment files, let alone raw statements.
+    """
+
+    name: str
+    index: int  # pane number, 0-based, append-only
+    created_at: float  # unix seconds, when the pane was sealed
+    n_statements: int  # raw statements routed to the pane
+    n_encoded: int  # statements that parsed and merged
+    total: int  # encoded log entries in the pane mixture
+    error_bits: float | None  # Generalized Error; None for empty panes
+    verbosity: int
+    n_components: int
+    divergence_bits: float | None  # JS-drift vs the previous pane
+    recompressed: bool = False  # cold-pane consolidation has run
+    note: str = ""
+
+    def to_payload(self) -> dict:
+        """JSON-ready manifest entry."""
+        return {
+            "index": self.index,
+            "created_at": self.created_at,
+            "n_statements": self.n_statements,
+            "n_encoded": self.n_encoded,
+            "total": self.total,
+            "error_bits": self.error_bits,
+            "verbosity": self.verbosity,
+            "n_components": self.n_components,
+            "divergence_bits": self.divergence_bits,
+            "recompressed": self.recompressed,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_payload(cls, name: str, payload: dict) -> "PaneSegment":
+        """Rebuild an entry from its manifest payload."""
+        error = payload.get("error_bits")
+        divergence = payload.get("divergence_bits")
+        return cls(
+            name=name,
+            index=int(payload["index"]),
+            created_at=float(payload["created_at"]),
+            n_statements=int(payload["n_statements"]),
+            n_encoded=int(payload["n_encoded"]),
+            total=int(payload["total"]),
+            error_bits=None if error is None else float(error),
+            verbosity=int(payload["verbosity"]),
+            n_components=int(payload["n_components"]),
+            divergence_bits=None if divergence is None else float(divergence),
+            recompressed=bool(payload.get("recompressed", False)),
+            note=str(payload.get("note", "")),
+        )
+
+
 class SummaryStore:
     """Versioned, multi-tenant persistence for compressed profiles.
 
@@ -113,6 +180,7 @@ class SummaryStore:
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self._profiles_dir = self.root / "profiles"
+        self._segments_dir = self.root / "segments"
         self._manifest_path = self.root / "manifest.json"
         self._lock = threading.Lock()
         self._profiles_dir.mkdir(parents=True, exist_ok=True)
@@ -154,10 +222,17 @@ class SummaryStore:
 
     def _read_manifest(self) -> dict:
         if not self._manifest_path.exists():
-            return {"format": _MANIFEST_FORMAT, "profiles": {}}
-        payload = json.loads(self._manifest_path.read_text(encoding="utf-8"))
-        if payload.get("format") != _MANIFEST_FORMAT:
+            return {"format": _MANIFEST_FORMAT, "profiles": {}, "segments": {}}
+        try:
+            payload = json.loads(self._manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(
+                f"store manifest {self._manifest_path} is unreadable: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or payload.get("format") != _MANIFEST_FORMAT:
             raise StoreError(f"{self._manifest_path} is not a LogR store manifest")
+        # Stores written before the windowed layer have no segments key.
+        payload.setdefault("segments", {})
         return payload
 
     def _write_manifest(self) -> None:
@@ -286,13 +361,155 @@ class SummaryStore:
             if version not in known:
                 raise StoreError(f"profile {name!r} has no version {version}")
         path = self._version_path(name, version)
-        payload = json.loads(path.read_text(encoding="utf-8"))
-        if payload.get("format") != _PROFILE_FORMAT:
-            raise StoreError(f"{path} is not a LogR profile file")
-        return payload
+        return _read_store_file(path, _PROFILE_FORMAT, "LogR profile")
 
     def _version_path(self, name: str, version: int) -> Path:
         return self._profiles_dir / name / f"v{version:06d}.json"
+
+    # ------------------------------------------------------------------
+    # pane segments (the windowed layer's append-only log)
+    # ------------------------------------------------------------------
+    def segments(self, name: str) -> list["PaneSegment"]:
+        """All pane segments of *name*, oldest first (empty when none)."""
+        with self._lock:
+            entries = self._refresh_manifest()["segments"].get(name, [])
+        return [PaneSegment.from_payload(name, entry) for entry in entries]
+
+    def append_segment(
+        self,
+        name: str,
+        mixture_payload: dict | None,
+        *,
+        n_statements: int,
+        n_encoded: int,
+        total: int,
+        error_bits: float | None,
+        verbosity: int,
+        n_components: int,
+        divergence_bits: float | None,
+        note: str = "",
+    ) -> "PaneSegment":
+        """Seal one pane: persist its mixture as the next segment of *name*.
+
+        ``mixture_payload`` is a :meth:`repro.core.mixture.
+        PatternMixtureEncoding.to_payload` dict, or ``None`` for a pane
+        that saw no parseable statements (the timeline still records
+        it).  Append-only: segments are never renumbered; sealed panes
+        change only through :meth:`rewrite_segment` (cold-pane
+        recompression, which preserves the pane's identity and
+        accounting).
+        """
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"profile name {name!r} must match {_NAME_RE.pattern}"
+            )
+        with self._lock, self._file_lock():
+            entries = self._refresh_manifest()["segments"].setdefault(name, [])
+            index = 1 + max(
+                (int(entry["index"]) for entry in entries), default=-1
+            )
+            record = PaneSegment(
+                name=name,
+                index=index,
+                created_at=time.time(),
+                n_statements=n_statements,
+                n_encoded=n_encoded,
+                total=total,
+                error_bits=error_bits,
+                verbosity=verbosity,
+                n_components=n_components,
+                divergence_bits=divergence_bits,
+                note=note,
+            )
+            payload = {
+                "format": _SEGMENT_FORMAT,
+                "index": index,
+                "mixture": mixture_payload,
+                "meta": record.to_payload(),
+            }
+            directory = self._segments_dir / name
+            directory.mkdir(parents=True, exist_ok=True)
+            _atomic_write(self._segment_path(name, index), json.dumps(payload))
+            entries.append(record.to_payload())
+            self._write_manifest()
+        return record
+
+    def read_segment(self, name: str, index: int) -> dict:
+        """The raw segment file payload (``mixture`` + ``meta``) of one pane.
+
+        Reads the immutable segment file directly — no manifest round
+        trip on the hot path (composing an N-pane window reads N
+        segments); the manifest is consulted only to distinguish "no
+        such pane" from real corruption when the direct read fails.
+        """
+        path = self._segment_path(name, index)
+        try:
+            return _read_store_file(path, _SEGMENT_FORMAT, "LogR pane segment")
+        except StoreError:
+            known = {segment.index for segment in self.segments(name)}
+            if index not in known:
+                raise StoreError(
+                    f"profile {name!r} has no pane segment {index}"
+                ) from None
+            raise
+
+    def rewrite_segment(
+        self,
+        name: str,
+        index: int,
+        mixture_payload: dict,
+        *,
+        error_bits: float,
+        verbosity: int,
+        n_components: int,
+        note: str | None = None,
+    ) -> "PaneSegment":
+        """Replace a sealed pane's mixture in place (cold recompression).
+
+        Pane identity and ingest accounting (``index``, ``created_at``,
+        statement counts, divergence) are preserved; only the summary
+        content and its measures change, and ``recompressed`` is set.
+        """
+        with self._lock, self._file_lock():
+            entries = self._refresh_manifest()["segments"].get(name, [])
+            position = next(
+                (
+                    i
+                    for i, entry in enumerate(entries)
+                    if int(entry["index"]) == index
+                ),
+                None,
+            )
+            if position is None:
+                raise StoreError(f"profile {name!r} has no pane segment {index}")
+            old = PaneSegment.from_payload(name, entries[position])
+            record = PaneSegment(
+                name=name,
+                index=old.index,
+                created_at=old.created_at,
+                n_statements=old.n_statements,
+                n_encoded=old.n_encoded,
+                total=old.total,
+                error_bits=error_bits,
+                verbosity=verbosity,
+                n_components=n_components,
+                divergence_bits=old.divergence_bits,
+                recompressed=True,
+                note=old.note if note is None else note,
+            )
+            payload = {
+                "format": _SEGMENT_FORMAT,
+                "index": index,
+                "mixture": mixture_payload,
+                "meta": record.to_payload(),
+            }
+            _atomic_write(self._segment_path(name, index), json.dumps(payload))
+            entries[position] = record.to_payload()
+            self._write_manifest()
+        return record
+
+    def _segment_path(self, name: str, index: int) -> Path:
+        return self._segments_dir / name / f"s{index:06d}.json"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SummaryStore(root={str(self.root)!r}, profiles={len(self.profiles())})"
@@ -301,6 +518,25 @@ class SummaryStore:
 # ----------------------------------------------------------------------
 # helpers
 # ----------------------------------------------------------------------
+def _read_store_file(path: Path, expected_format: str, kind: str) -> dict:
+    """Read a store-owned JSON file, folding corruption into StoreError.
+
+    A segment or version file that is missing, truncated, or not valid
+    JSON (a torn copy, a bad disk, an out-of-band edit) must surface as
+    a detectable store fault — not a raw ``JSONDecodeError`` deep in a
+    request handler.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError as exc:
+        raise StoreError(f"{kind} file {path} is missing") from exc
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StoreError(f"{kind} file {path} is corrupted: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != expected_format:
+        raise StoreError(f"{path} is not a {kind} file")
+    return payload
+
+
 def _atomic_write(path: Path, text: str) -> None:
     """Write *text* to *path* via a same-directory temp file + rename."""
     fd, tmp_name = tempfile.mkstemp(

@@ -114,3 +114,90 @@ class TestDetection:
         )
         report = monitor.observe_many(["SELECT 1"] * 10)[0]
         assert "window 1" in str(report)
+
+
+class TestBoundarySplitting:
+    """Regression tests: batches straddling a pane boundary must be
+    split at the boundary, not attributed wholly to the new pane."""
+
+    def test_batch_feed_equals_per_statement_feed(self, baseline_setup):
+        workload, log, compressed = baseline_setup
+        statements = list(workload.statements(shuffle=True, seed=3))[:730]
+        one_at_a_time = StreamingDriftMonitor(
+            compressed.mixture, window_size=100, threshold=1.0
+        )
+        for statement in statements:
+            one_at_a_time.observe(statement)
+        batched = StreamingDriftMonitor(
+            compressed.mixture, window_size=100, threshold=1.0
+        )
+        # Awkward batch sizes guarantee straddles at every rollover.
+        for start in range(0, len(statements), 73):
+            batched.observe_many(statements[start : start + 73])
+        assert batched.reports == one_at_a_time.reports
+        assert batched._pending_raw == one_at_a_time._pending_raw
+
+    def test_straddling_batch_does_not_smear_the_next_window(
+        self, baseline_setup
+    ):
+        """First drift score after a rollover must reflect only the new
+        pane's traffic: a half-normal/half-foreign batch that straddles
+        the boundary yields one clean-normal window and one clean-
+        foreign window, not two mixed ones."""
+        workload, log, compressed = baseline_setup
+        normal = list(workload.statements(shuffle=True, seed=4))
+        foreign = list(
+            generate_bank(total=100, n_templates=20, seed=8).statements()
+        )
+        monitor = StreamingDriftMonitor(
+            compressed.mixture, window_size=10, threshold=6.0
+        )
+        monitor.observe_many(normal[:6])
+        # This batch straddles the boundary: 4 normal close window 1,
+        # 4 foreign open window 2.
+        reports = monitor.observe_many(normal[6:10] + foreign[:4])
+        assert len(reports) == 1
+        first = reports[0]
+        assert first.n_statements == 10
+        assert not first.drifted  # all-normal window: no smearing
+        (second,) = monitor.observe_many(foreign[4:10])
+        assert second.n_statements == 10
+        assert second.drifted
+        assert second.divergence_bits > 5 * first.divergence_bits
+
+    def test_single_batch_larger_than_several_windows(self, baseline_setup):
+        workload, _, compressed = baseline_setup
+        monitor = StreamingDriftMonitor(
+            compressed.mixture, window_size=50, threshold=1e9
+        )
+        statements = list(workload.statements(shuffle=True, seed=5))[:170]
+        reports = monitor.observe_many(statements)
+        assert [r.window_index for r in reports] == [1, 2, 3]
+        assert all(r.n_statements == 50 for r in reports)
+        assert monitor._pending_raw == 20
+
+
+class TestTimeline:
+    def test_timeline_is_the_report_series(self, baseline_setup):
+        workload, _, compressed = baseline_setup
+        monitor = StreamingDriftMonitor(
+            compressed.mixture, window_size=20, threshold=1e9
+        )
+        statements = list(workload.statements(shuffle=True, seed=6))[:60]
+        monitor.observe_many(statements)
+        timeline = monitor.timeline()
+        assert timeline == monitor.reports
+        assert timeline is not monitor.reports  # defensive copy
+        assert [r.window_index for r in timeline] == [1, 2, 3]
+
+    def test_reports_carry_window_error(self, baseline_setup):
+        workload, _, compressed = baseline_setup
+        monitor = StreamingDriftMonitor(
+            compressed.mixture, window_size=20, threshold=1e9
+        )
+        statements = list(workload.statements(shuffle=True, seed=7))[:20]
+        (report,) = monitor.observe_many(statements)
+        assert report.error_bits is not None
+        assert report.error_bits >= 0
+        garbage = monitor.observe_many(["@@nope@@"] * 20)[0]
+        assert garbage.error_bits is None

@@ -1,0 +1,162 @@
+"""Tests for the /window and /timeline endpoints (windowed analytics)."""
+
+import pytest
+
+from repro.core.compress import LogRCompressor
+from repro.service import (
+    AnalyticsClient,
+    AnalyticsServer,
+    ServiceError,
+    SummaryStore,
+)
+from repro.workloads import generate_bank, generate_pocketdata
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """A pane-routing server with a pocket profile and live traffic."""
+    root = tmp_path_factory.mktemp("windows") / "store"
+    store = SummaryStore(root)
+    workload = generate_pocketdata(total=2_000, n_distinct=80, seed=0)
+    log = workload.to_query_log()
+    compressed = LogRCompressor(n_clusters=3, seed=0, n_init=2).compress(log)
+    store.save("pocket", compressed, log, note="seed")
+    server = AnalyticsServer(
+        store,
+        port=0,
+        staleness_threshold=float("inf"),
+        pane_statements=150,
+        pane_clusters=3,
+    )
+    server.start()
+    client = AnalyticsClient(server.url)
+    normal = list(workload.statements(shuffle=True, seed=1))
+    foreign = list(
+        generate_bank(total=300, n_templates=25, seed=5).statements()
+    )
+    # Two normal panes, then one foreign pane, via /ingest routing.
+    client.ingest("pocket", normal[:300])
+    client.ingest("pocket", foreign[:150])
+    yield server, client, normal, foreign
+    server.shutdown()
+
+
+class TestIngestRouting:
+    def test_ingest_reports_sealed_panes(self, served):
+        _, client, normal, _ = served
+        out = client.ingest("pocket", normal[300:450])
+        assert out["panes_sealed"] == [3]
+
+    def test_ingest_splits_batches_at_boundaries(self, served):
+        _, client, normal, _ = served
+        before = client.timeline("pocket")
+        open_before = before["open_statements"]
+        batch = 2 * 150 - open_before + 30  # straddles two boundaries
+        out = client.ingest("pocket", normal[:batch])
+        assert len(out["panes_sealed"]) == 2
+        after = client.timeline("pocket")
+        assert after["open_statements"] == 30
+        assert all(
+            pane["n_statements"] == 150 for pane in after["panes"]
+        )
+
+
+class TestTimelineEndpoint:
+    def test_per_pane_series_without_raw_statements(self, served):
+        _, client, _, _ = served
+        out = client.timeline("pocket")
+        assert len(out["panes"]) >= 3
+        for pane in out["panes"]:
+            assert pane["error_bits"] is not None
+            assert pane["n_components"] >= 1
+        drifts = [pane["divergence_bits"] for pane in out["panes"]]
+        assert drifts[0] is None
+        assert all(value is not None for value in drifts[1:])
+        # Pane 2 is the foreign (bank) pane: its drift dominates.
+        assert drifts[2] > 3 * drifts[1]
+
+    def test_timeline_last(self, served):
+        _, client, _, _ = served
+        out = client.timeline("pocket", last=2)
+        assert len(out["panes"]) == 2
+
+    def test_timeline_without_panes_is_404(self, served):
+        _, client, _, _ = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.timeline("ghost")
+        assert excinfo.value.status == 404
+
+
+class TestWindowEndpoint:
+    def test_window_composition_measures(self, served):
+        _, client, _, _ = served
+        out = client.window("pocket", last=2)
+        assert len(out["panes"]) == 2
+        assert out["total"] == 300
+        assert out["error_bits"] >= 0
+        assert out["n_components"] >= 2
+
+    def test_window_scores_statements_against_range(self, served):
+        """Range-scoped scoring: the same statement scores differently
+        under the normal-traffic panes vs the foreign pane."""
+        _, client, normal, _ = served
+        statement = normal[0]
+        normal_window = client.window(
+            "pocket", panes=[0, 1], statements=[statement]
+        )
+        foreign_window = client.window(
+            "pocket", panes=[2], statements=[statement]
+        )
+        normal_score = normal_window["scores"][0]["log2_likelihood"]
+        foreign_score = foreign_window["scores"][0]["log2_likelihood"]
+        assert isinstance(normal_score, float)
+        if isinstance(foreign_score, str):  # "-inf": feature never seen
+            foreign_score = float(foreign_score)
+        assert normal_score > foreign_score
+
+    def test_decayed_and_consolidated_window(self, served):
+        _, client, _, _ = served
+        out = client.window("pocket", half_life=1.0, consolidate_to=2)
+        assert out["n_components"] == 2
+        assert out["half_life"] == 1.0
+        assert isinstance(out["total"], float)
+
+    def test_window_without_panes_is_404(self, served):
+        _, client, _, _ = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.window("ghost")
+        assert excinfo.value.status == 404
+
+    def test_bad_arguments_are_400(self, served):
+        _, client, _, _ = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.window("pocket", last=1, panes=[0])
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("/timeline", {})
+        assert excinfo.value.status == 400
+
+
+class TestWindowsWithoutPaneRouting:
+    def test_window_endpoints_serve_existing_panes(self, tmp_path):
+        """A server without pane_statements still serves sealed panes —
+        it just does not grow them on /ingest."""
+        from repro.service import WindowedProfile
+
+        store = SummaryStore(tmp_path / "store")
+        workload = generate_pocketdata(total=600, n_distinct=50, seed=3)
+        log = workload.to_query_log()
+        compressed = LogRCompressor(n_clusters=2, seed=0, n_init=2).compress(log)
+        store.save("pocket", compressed, log)
+        windowed = WindowedProfile(store, "pocket", pane_statements=200)
+        windowed.ingest(list(workload.statements(shuffle=True, seed=4))[:400])
+        with AnalyticsServer(
+            store, port=0, staleness_threshold=float("inf")
+        ) as server:
+            client = AnalyticsClient(server.url)
+            out = client.ingest("pocket", ["SELECT 1 FROM t"])
+            assert out["panes_sealed"] == []
+            timeline = client.timeline("pocket")
+            assert len(timeline["panes"]) == 2
+            window = client.window("pocket")
+            assert window["total"] == 400

@@ -286,3 +286,103 @@ class TestSweepCommand:
             )
         with pytest.raises(SystemExit):
             main(["compress", str(log_file), "-o", str(out), "--jobs", "0"])
+
+
+class TestWindowedCommands:
+    @pytest.fixture()
+    def paned_store(self, log_file, tmp_path):
+        """A store with a profile and three sealed 150-statement panes."""
+        store = tmp_path / "store"
+        main(
+            [
+                "compress", str(log_file), "-o", str(tmp_path / "s.json"),
+                "-k", "2", "--store", str(store), "--profile", "pocket",
+            ]
+        )
+        rc = main(
+            [
+                "ingest", str(store), "pocket", str(log_file),
+                "--pane-statements", "150",
+            ]
+        )
+        assert rc == 0
+        return store
+
+    def test_ingest_routes_batches_into_panes(self, capsys, paned_store, log_file):
+        rc = main(
+            [
+                "ingest", str(paned_store), "pocket", str(log_file),
+                "--pane-statements", "150",
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "pane   14:" in printed  # numbering continues past pane 13
+        assert "drift=" in printed
+
+    def test_timeline_prints_per_pane_series(self, paned_store, capsys):
+        rc = main(["timeline", str(paned_store), "pocket"])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "Error(bits)" in printed
+        assert "drift(bits)" in printed
+        # 2000 statements / 150 per pane -> 13 full panes + final roll.
+        assert "    13  " in printed
+
+    def test_timeline_last(self, paned_store, capsys):
+        rc = main(["timeline", str(paned_store), "pocket", "--last", "2"])
+        assert rc == 0
+        lines = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.strip() and not line.lstrip().startswith("pane")
+        ]
+        assert len(lines) == 2
+
+    def test_timeline_without_panes_exits(self, log_file, tmp_path):
+        store = tmp_path / "empty-store"
+        main(
+            [
+                "compress", str(log_file), "-o", str(tmp_path / "s.json"),
+                "-k", "2", "--store", str(store), "--profile", "pocket",
+            ]
+        )
+        with pytest.raises(SystemExit):
+            main(["timeline", str(store), "pocket"])
+
+    def test_window_composes_and_scores(self, paned_store, log_file, capsys):
+        rc = main(
+            [
+                "window", str(paned_store), "pocket", "--last", "3",
+                "--queries", str(log_file),
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "window over 'pocket'" in printed
+        assert "Error=" in printed
+
+    def test_window_decayed_and_consolidated(self, paned_store, capsys):
+        rc = main(
+            [
+                "window", str(paned_store), "pocket",
+                "--half-life", "2.0", "--consolidate-to", "2",
+            ]
+        )
+        assert rc == 0
+        assert "2 components" in capsys.readouterr().out
+
+    def test_window_explicit_panes(self, paned_store, capsys):
+        rc = main(["window", str(paned_store), "pocket", "--panes", "0,2"])
+        assert rc == 0
+        assert "300" in capsys.readouterr().out
+
+    def test_window_argument_validation(self, paned_store):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "window", str(paned_store), "pocket",
+                    "--last", "1", "--panes", "0",
+                ]
+            )
+        with pytest.raises(SystemExit):
+            main(["window", str(paned_store), "pocket", "--panes", "a,b"])
