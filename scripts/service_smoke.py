@@ -49,12 +49,20 @@ def main() -> int:
             ingested = client.ingest("tpch", batch)
             assert ingested["version"] == 2, ingested
             assert ingested["report"]["n_encoded"] == 100, ingested
+            assert ingested["report"]["n_skipped_procedures"] == 0, ingested
+            assert ingested["report"]["n_skipped_unparseable"] == 0, ingested
 
             rescored = client.score("tpch", batch[:10])
             assert rescored["version"] == 2
 
             stats = client.stats()
             assert stats["requests"]["score"] >= 2, stats
+            # The fingerprint fast path must be live on /ingest: a
+            # 100-statement batch over a handful of templates resolves
+            # mostly from cache.
+            cache = stats["parse_cache"]["tpch"]["rows"]
+            assert cache["hits"] + cache["misses"] == 100, cache
+            assert cache["hit_rate"] > 0.5, cache
 
         reloaded = store.load("tpch")
         assert reloaded.mixture.total == log.total + 100

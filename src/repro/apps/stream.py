@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.diff import mixture_divergence
+from ..core.featurecache import DEFAULT_CACHE_SIZE, FeatureCache
 from ..core.log import LogBuilder, QueryLog
 from ..core.mixture import PatternMixtureEncoding
 from ..core.vocabulary import Vocabulary
@@ -74,6 +75,13 @@ class StreamingDriftMonitor:
         calibration_factor: multiplier over the self-divergence noise
             floor (default 10×).
         seed: RNG seed for calibration bootstrap.
+        parse_cache: fingerprint fast path — statements whose template
+            was seen before skip the SQL parser (bit-identical reports;
+            see :mod:`repro.core.featurecache`).
+        parse_cache_size: bounded-LRU capacity (distinct templates).
+        feature_cache: a shared template cache to reuse (overrides
+            *parse_cache*); must have been built with
+            ``remove_constants=True`` extraction.
     """
 
     def __init__(
@@ -84,6 +92,9 @@ class StreamingDriftMonitor:
         baseline_log: QueryLog | None = None,
         calibration_factor: float = 10.0,
         seed: int | np.random.Generator | None = None,
+        parse_cache: bool = True,
+        parse_cache_size: int = DEFAULT_CACHE_SIZE,
+        feature_cache: FeatureCache | None = None,
     ):
         if baseline.vocabulary is None:
             raise ValueError("baseline mixture has no vocabulary attached")
@@ -92,6 +103,25 @@ class StreamingDriftMonitor:
         self.baseline = baseline
         self.window_size = window_size
         self._extractor = AligonExtractor(remove_constants=True)
+        if feature_cache is not None:
+            extractor = feature_cache.extractor
+            if (
+                getattr(extractor, "remove_constants", None)
+                != self._extractor.remove_constants
+                or getattr(extractor, "max_disjuncts", None)
+                != self._extractor.max_disjuncts
+            ):
+                raise ValueError(
+                    "shared feature_cache was built with different parsing "
+                    "knobs than this monitor"
+                )
+            self._cache: FeatureCache | None = feature_cache
+        elif parse_cache:
+            self._cache = FeatureCache(
+                self._extractor, max_templates=parse_cache_size
+            )
+        else:
+            self._cache = None
         self._buffer: deque[frozenset] = deque()
         self._pending_raw = 0
         self._window_index = 0
@@ -163,9 +193,20 @@ class StreamingDriftMonitor:
         return reports
 
     def _ingest_chunk(self, chunk) -> None:
-        """Encode one within-pane chunk into the open window's buffer."""
+        """Encode one within-pane chunk into the open window's buffer.
+
+        Repeated templates come straight from the fingerprint cache —
+        the feature set appended is identical either way, so drift
+        reports do not depend on the cache being on.
+        """
         for statement in chunk:
             self._pending_raw += 1
+            if self._cache is not None:
+                try:
+                    self._buffer.append(self._cache.extract_merged(statement))
+                except SqlError:
+                    pass
+                continue
             try:
                 feature_sets = self._extractor.extract(statement)
             except SqlError:

@@ -26,6 +26,12 @@ Commands:
   ``--queries`` against it.
 * ``logr timeline STORE_DIR PROFILE`` — the per-pane Error/JS-drift
   series of a windowed profile (summaries only, no raw statements).
+
+Parsing-heavy commands (``compress``, ``sweep``, ``stats``, ``ingest``,
+``serve``) accept ``--parse-cache/--no-parse-cache`` and
+``--parse-cache-size N``: the fingerprint fast path that lets repeated
+statement templates skip the SQL parser (results are bit-identical
+either way; see :mod:`repro.core.featurecache`).
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from .core.compress import (
     load_artifact,
 )
 from .core.executor import EXECUTOR_KINDS
+from .core.featurecache import DEFAULT_CACHE_SIZE
 from .sql.features import Feature
 from .viz.render import render_mixture
 from .workloads.logio import load_log, read_log
@@ -61,6 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("-k", "--clusters", type=int, default=8)
     _add_compression_arguments(compress)
     _add_parallel_arguments(compress)
+    _add_parse_cache_arguments(compress)
     compress.add_argument(
         "--shards", type=int, default=1,
         help="split the log into this many shards, compress them in "
@@ -93,9 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_compression_arguments(sweep)
     _add_parallel_arguments(sweep)
+    _add_parse_cache_arguments(sweep)
 
     stats = sub.add_parser("stats", help="dataset statistics for a SQL log file")
     stats.add_argument("log", type=Path)
+    _add_parse_cache_arguments(stats)
 
     estimate = sub.add_parser("estimate", help="estimate pattern counts")
     estimate.add_argument("summary", type=Path, help="compressed artifact (JSON)")
@@ -150,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--pane-clusters", type=_positive_int, default=4,
         help="mixture components fitted per pane (with --pane-statements)",
     )
+    _add_parse_cache_arguments(serve)
 
     ingest = sub.add_parser(
         "ingest", help="merge a statement mini-batch into a stored profile"
@@ -172,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="mixture components fitted per pane (with --pane-statements)",
     )
     _add_parallel_arguments(ingest)
+    _add_parse_cache_arguments(ingest)
 
     window = sub.add_parser(
         "window", help="compose a profile's sealed time panes into one summary"
@@ -257,6 +269,20 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_parse_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    """The fingerprint fast-path knobs shared by parsing-heavy commands."""
+    parser.add_argument(
+        "--parse-cache", action=argparse.BooleanOptionalAction, default=True,
+        help="fingerprint-cache repeated statement templates so they "
+             "skip the SQL parser (results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--parse-cache-size", type=_positive_int, default=DEFAULT_CACHE_SIZE,
+        metavar="N",
+        help="bounded LRU capacity of the parse cache (distinct templates)",
+    )
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -303,7 +329,12 @@ def _cmd_compress(args) -> int:
     if args.consolidate_to is not None and args.consolidate_to < 1:
         raise SystemExit("--consolidate-to must be >= 1")
     statements = read_log(args.log)
-    log, report = load_log(statements, remove_constants=not args.keep_constants)
+    log, report = load_log(
+        statements,
+        remove_constants=not args.keep_constants,
+        parse_cache=args.parse_cache,
+        parse_cache_size=args.parse_cache_size,
+    )
     if args.shards > 1:
         compressed = compress_sharded(
             log,
@@ -351,7 +382,12 @@ def _cmd_sweep(args) -> int:
     if not ks or any(k < 1 for k in ks):
         raise SystemExit("--ks needs at least one K >= 1")
     statements = read_log(args.log)
-    log, report = load_log(statements, remove_constants=not args.keep_constants)
+    log, report = load_log(
+        statements,
+        remove_constants=not args.keep_constants,
+        parse_cache=args.parse_cache,
+        parse_cache_size=args.parse_cache_size,
+    )
     points = compress_sweep(
         log,
         ks,
@@ -393,7 +429,11 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_stats(args) -> int:
     statements = read_log(args.log)
-    log, report = load_log(statements)
+    log, report = load_log(
+        statements,
+        parse_cache=args.parse_cache,
+        parse_cache_size=args.parse_cache_size,
+    )
     print(f"# Statements            {report.total_statements}")
     print(f"# Parsed                {report.parsed}")
     print(f"# Unparseable           {report.unparseable}")
@@ -468,6 +508,7 @@ def _cmd_serve(args) -> int:
         jobs=args.jobs,
         pane_statements=args.pane_statements,
         pane_clusters=args.pane_clusters,
+        parse_cache_size=args.parse_cache_size if args.parse_cache else 0,
     )
     host, port = server.address
     print(f"serving {args.store} on http://{host}:{port} (Ctrl-C to stop)")
@@ -497,6 +538,8 @@ def _cmd_ingest(args) -> int:
         seed=args.seed,
         jobs=args.jobs,
         executor=args.executor,
+        parse_cache=args.parse_cache,
+        parse_cache_size=args.parse_cache_size,
     )
     statements = read_log(args.log)
     report = ingestor.ingest_statements(statements)
@@ -519,6 +562,8 @@ def _cmd_ingest(args) -> int:
             seed=args.seed,
             jobs=args.jobs,
             executor=args.executor,
+            parse_cache=args.parse_cache,
+            parse_cache_size=args.parse_cache_size,
         )
         sealed = windowed.ingest(statements)
         final = windowed.roll(note=f"ingest {args.log.name}")

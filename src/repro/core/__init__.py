@@ -50,6 +50,7 @@ from .estimate import (
     synthesize_patterns,
 )
 from . import kernels
+from .featurecache import CacheStats, CachedTemplate, FeatureCache, VocabularyCache
 from .log import BACKENDS, LogBuilder, QueryLog
 from .lossless import (
     lossless_encoding,
@@ -93,6 +94,10 @@ __all__ = [
     "LogBuilder",
     "BACKENDS",
     "kernels",
+    "CacheStats",
+    "CachedTemplate",
+    "FeatureCache",
+    "VocabularyCache",
     "Pattern",
     "NaiveEncoding",
     "PatternEncoding",

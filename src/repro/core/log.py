@@ -292,18 +292,46 @@ class LogBuilder:
         indices = frozenset(self.vocabulary.add(f) for f in sorted(features, key=repr))
         self._counts[indices] = self._counts.get(indices, 0) + count
 
+    def add_encoded(self, indices: frozenset[int], count: int = 1) -> None:
+        """Add a query already resolved to vocabulary index form.
+
+        The fast path for callers that memoize the interning of
+        repeated templates (e.g. :func:`repro.workloads.logio.
+        load_log`): equivalent to :meth:`add` with the features at
+        *indices*, minus the per-call sort and dict probes.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if indices and max(indices) >= len(self.vocabulary):
+            raise ValueError("index row references features beyond the vocabulary")
+        self._counts[indices] = self._counts.get(indices, 0) + count
+
     def __len__(self) -> int:
         return sum(self._counts.values())
 
     def build(self) -> QueryLog:
-        """Materialize the accumulated bag as a :class:`QueryLog`."""
+        """Materialize the accumulated bag as a :class:`QueryLog`.
+
+        Rows keep their historical sorted order (by sorted index set);
+        the matrix is filled with one vectorized index-array assignment
+        instead of a per-row/per-index Python loop.
+        """
         n = len(self.vocabulary)
         if not self._counts:
             raise ValueError("cannot build an empty log")
-        matrix = np.zeros((len(self._counts), n), dtype=np.uint8)
-        counts = np.zeros(len(self._counts), dtype=np.int64)
-        for row, (indices, count) in enumerate(sorted(self._counts.items(), key=lambda kv: sorted(kv[0]))):
-            for index in indices:
-                matrix[row, index] = 1
-            counts[row] = count
+        items = sorted(self._counts.items(), key=lambda kv: sorted(kv[0]))
+        n_rows = len(items)
+        counts = np.fromiter(
+            (count for _, count in items), dtype=np.int64, count=n_rows
+        )
+        lengths = np.fromiter(
+            (len(indices) for indices, _ in items), dtype=np.int64, count=n_rows
+        )
+        cols = np.fromiter(
+            (i for indices, _ in items for i in indices),
+            dtype=np.int64,
+            count=int(lengths.sum()),
+        )
+        matrix = np.zeros((n_rows, n), dtype=np.uint8)
+        matrix[np.repeat(np.arange(n_rows), lengths), cols] = 1
         return QueryLog(self.vocabulary, matrix, counts)

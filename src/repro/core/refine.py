@@ -104,38 +104,53 @@ def refine_greedy(
     pool = [pattern for pattern, _ in candidates if len(pattern) >= 2]
     extra = PatternEncoding(log.n_features)
     scores: list[tuple[Pattern, float]] = []
+    # True marginals never change during refinement, so batch them once
+    # (one kernel sweep) instead of re-scanning the log for every
+    # candidate in every diversification round — O(pool) containment
+    # scans total rather than O(rounds × pool).  ``pattern_marginals``
+    # runs the same per-pattern kernel, so each value is bit-identical
+    # to a direct ``pattern_marginal`` call.
+    marginals = [float(m) for m in log.pattern_marginals(pool)]
 
     if not diversify:
         ranked = sorted(
-            ((corr_rank(log, naive, p), p) for p in pool),
+            ((_corr_rank_cached(marginals[i], naive, pool[i]), i) for i in range(len(pool))),
             key=lambda pair: -pair[0],
         )
-        for score, pattern in ranked[:n_patterns]:
-            extra.add(pattern, log.pattern_marginal(pattern))
-            scores.append((pattern, score))
+        for score, i in ranked[:n_patterns]:
+            extra.add(pool[i], marginals[i])
+            scores.append((pool[i], score))
         model = fit_extended_naive(naive, extra)
         return RefinementResult(naive, extra, model, model.entropy() - log.entropy(), scores)
 
     model = fit_extended_naive(naive, extra)
-    remaining = list(pool)
+    remaining = list(range(len(pool)))
     for _ in range(min(n_patterns, len(remaining))):
         best_score = float("-inf")
-        best_pattern: Pattern | None = None
-        for pattern in remaining:
-            true_marginal = log.pattern_marginal(pattern)
+        best_index: int | None = None
+        for i in remaining:
+            true_marginal = marginals[i]
             if true_marginal <= 0.0:
                 continue
-            estimated = model.pattern_probability(pattern)
+            estimated = model.pattern_probability(pool[i])
             score = true_marginal * float(
                 safe_log2(true_marginal) - safe_log2(estimated)
             )
             if score > best_score:
                 best_score = score
-                best_pattern = pattern
-        if best_pattern is None or best_score <= 0.0:
+                best_index = i
+        if best_index is None or best_score <= 0.0:
             break
-        extra.add(best_pattern, log.pattern_marginal(best_pattern))
-        scores.append((best_pattern, best_score))
-        remaining.remove(best_pattern)
+        extra.add(pool[best_index], marginals[best_index])
+        scores.append((pool[best_index], best_score))
+        remaining.remove(best_index)
         model = fit_extended_naive(naive, extra)
     return RefinementResult(naive, extra, model, model.entropy() - log.entropy(), scores)
+
+
+def _corr_rank_cached(true_marginal: float, naive: NaiveEncoding, pattern: Pattern) -> float:
+    """:func:`corr_rank` with the true marginal already in hand."""
+    if true_marginal <= 0.0:
+        return 0.0
+    estimated = naive.pattern_probability(pattern)
+    return true_marginal * float(safe_log2(true_marginal) - safe_log2(estimated))

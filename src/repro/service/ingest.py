@@ -33,6 +33,7 @@ import numpy as np
 from .._rng import ensure_rng
 from ..core.compress import CompressedLog, LogRCompressor
 from ..core.encoding import NaiveEncoding
+from ..core.featurecache import DEFAULT_CACHE_SIZE, FeatureCache, VocabularyCache
 from ..core.log import QueryLog
 from ..core.mixture import MixtureComponent, PatternMixtureEncoding
 from ..sql import AligonExtractor, SqlError
@@ -46,7 +47,7 @@ class IngestReport:
 
     n_statements: int  # statements offered
     n_encoded: int  # statements merged into the profile
-    n_skipped: int  # unparseable / stored-procedure statements
+    n_skipped: int  # statements dropped (procedures + unparseable)
     n_batch_distinct: int  # distinct feature vectors in the batch
     n_new_rows: int  # batch rows unseen in the profile
     n_new_features: int  # codebook growth
@@ -54,13 +55,22 @@ class IngestReport:
     staleness: float  # Error drift (bits) since the last compression
     recompressed: bool  # whether the staleness trigger fired
     seconds: float
+    n_skipped_procedures: int = 0  # EXEC / CALL invocations
+    n_skipped_unparseable: int = 0  # statements the SQL pipeline rejected
 
     def __str__(self) -> str:
         action = "recompressed" if self.recompressed else "merged"
+        skipped = ""
+        if self.n_skipped:
+            skipped = (
+                f" [skipped {self.n_skipped_procedures} stored-proc, "
+                f"{self.n_skipped_unparseable} unparseable]"
+            )
         return (
             f"{action} {self.n_encoded}/{self.n_statements} statements "
             f"({self.n_new_rows} new rows, {self.n_new_features} new features) "
             f"Error={self.error_bits:.3f} bits, staleness={self.staleness:+.3f}"
+            + skipped
         )
 
 
@@ -90,6 +100,15 @@ class IncrementalIngestor:
             the serial path at any worker count.
         remove_constants / max_disjuncts: statement-parsing knobs,
             matching :func:`repro.workloads.logio.load_log`.
+        parse_cache: enable the fingerprint fast path — repeated
+            statement templates skip the SQL parser entirely (see
+            :mod:`repro.core.featurecache`).  Results are bit-identical
+            either way; the cache only changes throughput.
+        parse_cache_size: bounded-LRU capacity (distinct templates).
+        feature_cache: a shared :class:`~repro.core.featurecache.
+            FeatureCache` to reuse (e.g. one per windowed profile,
+            shared across its panes); must match the parsing knobs.
+            Overrides *parse_cache*.
     """
 
     def __init__(
@@ -102,6 +121,9 @@ class IncrementalIngestor:
         executor=None,
         remove_constants: bool = True,
         max_disjuncts: int = 64,
+        parse_cache: bool = True,
+        parse_cache_size: int = DEFAULT_CACHE_SIZE,
+        feature_cache: FeatureCache | None = None,
     ):
         mixture = compressed.mixture
         if mixture.vocabulary is None:
@@ -124,6 +146,30 @@ class IncrementalIngestor:
             remove_constants=remove_constants, max_disjuncts=max_disjuncts
         )
         self._vocabulary = mixture.vocabulary
+        if feature_cache is not None:
+            extractor = feature_cache.extractor
+            if (
+                getattr(extractor, "remove_constants", None) != remove_constants
+                or getattr(extractor, "max_disjuncts", None) != max_disjuncts
+            ):
+                raise ValueError(
+                    "shared feature_cache was built with different parsing "
+                    "knobs than this ingestor"
+                )
+            self._feature_cache: FeatureCache | None = feature_cache
+        elif parse_cache:
+            self._feature_cache = FeatureCache(
+                self._extractor, max_templates=parse_cache_size
+            )
+        else:
+            self._feature_cache = None
+        self._encoder = (
+            VocabularyCache(
+                self._feature_cache, self._vocabulary, max_rows=parse_cache_size
+            )
+            if self._feature_cache is not None
+            else None
+        )
         self._matrix = log.matrix.copy()
         self._counts = log.counts.copy()
         # Normalize labels to 0..k-1 in component order: QueryLog.partition
@@ -213,30 +259,58 @@ class IncrementalIngestor:
         """Error drift (bits) of the live mixture since last compression."""
         return self.compressed.error - self.baseline_error
 
+    @property
+    def parse_cache_stats(self) -> dict | None:
+        """JSON-ready fingerprint-cache counters (``None``: cache off)."""
+        if self._encoder is None:
+            return None
+        return self._encoder.stats_payload()
+
     # ------------------------------------------------------------------
     # ingestion
     # ------------------------------------------------------------------
     def ingest_statements(self, statements: Sequence[str]) -> IngestReport:
-        """Parse and merge a mini-batch of raw SQL statements."""
+        """Parse and merge a mini-batch of raw SQL statements.
+
+        With the parse cache enabled (the default), statements whose
+        template was seen before resolve straight to their vocabulary
+        index row without touching the SQL parser; the result is
+        bit-identical to the cold path.
+        """
         start = time.perf_counter()
         batch: dict[frozenset[int], int] = {}
         n_offered = 0
         n_encoded = 0
+        n_procedures = 0
+        n_unparseable = 0
+        encoder = self._encoder
         for statement in statements:
             n_offered += 1
             upper = statement.lstrip().upper()
             if upper.startswith("EXEC ") or upper.startswith("CALL "):
+                n_procedures += 1
                 continue
             try:
-                merged = self._extractor.extract_merged(statement)
+                if encoder is not None:
+                    indices = encoder.encode_indices(statement)
+                else:
+                    merged = self._extractor.extract_merged(statement)
+                    indices = frozenset(
+                        self._vocabulary.add(f) for f in sorted(merged, key=repr)
+                    )
             except SqlError:
+                n_unparseable += 1
                 continue
-            indices = frozenset(
-                self._vocabulary.add(f) for f in sorted(merged, key=repr)
-            )
             batch[indices] = batch.get(indices, 0) + 1
             n_encoded += 1
-        return self._merge(batch, n_offered, n_encoded, start)
+        return self._merge(
+            batch,
+            n_offered,
+            n_encoded,
+            start,
+            n_procedures=n_procedures,
+            n_unparseable=n_unparseable,
+        )
 
     def ingest_feature_sets(
         self, feature_sets: Iterable[Iterable[Hashable]]
@@ -259,6 +333,8 @@ class IncrementalIngestor:
         n_offered: int,
         n_encoded: int,
         start: float,
+        n_procedures: int = 0,
+        n_unparseable: int = 0,
     ) -> IngestReport:
         n_old_features = self._matrix.shape[1]
         n_features = len(self._vocabulary)
@@ -367,6 +443,8 @@ class IncrementalIngestor:
             staleness=staleness,
             recompressed=recompressed,
             seconds=time.perf_counter() - start,
+            n_skipped_procedures=n_procedures,
+            n_skipped_unparseable=n_unparseable,
         )
 
     # ------------------------------------------------------------------

@@ -56,6 +56,7 @@ from ..apps.monitor import WorkloadMonitor
 from ..apps.stream import StreamingDriftMonitor
 from ..core.compress import CompressedLog
 from ..core.diff import feature_drift, mixture_divergence
+from ..core.featurecache import DEFAULT_CACHE_SIZE
 from ..core.log import LogBuilder, QueryLog
 from ..core.mixture import MixtureComponent, PatternMixtureEncoding
 from ..core.encoding import NaiveEncoding
@@ -104,6 +105,7 @@ class _Profile:
         staleness_threshold: float,
         seed: int,
         jobs: int = 1,
+        parse_cache_size: int = DEFAULT_CACHE_SIZE,
     ):
         self.name = name
         self.version = version
@@ -127,6 +129,8 @@ class _Profile:
                     # and rare, and a per-profile pool would outlive LRU
                     # eviction (no close hook on cache drop).
                     executor="process:spawn" if jobs > 1 else None,
+                    parse_cache=parse_cache_size > 0,
+                    parse_cache_size=parse_cache_size or 1,
                 )
             except ValueError:
                 # e.g. a refined mixture: it cannot be incrementally
@@ -206,6 +210,10 @@ class AnalyticsServer:
             this many statements, split at boundaries); ``/window`` and
             ``/timeline`` serve sealed panes whether or not this is set.
         pane_clusters: components fitted per pane.
+        parse_cache_size: per-profile fingerprint-cache capacity for
+            ``/ingest`` (repeated statement templates skip the SQL
+            parser; hit rates surface in ``/stats``).  0 disables the
+            fast path.
     """
 
     def __init__(
@@ -220,6 +228,7 @@ class AnalyticsServer:
         jobs: int = 1,
         pane_statements: int | None = None,
         pane_clusters: int = 4,
+        parse_cache_size: int = DEFAULT_CACHE_SIZE,
     ):
         self.store = store
         self.cache_profiles = cache_profiles
@@ -229,6 +238,7 @@ class AnalyticsServer:
         self.jobs = jobs
         self.pane_statements = pane_statements
         self.pane_clusters = pane_clusters
+        self.parse_cache_size = parse_cache_size
         self._cache: OrderedDict[str, _Profile] = OrderedDict()
         self._cache_lock = threading.Lock()
         self._load_locks: dict[str, threading.Lock] = {}
@@ -313,6 +323,7 @@ class AnalyticsServer:
                 staleness_threshold=self.staleness_threshold,
                 seed=self.seed,
                 jobs=self.jobs,
+                parse_cache_size=self.parse_cache_size,
             )
             with self._cache_lock:
                 self._cache[name] = handle
@@ -380,6 +391,8 @@ class AnalyticsServer:
                     seed=self.seed,
                     jobs=self.jobs,
                     executor="process:spawn" if self.jobs > 1 else None,
+                    parse_cache=self.parse_cache_size > 0,
+                    parse_cache_size=self.parse_cache_size or 1,
                 )
                 entry = (handle, threading.Lock())
                 self._windows[name] = entry
@@ -431,12 +444,29 @@ class AnalyticsServer:
             counters = dict(self._counters)
         with self._cache_lock:
             cached = list(self._cache)
+            handles = list(self._cache.values())
+        # Per-profile fingerprint-cache counters: how much of /ingest's
+        # statement traffic is resolving without touching the parser.
+        parse_cache: dict[str, dict] = {}
+        for handle in handles:
+            if handle.ingestor is None:
+                continue
+            stats = handle.ingestor.parse_cache_stats
+            if stats is not None:
+                parse_cache[handle.name] = stats
+        with self._windows_lock:
+            windows = [(name, entry[0]) for name, entry in self._windows.items()]
+        for name, windowed in windows:
+            stats = windowed.parse_cache_stats
+            if stats is not None:
+                parse_cache.setdefault(name, {})["panes"] = stats
         return {
             "uptime_seconds": time.time() - self._started,
             "requests": counters,
             "hot_profiles": cached,
             "cache_capacity": self.cache_profiles,
             "profiles": self.store.profiles(),
+            "parse_cache": parse_cache,
         }
 
     def handle_score(self, body: dict) -> dict:
@@ -519,6 +549,8 @@ class AnalyticsServer:
                 "n_statements": report.n_statements,
                 "n_encoded": report.n_encoded,
                 "n_skipped": report.n_skipped,
+                "n_skipped_procedures": report.n_skipped_procedures,
+                "n_skipped_unparseable": report.n_skipped_unparseable,
                 "n_batch_distinct": report.n_batch_distinct,
                 "n_new_rows": report.n_new_rows,
                 "n_new_features": report.n_new_features,

@@ -42,7 +42,9 @@ import numpy as np
 from .._rng import ensure_rng
 from ..core.diff import mixture_divergence
 from ..core.executor import Executor, resolve_executor, spawn_generators
+from ..core.featurecache import DEFAULT_CACHE_SIZE, FeatureCache
 from ..core.mixture import PatternMixtureEncoding
+from ..sql import AligonExtractor
 from ..workloads.logio import load_log
 from .ingest import IncrementalIngestor
 from .store import PaneSegment, StoreError, SummaryStore
@@ -77,6 +79,12 @@ class WindowedProfile:
         seed: RNG seed for pane compressions and consolidations.
         jobs / executor: forwarded to pane compressions and to
             :meth:`recompress_cold` (the staged pipeline's executor).
+        parse_cache: fingerprint fast path for pane ingestion.  One
+            :class:`~repro.core.featurecache.FeatureCache` is shared
+            across *all* panes (templates are codebook-independent), so
+            a template parsed in pane 0 never hits the parser again in
+            pane 400; each pane keeps its own index-row cache.
+        parse_cache_size: bounded-LRU capacity (distinct templates).
 
     The open pane lives in memory; sealed panes live in the store.  A
     process restart loses at most the open pane's partial statements —
@@ -97,6 +105,8 @@ class WindowedProfile:
         seed: int | np.random.Generator | None = 0,
         jobs: int = 1,
         executor: Executor | str | None = None,
+        parse_cache: bool = True,
+        parse_cache_size: int = DEFAULT_CACHE_SIZE,
     ):
         if pane_statements < 1:
             raise ValueError("pane_statements must be >= 1")
@@ -113,6 +123,18 @@ class WindowedProfile:
         self.max_disjuncts = max_disjuncts
         self.jobs = jobs
         self.executor = executor
+        self.parse_cache_size = parse_cache_size
+        self._feature_cache = (
+            FeatureCache(
+                AligonExtractor(
+                    remove_constants=remove_constants,
+                    max_disjuncts=max_disjuncts,
+                ),
+                max_templates=parse_cache_size,
+            )
+            if parse_cache
+            else None
+        )
         self._rng = ensure_rng(seed)
         # Composition and cold recompression must be *pure reads*:
         # identical queries return identical summaries, however many
@@ -168,6 +190,8 @@ class WindowedProfile:
                     self._bootstrap,
                     remove_constants=self.remove_constants,
                     max_disjuncts=self.max_disjuncts,
+                    parse_cache=self._feature_cache is not None,
+                    feature_cache=self._feature_cache,
                 )
             except ValueError:
                 return  # still nothing parseable; keep buffering
@@ -182,6 +206,9 @@ class WindowedProfile:
                 executor=self.executor,
                 remove_constants=self.remove_constants,
                 max_disjuncts=self.max_disjuncts,
+                parse_cache=self._feature_cache is not None,
+                feature_cache=self._feature_cache,
+                parse_cache_size=self.parse_cache_size,
             )
             self._pane_encoded += report.usable
             self._bootstrap = []
@@ -259,6 +286,16 @@ class WindowedProfile:
     def open_statements(self) -> int:
         """Raw statements buffered in the (unsealed) open pane."""
         return self._pane_offered
+
+    @property
+    def parse_cache_stats(self) -> dict | None:
+        """The shared template cache's counters (``None``: cache off)."""
+        if self._feature_cache is None:
+            return None
+        return {
+            "templates": self._feature_cache.stats.to_payload(),
+            "cached_templates": len(self._feature_cache),
+        }
 
     # ------------------------------------------------------------------
     # composition: the windowed summary algebra, end to end

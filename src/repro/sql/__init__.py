@@ -27,6 +27,7 @@ from .features import (
     query_features,
 )
 from .features_tree import TREE_CLAUSE, TreeExtractor, tree_features
+from .fingerprint import fingerprint
 from .lexer import tokenize
 from .normalize import fold_identifier_case, normalize, parameterize
 from .parser import parse, parse_many
@@ -45,6 +46,7 @@ from .rewrite import (
 __all__ = [
     "ast",
     "tokenize",
+    "fingerprint",
     "parse",
     "parse_many",
     "to_sql",

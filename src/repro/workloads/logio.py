@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
+from ..core.featurecache import DEFAULT_CACHE_SIZE, CachedTemplate, FeatureCache
 from ..core.log import LogBuilder, QueryLog
 from ..sql import AligonExtractor, SqlError
 from .generator import SyntheticWorkload
@@ -77,6 +78,9 @@ def load_log(
     remove_constants: bool = True,
     max_disjuncts: int = 64,
     max_errors_kept: int = 20,
+    parse_cache: bool = True,
+    parse_cache_size: int = DEFAULT_CACHE_SIZE,
+    feature_cache: FeatureCache | None = None,
 ) -> tuple[QueryLog, LoadReport]:
     """Parse raw SQL statements into an encoded :class:`QueryLog`.
 
@@ -85,10 +89,64 @@ def load_log(
     procedure executions; other parse failures count as unparseable
     (the paper's 13M); queries whose DNF expansion exceeds
     *max_disjuncts* count as non-rewritable.
+
+    With *parse_cache* (the default) repeated statement *templates* —
+    not just repeated raw strings — bypass the SQL parser via the
+    fingerprint fast path (:mod:`repro.core.featurecache`); the
+    resulting log and report counts are bit-identical to the cold
+    path.  Pass a shared *feature_cache* to reuse template extractions
+    across calls; ``parse_cache=False`` keeps the historical
+    raw-string memo only.
     """
     extractor = AligonExtractor(remove_constants=remove_constants, max_disjuncts=max_disjuncts)
     builder = LogBuilder()
     report = LoadReport()
+    if feature_cache is None and parse_cache:
+        feature_cache = FeatureCache(extractor, max_templates=parse_cache_size)
+    if feature_cache is not None:
+        # Raw-string front memo: the historical path already memoized
+        # exact repeats, and probing a dict is cheaper than even
+        # fingerprinting, so identical raw statements (the common case
+        # in machine-generated logs) skip the scanner too.  It holds
+        # the *resolved index row*, so repeats also skip the per-call
+        # feature sort and vocabulary probes; the fingerprint layer
+        # behind it handles literal churn.  Error samples keep the cold
+        # path's semantics exactly: one line per distinct raw failing
+        # statement, up to the cap.
+        raw_memo: dict[str, tuple[CachedTemplate, frozenset | None]] = {}
+        for statement in statements:
+            report.total_statements += 1
+            upper = statement.lstrip().upper()
+            if upper.startswith("EXEC ") or upper.startswith("CALL "):
+                report.stored_procedures += 1
+                continue
+            memo = raw_memo.get(statement)
+            if memo is None:
+                entry, _ = feature_cache.lookup(statement)
+                if entry.error is not None:
+                    indices = None
+                    if len(report.errors) < max_errors_kept:
+                        report.errors.append(f"{entry.error}: {statement[:120]}")
+                else:
+                    indices = frozenset(
+                        builder.vocabulary.add(f) for f in entry.features
+                    )
+                raw_memo[statement] = (entry, indices)
+            else:
+                entry, indices = memo
+            if entry.error is not None:
+                if feature_cache.classify_failure(entry, statement):
+                    report.parsed += 1
+                    report.non_rewritable += 1
+                else:
+                    report.unparseable += 1
+                continue
+            report.parsed += 1
+            report.conjunctive_branches += entry.n_branches
+            builder.add_encoded(indices)
+        if len(builder) == 0:
+            raise ValueError("no usable statements in the input log")
+        return builder.build(), report
     cache: dict[str, list | None] = {}
     for statement in statements:
         report.total_statements += 1

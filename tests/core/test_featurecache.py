@@ -1,0 +1,176 @@
+"""Tests for the fingerprint-keyed template and index-row caches."""
+
+import pytest
+
+from repro.core.featurecache import CacheStats, FeatureCache, VocabularyCache
+from repro.core.vocabulary import Vocabulary
+from repro.sql import AligonExtractor, SqlError
+
+
+@pytest.fixture()
+def cache():
+    return FeatureCache(AligonExtractor(remove_constants=True), max_templates=4)
+
+
+class TestFeatureCache:
+    def test_hit_on_repeated_template(self, cache):
+        first = cache.extract_merged("SELECT a FROM t WHERE x = 1")
+        second = cache.extract_merged("SELECT a FROM t WHERE x = 2")
+        assert first == second
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_result_matches_direct_extraction(self, cache):
+        sql = "SELECT a, b FROM t WHERE x = 1 OR y = 2"
+        direct = AligonExtractor(remove_constants=True).extract_merged(sql)
+        assert cache.extract_merged(sql) == direct
+        assert cache.extract_merged(sql) == direct  # warm hit too
+
+    def test_features_tuple_sorted_by_repr(self, cache):
+        entry, _ = cache.lookup("SELECT b, a FROM t WHERE x = 1")
+        assert list(entry.features) == sorted(entry.features, key=repr)
+
+    def test_branch_count_recorded(self, cache):
+        entry, _ = cache.lookup("SELECT a FROM t WHERE x = 1 OR y = 2")
+        assert entry.n_branches == 2
+
+    def test_failure_cached_and_replayed(self, cache):
+        bad = "SELECT FROM WHERE"
+        with pytest.raises(SqlError):
+            cache.extract_merged(bad)
+        with pytest.raises(SqlError):
+            cache.extract_merged(bad)
+        assert cache.stats.hits == 1  # the second raise came from cache
+
+    def test_unlexable_memoized_by_raw_string(self, cache):
+        with pytest.raises(SqlError):
+            cache.extract_merged("SELECT @ FROM t")
+        with pytest.raises(SqlError):
+            cache.extract_merged("SELECT @ FROM t")
+        assert cache.stats.bypasses == 1  # extracted once
+        assert cache.stats.hits == 1  # the repeat came from the memo
+        assert len(cache) == 0  # no fingerprinted template was stored
+
+    def test_unlexable_memo_bounded(self, cache):
+        for i in range(6):  # capacity 4
+            with pytest.raises(SqlError):
+                cache.extract_merged(f"SELECT @{i} FROM t")
+        assert cache.stats.evictions == 2
+
+    def test_lru_eviction(self, cache):
+        for i in range(6):  # 6 distinct templates, capacity 4
+            cache.extract_merged(f"SELECT c{i} FROM t")
+        assert len(cache) == 4
+        assert cache.stats.evictions == 2
+
+    def test_lru_recency(self, cache):
+        statements = [f"SELECT c{i} FROM t" for i in range(4)]
+        for sql in statements:
+            cache.extract_merged(sql)
+        cache.extract_merged(statements[0])  # refresh oldest
+        cache.extract_merged("SELECT fresh FROM t")  # evicts statements[1]
+        cache.extract_merged(statements[0])
+        assert cache.stats.hits == 2  # refresh + re-lookup both hit
+
+    def test_classify_failure_memoized(self, cache):
+        wide_or = "SELECT a FROM t WHERE " + " OR ".join(
+            f"x = {i}" for i in range(100)
+        )
+        extractor = AligonExtractor(remove_constants=True, max_disjuncts=8)
+        cache = FeatureCache(extractor, max_templates=4)
+        entry, _ = cache.lookup(wide_or)
+        assert entry.error is not None
+        assert cache.classify_failure(entry, wide_or) is True  # parses fine
+        assert entry.parse_ok is True
+        entry2, _ = cache.lookup("SELECT ) FROM t")
+        assert cache.classify_failure(entry2, "SELECT ) FROM t") is False
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FeatureCache(AligonExtractor(), max_templates=0)
+
+
+class TestVocabularyCache:
+    def test_indices_match_cold_path(self):
+        statements = [
+            "SELECT a FROM t WHERE x = 1",
+            "SELECT b, a FROM u WHERE y = 2 AND z = 3",
+            "SELECT a FROM t WHERE x = 9",  # same template, new literal
+        ]
+        extractor = AligonExtractor(remove_constants=True)
+        cold_vocab = Vocabulary()
+        cold_rows = []
+        for sql in statements:
+            merged = extractor.extract_merged(sql)
+            cold_rows.append(
+                frozenset(cold_vocab.add(f) for f in sorted(merged, key=repr))
+            )
+        warm_vocab = Vocabulary()
+        encoder = VocabularyCache(
+            FeatureCache(extractor), warm_vocab, max_rows=16
+        )
+        warm_rows = [encoder.encode_indices(sql) for sql in statements]
+        assert warm_rows == cold_rows
+        assert list(warm_vocab) == list(cold_vocab)
+
+    def test_row_hit_skips_vocabulary(self):
+        encoder = VocabularyCache(
+            FeatureCache(AligonExtractor()), Vocabulary(), max_rows=16
+        )
+        encoder.encode_indices("SELECT a FROM t WHERE x = 1")
+        size = len(encoder.vocabulary)
+        encoder.encode_indices("SELECT a FROM t WHERE x = 2")
+        assert len(encoder.vocabulary) == size
+        assert encoder.stats.hits == 1
+
+    def test_failures_raise_and_count(self):
+        encoder = VocabularyCache(
+            FeatureCache(AligonExtractor()), Vocabulary(), max_rows=16
+        )
+        with pytest.raises(SqlError):
+            encoder.encode_indices("SELECT FROM WHERE")  # lexes, fails parse
+        with pytest.raises(SqlError):
+            encoder.encode_indices("SELECT @ FROM t")  # fails lex
+        assert encoder.stats.misses == 1
+        assert encoder.stats.bypasses == 1
+
+    def test_row_eviction_bounded(self):
+        encoder = VocabularyCache(
+            FeatureCache(AligonExtractor(), max_templates=64),
+            Vocabulary(),
+            max_rows=3,
+        )
+        for i in range(5):
+            encoder.encode_indices(f"SELECT c{i} FROM t")
+        assert len(encoder) == 3
+        assert encoder.stats.evictions == 2
+        # An evicted row re-resolves from the template layer with the
+        # same indices (vocabulary is append-only).
+        again = encoder.encode_indices("SELECT c0 FROM t")
+        fresh = VocabularyCache(
+            FeatureCache(AligonExtractor()), Vocabulary(), max_rows=8
+        )
+        for i in range(5):
+            fresh.encode_indices(f"SELECT c{i} FROM t")
+        assert again == fresh.encode_indices("SELECT c0 FROM t")
+
+    def test_stats_payload_shape(self):
+        encoder = VocabularyCache(
+            FeatureCache(AligonExtractor()), Vocabulary(), max_rows=8
+        )
+        encoder.encode_indices("SELECT a FROM t")
+        payload = encoder.stats_payload()
+        assert set(payload) == {
+            "rows", "templates", "cached_rows", "cached_templates"
+        }
+        for layer in ("rows", "templates"):
+            assert set(payload[layer]) == {
+                "hits", "misses", "evictions", "bypasses", "hit_rate"
+            }
+
+
+class TestCacheStats:
+    def test_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.hit_rate == 0.75
+        assert CacheStats().hit_rate == 0.0

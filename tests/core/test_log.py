@@ -125,6 +125,28 @@ class TestLogBuilder:
         with pytest.raises(ValueError):
             LogBuilder().build()
 
+    def test_add_encoded_matches_add(self):
+        by_features = LogBuilder()
+        by_features.add({"a", "b"})
+        by_features.add({"a", "b"}, count=2)
+        by_indices = LogBuilder()
+        row = frozenset(
+            by_indices.vocabulary.add(f) for f in sorted({"a", "b"}, key=repr)
+        )
+        by_indices.add_encoded(row)
+        by_indices.add_encoded(row, count=2)
+        left, right = by_features.build(), by_indices.build()
+        assert left == right
+        assert list(left.vocabulary) == list(right.vocabulary)
+
+    def test_add_encoded_validates(self):
+        builder = LogBuilder()
+        builder.vocabulary.add("a")
+        with pytest.raises(ValueError):
+            builder.add_encoded(frozenset({5}))  # beyond the vocabulary
+        with pytest.raises(ValueError):
+            builder.add_encoded(frozenset({0}), count=0)
+
     def test_nonpositive_count_raises(self):
         with pytest.raises(ValueError):
             LogBuilder().add({"a"}, count=0)

@@ -124,6 +124,41 @@ class TestIngestEndpoint:
         reloaded = store.load("tpch")
         assert reloaded.mixture.total == log.total + 100
 
+    def test_ingest_surfaces_parse_cache_and_skip_split(self, tmp_path):
+        store = SummaryStore(tmp_path / "store")
+        workload = generate_tpch(total=1_000, variants_per_template=4, seed=1)
+        log = workload.to_query_log()
+        compressed = LogRCompressor(n_clusters=2, seed=0, n_init=2).compress(log)
+        store.save("tpch", compressed, log)
+        with AnalyticsServer(store, port=0) as server:
+            client = AnalyticsClient(server.url)
+            statements = list(workload.statements(shuffle=True, seed=2))[:80]
+            statements += ["EXEC sp_x 1", "TOTAL GARBAGE @@@"]
+            out = client.ingest("tpch", statements)
+            report = out["report"]
+            assert report["n_encoded"] == 80
+            assert report["n_skipped"] == 2
+            assert report["n_skipped_procedures"] == 1
+            assert report["n_skipped_unparseable"] == 1
+            stats = client.stats()
+            cache = stats["parse_cache"]["tpch"]
+            assert cache["rows"]["hits"] + cache["rows"]["misses"] >= 80
+            assert 0.0 <= cache["rows"]["hit_rate"] <= 1.0
+            assert cache["templates"]["misses"] >= 1
+
+    def test_parse_cache_disabled_server(self, tmp_path):
+        store = SummaryStore(tmp_path / "store")
+        workload = generate_tpch(total=500, variants_per_template=4, seed=1)
+        log = workload.to_query_log()
+        compressed = LogRCompressor(n_clusters=2, seed=0, n_init=2).compress(log)
+        store.save("tpch", compressed, log)
+        with AnalyticsServer(store, port=0, parse_cache_size=0) as server:
+            client = AnalyticsClient(server.url)
+            statements = list(workload.statements(shuffle=True, seed=2))[:20]
+            out = client.ingest("tpch", statements)
+            assert out["report"]["n_encoded"] == 20
+            assert client.stats()["parse_cache"] == {}
+
     def test_eviction_persists_unpersisted_ingest(self, tmp_path):
         store = SummaryStore(tmp_path / "store")
         for name, seed in (("alpha", 1), ("beta", 2)):

@@ -1,0 +1,246 @@
+"""Tests for the lexer-level statement fingerprinter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.errors import LexError
+from repro.sql.fingerprint import NUMBER_MASK, STRING_MASK, fingerprint
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenKind
+
+
+def _escape(value: str) -> str:
+    """The fingerprinter's injective control-character escaping."""
+    return value.replace("\x00", "\x00z").replace("\x1f", "\x00u")
+
+
+def reference_fingerprint(sql: str, mask_literals: bool = True) -> str | None:
+    """The same key derived token-by-token from the real Lexer."""
+    try:
+        tokens = tokenize(sql)
+    except LexError:
+        return None
+    out: list[str] = []
+    previous = ""
+    for token in tokens:
+        if token.kind is TokenKind.EOF:
+            break
+        if token.kind is TokenKind.KEYWORD:
+            tagged = "K:" + token.value
+        elif token.kind is TokenKind.IDENT:
+            tagged = "i:" + _escape(token.value)
+        elif token.kind is TokenKind.NUMBER:
+            if mask_literals and previous not in ("K:LIMIT", "K:OFFSET"):
+                tagged = NUMBER_MASK
+            else:
+                tagged = "n:" + token.value
+        elif token.kind is TokenKind.STRING:
+            tagged = STRING_MASK if mask_literals else "s:" + _escape(token.value)
+        elif token.kind is TokenKind.OPERATOR:
+            tagged = "o:" + token.value
+        elif token.kind is TokenKind.PARAM:
+            tagged = "?"
+        else:
+            tagged = "p:" + token.value
+        out.append(tagged)
+        previous = tagged
+    return "\x1f".join(out)
+
+
+class TestLiteralMasking:
+    def test_numbers_masked(self):
+        assert fingerprint("SELECT a FROM t WHERE x = 1") == fingerprint(
+            "SELECT a FROM t WHERE x = 234.5e-6"
+        )
+
+    def test_strings_masked(self):
+        assert fingerprint("SELECT a FROM t WHERE s = 'u'") == fingerprint(
+            "SELECT a FROM t WHERE s = 'it''s different'"
+        )
+
+    def test_number_and_string_do_not_collide(self):
+        assert fingerprint("SELECT a FROM t WHERE x = 1") != fingerprint(
+            "SELECT a FROM t WHERE x = '1'"
+        )
+
+    def test_mask_literals_off_keeps_values(self):
+        a = fingerprint("SELECT a FROM t WHERE x = 1", mask_literals=False)
+        b = fingerprint("SELECT a FROM t WHERE x = 2", mask_literals=False)
+        assert a != b
+
+    def test_limit_offset_not_masked(self):
+        # LIMIT/OFFSET counts survive constant removal and surface in
+        # subquery FROM features, so masking them would alias
+        # statements with different feature sets.
+        assert fingerprint("SELECT a FROM t LIMIT 10") != fingerprint(
+            "SELECT a FROM t LIMIT 20"
+        )
+        assert fingerprint("SELECT a FROM t LIMIT 5 OFFSET 1") != fingerprint(
+            "SELECT a FROM t LIMIT 5 OFFSET 2"
+        )
+
+    def test_where_literal_still_masked_with_limit(self):
+        assert fingerprint("SELECT a FROM t WHERE x = 1 LIMIT 5") == fingerprint(
+            "SELECT a FROM t WHERE x = 2 LIMIT 5"
+        )
+
+
+class TestStructureKept:
+    def test_identifiers_kept(self):
+        assert fingerprint("SELECT a FROM t") != fingerprint("SELECT b FROM t")
+        assert fingerprint("SELECT a FROM t") != fingerprint("SELECT a FROM u")
+
+    def test_clause_structure_kept(self):
+        plain = fingerprint("SELECT a FROM t")
+        assert plain != fingerprint("SELECT a FROM t WHERE x = 1")
+        assert plain != fingerprint("SELECT DISTINCT a FROM t")
+        assert plain != fingerprint("SELECT a FROM t ORDER BY a")
+
+    def test_in_list_arity_kept(self):
+        # IN (?, ?) and IN (?, ?, ?) have different feature sets.
+        assert fingerprint("SELECT a FROM t WHERE x IN (1, 2)") != fingerprint(
+            "SELECT a FROM t WHERE x IN (1, 2, 3)"
+        )
+
+    def test_operator_kept(self):
+        assert fingerprint("SELECT a FROM t WHERE x < 1") != fingerprint(
+            "SELECT a FROM t WHERE x > 1"
+        )
+
+    def test_diamond_equals_bang_equals(self):
+        # The lexer normalizes <> to != — the same token stream.
+        assert fingerprint("SELECT a FROM t WHERE x <> 1") == fingerprint(
+            "SELECT a FROM t WHERE x != 1"
+        )
+
+    def test_keyword_never_collides_with_quoted_identifier(self):
+        assert fingerprint('SELECT "SELECT" FROM t') != fingerprint(
+            "SELECT SELECT FROM t"
+        )
+
+    def test_parameter_distinct_from_masked_literal(self):
+        assert fingerprint("SELECT a FROM t WHERE x = ?") != fingerprint(
+            "SELECT a FROM t WHERE x = 1"
+        )
+
+    def test_separator_injection_cannot_forge_keys(self):
+        # A quoted identifier containing the key's control characters
+        # must not collide with the statement its payload spells out.
+        forged = 'SELECT "a\x1fK:FROM\x1fi:t"'
+        assert fingerprint(forged) != fingerprint("SELECT a FROM t")
+        masked = 'SELECT "\x00N" FROM t'
+        assert fingerprint(masked) != fingerprint("SELECT 1 FROM t")
+        # Escaping is injective: distinct payloads stay distinct.
+        assert fingerprint('SELECT "a\x00zb"') != fingerprint('SELECT "a\x00b"')
+        assert fingerprint(
+            "SELECT a FROM t WHERE s = 'x\x1fy'", mask_literals=False
+        ) != fingerprint(
+            "SELECT a FROM t WHERE s = 'x' AND q = 'y'", mask_literals=False
+        )
+
+
+class TestTriviaInvariance:
+    def test_whitespace_invariant(self):
+        assert fingerprint("SELECT a FROM t WHERE x = 1") == fingerprint(
+            "  SELECT\n\ta   FROM\n t\r\n WHERE  x=1  "
+        )
+
+    def test_comments_invariant(self):
+        assert fingerprint("SELECT a FROM t") == fingerprint(
+            "SELECT /* block */ a FROM t -- trailing"
+        )
+
+    def test_case_changes_key_but_never_aliases(self):
+        # Case folding happens later in normalization; the fingerprint
+        # conservatively treats case variants as distinct templates.
+        assert fingerprint("select a from t") != fingerprint("SELECT A FROM T")
+
+
+class TestLexFailures:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT @ FROM t",  # character the lexer rejects
+            "SELECT a FROM t WHERE s = 'unterminated",
+            "SELECT a /* unterminated comment",
+            'SELECT "unterminated FROM t',
+        ],
+    )
+    def test_unlexable_returns_none(self, bad):
+        assert fingerprint(bad) is None
+
+    def test_empty_statement(self):
+        assert fingerprint("") == ""
+        assert fingerprint("   -- only trivia\n") == ""
+
+
+class TestLexerEquivalence:
+    """The regex scanner must agree with the real Lexer token-for-token."""
+
+    CORPUS = [
+        "SELECT a, b FROM t WHERE x = 1 AND y = 'v'",
+        "SELECT t.a FROM t JOIN u ON t.id = u.id WHERE u.k IN (1, 2, 3)",
+        "SELECT a FROM (SELECT b FROM u WHERE b > 0 LIMIT 3) WHERE a < 9",
+        "SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2 ORDER BY a DESC",
+        "SELECT a FROM t WHERE x BETWEEN 1.5e-3 AND .5 OR y LIKE 'p%'",
+        "SELECT 'it''s', \"we\"\"ird\", `tick``ed` FROM t",
+        "SELECT a$1#x FROM t WHERE b IS NOT NULL",
+        "SELECT 1..2 FROM t",  # number/dot disambiguation edge
+        "SELECT a FROM t LIMIT 10 OFFSET 5",
+        "SELECT CASE WHEN x = 1 THEN 'a' ELSE 'b' END FROM t",
+        "SELECT a || 'x' FROM t WHERE x <> 2 AND y <= 3 AND z >= 4",
+        'SELECT "inj\x1fected", `ma\x00sk` FROM t WHERE s = \'con\x1ftrol\'',
+    ]
+
+    @pytest.mark.parametrize("sql", CORPUS)
+    @pytest.mark.parametrize("mask", [True, False])
+    def test_corpus(self, sql, mask):
+        assert fingerprint(sql, mask) == reference_fingerprint(sql, mask)
+
+    @given(
+        sql=st.lists(
+            st.sampled_from(
+                list("abxyt01._'\"`?()*,;=<>+-/% \n\t\x1f\x00")
+                + ["SELECT ", " FROM ", "--", "/*", "*/", "1.5e2", "''"]
+            ),
+            max_size=12,
+        ).map("".join),
+        mask=st.booleans(),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_text_agrees_with_lexer(self, sql, mask):
+        assert fingerprint(sql, mask) == reference_fingerprint(sql, mask)
+
+    def test_workload_statements_agree(self):
+        from repro.workloads import generate_bank
+
+        workload = generate_bank(total=400, n_templates=60, seed=3)
+        for sql in workload.statements():
+            for mask in (True, False):
+                assert fingerprint(sql, mask) == reference_fingerprint(sql, mask)
+
+
+class TestExtractionConsistency:
+    """Same fingerprint ⇒ same extracted features (the cache's contract)."""
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x = 99"),
+            (
+                "SELECT a FROM t WHERE s = 'u' AND x > 2",
+                "SELECT a FROM t WHERE s = 'v' AND x > 7",
+            ),
+            (
+                "SELECT a FROM (SELECT b FROM u LIMIT 3)",
+                "SELECT a FROM (SELECT b FROM u LIMIT 3)",
+            ),
+        ],
+    )
+    def test_equal_fingerprint_equal_features(self, a, b):
+        from repro.sql import AligonExtractor
+
+        assert fingerprint(a) == fingerprint(b)
+        extractor = AligonExtractor(remove_constants=True)
+        assert extractor.extract_merged(a) == extractor.extract_merged(b)

@@ -80,6 +80,39 @@ class TestLoadLog:
         with pytest.raises(ValueError):
             load_log(["EXEC nope", "@@@@"])
 
+    def test_error_samples_match_cold_path_for_literal_variants(self):
+        # Two raw-distinct literal variants of one failing template:
+        # the cold path records one error line per distinct raw
+        # statement, and so must the fast path.
+        statements = [
+            "SELECT a FROM t",
+            "SELECT ) FROM x WHERE q = 1",
+            "SELECT ) FROM x WHERE q = 2",
+        ]
+        _, warm = load_log(statements, parse_cache=True)
+        _, cold = load_log(statements, parse_cache=False)
+        assert len(warm.errors) == len(cold.errors) == 2
+
+    def test_shared_cache_keeps_error_samples_per_call(self):
+        from repro.core.featurecache import FeatureCache
+        from repro.sql import AligonExtractor
+
+        cache = FeatureCache(AligonExtractor(remove_constants=True))
+        statements = ["SELECT a FROM t", "SELECT FROM WHERE"]
+        _, first = load_log(statements, feature_cache=cache)
+        _, second = load_log(statements, feature_cache=cache)
+        assert len(first.errors) == len(second.errors) == 1
+
+    def test_repeated_garbage_reports_one_error(self):
+        # The cold path memoized failures by raw string; the fast path
+        # must not regress to one error line (and one re-parse) per
+        # occurrence of the same unlexable statement.
+        statements = ["SELECT a FROM t"] + ["@@@ garbage @@@"] * 5
+        _, warm = load_log(statements, parse_cache=True)
+        _, cold = load_log(statements, parse_cache=False)
+        assert warm.unparseable == cold.unparseable == 5
+        assert len(warm.errors) == len(cold.errors) == 1
+
     def test_constant_handling(self):
         statements = ["SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x = 2"]
         log, _ = load_log(statements, remove_constants=True)
