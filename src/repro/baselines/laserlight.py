@@ -26,11 +26,11 @@ reference of §8.1.1.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .._clock import Stopwatch
 from .._rng import ensure_rng
 from ..core import kernels
 from ..core.entropy import bernoulli_entropy
@@ -131,7 +131,7 @@ class Laserlight:
         *outcomes* holds ``v(t) ∈ [0, 1]`` per distinct row (fractional
         values arise when duplicate rows disagree on the class).
         """
-        start = time.perf_counter()
+        watch = Stopwatch()
         matrix = log.matrix
         weights = log.counts.astype(float)
         outcomes = np.asarray(outcomes, dtype=float)
@@ -174,7 +174,7 @@ class Laserlight:
             error = new_error
             summary.history.append(error)
         summary.error = error
-        summary.fit_seconds = time.perf_counter() - start
+        summary.fit_seconds = watch.elapsed()
         return summary
 
     @staticmethod

@@ -18,11 +18,11 @@ wall-clock time so Fig. 8's Error *and* runtime trends regenerate.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from .._clock import Stopwatch
 from .._rng import ensure_rng
 from ..core.encoding import NaiveEncoding
 from ..core.log import QueryLog
@@ -115,7 +115,7 @@ def laserlight_mixture(
     partition's distinct rows.
     """
     rng = ensure_rng(seed)
-    start = time.perf_counter()
+    watch = Stopwatch()
     budgets = _budgets(partitions, mode, total_patterns, cap=None)
     errors: list[float] = []
     mined: list[int] = []
@@ -134,7 +134,7 @@ def laserlight_mixture(
         mined.append(summary.verbosity)
     weights = _distinct_weights(partitions)
     combined = float((weights * np.asarray(errors)).sum())
-    return MixtureRun(errors, mined, combined, time.perf_counter() - start)
+    return MixtureRun(errors, mined, combined, watch.elapsed())
 
 
 def mtv_mixture(
@@ -156,7 +156,7 @@ def mtv_mixture(
     MTV's inference is exponential in the per-cluster budget.
     """
     rng = ensure_rng(seed)
-    start = time.perf_counter()
+    watch = Stopwatch()
     cap = min(pattern_cap, MTV_PATTERN_LIMIT)
     budgets = _budgets(partitions, mode, total_patterns, cap=cap)
     errors: list[float] = []
@@ -177,7 +177,7 @@ def mtv_mixture(
         mined.append(summary.verbosity)
     weights = _distinct_weights(partitions)
     combined = float((weights * np.asarray(errors)).sum())
-    return MixtureRun(errors, mined, combined, time.perf_counter() - start)
+    return MixtureRun(errors, mined, combined, watch.elapsed())
 
 
 def naive_mixture_laserlight_error(

@@ -21,11 +21,11 @@ the BIC penalty on verbosity.  Lower is better.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .._clock import Stopwatch
 from .._rng import ensure_rng
 from ..core.encoding import PatternEncoding
 from ..core.entropy import bernoulli_entropy, safe_log2
@@ -105,7 +105,7 @@ class MTV:
 
     def fit(self, log: QueryLog) -> MtvSummary:
         """Mine the most informative itemsets of *log*."""
-        start = time.perf_counter()
+        watch = Stopwatch()
         candidates = frequent_patterns(
             log,
             min_support=self.min_support,
@@ -145,7 +145,7 @@ class MTV:
             error=_bic_error(log, entropy, encoding.verbosity),
             history=history,
         )
-        summary.fit_seconds = time.perf_counter() - start
+        summary.fit_seconds = watch.elapsed()
         return summary
 
     # ------------------------------------------------------------------

@@ -30,13 +30,13 @@ from __future__ import annotations
 
 import base64
 import json
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Hashable, Iterable, Sequence
+from typing import Any, Hashable, Iterable, Sequence
 
 import numpy as np
 
+from .._clock import Stopwatch
 from .._rng import ensure_rng
 from .executor import Executor, resolve_executor, spawn_generators
 from .log import BACKENDS, QueryLog
@@ -220,7 +220,7 @@ def _labels_to_payload(labels: np.ndarray) -> dict:
     }
 
 
-def _labels_from_payload(payload) -> np.ndarray:
+def _labels_from_payload(payload: Any) -> np.ndarray:
     """Decode either label form: legacy int list or compact base64."""
     if isinstance(payload, dict):
         if payload.get("encoding") != "b64":
@@ -276,7 +276,7 @@ class LogRCompressor:
         jobs: int = 1,
         executor: Executor | str | None = None,
         seed: int | np.random.Generator | None = None,
-    ):
+    ) -> None:
         if n_clusters < 1:
             raise ValueError("n_clusters must be >= 1")
         if backend not in BACKENDS:
@@ -311,14 +311,14 @@ class LogRCompressor:
 
     def compress(self, log: QueryLog) -> CompressedLog:
         """Compress *log* into a pattern mixture encoding."""
-        start = time.perf_counter()
+        watch = Stopwatch()
         executor, owned = self._resolve_executor()
         try:
             result = self.pipeline(executor).run(log, self._rng)
         finally:
             if owned:
                 executor.close()
-        elapsed = time.perf_counter() - start
+        elapsed = watch.elapsed()
         return CompressedLog(
             mixture=result.mixture,
             labels=result.labels,
@@ -572,7 +572,7 @@ def compress_sharded(
     """
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
-    start = time.perf_counter()
+    watch = Stopwatch()
     log = log.with_backend(backend)
     chunks = [
         chunk
@@ -612,7 +612,7 @@ def compress_sharded(
         n_clusters=merged.n_components,
         method=method,
         metric=metric,
-        build_seconds=time.perf_counter() - start,
+        build_seconds=watch.elapsed(),
         refined_patterns=0,
         backend=backend,
     )

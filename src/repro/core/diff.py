@@ -18,7 +18,7 @@ Both questions are answerable from LogR artifacts alone:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Hashable, Iterable
 
 import numpy as np
 
@@ -119,7 +119,7 @@ def mixture_divergence(
 
 
 def divergence_timeline(
-    mixtures,
+    mixtures: Iterable[PatternMixtureEncoding],
     baseline: PatternMixtureEncoding | None = None,
 ) -> list[float | None]:
     """Per-pane JS-drift series over a sequence of window summaries.

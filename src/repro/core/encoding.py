@@ -28,7 +28,7 @@ __all__ = ["PatternEncoding", "NaiveEncoding", "naive_encoding"]
 class PatternEncoding:
     """An explicit partial mapping from patterns to marginals."""
 
-    def __init__(self, n_features: int, mapping: Mapping[Pattern, float] | None = None):
+    def __init__(self, n_features: int, mapping: Mapping[Pattern, float] | None = None) -> None:
         if n_features < 0:
             raise ValueError("n_features must be non-negative")
         self.n_features = n_features
@@ -136,7 +136,7 @@ class NaiveEncoding:
     verbosity accounting of §5.2 / Fig. 2b.
     """
 
-    def __init__(self, marginals: np.ndarray):
+    def __init__(self, marginals: np.ndarray) -> None:
         marginals = np.asarray(marginals, dtype=float)
         if marginals.ndim != 1:
             raise ValueError("marginals must be a vector")

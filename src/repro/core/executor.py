@@ -75,7 +75,7 @@ class Executor:
     def __enter__(self) -> "Executor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:
@@ -102,7 +102,7 @@ class ThreadExecutor(Executor):
 
     kind = "thread"
 
-    def __init__(self, jobs: int):
+    def __init__(self, jobs: int) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
@@ -132,7 +132,7 @@ class ProcessExecutor(Executor):
 
     kind = "process"
 
-    def __init__(self, jobs: int, start_method: str | None = None):
+    def __init__(self, jobs: int, start_method: str | None = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs

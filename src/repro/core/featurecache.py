@@ -115,7 +115,7 @@ class CachedTemplate:
         features: tuple | None,
         n_branches: int,
         error: SqlError | None,
-    ):
+    ) -> None:
         self.features = features
         self.n_branches = n_branches
         self.error = error
@@ -132,7 +132,7 @@ class FeatureCache:
         max_templates: LRU capacity (distinct templates retained).
     """
 
-    def __init__(self, extractor: "AligonExtractor", max_templates: int = DEFAULT_CACHE_SIZE):
+    def __init__(self, extractor: "AligonExtractor", max_templates: int = DEFAULT_CACHE_SIZE) -> None:
         if max_templates < 1:
             raise ValueError("max_templates must be >= 1")
         self.extractor = extractor
@@ -251,7 +251,7 @@ class VocabularyCache:
         features: FeatureCache,
         vocabulary: "Vocabulary",
         max_rows: int = DEFAULT_CACHE_SIZE,
-    ):
+    ) -> None:
         if max_rows < 1:
             raise ValueError("max_rows must be >= 1")
         self.features = features

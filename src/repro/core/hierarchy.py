@@ -53,7 +53,7 @@ class HierarchicalCompressor:
             Error/runtime trade-off won the paper's comparison).
     """
 
-    def __init__(self, linkage: str = "average", metric: str = "hamming"):
+    def __init__(self, linkage: str = "average", metric: str = "hamming") -> None:
         self.linkage = linkage
         self.metric = metric
         self._log: QueryLog | None = None

@@ -50,7 +50,7 @@ The public entry points:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -325,7 +325,7 @@ def _word_slots(packed_patterns: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return word_idx, word_val
 
 
-def _chunks(k: int, m: int):
+def _chunks(k: int, m: int) -> Iterator[tuple[int, int]]:
     """Chunk a k-pattern batch so per-slot (m, chunk) gathers stay bounded."""
     step = max(1, _CHUNK_BYTES // max(1, m * 8))
     for start in range(0, k, step):

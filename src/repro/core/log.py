@@ -46,7 +46,7 @@ class QueryLog:
         matrix: np.ndarray,
         counts: np.ndarray | Sequence[int],
         backend: str = "packed",
-    ):
+    ) -> None:
         matrix = np.ascontiguousarray(np.asarray(matrix, dtype=np.uint8))
         counts = np.asarray(counts, dtype=np.int64)
         if matrix.ndim != 2:
@@ -281,7 +281,7 @@ class LogBuilder:
         log = builder.build()
     """
 
-    def __init__(self, vocabulary: Vocabulary | None = None):
+    def __init__(self, vocabulary: Vocabulary | None = None) -> None:
         self.vocabulary = vocabulary or Vocabulary()
         self._counts: dict[frozenset[int], int] = {}
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 from scipy.special import logsumexp
@@ -212,7 +212,7 @@ def ipf_atoms(
 class IndependentMaxent:
     """Closed-form maxent for a naive encoding (paper eq. 1)."""
 
-    def __init__(self, marginals: np.ndarray):
+    def __init__(self, marginals: np.ndarray) -> None:
         self.marginals = np.asarray(marginals, dtype=float)
 
     @classmethod
@@ -253,7 +253,7 @@ class BlockwiseMaxent:
     marginals plus pattern constraints.
     """
 
-    def __init__(self, marginals: np.ndarray, blocks: list[_Block]):
+    def __init__(self, marginals: np.ndarray, blocks: list[_Block]) -> None:
         self.marginals = np.asarray(marginals, dtype=float)
         self.blocks = blocks
         self._in_block = np.zeros(self.marginals.shape[0], dtype=bool)
@@ -306,7 +306,7 @@ class ClassBasedMaxent:
         class_log_probs: np.ndarray,
         achieved: np.ndarray,
         targets: np.ndarray,
-    ):
+    ) -> None:
         self.classes = classes
         self.class_log_probs = class_log_probs  # natural-log probabilities
         self.achieved = achieved
@@ -444,7 +444,7 @@ def fit_extended_naive(
 
 
 def maxent_entropy(
-    encoding: NaiveEncoding | PatternEncoding, **kwargs
+    encoding: NaiveEncoding | PatternEncoding, **kwargs: Any
 ) -> float:
     """H(ρ_E) in bits for either encoding flavour (dispatcher)."""
     if isinstance(encoding, NaiveEncoding):

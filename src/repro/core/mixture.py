@@ -15,7 +15,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Sequence
+
+if TYPE_CHECKING:  # import only for annotations: executor is a consumer too
+    from .executor import Executor
 
 import numpy as np
 
@@ -104,7 +107,7 @@ class PatternMixtureEncoding:
         self,
         components: Sequence[MixtureComponent],
         vocabulary: Vocabulary | None = None,
-    ):
+    ) -> None:
         if not components:
             raise ValueError("a mixture needs at least one component")
         self.components = list(components)
@@ -118,7 +121,7 @@ class PatternMixtureEncoding:
         cls,
         partitions: Sequence[QueryLog],
         vocabulary: Vocabulary | None = None,
-        executor=None,
+        executor: "Executor | None" = None,
     ) -> "PatternMixtureEncoding":
         """Naive mixture encoding of pre-partitioned logs (§5.1).
 
@@ -211,7 +214,7 @@ class PatternMixtureEncoding:
         method: str = "kmeans",
         metric: str = "euclidean",
         n_init: int = 10,
-        seed=None,
+        seed: "int | np.random.Generator | None" = None,
     ) -> tuple["PatternMixtureEncoding", np.ndarray]:
         """Merge similar components down to *n_clusters* (shard cleanup).
 
@@ -270,6 +273,7 @@ class PatternMixtureEncoding:
         """
         if not factor > 0:
             raise ValueError(f"scale factor must be > 0, got {factor}")
+        # reprolint: disable=FLOAT01 -- exact-identity fast path: both branches agree for factor ~ 1, == only skips an allocation
         if factor == 1.0:
             return self
         return PatternMixtureEncoding(

@@ -20,7 +20,7 @@ class Pattern:
 
     __slots__ = ("_indices", "_hash")
 
-    def __init__(self, indices: Iterable[int]):
+    def __init__(self, indices: Iterable[int]) -> None:
         if isinstance(indices, np.ndarray) and indices.dtype.kind in "iu":
             self._indices = frozenset(indices.tolist())
         else:

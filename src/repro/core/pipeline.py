@@ -25,12 +25,13 @@ payloads, so every stage is bit-identical at any worker count.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .._clock import Stopwatch
 from ..cluster import ClusterSpec
+from .encoding import PatternEncoding
 from .executor import Executor, SerialExecutor
 from .log import QueryLog
 from .mixture import PatternMixtureEncoding
@@ -64,7 +65,7 @@ class PipelineResult:
 class EncodeStage:
     """``QueryLog → QueryLog``: pin the containment kernel backend."""
 
-    def __init__(self, backend: str = "packed"):
+    def __init__(self, backend: str = "packed") -> None:
         self.backend = backend
 
     def run(self, log: QueryLog) -> QueryLog:
@@ -84,7 +85,7 @@ class PartitionStage:
         method: str = "kmeans",
         metric: str = "euclidean",
         n_init: int = 10,
-    ):
+    ) -> None:
         self.n_clusters = n_clusters
         self.spec = ClusterSpec(method=method, metric=metric, n_init=n_init)
 
@@ -128,7 +129,7 @@ class RefineStage:
         refine_patterns: int = 0,
         min_support: float = 0.05,
         max_pattern_size: int = 3,
-    ):
+    ) -> None:
         self.refine_patterns = refine_patterns
         self.min_support = min_support
         self.max_pattern_size = max_pattern_size
@@ -151,7 +152,7 @@ class RefineStage:
         return mixture
 
 
-def _refine_task(payload):
+def _refine_task(payload: tuple[QueryLog, int, float, int]) -> PatternEncoding:
     """One partition's refinement; module-level for process executors."""
     partition, n_patterns, min_support, max_pattern_size = payload
     return refine_greedy(
@@ -185,7 +186,7 @@ class CompressionPipeline:
         fit: FitStage | None = None,
         refine: RefineStage | None = None,
         executor: Executor | None = None,
-    ):
+    ) -> None:
         self.encode = encode
         self.partition = partition
         self.fit = fit or FitStage()
@@ -194,21 +195,18 @@ class CompressionPipeline:
 
     def run(self, log: QueryLog, rng: np.random.Generator) -> PipelineResult:
         timings: dict[str, float] = {}
-        start = time.perf_counter()
+        watch = Stopwatch()
         encoded = self.encode.run(log)
-        timings["encode"] = time.perf_counter() - start
+        timings["encode"] = watch.lap()
 
-        start = time.perf_counter()
         labels = self.partition.run(encoded, rng)
-        timings["partition"] = time.perf_counter() - start
+        timings["partition"] = watch.lap()
 
-        start = time.perf_counter()
         partitions, mixture = self.fit.run(encoded, labels, self.executor)
-        timings["fit"] = time.perf_counter() - start
+        timings["fit"] = watch.lap()
 
-        start = time.perf_counter()
         mixture = self.refine.run(partitions, mixture, self.executor)
-        timings["refine"] = time.perf_counter() - start
+        timings["refine"] = watch.lap()
 
         return PipelineResult(
             log=encoded,

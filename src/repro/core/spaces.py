@@ -87,7 +87,7 @@ class DistributionSampler:
         seed: int | np.random.Generator | None = None,
         class_prior: str = "cardinality",
         concentration: float = 2_000.0,
-    ):
+    ) -> None:
         if class_prior not in ("cardinality", "uniform"):
             raise ValueError(f"unknown class prior {class_prior!r}")
         self.encoding = encoding
@@ -207,7 +207,7 @@ class _AffineProjector:
     indicators); the simplex-sum row is appended internally.
     """
 
-    def __init__(self, A: np.ndarray, b: np.ndarray, n_classes: int, max_iter: int = 200):
+    def __init__(self, A: np.ndarray, b: np.ndarray, n_classes: int, max_iter: int = 200) -> None:
         ones = np.ones((1, n_classes))
         if A.shape[0] > 0:
             self._A = np.vstack([A, ones])

@@ -23,7 +23,7 @@ __all__ = ["Vocabulary"]
 class Vocabulary:
     """An append-only bijection between features and indices ``0..n-1``."""
 
-    def __init__(self, features: Iterable[Hashable] = ()):
+    def __init__(self, features: Iterable[Hashable] = ()) -> None:
         self._index: dict[Hashable, int] = {}
         self._features: list[Hashable] = []
         for feature in features:

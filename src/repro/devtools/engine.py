@@ -1,0 +1,274 @@
+"""The ``reprolint`` rule engine: parsing, suppression, rule dispatch.
+
+The analyzer is deliberately boring machinery: each rule is an
+:class:`ast`-level visitor encoding one repository invariant (see
+:mod:`repro.devtools.rules`); this module owns everything the rules
+share —
+
+* one parse per file, wrapped in a :class:`FileContext` that also
+  carries the comment map (for ``# guarded-by:`` / ``# holds:``
+  registries) and an import-alias resolver;
+* the inline suppression syntax
+  ``# reprolint: disable=RULE[,RULE...] -- <one-line justification>``,
+  scoped to the physical line the violation is reported on;
+* suppression hygiene: a suppression without a ``--`` justification is
+  itself a violation (``SUP01``), and a suppression that matched
+  nothing is dead weight and flagged too (``SUP02``) — disables never
+  silently outlive the code they excused.
+
+Rules receive the context and return :class:`Violation` records; the
+engine filters suppressed ones and appends the hygiene findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import PurePath
+
+__all__ = [
+    "Violation",
+    "Suppression",
+    "FileContext",
+    "ImportMap",
+    "Rule",
+    "LintError",
+    "lint_source",
+    "SUPPRESS_RE",
+]
+
+#: Matches inline disable comments: rule list + optional justification.
+SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)"
+    r"(?:\s+--\s*(.*\S))?"
+)
+
+
+class LintError(Exception):
+    """A file could not be analyzed (unreadable or syntactically invalid)."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, anchored to a source line."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` — the text output line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_payload(self) -> dict:
+        """JSON-ready record for ``--format=json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline disable comment.
+
+    A trailing comment suppresses findings on its own line; a
+    *standalone* comment (nothing but the comment on its line)
+    suppresses findings on the line below it, so long justifications
+    don't force long code lines.
+    """
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+    standalone: bool = False
+
+    def covers(self) -> tuple[int, ...]:
+        """The source lines this suppression applies to."""
+        return (self.line + 1,) if self.standalone else (self.line,)
+
+
+class ImportMap:
+    """Resolve names/attribute chains to dotted import paths.
+
+    ``import numpy as np`` makes ``np.random.seed`` resolve to
+    ``numpy.random.seed``; ``from time import perf_counter`` makes a
+    bare ``perf_counter`` resolve to ``time.perf_counter``.  Unaliased
+    names resolve to themselves (so builtins like ``set`` and ``list``
+    are recognizable).  This is lexical, not semantic: a local variable
+    shadowing a module name can fool it — acceptable for a linter whose
+    false positives are one suppression comment away.
+    """
+
+    def __init__(self, tree: ast.AST):
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".", 1)[0]
+                        self.aliases[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports stay unresolved
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted path of a ``Name``/``Attribute`` chain, or ``None``."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self.aliases.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+
+class FileContext:
+    """Everything the rules need to know about one source file."""
+
+    def __init__(self, path: PurePath, source: str):
+        self.path = path
+        self.source = source
+        try:
+            self.tree = ast.parse(source)
+        except SyntaxError as exc:
+            raise LintError(
+                f"{path}:{exc.lineno or 0}: syntax error: {exc.msg}"
+            ) from exc
+        self.imports = ImportMap(self.tree)
+        #: line number -> full comment text (``#`` included)
+        self.comments: dict[int, str] = {}
+        try:
+            for token in tokenize.generate_tokens(io.StringIO(source).readline):
+                if token.type == tokenize.COMMENT:
+                    self.comments[token.start[0]] = token.string
+        except tokenize.TokenError:  # pragma: no cover - ast.parse catches first
+            pass
+
+    def suppressions(self) -> list[Suppression]:
+        """All inline disable comments in the file."""
+        found = []
+        lines = self.source.splitlines()
+        for line, comment in self.comments.items():
+            match = SUPPRESS_RE.search(comment)
+            if match is not None:
+                rules = tuple(
+                    part.strip() for part in match.group(1).split(",")
+                )
+                text = lines[line - 1] if line - 1 < len(lines) else ""
+                found.append(
+                    Suppression(
+                        line,
+                        rules,
+                        (match.group(2) or "").strip(),
+                        standalone=text.lstrip().startswith("#"),
+                    )
+                )
+        return found
+
+    def violation(self, node: ast.AST, rule: str, message: str) -> Violation:
+        """A :class:`Violation` anchored to *node*."""
+        return Violation(
+            path=str(self.path),
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+
+
+class Rule:
+    """One machine-checked invariant.
+
+    Subclasses set ``rule_id`` (stable, used in suppressions and CI
+    output), ``invariant`` (the one-line contract the rule encodes) and
+    ``witness`` (the property/concurrency test that dynamically
+    witnesses the same invariant — the lint is the cheap, total check;
+    the witness is the expensive, behavioral one).
+    """
+
+    rule_id: str = ""
+    invariant: str = ""
+    witness: str = ""
+
+    def applies_to(self, path: PurePath) -> bool:
+        """Whether *path* is inside this rule's enforcement scope."""
+        return True
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        """All violations of this rule in *ctx* (pre-suppression)."""
+        raise NotImplementedError
+
+
+def lint_source(
+    path: PurePath, source: str, rules: "list[Rule] | tuple[Rule, ...]"
+) -> list[Violation]:
+    """Lint one file's text with *rules*; suppressions applied.
+
+    Returns surviving violations plus suppression-hygiene findings
+    (``SUP01`` missing justification, ``SUP02`` matched nothing),
+    ordered by line.
+    """
+    ctx = FileContext(path, source)
+    raw: list[Violation] = []
+    for rule in rules:
+        if rule.applies_to(path):
+            raw.extend(rule.check(ctx))
+    suppressions = ctx.suppressions()
+    kept: list[Violation] = []
+    used: set[int] = set()
+    by_line: dict[tuple[int, str], Suppression] = {}
+    for suppression in suppressions:
+        for covered in suppression.covers():
+            for rule_id in suppression.rules:
+                by_line[(covered, rule_id)] = suppression
+    for violation in raw:
+        match = by_line.get((violation.line, violation.rule))
+        if match is None:
+            kept.append(violation)
+        else:
+            used.add(match.line)
+    for suppression in suppressions:
+        if not suppression.justification:
+            kept.append(
+                Violation(
+                    path=str(path),
+                    line=suppression.line,
+                    col=0,
+                    rule="SUP01",
+                    message=(
+                        "suppression lacks a justification — write "
+                        "`# reprolint: disable=RULE -- <why this is safe>`"
+                    ),
+                )
+            )
+        if suppression.line not in used:
+            kept.append(
+                Violation(
+                    path=str(path),
+                    line=suppression.line,
+                    col=0,
+                    rule="SUP02",
+                    message=(
+                        "suppression matched no violation — the excused "
+                        f"code is gone; delete the disable comment "
+                        f"({', '.join(suppression.rules)})"
+                    ),
+                )
+            )
+    kept.sort(key=lambda v: (v.line, v.col, v.rule))
+    return kept

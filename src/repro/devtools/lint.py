@@ -1,0 +1,191 @@
+"""``reprolint`` CLI — run the invariant analyzer over source trees.
+
+Usage::
+
+    python -m repro.devtools.lint [paths ...] [--format=text|json]
+                                  [--select=DET01,LOCK01] [--list-rules]
+
+*paths* default to ``src``; directories are walked recursively for
+``*.py`` (skipping ``__pycache__`` and hidden directories).  Exit
+status: ``0`` clean, ``1`` violations found, ``2`` a file could not be
+analyzed (unreadable / syntax error) or bad usage.
+
+Suppress a single finding on its reported line with an inline comment
+carrying a mandatory one-line justification::
+
+    if factor == 1.0:  # reprolint: disable=FLOAT01 -- exact identity fast path
+
+An unjustified suppression is itself reported (``SUP01``), as is one
+that no longer matches any violation (``SUP02``) — disables cannot
+silently outlive the code they excused.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path, PurePath
+from typing import Iterable, Sequence
+
+from .engine import LintError, Violation, lint_source
+from .rules import default_rules
+
+__all__ = ["main", "lint_paths", "iter_python_files"]
+
+#: Exit statuses (also the CI gate contract).
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_ERROR = 2
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand *paths* to a sorted, de-duplicated list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = candidate.parts
+                if any(
+                    part == "__pycache__" or part.startswith(".")
+                    for part in parts
+                ):
+                    continue
+                out.add(candidate)
+        else:
+            out.add(path)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: "frozenset[str] | None" = None,
+) -> tuple[list[Violation], list[str], int]:
+    """Lint *paths*; returns ``(violations, errors, files_checked)``.
+
+    *errors* are human-readable messages for files that could not be
+    analyzed at all (missing, unreadable, syntax error) — the caller
+    decides whether they are fatal (the CLI treats them as exit 2).
+    """
+    violations: list[Violation] = []
+    errors: list[str] = []
+    checked = 0
+    rules = default_rules(select)
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            errors.append(f"{path}: unreadable: {exc}")
+            continue
+        try:
+            violations.extend(lint_source(PurePath(path), source, rules))
+        except LintError as exc:
+            errors.append(str(exc))
+            continue
+        checked += 1
+    return violations, errors, checked
+
+
+def _format_text(
+    violations: Iterable[Violation], errors: Sequence[str], checked: int
+) -> str:
+    lines = [violation.format() for violation in violations]
+    lines.extend(f"error: {message}" for message in errors)
+    n = len(lines) - len(errors)
+    lines.append(
+        f"reprolint: {n} violation(s), {len(errors)} error(s) "
+        f"in {checked} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def _format_json(
+    violations: Sequence[Violation], errors: Sequence[str], checked: int
+) -> str:
+    return json.dumps(
+        {
+            "violations": [v.to_payload() for v in violations],
+            "errors": list(errors),
+            "files_checked": checked,
+            "ok": not violations and not errors,
+        },
+        indent=1,
+    )
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in default_rules():
+        lines.append(f"{rule.rule_id}: {rule.invariant}")
+        lines.append(f"    witnessed by: {rule.witness}")
+    lines.append(
+        "SUP01: every suppression carries a `-- <justification>`"
+    )
+    lines.append("SUP02: suppressions that match nothing are removed")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="AST-based invariant analyzer for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return EXIT_CLEAN
+    select = None
+    if args.select is not None:
+        select = frozenset(
+            part.strip().upper() for part in args.select.split(",") if part.strip()
+        )
+        known = {rule.rule_id for rule in default_rules()}
+        unknown = select - known
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+    violations, errors, checked = lint_paths(args.paths, select)
+    if checked == 0 and not errors:
+        print("error: no python files found", file=sys.stderr)
+        return EXIT_ERROR
+    if args.format == "json":
+        print(_format_json(violations, errors, checked))
+    else:
+        print(_format_text(violations, errors, checked))
+    if errors:
+        return EXIT_ERROR
+    if violations:
+        return EXIT_VIOLATIONS
+    return EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,336 @@
+"""Concurrency rules: PAR01 (spawn-pickle hazards), LOCK01 (lock discipline).
+
+Two invariants from the parallel/service layers:
+
+* every payload handed to an executor must survive a spawn-start
+  process boundary — lambdas, nested functions and bound methods do
+  not pickle by reference (PR 3's ``core/executor.py`` contract);
+* the service layer's shared mutable state follows
+  lock-free-snapshot / lock-guarded-mutation discipline: attributes
+  declared ``# guarded-by: <lock>`` may only be touched inside
+  ``with self.<lock>:`` (PR 2/4's server/store/windows contract).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..engine import FileContext, Rule, Violation
+
+__all__ = ["SpawnUnsafeCallable", "GuardedByDiscipline"]
+
+#: Executor/pool entry points whose first argument is the mapped callable.
+_EXECUTOR_METHODS = frozenset(
+    {"map", "submit", "imap", "imap_unordered", "starmap", "apply_async"}
+)
+
+_GUARDED_BY_RE = re.compile(r"#.*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_HOLDS_RE = re.compile(r"#\s*holds:\s*([A-Za-z0-9_,\s]+)")
+
+
+class SpawnUnsafeCallable(Rule):
+    """PAR01 — executor payloads must pickle by reference.
+
+    Invariant: the process executor uses the ``spawn`` start method
+    (fork duplicates other threads' held locks), and spawn pickles the
+    mapped callable *by qualified name*.  A lambda, a function nested
+    inside another function, or a bound instance method (``self.fn``)
+    either fails to pickle outright or drags the whole enclosing object
+    graph across the process boundary.  Only module-level functions
+    (plus picklable payload tuples) are spawn-safe — which is exactly
+    how every pipeline stage ships its work today.
+
+    The check flags a callable argument to ``*.map`` / ``*.submit``
+    (and the other pool entry points) that is provably unsafe: a
+    ``lambda``, a name bound to a nested ``def`` in an enclosing
+    function scope, or a ``self.<method>`` reference — including any
+    of those wrapped in ``functools.partial``.  Names it cannot resolve
+    (parameters, module-level functions) pass.
+
+    Witnessed dynamically by the spawn-executor determinism tests in
+    ``tests/core/test_executor.py`` (process executor × worker counts).
+    """
+
+    rule_id = "PAR01"
+    invariant = (
+        "callables handed to Executor.map/submit must be module-level "
+        "(spawn-picklable); no lambdas, nested defs, or bound methods"
+    )
+    witness = "tests/core/test_executor.py"
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        found: list[Violation] = []
+        self._walk(ctx, ctx.tree, [], found)
+        return found
+
+    # -- helpers ---------------------------------------------------------
+    def _local_defs(self, fn: ast.AST) -> set[str]:
+        """Function names bound directly in *fn*'s scope."""
+        names: set[str] = set()
+        stack = list(getattr(fn, "body", []))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(node.name)
+                continue  # its internals are a different scope
+            if isinstance(node, ast.ClassDef):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+        return names
+
+    def _walk(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        scopes: list[set[str]],
+        found: list[Violation],
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes = scopes + [self._local_defs(node)]
+        elif isinstance(node, ast.Call):
+            self._check_call(ctx, node, scopes, found)
+        for child in ast.iter_child_nodes(node):
+            self._walk(ctx, child, scopes, found)
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        scopes: list[set[str]],
+        found: list[Violation],
+    ) -> None:
+        if not (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _EXECUTOR_METHODS
+            and node.args
+        ):
+            return
+        self._check_callable(ctx, node.args[0], scopes, found)
+
+    def _check_callable(
+        self,
+        ctx: FileContext,
+        candidate: ast.expr,
+        scopes: list[set[str]],
+        found: list[Violation],
+    ) -> None:
+        if isinstance(candidate, ast.Lambda):
+            found.append(
+                ctx.violation(
+                    candidate,
+                    self.rule_id,
+                    "lambda handed to an executor cannot be pickled under "
+                    "the spawn start method; hoist it to a module-level "
+                    "function taking a payload tuple",
+                )
+            )
+        elif isinstance(candidate, ast.Name) and any(
+            candidate.id in scope for scope in scopes
+        ):
+            found.append(
+                ctx.violation(
+                    candidate,
+                    self.rule_id,
+                    f"nested function `{candidate.id}` handed to an "
+                    "executor cannot be pickled under spawn; hoist it to "
+                    "module level",
+                )
+            )
+        elif (
+            isinstance(candidate, ast.Attribute)
+            and isinstance(candidate.value, ast.Name)
+            and candidate.value.id == "self"
+        ):
+            found.append(
+                ctx.violation(
+                    candidate,
+                    self.rule_id,
+                    f"bound method `self.{candidate.attr}` handed to an "
+                    "executor pickles the whole instance (or fails under "
+                    "spawn); use a module-level function over an explicit "
+                    "payload",
+                )
+            )
+        elif isinstance(candidate, ast.Call):
+            qual = ctx.imports.resolve(candidate.func)
+            if qual == "functools.partial" and candidate.args:
+                self._check_callable(ctx, candidate.args[0], scopes, found)
+
+
+class GuardedByDiscipline(Rule):
+    """LOCK01 — ``# guarded-by:`` attributes stay inside their lock.
+
+    Invariant: the service layer separates lock-free snapshot *reads*
+    (an atomic reference load of an immutable object) from lock-guarded
+    *mutation* of live state.  The mutable side is declared in source:
+    an attribute assignment carrying ``# guarded-by: <lockname>``
+    registers ``self.<attr>`` as owned by ``self.<lockname>``.  Every
+    other read or write of that attribute in the class must then sit
+    lexically inside ``with self.<lockname>:`` (multi-item ``with``
+    forms count), with two sanctioned escapes:
+
+    * ``__init__`` is exempt — construction happens-before publication;
+    * a method whose ``def`` line carries ``# holds: <lockname>``
+      documents a caller-holds-the-lock contract and is treated as if
+      its whole body were inside the ``with``.
+
+    The rule is self-scoping: files with no ``guarded-by`` declarations
+    are untouched.  It is a lexical race detector, not an escape
+    analysis — aliasing a guarded attribute out of the lock region
+    defeats it — but it catches the overwhelmingly common bug: a new
+    code path touching registered state with no lock in sight.
+
+    Witnessed dynamically by the torn-read concurrency tests in
+    ``tests/service/test_server.py`` (and the slow soak variants).
+    """
+
+    rule_id = "LOCK01"
+    invariant = (
+        "attributes declared `# guarded-by: <lock>` are only accessed "
+        "inside `with self.<lock>:` (or under a `# holds: <lock>` "
+        "caller-contract)"
+    )
+    witness = "tests/service/test_server.py"
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        found: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                registry, declaration_lines = self._registry(ctx, node)
+                if registry:
+                    self._check_class(
+                        ctx, node, registry, declaration_lines, found
+                    )
+        return found
+
+    # -- helpers ---------------------------------------------------------
+    def _registry(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> tuple[dict[str, str], set[int]]:
+        """``attr -> lockname`` declarations in *cls*, plus their lines."""
+        registry: dict[str, str] = {}
+        lines: set[int] = set()
+        for node in ast.walk(cls):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            else:
+                continue
+            comment = ctx.comments.get(node.lineno, "") or ctx.comments.get(
+                getattr(node, "end_lineno", node.lineno), ""
+            )
+            match = _GUARDED_BY_RE.search(comment)
+            if match is None:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    registry[target.attr] = match.group(1)
+                    lines.add(node.lineno)
+                    lines.add(getattr(node, "end_lineno", node.lineno))
+        return registry, lines
+
+    def _held_on_def(self, ctx: FileContext, fn: ast.AST) -> set[str]:
+        """Locks declared held by a ``# holds:`` def-line contract."""
+        held: set[str] = set()
+        start = fn.lineno
+        end = fn.body[0].lineno if getattr(fn, "body", None) else start
+        for line in range(start, end + 1):
+            match = _HOLDS_RE.search(ctx.comments.get(line, ""))
+            if match is not None:
+                held.update(
+                    name.strip()
+                    for name in match.group(1).split(",")
+                    if name.strip()
+                )
+        return held
+
+    def _with_locks(self, item: ast.withitem) -> str | None:
+        """The self-lock name a ``with`` item acquires, if any."""
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return expr.attr
+        return None
+
+    def _check_class(
+        self,
+        ctx: FileContext,
+        cls: ast.ClassDef,
+        registry: dict[str, str],
+        declaration_lines: set[int],
+        found: list[Violation],
+    ) -> None:
+        for node in cls.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name == "__init__":
+                continue  # construction happens-before publication
+            held = self._held_on_def(ctx, node)
+            for statement in node.body:
+                self._visit(
+                    ctx, statement, registry, declaration_lines, held, found
+                )
+
+    def _visit(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        registry: dict[str, str],
+        declaration_lines: set[int],
+        held: set[str],
+        found: list[Violation],
+    ) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = set(held)
+            for item in node.items:
+                self._visit(
+                    ctx,
+                    item.context_expr,
+                    registry,
+                    declaration_lines,
+                    held,
+                    found,
+                )
+                lock = self._with_locks(item)
+                if lock is not None:
+                    inner.add(lock)
+            for statement in node.body:
+                self._visit(
+                    ctx, statement, registry, declaration_lines, inner, found
+                )
+            return
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in registry
+            and node.lineno not in declaration_lines
+        ):
+            lock = registry[node.attr]
+            if lock not in held:
+                found.append(
+                    ctx.violation(
+                        node,
+                        self.rule_id,
+                        f"`self.{node.attr}` is declared `# guarded-by: "
+                        f"{lock}` but is accessed outside `with "
+                        f"self.{lock}:` (annotate the def with `# holds: "
+                        f"{lock}` if the caller holds it)",
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            self._visit(
+                ctx, child, registry, declaration_lines, held, found
+            )

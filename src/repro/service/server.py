@@ -138,10 +138,10 @@ class _Profile:
                 self.ingestor = None
         self.state_log = log
         self.monitor = self._build_monitor(compressed, log)
-        self.dirty = False  # merged-but-unpersisted ingest state
-        self._drift: StreamingDriftMonitor | None = None
-        self._drift_window = 0
-        self._drift_threshold: float | None = None
+        self.dirty = False  # merged-but-unpersisted ingest state; guarded-by: lock
+        self._drift: StreamingDriftMonitor | None = None  # guarded-by: lock
+        self._drift_window = 0  # guarded-by: lock
+        self._drift_threshold: float | None = None  # guarded-by: lock
 
     def _build_monitor(
         self, compressed: CompressedLog, log: QueryLog | None
@@ -154,7 +154,7 @@ class _Profile:
             mixture, log, threshold_quantile=self.threshold_quantile
         )
 
-    def publish(self, version: int) -> None:
+    def publish(self, version: int) -> None:  # holds: lock
         """Swap in a fresh snapshot of the live state (caller holds lock)."""
         assert self.ingestor is not None
         self.state_log = self.ingestor.log
@@ -163,7 +163,7 @@ class _Profile:
         self.monitor = monitor  # atomic reference swap: readers see old or new
         self._drift = None  # baseline moved; recalibrate lazily
 
-    def drift_monitor(
+    def drift_monitor(  # holds: lock
         self, window_size: int, threshold: float | None, seed: int
     ) -> StreamingDriftMonitor:
         """The profile's windowed drift monitor (caller holds lock)."""
@@ -239,12 +239,12 @@ class AnalyticsServer:
         self.pane_statements = pane_statements
         self.pane_clusters = pane_clusters
         self.parse_cache_size = parse_cache_size
-        self._cache: OrderedDict[str, _Profile] = OrderedDict()
+        self._cache: OrderedDict[str, _Profile] = OrderedDict()  # guarded-by: _cache_lock
         self._cache_lock = threading.Lock()
-        self._load_locks: dict[str, threading.Lock] = {}
-        self._windows: dict[str, tuple[WindowedProfile, threading.Lock]] = {}
+        self._load_locks: dict[str, threading.Lock] = {}  # guarded-by: _cache_lock
+        self._windows: dict[str, tuple[WindowedProfile, threading.Lock]] = {}  # guarded-by: _windows_lock
         self._windows_lock = threading.Lock()
-        self._counters: dict[str, int] = {}
+        self._counters: dict[str, int] = {}  # guarded-by: _counters_lock
         self._counters_lock = threading.Lock()
         self._started = time.time()
         self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
@@ -332,7 +332,7 @@ class AnalyticsServer:
             self._retire(victim)
         return handle
 
-    def _pick_evictions(self) -> list[_Profile]:
+    def _pick_evictions(self) -> list[_Profile]:  # holds: _cache_lock
         """Over-capacity LRU victims (caller holds the cache lock).
 
         A handle whose per-profile lock is currently held (an ingest in

@@ -184,12 +184,12 @@ class SummaryStore:
         self._manifest_path = self.root / "manifest.json"
         self._lock = threading.Lock()
         self._profiles_dir.mkdir(parents=True, exist_ok=True)
-        self._manifest = self._read_manifest()
+        self._manifest = self._read_manifest()  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # manifest
     # ------------------------------------------------------------------
-    def _refresh_manifest(self) -> dict:
+    def _refresh_manifest(self) -> dict:  # holds: _lock
         """Re-read the manifest from disk.
 
         Another process may share the directory (``logr ingest`` while
@@ -235,7 +235,7 @@ class SummaryStore:
         payload.setdefault("segments", {})
         return payload
 
-    def _write_manifest(self) -> None:
+    def _write_manifest(self) -> None:  # holds: _lock
         _atomic_write(self._manifest_path, json.dumps(self._manifest, indent=1))
 
     # ------------------------------------------------------------------

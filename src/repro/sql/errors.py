@@ -24,7 +24,7 @@ class SqlError(Exception):
 class LexError(SqlError):
     """Raised when the tokenizer meets a character it cannot consume."""
 
-    def __init__(self, message: str, position: int, line: int, column: int):
+    def __init__(self, message: str, position: int, line: int, column: int) -> None:
         super().__init__(f"{message} (line {line}, column {column})")
         self.position = position
         self.line = line
@@ -34,7 +34,7 @@ class LexError(SqlError):
 class ParseError(SqlError):
     """Raised when the parser cannot build an AST from a token stream."""
 
-    def __init__(self, message: str, position: int = -1, token: str = ""):
+    def __init__(self, message: str, position: int = -1, token: str = "") -> None:
         if token:
             message = f"{message}: got {token!r}"
         super().__init__(message)

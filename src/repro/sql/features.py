@@ -20,6 +20,7 @@ of §2.1 — and can be rendered back for human inspection (Fig. 1/10).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from . import ast
 from .errors import FeatureExtractionError
@@ -71,7 +72,7 @@ class AligonExtractor:
             :func:`repro.sql.rewrite.regularize_statement`.
     """
 
-    def __init__(self, remove_constants: bool = True, max_disjuncts: int = 64):
+    def __init__(self, remove_constants: bool = True, max_disjuncts: int = 64) -> None:
         self.remove_constants = remove_constants
         self.max_disjuncts = max_disjuncts
 
@@ -189,7 +190,7 @@ def extract_features(
     return extractor.extract(sql)
 
 
-def query_features(sql: str, **kwargs) -> frozenset[Feature]:
+def query_features(sql: str, **kwargs: Any) -> frozenset[Feature]:
     """Extract the union of branch feature sets of *sql*.
 
     Useful when the caller wants one feature set per log entry even for

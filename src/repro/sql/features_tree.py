@@ -18,6 +18,8 @@ clustering) unchanged.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from . import ast
 from .features import Feature
 from .normalize import normalize
@@ -39,7 +41,7 @@ class TreeExtractor:
         remove_constants: parameterize literals before extraction.
     """
 
-    def __init__(self, max_depth: int = 2, remove_constants: bool = True):
+    def __init__(self, max_depth: int = 2, remove_constants: bool = True) -> None:
         if max_depth < 1:
             raise ValueError("max_depth must be >= 1")
         self.max_depth = max_depth
@@ -60,7 +62,7 @@ class TreeExtractor:
         return frozenset(features)
 
     # ------------------------------------------------------------------
-    def _iter_nodes(self, root: ast.Node):
+    def _iter_nodes(self, root: ast.Node) -> Iterator[ast.Node]:
         stack = [root]
         while stack:
             node = stack.pop()

@@ -32,7 +32,7 @@ _DIGITS = frozenset("0123456789")
 class Lexer:
     """Single-pass tokenizer over a SQL string."""
 
-    def __init__(self, text: str):
+    def __init__(self, text: str) -> None:
         self.text = text
         self.pos = 0
         self.line = 1

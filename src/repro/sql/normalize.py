@@ -11,6 +11,7 @@ produce the same feature.
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Callable, TypeVar
 
 from . import ast
 
@@ -84,15 +85,22 @@ def _fold_alias(alias: str | None) -> str | None:
 # ----------------------------------------------------------------------
 # generic bottom-up mapping over the immutable AST
 # ----------------------------------------------------------------------
-def _identity(value):
+_T = TypeVar("_T")
+
+_ExprFn = Callable[[ast.Expr], ast.Expr]
+_TableFn = Callable[[ast.TableRef], ast.TableRef]
+_AliasFn = Callable[[str | None], str | None]
+
+
+def _identity(value: _T) -> _T:
     return value
 
 
 def _map_statement(
     node: ast.Statement,
-    expr_fn,
-    table_fn=_identity,
-    alias_fn=_identity,
+    expr_fn: _ExprFn,
+    table_fn: _TableFn = _identity,
+    alias_fn: _AliasFn = _identity,
 ) -> ast.Statement:
     if isinstance(node, ast.Union):
         selects = tuple(
@@ -104,7 +112,9 @@ def _map_statement(
     raise TypeError(f"unsupported statement type {type(node).__name__}")
 
 
-def _map_select(select: ast.Select, expr_fn, table_fn, alias_fn) -> ast.Select:
+def _map_select(
+    select: ast.Select, expr_fn: _ExprFn, table_fn: _TableFn, alias_fn: _AliasFn
+) -> ast.Select:
     items = tuple(
         ast.SelectItem(_map_expr(item.expr, expr_fn, table_fn, alias_fn), alias_fn(item.alias))
         for item in select.items
@@ -138,7 +148,9 @@ def _map_select(select: ast.Select, expr_fn, table_fn, alias_fn) -> ast.Select:
     )
 
 
-def _map_table(ref: ast.TableRef, expr_fn, table_fn, alias_fn) -> ast.TableRef:
+def _map_table(
+    ref: ast.TableRef, expr_fn: _ExprFn, table_fn: _TableFn, alias_fn: _AliasFn
+) -> ast.TableRef:
     if isinstance(ref, ast.Join):
         condition = (
             _map_pred(ref.condition, expr_fn, table_fn, alias_fn)
@@ -157,7 +169,9 @@ def _map_table(ref: ast.TableRef, expr_fn, table_fn, alias_fn) -> ast.TableRef:
     return table_fn(ref)
 
 
-def _map_pred(pred: ast.Predicate, expr_fn, table_fn, alias_fn) -> ast.Predicate:
+def _map_pred(
+    pred: ast.Predicate, expr_fn: _ExprFn, table_fn: _TableFn, alias_fn: _AliasFn
+) -> ast.Predicate:
     if isinstance(pred, ast.And):
         return ast.And(
             tuple(_map_pred(op, expr_fn, table_fn, alias_fn) for op in pred.operands)
@@ -210,7 +224,9 @@ def _map_pred(pred: ast.Predicate, expr_fn, table_fn, alias_fn) -> ast.Predicate
     raise TypeError(f"unsupported predicate type {type(pred).__name__}")
 
 
-def _map_expr(expr: ast.Expr, expr_fn, table_fn, alias_fn) -> ast.Expr:
+def _map_expr(
+    expr: ast.Expr, expr_fn: _ExprFn, table_fn: _TableFn, alias_fn: _AliasFn
+) -> ast.Expr:
     if isinstance(expr, ast.BinaryOp):
         mapped: ast.Expr = ast.BinaryOp(
             expr.op,

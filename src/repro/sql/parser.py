@@ -31,7 +31,7 @@ _COMPARISON_OPS = frozenset({"=", "!=", "<", "<=", ">", ">="})
 class Parser:
     """Parses one token stream into a :class:`repro.sql.ast.Statement`."""
 
-    def __init__(self, tokens: list[Token]):
+    def __init__(self, tokens: list[Token]) -> None:
         self._tokens = tokens
         self._index = 0
         self._param_count = 0

@@ -9,6 +9,23 @@ from repro.core.log import QueryLog
 from repro.core.vocabulary import Vocabulary
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--all",
+        action="store_true",
+        default=False,
+        help="run the slow-marked tests too (clears the `-m 'not slow'` "
+        "default from pytest.ini)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    # Only override the ini default — an explicit -m on the command line
+    # (e.g. `-m slow` to run *only* the slow tier) still wins.
+    if config.getoption("--all") and config.option.markexpr == "not slow":
+        config.option.markexpr = ""
+
+
 @pytest.fixture()
 def example2_log() -> QueryLog:
     """The four-query log of the paper's Example 2/3.

@@ -1,0 +1,15 @@
+"""DET01 clean fixture: explicitly seeded generators only."""
+
+from numpy.random import PCG64, Generator, default_rng
+
+
+def rng_from_seed(seed):
+    return default_rng(seed)
+
+
+def rng_from_bitgen(seed):
+    return Generator(PCG64(seed))
+
+
+def draw(rng, n):
+    return rng.integers(0, 10, size=n)

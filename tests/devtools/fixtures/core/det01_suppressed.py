@@ -1,0 +1,8 @@
+"""DET01 fixture: a justified suppression survives the gate."""
+
+import numpy as np
+
+
+def jitter(values):
+    # reprolint: disable=DET01 -- fixture: demonstrates a justified suppression
+    return values + np.random.rand(len(values))

@@ -1,0 +1,20 @@
+"""DET01 fixture: unseeded / global randomness (4 findings)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def shuffle_rows(rows):
+    random.shuffle(rows)
+    return rows
+
+
+def seed_global():
+    np.random.seed(1234)
+    return np.random.rand(3)
+
+
+def entropy_seeded():
+    return default_rng()

@@ -1,0 +1,9 @@
+"""DET02 clean fixture: telemetry through the audited Stopwatch."""
+
+from repro._clock import Stopwatch
+
+
+def measure(fn):
+    watch = Stopwatch()
+    fn()
+    return watch.elapsed()

@@ -1,0 +1,15 @@
+"""DET02 fixture: wall-clock reads in a determinism-bearing layer (3 findings)."""
+
+import time
+from time import perf_counter
+
+
+def stamp(summary):
+    summary["built_at"] = time.time()
+    return summary
+
+
+def measure(fn):
+    start = perf_counter()
+    fn()
+    return perf_counter() - start

@@ -1,0 +1,13 @@
+"""DET03 clean fixture: sorted() interposed before ordered output."""
+
+
+def feature_names(payload):
+    return ",".join(sorted(payload.keys()))
+
+
+def distinct(items):
+    return sorted(set(items), key=repr)
+
+
+def small_domain():
+    return list({0, 1})  # literal set of constants: exempt by the rule charter

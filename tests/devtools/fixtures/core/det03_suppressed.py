@@ -1,0 +1,6 @@
+"""DET03 fixture: a justified suppression survives the gate."""
+
+
+def checksum_input(payload):
+    # reprolint: disable=DET03 -- fixture: consumer is order-insensitive (summed hash)
+    return list(payload.keys())

@@ -1,0 +1,14 @@
+"""DET03 fixture: unordered iteration feeding ordered output (3 findings)."""
+
+
+def feature_names(payload):
+    keys = payload.keys()
+    return ",".join(keys)
+
+
+def distinct(items):
+    return list(set(items))
+
+
+def rendered(tags):
+    return ";".join(str(t) for t in {t.lower() for t in tags})

@@ -1,0 +1,15 @@
+"""FLOAT01 clean fixture: tolerance-based comparisons."""
+
+import numpy as np
+
+
+def is_unit(factor):
+    return np.isclose(factor, 1.0)
+
+
+def count_match(n):
+    return n == 1
+
+
+def below(x):
+    return x < 1.0

@@ -1,0 +1,7 @@
+"""FLOAT01 fixture: a justified exact-identity fast path."""
+
+
+def scaled(weight, factor):
+    if factor == 1.0:  # reprolint: disable=FLOAT01 -- exact-identity fast path skips work
+        return weight
+    return weight * factor

@@ -1,0 +1,13 @@
+"""FLOAT01 fixture: exact equality between float expressions (3 findings)."""
+
+
+def is_unit(factor):
+    return factor == 1.0
+
+
+def differs(a, b):
+    return float(a) != float(b)
+
+
+def midpoint_hit(x, lo, hi):
+    return (lo + hi) / 2.0 == x

@@ -1,0 +1,7 @@
+"""SUP01 fixture: a suppression without a justification (1 finding)."""
+
+import time
+
+
+def stamp():
+    return time.time()  # reprolint: disable=DET02

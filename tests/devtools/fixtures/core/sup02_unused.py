@@ -1,0 +1,5 @@
+"""SUP02 fixture: a suppression that matches nothing (1 finding)."""
+
+
+def identity(value):
+    return value  # reprolint: disable=DET02 -- the excused wall-clock read is gone

@@ -1,0 +1,20 @@
+"""LOCK01 clean fixture: lock-guarded access plus a holds-contract."""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+
+    def get(self, key):
+        with self._lock:
+            return self._entries.get(key)
+
+    def _evict(self):  # holds: _lock
+        self._entries.clear()
+
+    def trim(self):
+        with self._lock:
+            self._evict()

@@ -1,0 +1,16 @@
+"""LOCK01 fixture: a guarded attribute touched outside its lock (1 finding)."""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+
+    def get(self, key):
+        return self._entries.get(key)
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value

@@ -1,0 +1,9 @@
+"""PAR01 clean fixture: module-level task functions only."""
+
+
+def _double(payload):
+    return payload * 2
+
+
+def run(executor, items):
+    return executor.map(_double, items)

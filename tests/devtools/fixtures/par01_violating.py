@@ -1,0 +1,25 @@
+"""PAR01 fixture: spawn-unsafe callables handed to executors (4 findings)."""
+
+from functools import partial
+
+
+def run_lambda(executor, items):
+    return executor.map(lambda item: item * 2, items)
+
+
+def run_nested(executor, items):
+    def double(item):
+        return item * 2
+
+    return executor.map(double, items)
+
+
+class Runner:
+    def run(self, executor, items):
+        return executor.submit(self.step, items)
+
+    def run_partial(self, executor, items):
+        return executor.map(partial(self.step, 1), items)
+
+    def step(self, item):
+        return item

@@ -1,0 +1,153 @@
+"""Unit tests for the ``reprolint`` engine: suppressions, imports, errors."""
+
+from __future__ import annotations
+
+from pathlib import PurePath
+
+import pytest
+
+from repro.devtools import LintError, default_rules, lint_source
+from repro.devtools.engine import SUPPRESS_RE, FileContext, ImportMap
+
+CORE = PurePath("src/repro/core/example.py")
+
+
+def lint(source: str, path: PurePath = CORE):
+    return lint_source(path, source, default_rules())
+
+
+# -- suppression syntax --------------------------------------------------
+
+
+def test_trailing_suppression_covers_its_own_line():
+    source = "import time\nt = time.time()  # reprolint: disable=DET02 -- why\n"
+    assert lint(source) == []
+
+
+def test_standalone_suppression_covers_next_line():
+    source = (
+        "import time\n"
+        "# reprolint: disable=DET02 -- why\n"
+        "t = time.time()\n"
+    )
+    assert lint(source) == []
+
+
+def test_standalone_suppression_does_not_reach_two_lines_down():
+    source = (
+        "import time\n"
+        "# reprolint: disable=DET02 -- why\n"
+        "a = 1\n"
+        "t = time.time()\n"
+    )
+    rules = sorted(v.rule for v in lint(source))
+    # the wall-clock read survives AND the disable is now unused
+    assert rules == ["DET02", "SUP02"]
+
+
+def test_multi_rule_suppression():
+    source = (
+        "import time\n"
+        "ok = (time.time() == 0.0)  # reprolint: disable=DET02,FLOAT01 -- why\n"
+    )
+    assert lint(source) == []
+
+
+def test_suppression_only_silences_listed_rule():
+    source = (
+        "import time\n"
+        "ok = (time.time() == 0.0)  # reprolint: disable=FLOAT01 -- why\n"
+    )
+    assert [v.rule for v in lint(source)] == ["DET02"]
+
+
+def test_unjustified_suppression_reports_sup01_but_still_suppresses():
+    source = "import time\nt = time.time()  # reprolint: disable=DET02\n"
+    assert [v.rule for v in lint(source)] == ["SUP01"]
+
+
+def test_unused_suppression_reports_sup02():
+    source = "x = 1  # reprolint: disable=DET02 -- stale\n"
+    violations = lint(source)
+    assert [v.rule for v in violations] == ["SUP02"]
+    assert "matched no violation" in violations[0].message
+
+
+def test_suppress_re_requires_double_dash_for_justification():
+    match = SUPPRESS_RE.search("# reprolint: disable=DET01 just trailing prose")
+    assert match is not None
+    assert match.group(2) is None  # prose without `--` is not a justification
+
+
+# -- import resolution ---------------------------------------------------
+
+
+def test_import_map_resolves_aliases():
+    import ast
+
+    tree = ast.parse(
+        "import numpy as np\n"
+        "from time import perf_counter as pc\n"
+        "import os.path\n"
+    )
+    imports = ImportMap(tree)
+    assert imports.resolve(ast.parse("np.random.seed", mode="eval").body) == (
+        "numpy.random.seed"
+    )
+    assert imports.resolve(ast.parse("pc", mode="eval").body) == (
+        "time.perf_counter"
+    )
+    assert imports.resolve(ast.parse("os.path.join", mode="eval").body) == (
+        "os.path.join"
+    )
+    # unaliased names resolve to themselves (builtins stay recognizable)
+    assert imports.resolve(ast.parse("set", mode="eval").body) == "set"
+
+
+def test_relative_imports_stay_unresolved():
+    import ast
+
+    tree = ast.parse("from . import helpers\n")
+    assert ImportMap(tree).aliases.get("helpers") is None
+
+
+# -- errors and ordering -------------------------------------------------
+
+
+def test_syntax_error_raises_lint_error():
+    with pytest.raises(LintError, match="syntax error"):
+        lint("def broken(:\n")
+
+
+def test_violations_sorted_by_position():
+    source = (
+        "import time\n"
+        "b = time.time()\n"
+        "a = time.perf_counter()\n"
+    )
+    violations = lint(source)
+    assert [v.line for v in violations] == [2, 3]
+    formatted = violations[0].format()
+    assert formatted.startswith(str(CORE))
+    assert ":2:" in formatted and "DET02" in formatted
+
+
+def test_comment_map_captures_guard_annotations():
+    ctx = FileContext(
+        CORE, "x = 1  # guarded-by: _lock\n# holds: _lock\ny = 2\n"
+    )
+    assert "guarded-by" in ctx.comments[1]
+    assert "holds" in ctx.comments[2]
+
+
+def test_to_payload_roundtrip():
+    source = "import time\nt = time.time()\n"
+    (violation,) = lint(source)
+    payload = violation.to_payload()
+    assert payload == {
+        "path": str(CORE),
+        "line": 2,
+        "col": 4,
+        "rule": "DET02",
+        "message": violation.message,
+    }

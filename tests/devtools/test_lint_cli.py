@@ -1,0 +1,107 @@
+"""CLI behavior of ``python -m repro.devtools.lint``: formats, exit codes."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.devtools.lint import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_VIOLATIONS,
+    iter_python_files,
+    main,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+VIOLATING = FIXTURES / "core" / "det02_violating.py"
+CLEAN = FIXTURES / "core" / "det02_clean.py"
+
+
+def test_violations_exit_1_text_format(capsys):
+    assert main([str(VIOLATING)]) == EXIT_VIOLATIONS
+    out = capsys.readouterr().out
+    assert f"{VIOLATING}:" in out
+    assert "DET02" in out
+    assert "reprolint: 3 violation(s), 0 error(s) in 1 file(s)" in out
+
+
+def test_clean_exit_0(capsys):
+    assert main([str(CLEAN)]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "reprolint: 0 violation(s), 0 error(s) in 1 file(s)" in out
+
+
+def test_json_format(capsys):
+    assert main([str(VIOLATING), "--format=json"]) == EXIT_VIOLATIONS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    assert payload["errors"] == []
+    assert len(payload["violations"]) == 3
+    record = payload["violations"][0]
+    assert set(record) == {"path", "line", "col", "rule", "message"}
+    assert record["rule"] == "DET02"
+
+
+def test_json_format_clean(capsys):
+    assert main([str(CLEAN), "--format=json"]) == EXIT_CLEAN
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["violations"] == []
+
+
+def test_select_limits_rules(capsys):
+    # DET01 never fires in the DET02 fixture, so selecting it runs clean.
+    assert main([str(VIOLATING), "--select=DET01"]) == EXIT_CLEAN
+    capsys.readouterr()
+
+
+def test_select_is_case_insensitive(capsys):
+    assert main([str(VIOLATING), "--select=det02"]) == EXIT_VIOLATIONS
+    capsys.readouterr()
+
+
+def test_select_unknown_rule_exit_2(capsys):
+    assert main([str(VIOLATING), "--select=NOPE99"]) == EXIT_ERROR
+    assert "unknown rule id(s): NOPE99" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for rule_id in ("DET01", "DET02", "DET03", "PAR01", "LOCK01", "FLOAT01"):
+        assert rule_id in out
+    assert "SUP01" in out and "SUP02" in out
+    assert "witnessed by:" in out
+
+
+def test_syntax_error_exit_2(tmp_path, capsys):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n")
+    assert main([str(bad)]) == EXIT_ERROR
+    out = capsys.readouterr().out
+    assert "error:" in out and "syntax error" in out
+
+
+def test_no_python_files_exit_2(tmp_path, capsys):
+    assert main([str(tmp_path)]) == EXIT_ERROR
+    assert "no python files found" in capsys.readouterr().err
+
+
+def test_iter_python_files_skips_cache_and_hidden(tmp_path):
+    (tmp_path / "keep.py").write_text("x = 1\n")
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "keep.cpython-312.py").write_text("x = 1\n")
+    (tmp_path / ".hidden").mkdir()
+    (tmp_path / ".hidden" / "skip.py").write_text("x = 1\n")
+    (tmp_path / "note.txt").write_text("not python\n")
+    found = iter_python_files([tmp_path])
+    assert [path.name for path in found] == ["keep.py"]
+
+
+def test_directory_walk_deduplicates(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n")
+    found = iter_python_files([tmp_path, target])
+    assert found == [target]

@@ -1,0 +1,45 @@
+"""Self-check: the live source tree satisfies every reprolint invariant.
+
+This is the test-suite mirror of the CI lint gate — if a change
+introduces an unseeded RNG, a wall-clock read in a determinism layer,
+or an unguarded access to registered service state, this fails locally
+before CI ever sees it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.devtools.lint import EXIT_CLEAN, lint_paths
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+
+def test_live_tree_is_clean():
+    violations, errors, checked = lint_paths([SRC])
+    assert errors == []
+    assert checked > 50, "src walk found suspiciously few files"
+    assert violations == [], "\n".join(v.format() for v in violations)
+
+
+def test_cli_gate_exits_clean_on_live_tree():
+    """The exact CI invocation, end to end through the interpreter."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.devtools.lint", "src", "--format=json"],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == EXIT_CLEAN, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["ok"] is True
+    assert payload["files_checked"] > 50
