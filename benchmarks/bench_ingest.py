@@ -39,7 +39,7 @@ from repro.service.ingest import IncrementalIngestor
 from repro.workloads import generate_bank
 from repro.workloads.logio import load_log
 
-from conftest import print_table
+from conftest import print_table, record_bench
 
 #: Warm-over-cold throughput gate on the >90%-repetition workload.
 SPEEDUP_TARGET = 5.0
@@ -141,6 +141,19 @@ def run_bank_bench(
              load_warm / load_cold, repetition, float("nan")],
         ],
     )
+    record_bench(
+        "ingest_bank",
+        {
+            "ingest_cold_stmts_per_sec": cold_rate,
+            "ingest_warm_stmts_per_sec": warm_rate,
+            "ingest_speedup": speedup,
+            "load_cold_stmts_per_sec": load_cold,
+            "load_warm_stmts_per_sec": load_warm,
+            "repetition_rate": repetition,
+            "row_cache_hit_rate": stats["hit_rate"],
+        },
+        total_statements=total,
+    )
     assert repetition >= 0.90, (
         f"bench workload repetition {repetition:.2%} is not the >=90% regime "
         "the target is defined for"
@@ -171,6 +184,15 @@ def run_adversarial_bench(total: int = 30_000) -> float:
             ["ingest warm (fingerprint)", len(traffic), warm_rate, ratio,
              stats["hit_rate"]],
         ],
+    )
+    record_bench(
+        "ingest_adversarial",
+        {
+            "ingest_cold_stmts_per_sec": cold_rate,
+            "ingest_warm_stmts_per_sec": warm_rate,
+            "warm_over_cold_ratio": ratio,
+        },
+        total_statements=total,
     )
     assert stats["hits"] == 0, "adversarial workload must never hit the cache"
     assert ratio >= ADVERSARIAL_MIN_RATIO, (

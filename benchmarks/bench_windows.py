@@ -32,10 +32,11 @@ from repro.core.compress import LogRCompressor
 from repro.core.diff import mixture_divergence
 from repro.core.log import QueryLog
 from repro.core.mixture import PatternMixtureEncoding
+from repro.obs.trace import Tracer
 from repro.service import AnalyticsClient, AnalyticsServer, SummaryStore
 from repro.workloads import generate_bank
 
-from conftest import print_table
+from conftest import print_table, record_bench
 
 COMPOSITION_SPEEDUP_TARGET = 5.0
 N_PANES = 10
@@ -100,6 +101,28 @@ def test_pane_composition_beats_recompress_from_raw(paned_bank):
 
     t_direct, direct = _time(recompress)
     speedup = t_direct / t_compose
+    # One traced recompress run to break t_direct down by pipeline
+    # stage in the archived record (telemetry-only: same artifact).
+    tracer = Tracer()
+    with tracer.activate():
+        recompress()
+    stage_seconds = {
+        f"recompress_{node.name.split('.', 1)[1]}_seconds": node.seconds
+        for node in tracer.iter_spans()
+        if node.name.startswith("pipeline.")
+    }
+    record_bench(
+        "windows_composition",
+        {
+            "compose_seconds": t_compose,
+            "recompress_seconds": t_direct,
+            "speedup": speedup,
+            "pane_maintenance_seconds": pane_seconds,
+            **stage_seconds,
+        },
+        total_statements=BANK_TOTAL,
+        n_panes=N_PANES,
+    )
     print_table(
         "Bench windows: pane composition vs recompress-from-raw "
         f"({BANK_TOTAL // 1000}k-statement bank workload, {N_PANES} panes)",

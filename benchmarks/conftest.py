@@ -15,6 +15,9 @@ output section on failure) are the rows the paper plots.
 
 from __future__ import annotations
 
+import json
+import os
+
 import numpy as np
 import pytest
 
@@ -87,6 +90,32 @@ def print_table(title: str, headers: list[str], rows: list[list]) -> None:
 
 
 _WRITTEN_THIS_SESSION: set = set()
+
+#: Format tag stamped on machine-readable benchmark records.
+BENCH_FORMAT = "logr-bench-v1"
+
+
+def record_bench(name: str, timings: dict, **extra) -> None:
+    """Archive one bench's numbers as ``results/BENCH_<name>.json``.
+
+    One schema for every ``bench_*.py`` module, so CI can collect the
+    files as artifacts and runs stay diffable across commits:
+    ``format`` / ``name`` / ``git_rev`` (from ``GITHUB_SHA`` when CI
+    sets it) / ``timings`` (flat str→float map — seconds, rates, or
+    factors, named explicitly) plus any *extra* context fields.
+    """
+    payload = {
+        "format": BENCH_FORMAT,
+        "name": name,
+        "git_rev": os.environ.get("GITHUB_SHA", "unknown"),
+        "timings": {key: float(value) for key, value in timings.items()},
+        **extra,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 def _fmt(cell) -> str:

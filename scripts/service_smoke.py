@@ -3,6 +3,7 @@
 Builds a tiny TPC-H-like profile in a temp store, starts the analytics
 server on an ephemeral port, scores a 100-query batch through the HTTP
 client, runs one ingest round, verifies the store advanced a version,
+scrapes ``/metrics`` and checks the exposition reflects the traffic,
 and shuts down.  Exits non-zero on any failure; runtime is a few
 seconds so it fits the fast CI budget.
 
@@ -19,6 +20,17 @@ import tempfile
 from repro.core.compress import LogRCompressor
 from repro.service import AnalyticsClient, AnalyticsServer, SummaryStore
 from repro.workloads import generate_tpch
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """Prometheus-text sample name (labels included) -> value."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    return samples
 
 
 def main() -> int:
@@ -64,10 +76,32 @@ def main() -> int:
             assert cache["hits"] + cache["misses"] == 100, cache
             assert cache["hit_rate"] > 0.5, cache
 
+            # /metrics: the exposition must carry the same traffic the
+            # /stats counters saw, plus the library-layer families.
+            text = client.metrics()
+            assert text.startswith("# HELP"), text[:80]
+            samples = parse_exposition(text)
+            score_total = samples['logr_http_requests_total{endpoint="score"}']
+            assert score_total >= 2, score_total
+            ingest_total = samples['logr_http_requests_total{endpoint="ingest"}']
+            assert ingest_total >= 1, ingest_total
+            latency_count = samples[
+                'logr_http_request_seconds_count{endpoint="score"}'
+            ]
+            assert latency_count >= 2, latency_count
+            assert samples["logr_http_queries_scored_total"] >= 110, samples
+            assert samples["logr_ingest_batches_total"] >= 1, samples
+            assert (
+                samples['logr_ingest_statements_total{outcome="encoded"}'] >= 100
+            ), samples
+
         reloaded = store.load("tpch")
         assert reloaded.mixture.total == log.total + 100
 
-    print("service smoke: PASS (scored 100-query batch, ingested, v2 persisted)")
+    print(
+        "service smoke: PASS (scored 100-query batch, ingested, v2 "
+        "persisted, /metrics scrape verified)"
+    )
     return 0
 
 

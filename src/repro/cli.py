@@ -32,6 +32,12 @@ Parsing-heavy commands (``compress``, ``sweep``, ``stats``, ``ingest``,
 ``--parse-cache-size N``: the fingerprint fast path that lets repeated
 statement templates skip the SQL parser (results are bit-identical
 either way; see :mod:`repro.core.featurecache`).
+
+``compress``, ``sweep``, and ``ingest`` accept ``--trace-out FILE``:
+the run executes under a :mod:`repro.obs` tracer and the span tree
+(pipeline stages, ingest batches, recompressions — with wall-clock
+durations) is written to FILE as JSON.  Tracing is telemetry-only: the
+produced artifacts are byte-identical with or without it.
 """
 
 from __future__ import annotations
@@ -69,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compression_arguments(compress)
     _add_parallel_arguments(compress)
     _add_parse_cache_arguments(compress)
+    _add_trace_arguments(compress)
     compress.add_argument(
         "--shards", type=int, default=1,
         help="split the log into this many shards, compress them in "
@@ -102,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compression_arguments(sweep)
     _add_parallel_arguments(sweep)
     _add_parse_cache_arguments(sweep)
+    _add_trace_arguments(sweep)
 
     stats = sub.add_parser("stats", help="dataset statistics for a SQL log file")
     stats.add_argument("log", type=Path)
@@ -184,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parallel_arguments(ingest)
     _add_parse_cache_arguments(ingest)
+    _add_trace_arguments(ingest)
 
     window = sub.add_parser(
         "window", help="compose a profile's sealed time panes into one summary"
@@ -283,6 +292,16 @@ def _add_parse_cache_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """The span-tracing knob shared by the traced subcommands."""
+    parser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="FILE",
+        help="run under a repro.obs tracer and write the span tree "
+             "(stage durations) to FILE as JSON; telemetry only — the "
+             "produced artifacts are byte-identical either way",
+    )
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -292,31 +311,42 @@ def _positive_int(text: str) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "compress":
-        return _cmd_compress(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    if args.command == "stats":
-        return _cmd_stats(args)
-    if args.command == "estimate":
-        return _cmd_estimate(args)
-    if args.command == "visualize":
-        return _cmd_visualize(args)
-    if args.command == "synthesize":
-        return _cmd_synthesize(args)
-    if args.command == "drift":
-        return _cmd_drift(args)
-    if args.command == "serve":
-        return _cmd_serve(args)
-    if args.command == "ingest":
-        return _cmd_ingest(args)
-    if args.command == "score":
-        return _cmd_score(args)
-    if args.command == "window":
-        return _cmd_window(args)
-    if args.command == "timeline":
-        return _cmd_timeline(args)
-    return 2  # pragma: no cover - argparse enforces the choices
+    handlers = {
+        "compress": _cmd_compress,
+        "sweep": _cmd_sweep,
+        "stats": _cmd_stats,
+        "estimate": _cmd_estimate,
+        "visualize": _cmd_visualize,
+        "synthesize": _cmd_synthesize,
+        "drift": _cmd_drift,
+        "serve": _cmd_serve,
+        "ingest": _cmd_ingest,
+        "score": _cmd_score,
+        "window": _cmd_window,
+        "timeline": _cmd_timeline,
+    }
+    handler = handlers.get(args.command)
+    if handler is None:  # pragma: no cover - argparse enforces the choices
+        return 2
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is None:
+        return handler(args)
+    return _run_traced(handler, args, trace_out)
+
+
+def _run_traced(handler, args, trace_out: Path) -> int:
+    """Run *handler* under a fresh tracer, then write the span tree."""
+    from .obs.trace import Tracer
+
+    tracer = Tracer()
+    with tracer.activate():
+        with tracer.span("cli.run", command=args.command):
+            code = handler(args)
+    trace_out.write_text(
+        json.dumps(tracer.to_payload(), indent=1), encoding="utf-8"
+    )
+    print(f"trace -> {trace_out}")
+    return code
 
 
 def _cmd_compress(args) -> int:

@@ -31,7 +31,9 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
+from .._clock import Stopwatch
 from .._rng import ensure_rng
+from ..obs import metrics as _metrics
 
 __all__ = [
     "EXECUTOR_KINDS",
@@ -50,6 +52,26 @@ EXECUTOR_KINDS = ("serial", "thread", "process")
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+# Telemetry only (see repro.obs): each concrete ``map`` reports its
+# batch through here after the results are already materialized, so the
+# submit→complete latency is observed without touching task scheduling.
+_MAP_TASKS = _metrics.counter(
+    "logr_executor_tasks_total",
+    "Tasks submitted through Executor.map, by backend.",
+    labelnames=("kind",),
+)
+_MAP_SECONDS = _metrics.histogram(
+    "logr_executor_map_seconds",
+    "Submit-to-complete wall seconds per Executor.map batch, by backend.",
+    labelnames=("kind",),
+)
+
+
+def _observe_map(kind: str, n_tasks: int, seconds: float) -> None:
+    """Record one completed ``map`` batch (telemetry only)."""
+    _MAP_TASKS.inc(n_tasks, kind=kind)
+    _MAP_SECONDS.observe(seconds, kind=kind)
 
 
 class Executor:
@@ -89,7 +111,10 @@ class SerialExecutor(Executor):
     jobs = 1
 
     def map(self, fn: Callable[[_T], _R], tasks: Sequence[_T]) -> list[_R]:
-        return [fn(task) for task in tasks]
+        watch = Stopwatch()
+        results = [fn(task) for task in tasks]
+        _observe_map(self.kind, len(tasks), watch.elapsed())
+        return results
 
 
 class ThreadExecutor(Executor):
@@ -111,7 +136,10 @@ class ThreadExecutor(Executor):
     def map(self, fn: Callable[[_T], _R], tasks: Sequence[_T]) -> list[_R]:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.jobs)
-        return list(self._pool.map(fn, tasks))
+        watch = Stopwatch()
+        results = list(self._pool.map(fn, tasks))
+        _observe_map(self.kind, len(tasks), watch.elapsed())
+        return results
 
     def close(self) -> None:
         if self._pool is not None:
@@ -151,7 +179,10 @@ class ProcessExecutor(Executor):
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs, mp_context=context
             )
-        return list(self._pool.map(fn, tasks))
+        watch = Stopwatch()
+        results = list(self._pool.map(fn, tasks))
+        _observe_map(self.kind, len(tasks), watch.elapsed())
+        return results
 
     def close(self) -> None:
         if self._pool is not None:

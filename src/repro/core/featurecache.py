@@ -47,6 +47,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from ..obs import metrics as _metrics
 from ..sql.errors import SqlError
 from ..sql.fingerprint import fingerprint
 
@@ -57,6 +58,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["CacheStats", "CachedTemplate", "FeatureCache", "VocabularyCache"]
 
 DEFAULT_CACHE_SIZE = 65_536
+
+# Telemetry only (see repro.obs): process-wide mirrors of the per-cache
+# CacheStats counters, aggregated across every cache instance so one
+# /metrics scrape answers "how cold is ingest?" fleet-wide.
+_CACHE_LOOKUPS = _metrics.counter(
+    "logr_parse_cache_lookups_total",
+    "Fingerprint-cache lookups by layer (templates/rows) and outcome.",
+    labelnames=("layer", "outcome"),
+)
+_CACHE_EVICTIONS = _metrics.counter(
+    "logr_parse_cache_evictions_total",
+    "Fingerprint-cache LRU evictions by layer.",
+    labelnames=("layer",),
+)
 
 
 @dataclass
@@ -171,27 +186,33 @@ class FeatureCache:
                 if entry is not None:
                     self._rejects.move_to_end(statement)
                     self.stats.hits += 1
+                    _CACHE_LOOKUPS.inc(layer="templates", outcome="hit")
                     return entry, True
             else:
                 entry = self._templates.get(key)
                 if entry is not None:
                     self._templates.move_to_end(key)
                     self.stats.hits += 1
+                    _CACHE_LOOKUPS.inc(layer="templates", outcome="hit")
                     return entry, True
         entry = self._extract(statement)
         with self._lock:
             if key is None:
                 self.stats.bypasses += 1
+                _CACHE_LOOKUPS.inc(layer="templates", outcome="bypass")
                 self._rejects[statement] = entry
                 while len(self._rejects) > self.max_templates:
                     self._rejects.popitem(last=False)
                     self.stats.evictions += 1
+                    _CACHE_EVICTIONS.inc(layer="templates")
             else:
                 self.stats.misses += 1
+                _CACHE_LOOKUPS.inc(layer="templates", outcome="miss")
                 self._templates[key] = entry
                 while len(self._templates) > self.max_templates:
                     self._templates.popitem(last=False)
                     self.stats.evictions += 1
+                    _CACHE_EVICTIONS.inc(layer="templates")
         return entry, False
 
     def extract_merged(self, statement: str) -> frozenset:
@@ -269,23 +290,29 @@ class VocabularyCache:
             if row is not None:
                 self._rows.move_to_end(key)
                 self.stats.hits += 1
+                _CACHE_LOOKUPS.inc(layer="rows", outcome="hit")
                 return row
         entry, _ = self.features.lookup(statement, key=key, have_key=True)
         if entry.error is not None:
             if key is None:
                 self.stats.bypasses += 1
+                _CACHE_LOOKUPS.inc(layer="rows", outcome="bypass")
             else:
                 self.stats.misses += 1
+                _CACHE_LOOKUPS.inc(layer="rows", outcome="miss")
             raise entry.error
         indices = frozenset(self.vocabulary.add(f) for f in entry.features)
         if key is None:
             self.stats.bypasses += 1
+            _CACHE_LOOKUPS.inc(layer="rows", outcome="bypass")
         else:
             self.stats.misses += 1
+            _CACHE_LOOKUPS.inc(layer="rows", outcome="miss")
             self._rows[key] = indices
             while len(self._rows) > self.max_rows:
                 self._rows.popitem(last=False)
                 self.stats.evictions += 1
+                _CACHE_EVICTIONS.inc(layer="rows")
         return indices
 
     def __len__(self) -> int:

@@ -31,6 +31,8 @@ import numpy as np
 
 from .._clock import Stopwatch
 from ..cluster import ClusterSpec
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
 from .encoding import PatternEncoding
 from .executor import Executor, SerialExecutor
 from .log import QueryLog
@@ -45,6 +47,18 @@ __all__ = [
     "CompressionPipeline",
     "PipelineResult",
 ]
+
+# Telemetry only (see repro.obs): stage timings feed the histogram and
+# the thread-local trace, never the computation.
+_STAGE_SECONDS = _metrics.histogram(
+    "logr_pipeline_stage_seconds",
+    "Wall seconds per compression pipeline stage.",
+    labelnames=("stage",),
+)
+_PIPELINE_RUNS = _metrics.counter(
+    "logr_pipeline_runs_total",
+    "Completed CompressionPipeline.run calls.",
+)
 
 
 @dataclass
@@ -196,18 +210,29 @@ class CompressionPipeline:
     def run(self, log: QueryLog, rng: np.random.Generator) -> PipelineResult:
         timings: dict[str, float] = {}
         watch = Stopwatch()
-        encoded = self.encode.run(log)
+        with _span("pipeline.encode", backend=self.encode.backend):
+            encoded = self.encode.run(log)
         timings["encode"] = watch.lap()
+        _STAGE_SECONDS.observe(timings["encode"], stage="encode")
 
-        labels = self.partition.run(encoded, rng)
+        with _span("pipeline.partition", n_clusters=self.partition.n_clusters):
+            labels = self.partition.run(encoded, rng)
         timings["partition"] = watch.lap()
+        _STAGE_SECONDS.observe(timings["partition"], stage="partition")
 
-        partitions, mixture = self.fit.run(encoded, labels, self.executor)
+        with _span("pipeline.fit", executor=self.executor.kind):
+            partitions, mixture = self.fit.run(
+                encoded, labels, self.executor
+            )
         timings["fit"] = watch.lap()
+        _STAGE_SECONDS.observe(timings["fit"], stage="fit")
 
-        mixture = self.refine.run(partitions, mixture, self.executor)
+        with _span("pipeline.refine", executor=self.executor.kind):
+            mixture = self.refine.run(partitions, mixture, self.executor)
         timings["refine"] = watch.lap()
+        _STAGE_SECONDS.observe(timings["refine"], stage="refine")
 
+        _PIPELINE_RUNS.inc()
         return PipelineResult(
             log=encoded,
             labels=labels,

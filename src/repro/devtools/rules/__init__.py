@@ -17,6 +17,7 @@ from .determinism import (
     WallClockRead,
 )
 from .numerics import FloatEquality
+from .observability import DynamicTelemetryName
 
 __all__ = [
     "UnseededRandomness",
@@ -25,6 +26,7 @@ __all__ = [
     "SpawnUnsafeCallable",
     "GuardedByDiscipline",
     "FloatEquality",
+    "DynamicTelemetryName",
     "default_rules",
     "RULE_CLASSES",
 ]
@@ -37,6 +39,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     SpawnUnsafeCallable,  # PAR01
     GuardedByDiscipline,  # LOCK01
     FloatEquality,  # FLOAT01
+    DynamicTelemetryName,  # OBS01
 )
 
 

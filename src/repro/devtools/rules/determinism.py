@@ -127,7 +127,9 @@ class WallClockRead(Rule):
     golden-fixture byte-stability tests would only catch long after the
     fact.  Duration *telemetry* is allowed — but only through
     :class:`repro._clock.Stopwatch`, the one audited read point, never a
-    direct ``time.*`` / ``datetime.*`` read.
+    direct ``time.*`` / ``datetime.*`` read.  ``repro/obs/`` is exempt
+    alongside ``_clock.py``: it is the audited telemetry sink (metrics,
+    spans) whose values never reach serialized artifacts.
 
     Witnessed dynamically by ``tests/core/test_golden_artifacts.py``
     (byte-stable artifact round trips).
@@ -142,7 +144,9 @@ class WallClockRead(Rule):
     witness = "tests/core/test_golden_artifacts.py"
 
     def applies_to(self, path: PurePath) -> bool:
-        if path.name in {"_clock.py", "_rng.py"}:
+        # _clock.py is the audited read point; repro/obs/ is the audited
+        # telemetry sink built on it (timestamps never reach artifacts).
+        if path.name in {"_clock.py", "_rng.py"} or "obs" in path.parts:
             return False
         return any(part in DETERMINISM_LAYERS for part in path.parts)
 

@@ -1,0 +1,155 @@
+"""Observability rule: OBS01 (literal metric and span names).
+
+:mod:`repro.obs` is telemetry-only, but its *names* are load-bearing in
+a different way: dashboards, the ``/metrics`` golden fixture, and the
+README's metric inventory all key on them.  A name built at runtime
+(f-string, variable, concatenation) silently forks a family per
+formatted value — unbounded cardinality, nothing greppable, and the
+inventory table rots.  Dynamic *label values* are the supported way to
+parameterize a family; the family name itself stays a grep-able string
+literal.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+
+from ..engine import FileContext, Rule, Violation
+
+__all__ = ["DynamicTelemetryName"]
+
+#: repro.obs constructors/helpers whose first argument is a family or
+#: span name.
+_OBS_CONSTRUCTORS = frozenset(
+    {
+        "counter",
+        "gauge",
+        "histogram",
+        "span",
+        "Counter",
+        "Gauge",
+        "Histogram",
+        "Span",
+    }
+)
+
+
+class DynamicTelemetryName(Rule):
+    """OBS01 — metric/span names passed to ``repro.obs`` are literals.
+
+    Invariant: every family or span name reaching a ``repro.obs``
+    constructor (``counter`` / ``gauge`` / ``histogram`` / ``span`` and
+    their class forms) is a string literal at the call site, so the
+    full telemetry namespace is a ``grep`` away and cardinality is
+    bounded at authoring time.  Dynamic dimensions belong in label
+    values (``labelnames=`` + keyword labels) or span attributes, which
+    the renderer already treats as data.
+
+    The check is lexical, like the rest of reprolint: it fires only in
+    files that import ``repro.obs`` (any ``obs`` dotted component), on
+    calls to one of the constructor names above whose name argument
+    (first positional, or ``name=``) is not a string constant.  Calls
+    whose callee root resolves through the import map to a non-obs
+    module (``collections.Counter``, ``numpy.histogram``) are skipped.
+
+    Witnessed dynamically by ``tests/obs/test_metrics.py`` (registry
+    re-registration identity) and the byte-stable rendering fixture in
+    ``tests/obs/test_textfmt.py`` — both depend on names being fixed
+    at authoring time.
+    """
+
+    rule_id = "OBS01"
+    invariant = (
+        "metric/span names passed to repro.obs constructors are string "
+        "literals; dynamic dimensions go into label values, not names"
+    )
+    witness = "tests/obs/test_metrics.py"
+
+    def applies_to(self, path: PurePath) -> bool:
+        # The obs package itself plumbs names through variables
+        # (module helpers forward to registry methods); everything it
+        # exposes still takes literals at the call sites this rule
+        # guards.
+        return "obs" not in path.parts
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        if not self._imports_obs(ctx.tree):
+            return []
+        found: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self._callee_name(node.func)
+            if callee not in _OBS_CONSTRUCTORS:
+                continue
+            if self._resolves_outside_obs(node.func, ctx):
+                continue
+            name_arg = self._name_argument(node)
+            if name_arg is None:
+                continue
+            if isinstance(name_arg, ast.Constant) and isinstance(
+                name_arg.value, str
+            ):
+                continue
+            found.append(
+                ctx.violation(
+                    name_arg,
+                    self.rule_id,
+                    f"`{callee}` name must be a string literal — dynamic "
+                    "names fork one family per value; put the varying "
+                    "part in a label value or span attribute",
+                )
+            )
+        return found
+
+    # -- helpers ---------------------------------------------------------
+    @staticmethod
+    def _imports_obs(tree: ast.AST) -> bool:
+        """True when any import touches an ``obs`` dotted component."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if "obs" in alias.name.split("."):
+                        return True
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if "obs" in module.split("."):
+                    return True
+                # `from . import obs` / `from repro import obs as o`
+                if any(alias.name == "obs" for alias in node.names):
+                    return True
+        return False
+
+    @staticmethod
+    def _callee_name(func: ast.AST) -> str | None:
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return None
+
+    @staticmethod
+    def _resolves_outside_obs(func: ast.AST, ctx: FileContext) -> bool:
+        """True when the callee's root name is a *recorded* import alias
+        whose target has no ``obs`` component (``collections.Counter``,
+        ``numpy.histogram``).  Unrecorded roots — relative-import
+        locals, instance attributes — stay in scope."""
+        node = func
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return False
+        target = ctx.imports.aliases.get(node.id)
+        if target is None:
+            return False
+        return "obs" not in target.split(".")
+
+    @staticmethod
+    def _name_argument(node: ast.Call) -> ast.expr | None:
+        if node.args and not isinstance(node.args[0], ast.Starred):
+            return node.args[0]
+        for keyword in node.keywords:
+            if keyword.arg == "name":
+                return keyword.value
+        return None

@@ -1,0 +1,67 @@
+"""``repro.obs`` — unified telemetry: metrics registry + span tracing.
+
+This package extends the :mod:`repro._clock` contract from "one audited
+wall-clock read point" to "one audited telemetry subsystem":
+
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` families with a
+  frozen snapshot API.  Library-wide instrumentation lives on the
+  process-default registry; components that need isolation (each
+  :class:`~repro.service.server.AnalyticsServer` instance) own a private
+  registry.
+* :mod:`repro.obs.trace` — lightweight context-manager spans collected
+  by a thread-local :class:`Tracer`; durations come exclusively from
+  :class:`repro._clock.Stopwatch`; the tree exports to JSON.
+* :mod:`repro.obs.textfmt` — Prometheus text-exposition rendering with
+  fully sorted iteration, so output is byte-stable for golden tests.
+
+The telemetry-only contract (the reason this package is an audited
+reprolint exemption alongside ``_clock.py``/``_rng.py``):
+
+* metric and span values may only *observe* the system — they must
+  never influence control flow, clustering, encoding, or any serialized
+  summary content;
+* metric/span *names* are string literals at every call site outside
+  this package (reprolint rule OBS01), keeping cardinality bounded;
+* with no active tracer, ``span(...)`` is a no-op — instrumented code
+  paths behave identically whether or not anyone is watching, which the
+  bit-identity property tests witness.
+"""
+
+from __future__ import annotations
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    DEFAULT_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSnapshot,
+    MetricsRegistry,
+    SampleSnapshot,
+    counter,
+    gauge,
+    histogram,
+)
+from .textfmt import CONTENT_TYPE, render_text
+from .trace import Span, Tracer, current_tracer, span
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_REGISTRY",
+    "CONTENT_TYPE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSnapshot",
+    "MetricsRegistry",
+    "SampleSnapshot",
+    "Span",
+    "Tracer",
+    "counter",
+    "current_tracer",
+    "gauge",
+    "histogram",
+    "render_text",
+    "span",
+]

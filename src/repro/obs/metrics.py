@@ -1,0 +1,411 @@
+"""Thread-safe metric families: ``Counter`` / ``Gauge`` / ``Histogram``.
+
+One :class:`MetricsRegistry` owns a set of named metric families and a
+single lock shared by all of them — registration is idempotent (the
+module-level ``counter(...)`` helpers can sit next to the code they
+instrument and re-import safely), mutation is a dict update under the
+lock, and :meth:`MetricsRegistry.snapshot` returns frozen dataclasses
+with fully sorted sample order so rendering is byte-stable.
+
+Two registries exist in practice:
+
+* :data:`DEFAULT_REGISTRY` — the process-wide registry for library
+  metrics (pipeline stages, executor maps, ingest, caches, store,
+  panes), reached through the module-level :func:`counter` /
+  :func:`gauge` / :func:`histogram` helpers;
+* per-component registries (``MetricsRegistry()``) for state that must
+  reset with its owner — each ``AnalyticsServer`` keeps its request
+  counters on its own registry so ``/stats`` stays per-instance.
+
+Histogram buckets are fixed log-scaled bounds (:data:`DEFAULT_BUCKETS`,
+100 µs … 60 s) rather than adaptive, so two runs that observe the same
+values render the same bytes.  Telemetry-only contract: see the package
+docstring — nothing in here may feed back into computation.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence, TypeVar
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSnapshot",
+    "MetricsRegistry",
+    "SampleSnapshot",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+#: Default histogram bounds: log-scaled wall-second buckets, 100 µs–60 s.
+#: Fixed (never derived from data) so rendering is deterministic.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+
+@dataclass(frozen=True)
+class SampleSnapshot:
+    """One labeled series frozen at snapshot time.
+
+    ``labels`` is ``(name, value)`` pairs sorted by label name.  For
+    counters/gauges ``value`` is the current value; for histograms
+    ``value`` is the sum of observations, ``count`` the number of
+    observations, and ``buckets`` the *cumulative* per-bound counts
+    (one slot per bound plus a final ``+Inf`` slot equal to ``count``).
+    """
+
+    labels: tuple[tuple[str, str], ...]
+    value: float
+    count: int = 0
+    buckets: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class MetricSnapshot:
+    """One metric family frozen at snapshot time (samples name-sorted)."""
+
+    name: str
+    kind: str
+    help: str
+    bounds: tuple[float, ...]
+    samples: tuple[SampleSnapshot, ...]
+
+
+class _Metric:
+    """Shared family plumbing: name/label validation, label keying."""
+
+    kind: str = ""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: threading.Lock,
+    ) -> None:
+        if _NAME_RE.fullmatch(name) is None:
+            raise ValueError(f"invalid metric name {name!r}")
+        names = tuple(labelnames)
+        for label in names:
+            if _LABEL_RE.fullmatch(label) is None or label == "le":
+                raise ValueError(f"invalid label name {label!r} on {name!r}")
+        self.name = name
+        self.help = help_text
+        self.labelnames = names
+        self._lock = lock
+
+    def _key(self, labels: Mapping[str, object]) -> tuple[str, ...]:
+        """Label values in ``labelnames`` order; rejects wrong label sets."""
+        if len(labels) != len(self.labelnames) or any(
+            name not in labels for name in self.labelnames
+        ):
+            raise ValueError(
+                f"{self.name!r} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _pairs(self, key: tuple[str, ...]) -> tuple[tuple[str, str], ...]:
+        return tuple(sorted(zip(self.labelnames, key)))
+
+    def snapshot(self) -> MetricSnapshot:
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (requests, tasks, cache hits)."""
+
+    kind = "counter"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: threading.Lock,
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        self._values: dict[tuple[str, ...], float] = {}  # guarded-by: _lock
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add *amount* (>= 0) to the series selected by *labels*."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def items(self) -> dict[tuple[str, ...], float]:
+        """Label-values tuple (in ``labelnames`` order) -> current value."""
+        with self._lock:
+            return dict(self._values)
+
+    def snapshot(self) -> MetricSnapshot:
+        with self._lock:
+            values = dict(self._values)
+        samples = tuple(
+            SampleSnapshot(labels=self._pairs(key), value=values[key])
+            for key in sorted(values)
+        )
+        return MetricSnapshot(self.name, self.kind, self.help, (), samples)
+
+
+class Gauge(_Metric):
+    """A value that can go up or down (uptime, queue depth)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: threading.Lock,
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        self._values: dict[tuple[str, ...], float] = {}  # guarded-by: _lock
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def snapshot(self) -> MetricSnapshot:
+        with self._lock:
+            values = dict(self._values)
+        samples = tuple(
+            SampleSnapshot(labels=self._pairs(key), value=values[key])
+            for key in sorted(values)
+        )
+        return MetricSnapshot(self.name, self.kind, self.help, (), samples)
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution (latencies), Prometheus-compatible.
+
+    ``observe(v)`` lands in the first bucket whose upper bound is
+    ``>= v`` (``le`` semantics); values above the last bound land in the
+    implicit ``+Inf`` overflow slot.  Bounds are fixed at registration,
+    so snapshots of equal observation multisets are identical.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: threading.Lock,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r} bucket bounds must be non-empty and "
+                "strictly increasing"
+            )
+        self.bounds = bounds
+        # One slot per bound plus the +Inf overflow slot, non-cumulative.
+        self._counts: dict[tuple[str, ...], list[int]] = {}  # guarded-by: _lock
+        self._sums: dict[tuple[str, ...], float] = {}  # guarded-by: _lock
+        self._totals: dict[tuple[str, ...], int] = {}  # guarded-by: _lock
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            slots = self._counts.get(key)
+            if slots is None:
+                slots = [0] * (len(self.bounds) + 1)
+                self._counts[key] = slots
+                self._sums[key] = 0.0
+                self._totals[key] = 0
+            slots[index] += 1
+            self._sums[key] += value
+            self._totals[key] += 1
+
+    def count(self, **labels: object) -> int:
+        key = self._key(labels)
+        with self._lock:
+            return self._totals.get(key, 0)
+
+    def sum(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._sums.get(key, 0.0)
+
+    def snapshot(self) -> MetricSnapshot:
+        with self._lock:
+            counts = {key: list(slots) for key, slots in self._counts.items()}
+            sums = dict(self._sums)
+            totals = dict(self._totals)
+        samples = []
+        for key in sorted(counts):
+            cumulative: list[int] = []
+            running = 0
+            for slot in counts[key]:
+                running += slot
+                cumulative.append(running)
+            samples.append(
+                SampleSnapshot(
+                    labels=self._pairs(key),
+                    value=sums[key],
+                    count=totals[key],
+                    buckets=tuple(cumulative),
+                )
+            )
+        return MetricSnapshot(
+            self.name, self.kind, self.help, self.bounds, tuple(samples)
+        )
+
+
+_M = TypeVar("_M", bound=_Metric)
+
+
+class MetricsRegistry:
+    """A named set of metric families sharing one lock.
+
+    Registration is idempotent: asking for an existing name returns the
+    existing family (type and label names must match exactly, otherwise
+    ``ValueError``).  All family mutation and the snapshot both go
+    through the registry's single lock, so totals are exact under
+    concurrency.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}  # guarded-by: _lock
+
+    def _get_or_create(
+        self,
+        name: str,
+        cls: type[_M],
+        make: Callable[[], _M],
+        labelnames: tuple[str, ...],
+    ) -> _M:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is None:
+                created = make()
+                self._metrics[name] = created
+                return created
+        if not isinstance(existing, cls) or existing.labelnames != labelnames:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(existing).__name__}{existing.labelnames}, cannot "
+                f"re-register as {cls.__name__}{labelnames}"
+            )
+        return existing
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        names = tuple(labelnames)
+        return self._get_or_create(
+            name,
+            Counter,
+            lambda: Counter(name, help_text, names, self._lock),
+            names,
+        )
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        names = tuple(labelnames)
+        return self._get_or_create(
+            name,
+            Gauge,
+            lambda: Gauge(name, help_text, names, self._lock),
+            names,
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        names = tuple(labelnames)
+        return self._get_or_create(
+            name,
+            Histogram,
+            lambda: Histogram(name, help_text, names, self._lock, buckets),
+            names,
+        )
+
+    def snapshot(self) -> tuple[MetricSnapshot, ...]:
+        """Frozen, name-sorted snapshots of every registered family."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        return tuple(metric.snapshot() for metric in metrics)
+
+
+#: The process-wide registry for library metrics.  Component-scoped
+#: state (per-server request counters) belongs on a private registry.
+DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def counter(
+    name: str, help_text: str = "", labelnames: Sequence[str] = ()
+) -> Counter:
+    """Counter family on :data:`DEFAULT_REGISTRY` (idempotent)."""
+    return DEFAULT_REGISTRY.counter(name, help_text, labelnames)
+
+
+def gauge(
+    name: str, help_text: str = "", labelnames: Sequence[str] = ()
+) -> Gauge:
+    """Gauge family on :data:`DEFAULT_REGISTRY` (idempotent)."""
+    return DEFAULT_REGISTRY.gauge(name, help_text, labelnames)
+
+
+def histogram(
+    name: str,
+    help_text: str = "",
+    labelnames: Sequence[str] = (),
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
+) -> Histogram:
+    """Histogram family on :data:`DEFAULT_REGISTRY` (idempotent)."""
+    return DEFAULT_REGISTRY.histogram(name, help_text, labelnames, buckets)

@@ -1,0 +1,104 @@
+"""Prometheus text-exposition rendering, byte-stable by construction.
+
+``render_text`` turns frozen :class:`~repro.obs.metrics.MetricSnapshot`
+sequences (possibly merged from several registries) into the Prometheus
+text format (version 0.0.4): ``# HELP`` / ``# TYPE`` headers, one line
+per sample, histograms expanded to cumulative ``_bucket{le=...}`` lines
+plus ``_sum`` and ``_count``.
+
+Byte stability is a hard requirement (a golden fixture test asserts
+it): families render in name order, samples in label-value order,
+labels within a sample in label-name order (``le`` last, per
+convention), and numbers through one deterministic formatter — so two
+processes that observed the same values emit identical bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from .metrics import MetricSnapshot
+
+__all__ = ["CONTENT_TYPE", "render_text"]
+
+#: The Content-Type header for the text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _format_number(value: float) -> str:
+    """Deterministic sample-value text: ints bare, floats via repr."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_block(
+    pairs: Sequence[tuple[str, str]],
+    extra: Sequence[tuple[str, str]] = (),
+) -> str:
+    """``{a="x",b="y"}`` or ``""`` — *pairs* pre-sorted, *extra* last."""
+    rendered = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in tuple(pairs) + tuple(extra)
+    ]
+    if not rendered:
+        return ""
+    return "{" + ",".join(rendered) + "}"
+
+
+def render_text(snapshots: Iterable[MetricSnapshot]) -> str:
+    """Render *snapshots* (any order, any registries) to exposition text.
+
+    Families are de-interleaved and name-sorted; a duplicate family name
+    across the merged inputs is a caller bug and raises ``ValueError``
+    rather than emitting a scrape that Prometheus would reject.
+    """
+    families = sorted(snapshots, key=lambda snap: snap.name)
+    for previous, current in zip(families, families[1:]):
+        if previous.name == current.name:
+            raise ValueError(
+                f"duplicate metric family {current.name!r} across the "
+                "merged registries"
+            )
+    lines: list[str] = []
+    for snap in families:
+        lines.append(f"# HELP {snap.name} {_escape_help(snap.help)}".rstrip())
+        lines.append(f"# TYPE {snap.name} {snap.kind}")
+        if snap.kind == "histogram":
+            bounds = tuple(snap.bounds) + (math.inf,)
+            for sample in snap.samples:
+                for bound, cumulative in zip(bounds, sample.buckets):
+                    block = _label_block(
+                        sample.labels,
+                        extra=(("le", _format_number(bound)),),
+                    )
+                    lines.append(f"{snap.name}_bucket{block} {cumulative}")
+                block = _label_block(sample.labels)
+                lines.append(
+                    f"{snap.name}_sum{block} {_format_number(sample.value)}"
+                )
+                lines.append(f"{snap.name}_count{block} {sample.count}")
+        else:
+            for sample in snap.samples:
+                block = _label_block(sample.labels)
+                lines.append(
+                    f"{snap.name}{block} {_format_number(sample.value)}"
+                )
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"

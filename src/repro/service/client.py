@@ -76,6 +76,18 @@ class AnalyticsClient:
         """Server counters: requests per endpoint, cache, uptime."""
         return self._request("/stats")
 
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition from ``GET /metrics``."""
+        url = f"{self.base_url}/metrics"
+        request = urllib.request.Request(url, headers={"Accept": "text/plain"})
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, exc.reason) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {url}: {exc.reason}") from None
+
     def score(self, profile: str, statements: Sequence[str]) -> dict:
         """Batch-score *statements* against *profile* (one round trip)."""
         return self._request(

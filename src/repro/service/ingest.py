@@ -36,9 +36,31 @@ from ..core.encoding import NaiveEncoding
 from ..core.featurecache import DEFAULT_CACHE_SIZE, FeatureCache, VocabularyCache
 from ..core.log import QueryLog
 from ..core.mixture import MixtureComponent, PatternMixtureEncoding
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
 from ..sql import AligonExtractor, SqlError
 
 __all__ = ["IngestReport", "IncrementalIngestor"]
+
+# Telemetry only (see repro.obs): ingest throughput/outcome accounting,
+# aggregated across every ingestor in the process.
+_INGEST_BATCHES = _metrics.counter(
+    "logr_ingest_batches_total",
+    "Mini-batches merged by IncrementalIngestor.",
+)
+_INGEST_STATEMENTS = _metrics.counter(
+    "logr_ingest_statements_total",
+    "Statements offered to ingest, by outcome.",
+    labelnames=("outcome",),
+)
+_INGEST_RECOMPRESSIONS = _metrics.counter(
+    "logr_ingest_recompressions_total",
+    "Full recompressions (staleness-triggered or explicit).",
+)
+_INGEST_MERGE_SECONDS = _metrics.histogram(
+    "logr_ingest_merge_seconds",
+    "Wall seconds per ingest mini-batch (parse + merge + any recompress).",
+)
 
 
 @dataclass
@@ -278,39 +300,41 @@ class IncrementalIngestor:
         bit-identical to the cold path.
         """
         start = time.perf_counter()
-        batch: dict[frozenset[int], int] = {}
-        n_offered = 0
-        n_encoded = 0
-        n_procedures = 0
-        n_unparseable = 0
-        encoder = self._encoder
-        for statement in statements:
-            n_offered += 1
-            upper = statement.lstrip().upper()
-            if upper.startswith("EXEC ") or upper.startswith("CALL "):
-                n_procedures += 1
-                continue
-            try:
-                if encoder is not None:
-                    indices = encoder.encode_indices(statement)
-                else:
-                    merged = self._extractor.extract_merged(statement)
-                    indices = frozenset(
-                        self._vocabulary.add(f) for f in sorted(merged, key=repr)
-                    )
-            except SqlError:
-                n_unparseable += 1
-                continue
-            batch[indices] = batch.get(indices, 0) + 1
-            n_encoded += 1
-        return self._merge(
-            batch,
-            n_offered,
-            n_encoded,
-            start,
-            n_procedures=n_procedures,
-            n_unparseable=n_unparseable,
-        )
+        with _span("ingest.batch", statements=len(statements)):
+            batch: dict[frozenset[int], int] = {}
+            n_offered = 0
+            n_encoded = 0
+            n_procedures = 0
+            n_unparseable = 0
+            encoder = self._encoder
+            for statement in statements:
+                n_offered += 1
+                upper = statement.lstrip().upper()
+                if upper.startswith("EXEC ") or upper.startswith("CALL "):
+                    n_procedures += 1
+                    continue
+                try:
+                    if encoder is not None:
+                        indices = encoder.encode_indices(statement)
+                    else:
+                        merged = self._extractor.extract_merged(statement)
+                        indices = frozenset(
+                            self._vocabulary.add(f)
+                            for f in sorted(merged, key=repr)
+                        )
+                except SqlError:
+                    n_unparseable += 1
+                    continue
+                batch[indices] = batch.get(indices, 0) + 1
+                n_encoded += 1
+            return self._merge(
+                batch,
+                n_offered,
+                n_encoded,
+                start,
+                n_procedures=n_procedures,
+                n_unparseable=n_unparseable,
+            )
 
     def ingest_feature_sets(
         self, feature_sets: Iterable[Iterable[Hashable]]
@@ -432,6 +456,15 @@ class IncrementalIngestor:
         if staleness > self.staleness_threshold:
             self.recompress()
             recompressed = True
+        seconds = time.perf_counter() - start
+        _INGEST_BATCHES.inc()
+        _INGEST_MERGE_SECONDS.observe(seconds)
+        if n_encoded:
+            _INGEST_STATEMENTS.inc(n_encoded, outcome="encoded")
+        if n_procedures:
+            _INGEST_STATEMENTS.inc(n_procedures, outcome="procedure")
+        if n_unparseable:
+            _INGEST_STATEMENTS.inc(n_unparseable, outcome="unparseable")
         return IngestReport(
             n_statements=n_offered,
             n_encoded=n_encoded,
@@ -442,7 +475,7 @@ class IncrementalIngestor:
             error_bits=self.compressed.error,
             staleness=staleness,
             recompressed=recompressed,
-            seconds=time.perf_counter() - start,
+            seconds=seconds,
             n_skipped_procedures=n_procedures,
             n_skipped_unparseable=n_unparseable,
         )
@@ -463,7 +496,9 @@ class IncrementalIngestor:
             executor=self.executor,
             seed=self._rng.spawn(1)[0],
         )
-        self.compressed = compressor.compress(self.log)
+        _INGEST_RECOMPRESSIONS.inc()
+        with _span("ingest.recompress", staleness=self.staleness):
+            self.compressed = compressor.compress(self.log)
         _, normalized = np.unique(
             np.asarray(self.compressed.labels, dtype=np.int64), return_inverse=True
         )

@@ -11,6 +11,7 @@ Endpoints::
     GET  /profiles              profile index (latest version metadata)
     GET  /profiles/<name>       one profile, with its version history
     GET  /stats                 server counters (requests, cache, uptime)
+    GET  /metrics               Prometheus text exposition (repro.obs)
     POST /score    {"profile", "statements": [...]}
     POST /ingest   {"profile", "statements": [...], "persist": bool}
     POST /drift    {"profile", "statements": [...], "window_size", "threshold"}
@@ -52,6 +53,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .._clock import Stopwatch
 from ..apps.monitor import WorkloadMonitor
 from ..apps.stream import StreamingDriftMonitor
 from ..core.compress import CompressedLog
@@ -61,6 +63,9 @@ from ..core.log import LogBuilder, QueryLog
 from ..core.mixture import MixtureComponent, PatternMixtureEncoding
 from ..core.encoding import NaiveEncoding
 from ..core.vocabulary import Vocabulary
+from ..obs import metrics as _metrics
+from ..obs.textfmt import CONTENT_TYPE as _METRICS_CONTENT_TYPE
+from ..obs.textfmt import render_text
 from ..sql import AligonExtractor, SqlError
 from .ingest import IncrementalIngestor
 from .store import StoreError, SummaryStore
@@ -244,8 +249,30 @@ class AnalyticsServer:
         self._load_locks: dict[str, threading.Lock] = {}  # guarded-by: _cache_lock
         self._windows: dict[str, tuple[WindowedProfile, threading.Lock]] = {}  # guarded-by: _windows_lock
         self._windows_lock = threading.Lock()
-        self._counters: dict[str, int] = {}  # guarded-by: _counters_lock
-        self._counters_lock = threading.Lock()
+        # Per-instance registry (repro.obs): request accounting must be
+        # scoped to this server — tests run several servers per process
+        # — while library metrics stay on the process-default registry.
+        # /metrics renders the merge; /stats rebuilds its legacy
+        # counters dict from the same families.
+        self.registry = _metrics.MetricsRegistry()
+        self._requests = self.registry.counter(
+            "logr_http_requests_total",
+            "HTTP requests served, by endpoint.",
+            labelnames=("endpoint",),
+        )
+        self._queries_scored = self.registry.counter(
+            "logr_http_queries_scored_total",
+            "Statements scored across /score and /window.",
+        )
+        self._latency = self.registry.histogram(
+            "logr_http_request_seconds",
+            "Request handling wall seconds, by endpoint.",
+            labelnames=("endpoint",),
+        )
+        self._uptime = self.registry.gauge(
+            "logr_http_uptime_seconds",
+            "Seconds since server construction (set at scrape time).",
+        )
         self._started = time.time()
         self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
         self._httpd.daemon_threads = True
@@ -399,12 +426,13 @@ class AnalyticsServer:
         return entry
 
     def _count(self, endpoint: str, queries: int = 0) -> None:
-        with self._counters_lock:
-            self._counters[endpoint] = self._counters.get(endpoint, 0) + 1
-            if queries:
-                self._counters["queries_scored"] = (
-                    self._counters.get("queries_scored", 0) + queries
-                )
+        self._requests.inc(endpoint=endpoint)
+        if queries:
+            self._queries_scored.inc(queries)
+
+    def observe_request(self, endpoint: str, seconds: float) -> None:
+        """Record one request's handling latency (telemetry only)."""
+        self._latency.observe(seconds, endpoint=endpoint)
 
     # ------------------------------------------------------------------
     # endpoint implementations (return JSON-ready dicts; raise for errors)
@@ -440,8 +468,14 @@ class AnalyticsServer:
 
     def handle_stats(self) -> dict:
         """GET /stats"""
-        with self._counters_lock:
-            counters = dict(self._counters)
+        # Rebuilt from the registry families; same shape as the old
+        # hand-maintained dict (only endpoints actually hit appear, and
+        # queries_scored only once something was scored).
+        totals = self._requests.items()  # {(endpoint,): value}
+        counters = {key[0]: int(value) for key, value in totals.items()}
+        queries_scored = self._queries_scored.value()
+        if queries_scored:
+            counters["queries_scored"] = int(queries_scored)
         with self._cache_lock:
             cached = list(self._cache)
             handles = list(self._cache.values())
@@ -468,6 +502,18 @@ class AnalyticsServer:
             "profiles": self.store.profiles(),
             "parse_cache": parse_cache,
         }
+
+    def render_metrics(self) -> str:
+        """GET /metrics — Prometheus text over the merged registries.
+
+        Merges this server's request metrics with the process-default
+        registry's library metrics (pipeline, executor, ingest, caches,
+        store, panes); family names never collide by construction.
+        """
+        self._count("metrics")
+        self._uptime.set(time.time() - self._started)
+        snapshots = self.registry.snapshot() + _metrics.DEFAULT_REGISTRY.snapshot()
+        return render_text(snapshots)
 
     def handle_score(self, body: dict) -> dict:
         """POST /score — batched likelihood scoring."""
@@ -765,6 +811,14 @@ def _make_handler(service: AnalyticsServer):
             self.end_headers()
             self.wfile.write(body)
 
+        def _send_text(self, status: int, text: str, content_type: str) -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
         def _body(self) -> dict:
             length = int(self.headers.get("Content-Length", 0))
             raw = self.rfile.read(length) if length else b"{}"
@@ -773,7 +827,8 @@ def _make_handler(service: AnalyticsServer):
                 raise ValueError("request body must be a JSON object")
             return payload
 
-        def _dispatch(self, fn, *args) -> None:
+        def _dispatch(self, fn, *args, endpoint: str | None = None) -> None:
+            watch = Stopwatch()
             try:
                 self._send(200, fn(*args))
             except StoreError as exc:
@@ -782,6 +837,12 @@ def _make_handler(service: AnalyticsServer):
                 self._send(400, {"error": str(exc)})
             except Exception as exc:  # pragma: no cover - defensive
                 self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+            finally:
+                # Latency covers every attempt (including error paths);
+                # the per-endpoint request counter still counts only
+                # successful handling, as /stats always has.
+                if endpoint is not None:
+                    service.observe_request(endpoint, watch.elapsed())
 
         def log_message(self, fmt, *args):  # noqa: N802 - stdlib name
             pass  # keep the test/CI output clean
@@ -790,12 +851,26 @@ def _make_handler(service: AnalyticsServer):
         def do_GET(self):  # noqa: N802 - stdlib name
             path = self.path.rstrip("/")
             if path == "/profiles" or path == "":
-                self._dispatch(service.handle_profiles)
+                self._dispatch(service.handle_profiles, endpoint="profiles")
             elif path.startswith("/profiles/"):
                 name = path[len("/profiles/"):]
-                self._dispatch(service.handle_profile_detail, name)
+                self._dispatch(
+                    service.handle_profile_detail,
+                    name,
+                    endpoint="profile_detail",
+                )
             elif path == "/stats":
-                self._dispatch(service.handle_stats)
+                self._dispatch(service.handle_stats, endpoint="stats")
+            elif path == "/metrics":
+                watch = Stopwatch()
+                try:
+                    text = service.render_metrics()
+                except Exception as exc:  # pragma: no cover - defensive
+                    self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+                else:
+                    self._send_text(200, text, _METRICS_CONTENT_TYPE)
+                finally:
+                    service.observe_request("metrics", watch.elapsed())
             else:
                 self._send(404, {"error": f"unknown endpoint {self.path!r}"})
 
@@ -807,7 +882,8 @@ def _make_handler(service: AnalyticsServer):
                 "/window": service.handle_window,
                 "/timeline": service.handle_timeline,
             }
-            fn = routes.get(self.path.rstrip("/"))
+            path = self.path.rstrip("/")
+            fn = routes.get(path)
             if fn is None:
                 self._send(404, {"error": f"unknown endpoint {self.path!r}"})
                 return
@@ -816,7 +892,7 @@ def _make_handler(service: AnalyticsServer):
             except (ValueError, json.JSONDecodeError) as exc:
                 self._send(400, {"error": f"bad request body: {exc}"})
                 return
-            self._dispatch(fn, body)
+            self._dispatch(fn, body, endpoint=path.lstrip("/"))
 
     return Handler
 

@@ -51,8 +51,26 @@ import numpy as np
 
 from ..core.compress import CompressedLog
 from ..core.log import QueryLog
+from ..obs import metrics as _metrics
 
 __all__ = ["ProfileVersion", "PaneSegment", "SummaryStore", "StoreError"]
+
+# Telemetry only (see repro.obs): store I/O traffic across every
+# SummaryStore in the process, by artifact kind.
+_STORE_READS = _metrics.counter(
+    "logr_store_reads_total",
+    "Store artifact reads, by kind (profile/segment).",
+    labelnames=("kind",),
+)
+_STORE_WRITES = _metrics.counter(
+    "logr_store_writes_total",
+    "Store artifact writes, by kind (profile/segment_rewrite).",
+    labelnames=("kind",),
+)
+_STORE_SEGMENT_APPENDS = _metrics.counter(
+    "logr_store_segment_appends_total",
+    "Pane segments appended to the store's append-only log.",
+)
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
@@ -328,6 +346,7 @@ class SummaryStore:
             )
             entry["versions"].append(record.to_payload())
             self._write_manifest()
+        _STORE_WRITES.inc(kind="profile")
         return record
 
     def load(self, name: str, version: int | None = None) -> CompressedLog:
@@ -361,7 +380,9 @@ class SummaryStore:
             if version not in known:
                 raise StoreError(f"profile {name!r} has no version {version}")
         path = self._version_path(name, version)
-        return _read_store_file(path, _PROFILE_FORMAT, "LogR profile")
+        payload = _read_store_file(path, _PROFILE_FORMAT, "LogR profile")
+        _STORE_READS.inc(kind="profile")
+        return payload
 
     def _version_path(self, name: str, version: int) -> Path:
         return self._profiles_dir / name / f"v{version:06d}.json"
@@ -432,6 +453,7 @@ class SummaryStore:
             _atomic_write(self._segment_path(name, index), json.dumps(payload))
             entries.append(record.to_payload())
             self._write_manifest()
+        _STORE_SEGMENT_APPENDS.inc()
         return record
 
     def read_segment(self, name: str, index: int) -> dict:
@@ -444,7 +466,11 @@ class SummaryStore:
         """
         path = self._segment_path(name, index)
         try:
-            return _read_store_file(path, _SEGMENT_FORMAT, "LogR pane segment")
+            payload = _read_store_file(
+                path, _SEGMENT_FORMAT, "LogR pane segment"
+            )
+            _STORE_READS.inc(kind="segment")
+            return payload
         except StoreError:
             known = {segment.index for segment in self.segments(name)}
             if index not in known:
@@ -506,6 +532,7 @@ class SummaryStore:
             _atomic_write(self._segment_path(name, index), json.dumps(payload))
             entries[position] = record.to_payload()
             self._write_manifest()
+        _STORE_WRITES.inc(kind="segment_rewrite")
         return record
 
     def _segment_path(self, name: str, index: int) -> Path:

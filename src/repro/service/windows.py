@@ -44,12 +44,22 @@ from ..core.diff import mixture_divergence
 from ..core.executor import Executor, resolve_executor, spawn_generators
 from ..core.featurecache import DEFAULT_CACHE_SIZE, FeatureCache
 from ..core.mixture import PatternMixtureEncoding
+from ..obs import metrics as _metrics
 from ..sql import AligonExtractor
 from ..workloads.logio import load_log
 from .ingest import IncrementalIngestor
 from .store import PaneSegment, StoreError, SummaryStore
 
 __all__ = ["WindowedProfile"]
+
+# Telemetry only (see repro.obs): pane-seal events across every
+# windowed profile in the process, split by whether the pane carried a
+# summary or was pure garbage.
+_PANES_SEALED = _metrics.counter(
+    "logr_panes_sealed_total",
+    "Windowed panes sealed into store segments, by content.",
+    labelnames=("content",),
+)
 
 
 def _consolidate_pane(
@@ -245,6 +255,7 @@ class WindowedProfile:
             )
             self._previous = mixture
             self._previous_loaded = True
+            _PANES_SEALED.inc(content="summary")
         else:
             # A pane of pure garbage: the timeline records it (budget
             # was spent) but there is no summary to persist or diff.
@@ -260,6 +271,7 @@ class WindowedProfile:
                 divergence_bits=None,
                 note=note,
             )
+            _PANES_SEALED.inc(content="empty")
         self._ingestor = None
         self._pane_offered = 0
         self._pane_encoded = 0

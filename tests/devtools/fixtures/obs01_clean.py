@@ -1,0 +1,22 @@
+"""OBS01 fixture: literal names and non-obs homonyms pass clean."""
+
+import collections
+
+from repro.obs import metrics
+from repro.obs.trace import span
+
+REQUESTS = metrics.counter(
+    "logr_requests_total", "served requests", labelnames=("endpoint",)
+)
+LATENCY = metrics.histogram("logr_latency_seconds", "request latency")
+
+
+def count(endpoint):
+    # Dynamic *label values* are the supported parameterization.
+    REQUESTS.inc(endpoint=endpoint)
+
+
+def trace(batch):
+    # Literal span name; dynamic span *attributes* are fine.
+    with span("ingest.batch", statements=len(batch)):
+        return collections.Counter(batch)

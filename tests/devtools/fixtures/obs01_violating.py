@@ -1,0 +1,21 @@
+"""OBS01 fixture: dynamic metric/span names the rule must flag (4)."""
+
+from repro.obs import metrics
+from repro.obs.trace import span
+
+
+def per_stage_counter(stage):
+    return metrics.counter(f"logr_{stage}_total", "one family per stage")
+
+
+def registry_counter(registry, metric_name):
+    return registry.counter(metric_name, "name decided by the caller")
+
+
+def suffixed_histogram(suffix):
+    return metrics.histogram("logr_latency_" + suffix, "concatenated name")
+
+
+def trace_stage(stage_name):
+    with span(stage_name, attempt=1):
+        pass

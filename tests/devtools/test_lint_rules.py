@@ -41,6 +41,9 @@ EXPECTED = {
     "lock01_violating.py": ["LOCK01"],
     "lock01_clean.py": [],
     "lock01_suppressed.py": [],
+    "obs01_violating.py": ["OBS01"] * 4,
+    "obs01_clean.py": [],
+    "obs01_suppressed.py": [],
 }
 
 
@@ -103,3 +106,8 @@ def test_scope_exemptions():
     assert rules["DET02"].applies_to(PurePath("src/repro/core/compress.py"))
     assert rules["FLOAT01"].applies_to(PurePath("src/repro/core/mixture.py"))
     assert not rules["FLOAT01"].applies_to(PurePath("src/repro/sql/parser.py"))
+    # repro/obs/ is the audited telemetry sink: exempt from DET02 and
+    # from OBS01's literal-name gate; instrumented layers are not.
+    assert not rules["DET02"].applies_to(PurePath("src/repro/obs/metrics.py"))
+    assert not rules["OBS01"].applies_to(PurePath("src/repro/obs/metrics.py"))
+    assert rules["OBS01"].applies_to(PurePath("src/repro/core/pipeline.py"))

@@ -1,0 +1,158 @@
+"""Registry/counter/gauge/histogram semantics, including under threads.
+
+This suite is the dynamic witness for reprolint OBS01: idempotent
+re-registration (same literal name → same family object) and exact
+totals under concurrency are what make literal, bounded metric names
+worth enforcing statically.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import DEFAULT_BUCKETS, Counter, Histogram, MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_value_items(self, registry):
+        c = registry.counter("t_total", "help", labelnames=("endpoint",))
+        c.inc(endpoint="score")
+        c.inc(2.5, endpoint="score")
+        c.inc(endpoint="stats")
+        assert c.value(endpoint="score") == 3.5
+        assert c.value(endpoint="missing") == 0.0
+        assert c.items() == {("score",): 3.5, ("stats",): 1.0}
+
+    def test_negative_amount_rejected(self, registry):
+        c = registry.counter("t_total")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1.0)
+
+    def test_label_set_must_match_exactly(self, registry):
+        c = registry.counter("t_total", labelnames=("endpoint",))
+        with pytest.raises(ValueError, match="expects labels"):
+            c.inc()
+        with pytest.raises(ValueError, match="expects labels"):
+            c.inc(endpoint="a", extra="b")
+        with pytest.raises(ValueError, match="expects labels"):
+            c.inc(other="a")
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("1bad")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("ok_total", labelnames=("le",))
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("ok_total", labelnames=("bad-dash",))
+
+
+class TestGauge:
+    def test_set_overwrites(self, registry):
+        g = registry.gauge("t_seconds")
+        g.set(1.5)
+        g.set(0.5)
+        assert g.value() == 0.5
+
+
+class TestHistogram:
+    def test_observe_count_sum(self, registry):
+        h = registry.histogram("t_seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            h.observe(value)
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(5.555)
+
+    def test_le_bounds_are_inclusive_and_cumulative(self, registry):
+        h = registry.histogram("t_seconds", buckets=(0.01, 0.1, 1.0))
+        h.observe(0.01)  # exactly on a bound: le="0.01" includes it
+        h.observe(0.1)
+        h.observe(2.0)  # above the last bound: +Inf overflow only
+        (sample,) = h.snapshot().samples
+        assert sample.buckets == (1, 2, 2, 3)  # cumulative, +Inf == count
+        assert sample.count == 3
+
+    def test_default_buckets_fixed(self):
+        assert DEFAULT_BUCKETS[0] == 0.0001
+        assert DEFAULT_BUCKETS[-1] == 60.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_bad_bounds_rejected(self, registry):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("t_seconds", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("t2_seconds", buckets=())
+
+
+class TestRegistry:
+    def test_reregistration_is_idempotent(self, registry):
+        first = registry.counter("t_total", "help", labelnames=("a",))
+        again = registry.counter("t_total", "help", labelnames=("a",))
+        assert first is again
+
+    def test_mismatched_reregistration_raises(self, registry):
+        registry.counter("t_total", labelnames=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("t_total", labelnames=("b",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("t_total")
+
+    def test_snapshot_is_name_sorted(self, registry):
+        registry.counter("z_total").inc()
+        registry.gauge("a_seconds").set(1)
+        names = [snap.name for snap in registry.snapshot()]
+        assert names == ["a_seconds", "z_total"]
+
+    def test_module_helpers_hit_default_registry(self):
+        c = metrics.counter("logr_selftest_total", "module-helper family")
+        assert isinstance(c, Counter)
+        assert metrics.counter("logr_selftest_total") is c
+        h = metrics.histogram("logr_selftest_seconds")
+        assert isinstance(h, Histogram)
+        assert (
+            metrics.DEFAULT_REGISTRY.histogram("logr_selftest_seconds") is h
+        )
+
+
+class TestConcurrency:
+    """Exact totals when hammered from a thread pool (the server's shape)."""
+
+    WORKERS = 8
+    ROUNDS = 2_000
+
+    def test_counter_totals_exact(self, registry):
+        c = registry.counter("t_total", labelnames=("endpoint",))
+
+        def hammer(worker: int) -> None:
+            endpoint = "even" if worker % 2 == 0 else "odd"
+            for _ in range(self.ROUNDS):
+                c.inc(endpoint=endpoint)
+
+        with ThreadPoolExecutor(max_workers=self.WORKERS) as pool:
+            list(pool.map(hammer, range(self.WORKERS)))
+        expected = float(self.WORKERS // 2 * self.ROUNDS)
+        assert c.value(endpoint="even") == expected
+        assert c.value(endpoint="odd") == expected
+
+    def test_histogram_totals_exact(self, registry):
+        h = registry.histogram("t_seconds", buckets=(0.5,))
+
+        def hammer(worker: int) -> None:
+            value = 0.25 if worker % 2 == 0 else 0.75
+            for _ in range(self.ROUNDS):
+                h.observe(value)
+
+        with ThreadPoolExecutor(max_workers=self.WORKERS) as pool:
+            list(pool.map(hammer, range(self.WORKERS)))
+        total = self.WORKERS * self.ROUNDS
+        assert h.count() == total
+        (sample,) = h.snapshot().samples
+        assert sample.buckets == (total // 2, total)
+        assert sample.value == pytest.approx(
+            (0.25 + 0.75) * (total // 2), rel=1e-9
+        )

@@ -1,0 +1,112 @@
+"""Prometheus text rendering: escaping, numbers, and byte stability.
+
+The golden fixture (``fixtures/metrics_golden.prom``) freezes the exact
+bytes a fixed observation sequence must render to — any formatting
+drift (sort order, number formatting, label escaping) fails the
+comparison.  This is the dynamic witness behind the byte-stable
+rendering claim in :mod:`repro.obs.textfmt`.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.textfmt import CONTENT_TYPE, render_text
+
+GOLDEN = Path(__file__).parent / "fixtures" / "metrics_golden.prom"
+
+
+def golden_registry() -> MetricsRegistry:
+    """A fixed observation sequence (must stay in sync with the fixture)."""
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "logr_http_requests_total",
+        "HTTP requests served, by endpoint.",
+        labelnames=("endpoint",),
+    )
+    requests.inc(endpoint="score")
+    requests.inc(2, endpoint="score")
+    requests.inc(endpoint="stats")
+    registry.gauge(
+        "logr_http_uptime_seconds", "Seconds since server construction."
+    ).set(12.5)
+    latency = registry.histogram(
+        "logr_http_request_seconds",
+        "Request handling wall seconds, by endpoint.",
+        labelnames=("endpoint",),
+        buckets=(0.005, 0.01, 0.05),
+    )
+    for value in (0.001, 0.01, 2.5):
+        latency.observe(value, endpoint="score")
+    latency.observe(0.02, endpoint="ingest")
+    return registry
+
+
+class TestGolden:
+    def test_renders_exactly_the_golden_bytes(self):
+        text = render_text(golden_registry().snapshot())
+        assert text.encode("utf-8") == GOLDEN.read_bytes()
+
+    def test_rendering_is_stable_across_repeats(self):
+        first = render_text(golden_registry().snapshot())
+        second = render_text(golden_registry().snapshot())
+        assert first == second
+
+
+class TestFormat:
+    def test_content_type_pins_version(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_empty_input_renders_empty(self):
+        assert render_text(()) == ""
+        assert render_text(MetricsRegistry().snapshot()) == ""
+
+    def test_counter_lines_and_help_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "line one\nline two \\ slash").inc(3)
+        text = render_text(registry.snapshot())
+        assert text.splitlines() == [
+            "# HELP x_total line one\\nline two \\\\ slash",
+            "# TYPE x_total counter",
+            "x_total 3",
+        ]
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labelnames=("q",)).inc(
+            q='say "hi"\nback\\slash'
+        )
+        text = render_text(registry.snapshot())
+        assert 'x_total{q="say \\"hi\\"\\nback\\\\slash"} 1' in text
+
+    def test_histogram_expands_buckets_sum_count(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h_seconds", "hist", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = render_text(registry.snapshot())
+        assert text.splitlines() == [
+            "# HELP h_seconds hist",
+            "# TYPE h_seconds histogram",
+            'h_seconds_bucket{le="0.1"} 1',
+            'h_seconds_bucket{le="1"} 2',
+            'h_seconds_bucket{le="+Inf"} 3',
+            "h_seconds_sum 5.55",
+            "h_seconds_count 3",
+        ]
+
+    def test_duplicate_family_across_registries_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("dup_total").inc()
+        b.counter("dup_total").inc()
+        with pytest.raises(ValueError, match="duplicate metric family"):
+            render_text(a.snapshot() + b.snapshot())
+
+    def test_families_render_name_sorted_regardless_of_input_order(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total").inc()
+        registry.counter("a_total").inc()
+        text = render_text(tuple(reversed(registry.snapshot())))
+        assert text.index("a_total") < text.index("z_total")

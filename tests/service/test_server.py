@@ -105,6 +105,66 @@ class TestEndpoints:
         assert stats["uptime_seconds"] > 0
 
 
+def parse_exposition(text: str) -> dict[str, float]:
+    """Sample-name (labels included) -> value, skipping comment lines."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    return samples
+
+
+class TestMetricsEndpoint:
+    def test_exposition_carries_request_metrics(self, served):
+        _, client, workload, _, _ = served
+        statements = list(workload.statements(shuffle=True, seed=9))[:10]
+        client.score("tpch", statements)
+        text = client.metrics()
+        assert "# TYPE logr_http_requests_total counter" in text
+        assert "# TYPE logr_http_request_seconds histogram" in text
+        samples = parse_exposition(text)
+        assert samples['logr_http_requests_total{endpoint="score"}'] >= 1
+        assert samples['logr_http_request_seconds_count{endpoint="score"}'] >= 1
+        assert samples["logr_http_queries_scored_total"] >= 10
+        assert samples["logr_http_uptime_seconds"] > 0
+
+    def test_exposition_merges_library_registry(self, served):
+        _, client, _, _, _ = served
+        text = client.metrics()
+        # Families registered at import time by the instrumented
+        # library layers render through the same scrape.
+        assert "# TYPE logr_pipeline_stage_seconds histogram" in text
+        assert "# TYPE logr_executor_tasks_total counter" in text
+        assert "# TYPE logr_parse_cache_lookups_total counter" in text
+
+    def test_content_type_and_self_counting(self, served):
+        import urllib.request
+
+        server, client, _, _, _ = served
+        with urllib.request.urlopen(server.url + "/metrics") as response:
+            assert response.headers["Content-Type"] == (
+                "text/plain; version=0.0.4; charset=utf-8"
+            )
+        samples = parse_exposition(client.metrics())
+        assert samples['logr_http_requests_total{endpoint="metrics"}'] >= 2
+
+    def test_concurrent_requests_count_exactly(self, served):
+        server, client, _, _, _ = served
+        hits = 32
+        before = server._requests.value(endpoint="profiles")
+
+        def hit(_):
+            AnalyticsClient(server.url).profiles()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hit, range(hits)))
+        after = server._requests.value(endpoint="profiles")
+        assert after - before == hits
+        assert client.stats()["requests"]["profiles"] >= hits
+
+
 class TestIngestEndpoint:
     def test_ingest_persists_and_republishes(self, tmp_path):
         store = SummaryStore(tmp_path / "store")
