@@ -1,9 +1,12 @@
 """CI smoke test: compress → store → serve → score → ingest → teardown.
 
-Builds a tiny TPC-H-like profile in a temp store, starts the analytics
-server on an ephemeral port, scores a 100-query batch through the HTTP
+Builds a tiny TPC-H-like profile in a temp store and exercises BOTH
+serving backends (the threaded ``AnalyticsServer`` and the asyncio
+micro-batching ``AsyncAnalyticsServer`` — the two ``--server-backend``
+values) on ephemeral ports: scores a 100-query batch through the HTTP
 client, runs one ingest round, verifies the store advanced a version,
-scrapes ``/metrics`` and checks the exposition reflects the traffic,
+scrapes ``/metrics`` and checks the exposition reflects the traffic
+(including the async transport's batch-size and queue-depth families),
 and shuts down.  Exits non-zero on any failure; runtime is a few
 seconds so it fits the fast CI budget.
 
@@ -18,7 +21,12 @@ import sys
 import tempfile
 
 from repro.core.compress import LogRCompressor
-from repro.service import AnalyticsClient, AnalyticsServer, SummaryStore
+from repro.service import (
+    AnalyticsClient,
+    AnalyticsServer,
+    AsyncAnalyticsServer,
+    SummaryStore,
+)
 from repro.workloads import generate_tpch
 
 
@@ -33,16 +41,17 @@ def parse_exposition(text: str) -> dict[str, float]:
     return samples
 
 
-def main() -> int:
-    workload = generate_tpch(total=1_000, variants_per_template=4, seed=0)
-    log = workload.to_query_log()
-    compressed = LogRCompressor(n_clusters=2, seed=0, n_init=2).compress(log)
-
+def run_backend(backend: str, workload, log, compressed) -> None:
+    """Full request-cycle smoke against one serving backend."""
     with tempfile.TemporaryDirectory() as root:
         store = SummaryStore(root)
         store.save("tpch", compressed, log, note="smoke seed")
 
-        with AnalyticsServer(store, port=0) as server:
+        if backend == "async":
+            server = AsyncAnalyticsServer(store, port=0)
+        else:
+            server = AnalyticsServer(store, port=0)
+        with server:
             client = AnalyticsClient(server.url)
 
             profiles = client.profiles()
@@ -95,12 +104,35 @@ def main() -> int:
                 samples['logr_ingest_statements_total{outcome="encoded"}'] >= 100
             ), samples
 
+            if backend == "async":
+                # The micro-batching transport's own families: every
+                # /score flush lands in the batch-size histogram, and
+                # the ingest admission gauge reads 0 once traffic has
+                # drained.
+                flushes = samples[
+                    'logr_serve_batch_size_count{endpoint="score"}'
+                ]
+                assert flushes >= 2, flushes
+                depth = samples['logr_serve_queue_depth{endpoint="ingest"}']
+                assert depth == 0.0, depth
+                shed = samples['logr_serve_shed_total{endpoint="ingest"}']
+                assert shed == 0.0, shed
+
         reloaded = store.load("tpch")
         assert reloaded.mixture.total == log.total + 100
 
+
+def main() -> int:
+    workload = generate_tpch(total=1_000, variants_per_template=4, seed=0)
+    log = workload.to_query_log()
+    compressed = LogRCompressor(n_clusters=2, seed=0, n_init=2).compress(log)
+
+    for backend in ("threaded", "async"):
+        run_backend(backend, workload, log, compressed)
+
     print(
-        "service smoke: PASS (scored 100-query batch, ingested, v2 "
-        "persisted, /metrics scrape verified)"
+        "service smoke: PASS x2 backends (scored 100-query batch, "
+        "ingested, v2 persisted, /metrics scrape verified)"
     )
     return 0
 

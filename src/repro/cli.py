@@ -150,6 +150,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("store", type=Path, help="profile store directory")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--server-backend", choices=("threaded", "async"), default="threaded",
+        help="HTTP transport: 'threaded' (stdlib ThreadingHTTPServer, one "
+             "thread per connection) or 'async' (asyncio event loop with "
+             "/score micro-batching and backpressure)",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=1.0,
+        help="[async] micro-batching window: how long the first /score "
+             "request of a batch waits for concurrent company",
+    )
+    serve.add_argument(
+        "--max-batch", type=_positive_int, default=64,
+        help="[async] /score requests coalesced per sweep before an "
+             "early flush",
+    )
+    serve.add_argument(
+        "--max-queue", type=_positive_int, default=64,
+        help="[async] bounded ingest queue; overflow is shed with 429",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="[async] per-connection read timeout in seconds",
+    )
     serve.add_argument("--cache-profiles", type=int, default=8)
     serve.add_argument(
         "--staleness-threshold", type=float, default=0.5,
@@ -527,10 +551,9 @@ def _cmd_drift(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .service import AnalyticsServer, SummaryStore
+    from .service import AnalyticsServer, AsyncAnalyticsServer, SummaryStore
 
-    server = AnalyticsServer(
-        SummaryStore(args.store),
+    common = dict(
         host=args.host,
         port=args.port,
         cache_profiles=args.cache_profiles,
@@ -540,8 +563,26 @@ def _cmd_serve(args) -> int:
         pane_clusters=args.pane_clusters,
         parse_cache_size=args.parse_cache_size if args.parse_cache else 0,
     )
+    server: AnalyticsServer | AsyncAnalyticsServer
+    if args.server_backend == "async":
+        server = AsyncAnalyticsServer(
+            SummaryStore(args.store),
+            batch_window_ms=args.batch_window_ms,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+            request_timeout=args.request_timeout,
+            **common,
+        )
+        # The asyncio transport binds on start; serve_forever below is
+        # idempotent on a started server and just blocks until shutdown.
+        server.start()
+    else:
+        server = AnalyticsServer(SummaryStore(args.store), **common)
     host, port = server.address
-    print(f"serving {args.store} on http://{host}:{port} (Ctrl-C to stop)")
+    print(
+        f"serving {args.store} on http://{host}:{port} "
+        f"[{args.server_backend}] (Ctrl-C to stop)"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:

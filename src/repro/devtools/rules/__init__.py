@@ -10,7 +10,11 @@ is the expensive behavioral one that proves the invariant matters.
 from __future__ import annotations
 
 from ..engine import Rule
-from .concurrency import GuardedByDiscipline, SpawnUnsafeCallable
+from .concurrency import (
+    BlockingCallInAsync,
+    GuardedByDiscipline,
+    SpawnUnsafeCallable,
+)
 from .determinism import (
     UnorderedIterationOutput,
     UnseededRandomness,
@@ -25,6 +29,7 @@ __all__ = [
     "UnorderedIterationOutput",
     "SpawnUnsafeCallable",
     "GuardedByDiscipline",
+    "BlockingCallInAsync",
     "FloatEquality",
     "DynamicTelemetryName",
     "default_rules",
@@ -38,6 +43,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     UnorderedIterationOutput,  # DET03
     SpawnUnsafeCallable,  # PAR01
     GuardedByDiscipline,  # LOCK01
+    BlockingCallInAsync,  # ASYNC01
     FloatEquality,  # FLOAT01
     DynamicTelemetryName,  # OBS01
 )

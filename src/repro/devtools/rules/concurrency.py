@@ -1,6 +1,7 @@
-"""Concurrency rules: PAR01 (spawn-pickle hazards), LOCK01 (lock discipline).
+"""Concurrency rules: PAR01 (spawn-pickle hazards), LOCK01 (lock
+discipline), ASYNC01 (no blocking calls on the event loop).
 
-Two invariants from the parallel/service layers:
+Three invariants from the parallel/service layers:
 
 * every payload handed to an executor must survive a spawn-start
   process boundary — lambdas, nested functions and bound methods do
@@ -8,17 +9,21 @@ Two invariants from the parallel/service layers:
 * the service layer's shared mutable state follows
   lock-free-snapshot / lock-guarded-mutation discipline: attributes
   declared ``# guarded-by: <lock>`` may only be touched inside
-  ``with self.<lock>:`` (PR 2/4's server/store/windows contract).
+  ``with self.<lock>:`` (PR 2/4's server/store/windows contract);
+* ``async def`` bodies in the service layer never call blocking
+  primitives — one stalled coroutine freezes every connection on the
+  event loop (the ``repro.service.aserver`` contract).
 """
 
 from __future__ import annotations
 
 import ast
 import re
+from pathlib import PurePath
 
 from ..engine import FileContext, Rule, Violation
 
-__all__ = ["SpawnUnsafeCallable", "GuardedByDiscipline"]
+__all__ = ["SpawnUnsafeCallable", "GuardedByDiscipline", "BlockingCallInAsync"]
 
 #: Executor/pool entry points whose first argument is the mapped callable.
 _EXECUTOR_METHODS = frozenset(
@@ -333,4 +338,122 @@ class GuardedByDiscipline(Rule):
         for child in ast.iter_child_nodes(node):
             self._visit(
                 ctx, child, registry, declaration_lines, held, found
+            )
+
+
+#: Fully-qualified callables that block the calling thread.  Resolved
+#: through the import map, so aliases (`from time import sleep`) and
+#: module renames (`import requests as rq`) are still caught.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "urllib.request.urlopen",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "open",
+        "io.open",
+    }
+)
+
+#: Any call into these packages blocks (sync HTTP clients).
+_BLOCKING_MODULES = ("requests",)
+
+#: Sync file-I/O helper methods (``Path.read_text`` & friends): flagged
+#: by attribute name, since instance receivers have no import alias.
+_BLOCKING_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+class BlockingCallInAsync(Rule):
+    """ASYNC01 — service-layer coroutines never block the event loop.
+
+    Invariant: the asyncio front end (``repro.service.aserver``) runs
+    every connection on ONE event loop thread; a single blocking call
+    inside an ``async def`` — ``time.sleep``, a raw ``socket``
+    connect, a sync HTTP client, direct file I/O — stalls every other
+    connection for its full duration, silently converting the
+    concurrent server back into a serial one.  Blocking work belongs
+    behind ``await``: ``asyncio.sleep``, asyncio streams, or
+    ``loop.run_in_executor`` for sync handlers (which is exactly how
+    the server dispatches store I/O and recompression today).
+
+    The check walks ``async def`` bodies in ``service/`` files and
+    flags calls whose import-resolved target is a known blocking
+    primitive (the table above), any ``requests.*`` call, the ``open``
+    builtin, or a ``read_text``/``write_text``-style sync file helper.
+    Nested ``def``/``async def`` bodies are separate execution
+    contexts (executor payloads, handlers) and are not attributed to
+    the enclosing coroutine.
+
+    Witnessed dynamically by the concurrency tests in
+    ``tests/service/test_aserver.py`` (batching under concurrent load,
+    backpressure, shutdown drain) — all of which deadlock or time out
+    if the loop blocks.
+    """
+
+    rule_id = "ASYNC01"
+    invariant = (
+        "async def bodies in service/ never call blocking primitives "
+        "(time.sleep, raw sockets, sync HTTP, sync file I/O); use the "
+        "asyncio equivalent or loop.run_in_executor"
+    )
+    witness = "tests/service/test_aserver.py"
+
+    def applies_to(self, path: PurePath) -> bool:
+        return "service" in path.parts
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        found: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                for statement in node.body:
+                    self._visit(ctx, statement, found)
+        return found
+
+    # -- helpers ---------------------------------------------------------
+    def _visit(
+        self, ctx: FileContext, node: ast.AST, found: list[Violation]
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # a different execution context (outer walk re-visits)
+        if isinstance(node, ast.Call):
+            self._check_call(ctx, node, found)
+        for child in ast.iter_child_nodes(node):
+            self._visit(ctx, child, found)
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, found: list[Violation]
+    ) -> None:
+        qual = ctx.imports.resolve(node.func)
+        if qual is not None:
+            root = qual.split(".", 1)[0]
+            if qual in _BLOCKING_CALLS or root in _BLOCKING_MODULES:
+                found.append(
+                    ctx.violation(
+                        node,
+                        self.rule_id,
+                        f"blocking call `{qual}` inside `async def` stalls "
+                        "the whole event loop; await the asyncio "
+                        "equivalent or dispatch via loop.run_in_executor",
+                    )
+                )
+                return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _BLOCKING_METHODS
+        ):
+            found.append(
+                ctx.violation(
+                    node,
+                    self.rule_id,
+                    f"sync file I/O `.{node.func.attr}(...)` inside "
+                    "`async def` blocks the event loop; dispatch it via "
+                    "loop.run_in_executor",
+                )
             )

@@ -2,9 +2,21 @@
 
 The serving front end for the §2 operational use cases: long-lived
 compressed profiles (one per workload tenant) answering scoring, drift
-and statistics queries while traffic keeps arriving.  Pure stdlib —
-:class:`http.server.ThreadingHTTPServer` with a JSON body protocol —
-so the service runs anywhere the library does.
+and statistics queries while traffic keeps arriving.  Pure stdlib, two
+transports over one endpoint core:
+
+* :class:`AnalyticsService` — the transport-independent core: profile
+  cache, endpoint handlers (JSON dict in, JSON-ready dict out), and
+  the per-instance metrics registry;
+* :class:`AnalyticsServer` (this module) — the original
+  :class:`http.server.ThreadingHTTPServer` transport, thread per
+  connection;
+* :class:`repro.service.aserver.AsyncAnalyticsServer` — the asyncio
+  front end with request micro-batching and backpressure, selected
+  via ``logr serve --server-backend=async``.
+
+Because both transports dispatch into the same handlers, their JSON
+response bodies are byte-identical for identical requests.
 
 Endpoints::
 
@@ -71,7 +83,7 @@ from .ingest import IncrementalIngestor
 from .store import StoreError, SummaryStore
 from .windows import WindowedProfile
 
-__all__ = ["AnalyticsServer", "serve"]
+__all__ = ["AnalyticsService", "AnalyticsServer", "serve"]
 
 #: Default drift window, matching ``StreamingDriftMonitor``.
 DEFAULT_WINDOW_SIZE = 500
@@ -196,12 +208,19 @@ class _Profile:
         return self._drift
 
 
-class AnalyticsServer:
-    """Thread-per-request scoring server over a :class:`SummaryStore`.
+class AnalyticsService:
+    """Transport-independent endpoint core over a :class:`SummaryStore`.
+
+    Owns the hot-profile cache, the windowed-pane handles, the
+    per-instance metrics registry, and every endpoint handler.  The
+    handlers speak JSON-ready dicts and raise for errors; a transport
+    (threaded :class:`AnalyticsServer` or the asyncio front end in
+    :mod:`repro.service.aserver`) maps them onto HTTP.  All handler
+    methods are thread-safe — the threaded transport calls them from
+    handler threads, the asyncio transport from executor threads.
 
     Args:
         store: the profile store to serve (shared, thread-safe).
-        host / port: bind address; port 0 picks a free port.
         cache_profiles: hot-profile LRU capacity.
         threshold_quantile: anomaly calibration for scoring snapshots.
         staleness_threshold: Error drift (bits) before an ingest
@@ -224,8 +243,6 @@ class AnalyticsServer:
     def __init__(
         self,
         store: SummaryStore,
-        host: str = "127.0.0.1",
-        port: int = 0,
         cache_profiles: int = 8,
         threshold_quantile: float = 0.001,
         staleness_threshold: float = 0.5,
@@ -274,51 +291,6 @@ class AnalyticsServer:
             "Seconds since server construction (set at scrape time).",
         )
         self._started = time.time()
-        self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
-        self._httpd.daemon_threads = True
-        self._thread: threading.Thread | None = None
-
-    # ------------------------------------------------------------------
-    # lifecycle
-    # ------------------------------------------------------------------
-    @property
-    def address(self) -> tuple[str, int]:
-        """``(host, port)`` the server is bound to."""
-        host, port = self._httpd.server_address[:2]
-        return str(host), int(port)
-
-    @property
-    def url(self) -> str:
-        """Base URL for a client."""
-        host, port = self.address
-        return f"http://{host}:{port}"
-
-    def start(self) -> tuple[str, int]:
-        """Serve in a daemon thread; returns the bound address."""
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever, daemon=True
-        )
-        self._thread.start()
-        return self.address
-
-    def serve_forever(self) -> None:
-        """Serve on the calling thread (the CLI entry point)."""
-        self._httpd.serve_forever()
-
-    def shutdown(self) -> None:
-        """Stop serving and release the socket."""
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
-
-    def __enter__(self) -> "AnalyticsServer":
-        self.start()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.shutdown()
 
     # ------------------------------------------------------------------
     # profile cache
@@ -515,17 +487,13 @@ class AnalyticsServer:
         snapshots = self.registry.snapshot() + _metrics.DEFAULT_REGISTRY.snapshot()
         return render_text(snapshots)
 
-    def handle_score(self, body: dict) -> dict:
-        """POST /score — batched likelihood scoring."""
-        name, statements = _require(body, "profile", "statements")
-        handle = self._profile(name)
-        monitor = handle.monitor  # atomic snapshot read: no lock
-        scores = monitor.score_batch(statements)
-        self._count("score", queries=len(statements))
+    def _score_payload(self, name: str, version: int, threshold, scores) -> dict:
+        """One /score response body — shared by both serving transports
+        so batched and unbatched responses are byte-identical."""
         return {
             "profile": name,
-            "version": handle.version,
-            "threshold": _json_float(monitor.threshold),
+            "version": version,
+            "threshold": _json_float(threshold),
             "scores": [
                 {
                     "log2_likelihood": _json_float(s.log2_likelihood),
@@ -535,6 +503,45 @@ class AnalyticsServer:
                 for s in scores
             ],
         }
+
+    def handle_score(self, body: dict) -> dict:
+        """POST /score — batched likelihood scoring."""
+        name, statements = _require(body, "profile", "statements")
+        handle = self._profile(name)
+        monitor = handle.monitor  # atomic snapshot read: no lock
+        scores = monitor.score_batch(statements)
+        self._count("score", queries=len(statements))
+        return self._score_payload(name, handle.version, monitor.threshold, scores)
+
+    def score_coalesced(self, name: str, batches: list[list[str]]) -> list[dict]:
+        """Score several /score request batches in ONE vectorized sweep.
+
+        The asyncio front end's micro-batcher: concurrent requests for
+        the same profile are concatenated and scored by a single
+        :meth:`WorkloadMonitor.score_batch` call against one snapshot,
+        then fanned back out per request.  ``score_batch`` computes
+        every statement's likelihood row-independently (distinct
+        feature sets share one matrix row, scored once), so each
+        request's response is bit-identical to what
+        :meth:`handle_score` would have returned for it alone against
+        the same snapshot.
+        """
+        handle = self._profile(name)
+        monitor = handle.monitor  # one snapshot for the whole flush
+        flat = [statement for batch in batches for statement in batch]
+        scores = monitor.score_batch(flat)
+        responses: list[dict] = []
+        offset = 0
+        for batch in batches:
+            chunk = scores[offset:offset + len(batch)]
+            offset += len(batch)
+            self._count("score", queries=len(batch))
+            responses.append(
+                self._score_payload(
+                    name, handle.version, monitor.threshold, chunk
+                )
+            )
+        return responses
 
     def handle_ingest(self, body: dict) -> dict:
         """POST /ingest — merge a mini-batch, persist, republish."""
@@ -753,6 +760,75 @@ class AnalyticsServer:
         }
 
 
+class AnalyticsServer(AnalyticsService):
+    """Thread-per-request HTTP transport over :class:`AnalyticsService`.
+
+    The original serving front end: stdlib
+    :class:`~http.server.ThreadingHTTPServer`, one daemon thread per
+    connection.  Retained as the fallback backend next to the asyncio
+    front end (:mod:`repro.service.aserver`); both speak the same JSON
+    protocol through the same handlers.
+
+    Args:
+        store: the profile store to serve (shared, thread-safe).
+        host / port: bind address; port 0 picks a free port.
+        **kwargs: forwarded to :class:`AnalyticsService`.
+    """
+
+    def __init__(
+        self,
+        store: SummaryStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **kwargs,
+    ):
+        super().__init__(store, **kwargs)
+        self._httpd = _Httpd((host, port), _make_handler(self))
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` the server is bound to."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        """Base URL for a client."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> tuple[str, int]:
+        """Serve in a daemon thread; returns the bound address."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI entry point)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "AnalyticsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
 def _batch_divergence(
     baseline: PatternMixtureEncoding, statements: list[str]
 ) -> dict:
@@ -779,6 +855,14 @@ def _batch_divergence(
 # ----------------------------------------------------------------------
 # HTTP plumbing
 # ----------------------------------------------------------------------
+class _Httpd(ThreadingHTTPServer):
+    daemon_threads = True
+    # The stdlib default backlog of 5 RSTs connect bursts from a few
+    # dozen closed-loop clients (each request is a fresh connection);
+    # match the asyncio transport's default of 100.
+    request_queue_size = 128
+
+
 def _require(body: dict, *keys: str):
     values = []
     for key in keys:
@@ -796,11 +880,15 @@ def _json_float(value: float) -> float | str:
     return repr(value)
 
 
-def _make_handler(service: AnalyticsServer):
+def _make_handler(service: AnalyticsService):
     """A request-handler class bound to *service*."""
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
+        # Headers and body go out as separate segments; without
+        # TCP_NODELAY, Nagle + delayed ACK stalls keep-alive clients
+        # ~40 ms per request.
+        disable_nagle_algorithm = True
 
         # -- helpers ---------------------------------------------------
         def _send(self, status: int, payload: dict) -> None:

@@ -1,0 +1,26 @@
+"""ASYNC01 fixture: awaited equivalents and executor dispatch pass."""
+
+import asyncio
+import json
+import time
+
+
+def load_profile(path):
+    # Sync helpers are fine — they run on executor threads, not the loop.
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+async def backoff_then_retry(delay):
+    await asyncio.sleep(delay)
+
+
+async def load_profile_async(path):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, load_profile, path)
+
+
+async def timed_dispatch(handler, body):
+    started = time.monotonic()  # reading a clock does not block
+    result = await handler(body)
+    return result, time.monotonic() - started

@@ -1,0 +1,23 @@
+"""ASYNC01 fixture: blocking calls in coroutines the rule must flag (4)."""
+
+import time
+import urllib.request
+from pathlib import Path
+
+
+async def backoff_then_retry(delay):
+    time.sleep(delay)  # blocks every connection on the loop
+
+
+async def fetch_upstream(url):
+    with urllib.request.urlopen(url) as response:
+        return response.read()
+
+
+async def load_config(path):
+    return Path(path).read_text(encoding="utf-8")
+
+
+async def dump_snapshot(payload, path):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)

@@ -44,6 +44,9 @@ EXPECTED = {
     "obs01_violating.py": ["OBS01"] * 4,
     "obs01_clean.py": [],
     "obs01_suppressed.py": [],
+    "service/async01_violating.py": ["ASYNC01"] * 4,
+    "service/async01_clean.py": [],
+    "service/async01_suppressed.py": [],
 }
 
 
@@ -111,3 +114,6 @@ def test_scope_exemptions():
     assert not rules["DET02"].applies_to(PurePath("src/repro/obs/metrics.py"))
     assert not rules["OBS01"].applies_to(PurePath("src/repro/obs/metrics.py"))
     assert rules["OBS01"].applies_to(PurePath("src/repro/core/pipeline.py"))
+    # ASYNC01 guards the event-loop transport: service/ only.
+    assert rules["ASYNC01"].applies_to(PurePath("src/repro/service/aserver.py"))
+    assert not rules["ASYNC01"].applies_to(PurePath("src/repro/core/pipeline.py"))
