@@ -1,14 +1,16 @@
 """CI smoke test: compress → store → serve → score → ingest → teardown.
 
-Builds a tiny TPC-H-like profile in a temp store and exercises BOTH
-serving backends (the threaded ``AnalyticsServer`` and the asyncio
+Builds a tiny TPC-H-like profile in a temp store and exercises the
+serving backends (the threaded ``AnalyticsServer``, the asyncio
 micro-batching ``AsyncAnalyticsServer`` — the two ``--server-backend``
-values) on ephemeral ports: scores a 100-query batch through the HTTP
-client, runs one ingest round, verifies the store advanced a version,
-scrapes ``/metrics`` and checks the exposition reflects the traffic
-(including the async transport's batch-size and queue-depth families),
-and shuts down.  Exits non-zero on any failure; runtime is a few
-seconds so it fits the fast CI budget.
+values — and the async backend again over the shared-memory scoring
+worker pool, ``--score-workers 2``) on ephemeral ports: scores a
+100-query batch through the HTTP client, runs one ingest round,
+verifies the store advanced a version, scrapes ``/metrics`` and checks
+the exposition reflects the traffic (including the async transport's
+batch-size and queue-depth families and the pool's ``logr_pool_*``
+families), and shuts down.  Exits non-zero on any failure; runtime is
+a few seconds so it fits the fast CI budget.
 
 Run with::
 
@@ -47,7 +49,9 @@ def run_backend(backend: str, workload, log, compressed) -> None:
         store = SummaryStore(root)
         store.save("tpch", compressed, log, note="smoke seed")
 
-        if backend == "async":
+        if backend == "pool":
+            server = AsyncAnalyticsServer(store, port=0, score_workers=2)
+        elif backend == "async":
             server = AsyncAnalyticsServer(store, port=0)
         else:
             server = AnalyticsServer(store, port=0)
@@ -104,7 +108,7 @@ def run_backend(backend: str, workload, log, compressed) -> None:
                 samples['logr_ingest_statements_total{outcome="encoded"}'] >= 100
             ), samples
 
-            if backend == "async":
+            if backend in ("async", "pool"):
                 # The micro-batching transport's own families: every
                 # /score flush lands in the batch-size histogram, and
                 # the ingest admission gauge reads 0 once traffic has
@@ -118,6 +122,33 @@ def run_backend(backend: str, workload, log, compressed) -> None:
                 shed = samples['logr_serve_shed_total{endpoint="ingest"}']
                 assert shed == 0.0, shed
 
+            if backend == "pool":
+                # The worker pool's families: both workers are alive,
+                # the published snapshot holds shm segments, scoring
+                # traffic crossed the framed pipes, and nothing had to
+                # be respawned.
+                assert samples["logr_pool_workers"] == 2.0, samples
+                assert samples["logr_pool_segments"] >= 1.0, samples
+                scored_via_pool = sum(
+                    value
+                    for name, value in samples.items()
+                    if name.startswith("logr_pool_requests_total{")
+                    and 'kind="score"' in name
+                )
+                assert scored_via_pool >= 2, scored_via_pool
+                dispatches = sum(
+                    value
+                    for name, value in samples.items()
+                    if name.startswith("logr_pool_dispatch_seconds_count{")
+                )
+                assert dispatches >= 2, dispatches
+                respawns = sum(
+                    value
+                    for name, value in samples.items()
+                    if name.startswith("logr_pool_respawns_total{")
+                )
+                assert respawns == 0.0, respawns
+
         reloaded = store.load("tpch")
         assert reloaded.mixture.total == log.total + 100
 
@@ -127,11 +158,11 @@ def main() -> int:
     log = workload.to_query_log()
     compressed = LogRCompressor(n_clusters=2, seed=0, n_init=2).compress(log)
 
-    for backend in ("threaded", "async"):
+    for backend in ("threaded", "async", "pool"):
         run_backend(backend, workload, log, compressed)
 
     print(
-        "service smoke: PASS x2 backends (scored 100-query batch, "
+        "service smoke: PASS x3 backends (scored 100-query batch, "
         "ingested, v2 persisted, /metrics scrape verified)"
     )
     return 0

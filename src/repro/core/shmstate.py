@@ -1,0 +1,274 @@
+"""Zero-copy shared-memory export of encoded-state arrays.
+
+The serving layer's scoring worker pool (PR 9,
+:mod:`repro.service.workers`) needs every worker process to read the
+same immutable profile snapshot — the dense ``float64`` marginal
+matrix, the component sizes, the packed ``uint64`` / dense ``uint8``
+encoded-state buffers :mod:`repro.core.compress` already serializes —
+without pickling megabytes per request.  This module is the transport:
+
+* :func:`export_arrays` packs a name → array mapping (plus optional
+  raw-bytes blobs, e.g. a codebook serialized once per version) into
+  ONE :class:`multiprocessing.shared_memory.SharedMemory` segment
+  behind a small JSON header;
+* :func:`attach_arrays` maps an existing segment and returns read-only
+  ``np.frombuffer`` views — zero-copy: the arrays alias the shared
+  pages, nothing is deserialized per request.
+
+Layout (all offsets relative to segment start)::
+
+    [8-byte little-endian header length][JSON header][payload area]
+
+The JSON header describes each entry (kind, dtype, shape, offset,
+byte length); payload entries are 64-byte aligned so views keep the
+alignment NumPy kernels expect.  Segments are immutable after export
+by contract — the exporter is the only writer, and attached views are
+marked read-only.
+
+Lifecycle: the *creator* owns the segment and must eventually
+:meth:`ExportedState.unlink` it (the worker pool does this on version
+retirement and on shutdown).  Attachers only :meth:`AttachedState.
+close` their mapping; on POSIX an unlinked segment stays valid for
+processes that already mapped it, which is exactly the hand-off the
+pool's publish/retire protocol relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import secrets
+from multiprocessing import shared_memory
+from typing import Mapping
+
+import numpy as np
+
+__all__ = [
+    "ExportedState",
+    "AttachedState",
+    "export_arrays",
+    "attach_arrays",
+]
+
+#: Payload entries start on multiples of this (NumPy-friendly alignment).
+_ALIGN = 64
+
+#: Prefix for generated segment names (also the /dev/shm leak-check key).
+_NAME_PREFIX = "logr-shm"
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class ExportedState:
+    """Creator-side handle on one exported segment.
+
+    Owns the segment: :meth:`unlink` removes the backing file (idempotent).
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory) -> None:
+        self._shm = shm
+        self._unlinked = False
+
+    @property
+    def name(self) -> str:
+        """The segment name an attacher passes to :func:`attach_arrays`."""
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - defensive
+            pass
+
+    def unlink(self) -> None:
+        """Remove the backing segment (idempotent; mappings stay valid)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        self.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExportedState(name={self.name!r}, nbytes={self.nbytes})"
+
+
+class AttachedState:
+    """Attacher-side view of an exported segment.
+
+    ``arrays`` are read-only zero-copy views over the shared pages;
+    ``blobs`` are :class:`bytes` copies of the raw entries (small by
+    contract — e.g. one pickled codebook per profile version).  Keep
+    the handle alive as long as any array view is in use; :meth:`close`
+    drops the mapping.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        arrays: dict[str, np.ndarray],
+        blobs: dict[str, bytes],
+    ) -> None:
+        self._shm = shm
+        self.arrays = arrays
+        self.blobs = blobs
+
+    def close(self) -> None:
+        """Drop the mapping.  Array views must no longer be used."""
+        self.arrays = {}
+        self.blobs = {}
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - defensive
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AttachedState(name={self._shm.name!r}, arrays={sorted(self.arrays)})"
+
+
+def export_arrays(
+    arrays: Mapping[str, np.ndarray],
+    blobs: Mapping[str, bytes] | None = None,
+    name: str | None = None,
+) -> ExportedState:
+    """Pack *arrays* (and raw *blobs*) into one shared-memory segment.
+
+    Arrays must be C-contiguous-representable (they are copied into the
+    segment with ``np.copyto``, so views and non-contiguous inputs are
+    fine); entry names must be unique across arrays and blobs.  Returns
+    the creator-side handle; the caller owns the segment and must
+    eventually :meth:`~ExportedState.unlink` it.
+    """
+    blobs = dict(blobs or {})
+    overlap = set(arrays) & set(blobs)
+    if overlap:
+        raise ValueError(f"entry names shared by arrays and blobs: {sorted(overlap)}")
+    entries: list[dict[str, object]] = []
+    payloads: list[tuple[int, np.ndarray | bytes]] = []
+    offset = 0
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        offset = _aligned(offset)
+        entries.append(
+            {
+                "key": key,
+                "kind": "array",
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+                "nbytes": int(array.nbytes),
+            }
+        )
+        payloads.append((offset, array))
+        offset += array.nbytes
+    for key in sorted(blobs):
+        blob = blobs[key]
+        offset = _aligned(offset)
+        entries.append(
+            {
+                "key": key,
+                "kind": "bytes",
+                "offset": offset,
+                "nbytes": len(blob),
+            }
+        )
+        payloads.append((offset, blob))
+        offset += len(blob)
+    header = json.dumps({"format": "logr-shmstate-v1", "entries": entries}).encode(
+        "utf-8"
+    )
+    base = _aligned(8 + len(header))
+    total = max(1, base + offset)  # SharedMemory rejects size 0
+    if name is None:
+        name = f"{_NAME_PREFIX}-{secrets.token_hex(6)}"
+    shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+    try:
+        shm.buf[0:8] = len(header).to_bytes(8, "little")
+        shm.buf[8 : 8 + len(header)] = header
+        for entry_offset, payload in payloads:
+            start = base + entry_offset
+            if isinstance(payload, bytes):
+                shm.buf[start : start + len(payload)] = payload
+            else:
+                view = np.frombuffer(
+                    shm.buf, dtype=payload.dtype, count=payload.size, offset=start
+                ).reshape(payload.shape)
+                np.copyto(view, payload)
+                del view  # release the buffer reference before any close()
+    except BaseException:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - defensive
+            pass
+        raise
+    return ExportedState(shm)
+
+
+def _untracked_attach(name: str) -> shared_memory.SharedMemory:
+    """Attach *name* without adopting it into a foreign resource tracker.
+
+    CPython ≥ 3.13 exposes ``track=False`` for attach-only handles.  On
+    3.11/3.12 the attach path registers with the resource tracker
+    unconditionally (bpo-39959) — which is *safe here by construction*:
+    every in-tree attacher is either the creator process itself or a
+    worker spawned by it, and spawn children inherit the creator's
+    tracker fd, so the duplicate registration deduplicates in the
+    shared tracker's name set and the creator's eventual ``unlink``
+    retires the single entry.  The shared tracker doubles as the crash
+    backstop: if the whole process tree dies without cleanup, the
+    tracker unlinks the leftover segments on its own exit.  Do NOT
+    attach these segments from an independently started process on
+    < 3.13 — its own tracker would adopt and unlink them.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach_arrays(name: str) -> AttachedState:
+    """Map segment *name* and return zero-copy read-only array views.
+
+    Raises ``FileNotFoundError`` when the segment has been unlinked —
+    the pool protocol's signal that the snapshot version was retired
+    and the request must be retried against the current one.
+    """
+    shm = _untracked_attach(name)
+    try:
+        header_len = int.from_bytes(bytes(shm.buf[0:8]), "little")
+        header = json.loads(bytes(shm.buf[8 : 8 + header_len]).decode("utf-8"))
+        if header.get("format") != "logr-shmstate-v1":
+            raise ValueError(f"segment {name!r} is not a logr shmstate export")
+        base = _aligned(8 + header_len)
+        arrays: dict[str, np.ndarray] = {}
+        blobs: dict[str, bytes] = {}
+        for entry in header["entries"]:
+            start = base + int(entry["offset"])
+            nbytes = int(entry["nbytes"])
+            if entry["kind"] == "bytes":
+                blobs[str(entry["key"])] = bytes(shm.buf[start : start + nbytes])
+                continue
+            dtype = np.dtype(str(entry["dtype"]))
+            shape = tuple(int(d) for d in entry["shape"])
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            view = np.frombuffer(
+                shm.buf, dtype=dtype, count=count, offset=start
+            ).reshape(shape)
+            view.flags.writeable = False
+            arrays[str(entry["key"])] = view
+    except BaseException:
+        try:
+            shm.close()
+        except (OSError, BufferError):  # pragma: no cover - defensive
+            pass
+        raise
+    return AttachedState(shm, arrays, blobs)

@@ -170,15 +170,20 @@ class GuardedByDiscipline(Rule):
     (an atomic reference load of an immutable object) from lock-guarded
     *mutation* of live state.  The mutable side is declared in source:
     an attribute assignment carrying ``# guarded-by: <lockname>``
-    registers ``self.<attr>`` as owned by ``self.<lockname>``.  Every
-    other read or write of that attribute in the class must then sit
-    lexically inside ``with self.<lockname>:`` (multi-item ``with``
-    forms count), with two sanctioned escapes:
+    registers ``<receiver>.<attr>`` as owned by ``<receiver>.
+    <lockname>``.  Every other read or write of that attribute in the
+    file must then sit lexically inside ``with <receiver>.<lockname>:``
+    on the *same receiver name* (multi-item ``with`` forms count) —
+    ``self._cache`` under ``with self._cache_lock:``, but equally the
+    worker pool's slot records (``slot.pending`` under ``with
+    slot.lock:``), whose guarded fields are declared in one class and
+    driven from another.  Two sanctioned escapes:
 
     * ``__init__`` is exempt — construction happens-before publication;
-    * a method whose ``def`` line carries ``# holds: <lockname>``
+    * a function whose ``def`` line carries ``# holds: <lockname>``
       documents a caller-holds-the-lock contract and is treated as if
-      its whole body were inside the ``with``.
+      its whole body were inside the ``with`` (for any receiver of
+      that lock name).
 
     The rule is self-scoping: files with no ``guarded-by`` declarations
     are untouched.  It is a lexical race detector, not an escape
@@ -193,20 +198,30 @@ class GuardedByDiscipline(Rule):
     rule_id = "LOCK01"
     invariant = (
         "attributes declared `# guarded-by: <lock>` are only accessed "
-        "inside `with self.<lock>:` (or under a `# holds: <lock>` "
-        "caller-contract)"
+        "inside `with <receiver>.<lock>:` on the same receiver (or "
+        "under a `# holds: <lock>` caller-contract)"
     )
     witness = "tests/service/test_server.py"
 
     def check(self, ctx: FileContext) -> list[Violation]:
+        # File-global registry: guarded fields may be declared in one
+        # class (a slot/record type) and accessed from another (its
+        # owning pool/service), so declarations merge across the file.
+        registry: dict[str, str] = {}
+        declaration_lines: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                class_registry, lines = self._registry(ctx, node)
+                registry.update(class_registry)
+                declaration_lines.update(lines)
+        if not registry:
+            return []
         found: list[Violation] = []
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.ClassDef):
-                registry, declaration_lines = self._registry(ctx, node)
-                if registry:
-                    self._check_class(
-                        ctx, node, registry, declaration_lines, found
-                    )
+                self._check_class(
+                    ctx, node, registry, declaration_lines, found
+                )
         return found
 
     # -- helpers ---------------------------------------------------------
@@ -241,32 +256,33 @@ class GuardedByDiscipline(Rule):
                     lines.add(getattr(node, "end_lineno", node.lineno))
         return registry, lines
 
-    def _held_on_def(self, ctx: FileContext, fn: ast.AST) -> set[str]:
-        """Locks declared held by a ``# holds:`` def-line contract."""
-        held: set[str] = set()
+    def _held_on_def(self, ctx: FileContext, fn: ast.AST) -> set[tuple[str, str]]:
+        """Locks declared held by a ``# holds:`` def-line contract.
+
+        Holds-contracts are receiver-agnostic (the wildcard ``"*"``):
+        the caller asserts *that lock name* is held, whichever object
+        carries it.
+        """
+        held: set[tuple[str, str]] = set()
         start = fn.lineno
         end = fn.body[0].lineno if getattr(fn, "body", None) else start
         for line in range(start, end + 1):
             match = _HOLDS_RE.search(ctx.comments.get(line, ""))
             if match is not None:
                 held.update(
-                    name.strip()
+                    ("*", name.strip())
                     for name in match.group(1).split(",")
                     if name.strip()
                 )
         return held
 
-    def _with_locks(self, item: ast.withitem) -> str | None:
-        """The self-lock name a ``with`` item acquires, if any."""
+    def _with_locks(self, item: ast.withitem) -> tuple[str, str] | None:
+        """The ``(receiver, lock)`` a ``with`` item acquires, if any."""
         expr = item.context_expr
         if isinstance(expr, ast.Call):
             expr = expr.func
-        if (
-            isinstance(expr, ast.Attribute)
-            and isinstance(expr.value, ast.Name)
-            and expr.value.id == "self"
-        ):
-            return expr.attr
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            return (expr.value.id, expr.attr)
         return None
 
     def _check_class(
@@ -294,7 +310,7 @@ class GuardedByDiscipline(Rule):
         node: ast.AST,
         registry: dict[str, str],
         declaration_lines: set[int],
-        held: set[str],
+        held: set[tuple[str, str]],
         found: list[Violation],
     ) -> None:
         if isinstance(node, (ast.With, ast.AsyncWith)):
@@ -319,19 +335,19 @@ class GuardedByDiscipline(Rule):
         if (
             isinstance(node, ast.Attribute)
             and isinstance(node.value, ast.Name)
-            and node.value.id == "self"
             and node.attr in registry
             and node.lineno not in declaration_lines
         ):
+            receiver = node.value.id
             lock = registry[node.attr]
-            if lock not in held:
+            if (receiver, lock) not in held and ("*", lock) not in held:
                 found.append(
                     ctx.violation(
                         node,
                         self.rule_id,
-                        f"`self.{node.attr}` is declared `# guarded-by: "
+                        f"`{receiver}.{node.attr}` is declared `# guarded-by: "
                         f"{lock}` but is accessed outside `with "
-                        f"self.{lock}:` (annotate the def with `# holds: "
+                        f"{receiver}.{lock}:` (annotate the def with `# holds: "
                         f"{lock}` if the caller holds it)",
                     )
                 )

@@ -21,6 +21,7 @@ from .ingest import IncrementalIngestor, IngestReport
 from .server import AnalyticsServer, AnalyticsService, serve
 from .store import PaneSegment, ProfileVersion, StoreError, SummaryStore
 from .windows import WindowedProfile
+from .workers import ScoringWorkerPool
 
 __all__ = [
     "SummaryStore",
@@ -37,4 +38,5 @@ __all__ = [
     "serve_async",
     "AnalyticsClient",
     "ServiceError",
+    "ScoringWorkerPool",
 ]

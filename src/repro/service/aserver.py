@@ -20,8 +20,11 @@ single stdlib-``asyncio`` event loop that:
   by shedding, not by collapse;
 * keeps the event loop non-blocking — every sync handler (store I/O,
   ingest merges, staleness-triggered recompression and cold pane
-  consolidation, which themselves run on the existing process
-  executor) is dispatched through ``loop.run_in_executor``;
+  consolidation, which themselves run on the scoring worker pool or
+  the existing process executor) is dispatched to an *owned*, bounded
+  ``ThreadPoolExecutor`` that drains with the server — the loop's
+  default executor is unbounded relative to the admission queue and
+  never shut down;
 * **drains gracefully** on shutdown — the listener closes first (new
   connections refused), in-flight requests complete, pending score
   batches flush.
@@ -42,6 +45,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -178,7 +182,7 @@ class _ScoreBatcher:
         loop = asyncio.get_running_loop()
         try:
             payloads = await loop.run_in_executor(
-                None,
+                self._server._handler_pool,
                 self._server.score_coalesced,
                 profile,
                 [statements for statements, _ in batch],
@@ -269,6 +273,16 @@ class AsyncAnalyticsServer(AnalyticsService):
         self._queue_depth.set(0.0, endpoint="ingest")
         self._shed.inc(0.0, endpoint="ingest")
         self._batcher = _ScoreBatcher(self)
+        # Owned handler executor: the loop's *default* executor is
+        # CPU-count-sized, never shut down, and invisible to admission
+        # accounting, so dispatching through it let in-flight work
+        # exceed what the bounded queue admits.  Bound it to the ingest
+        # queue (plus headroom for score flushes and GET handlers) and
+        # shut it down during drain.
+        self._handler_pool = ThreadPoolExecutor(
+            max_workers=min(32, max_queue + 4),
+            thread_name_prefix="logr-aserve-handler",
+        )
         # Event-loop-thread state (no locks: single-threaded loop).
         self._ingest_pending = 0
         self._connections: set["asyncio.Task[None]"] = set()
@@ -379,6 +393,11 @@ class AsyncAnalyticsServer(AnalyticsService):
             }
             if pending:
                 await asyncio.wait(pending, timeout=self.drain_timeout)
+            # Last: stop the handler threads (everything above already
+            # completed or timed out), then release pooled resources
+            # (scoring workers, shm segments).
+            self._handler_pool.shutdown(wait=True)
+            self.close()
 
     # ------------------------------------------------------------------
     # connection handling
@@ -534,7 +553,7 @@ class AsyncAnalyticsServer(AnalyticsService):
         """
         loop = asyncio.get_running_loop()
         try:
-            payload = await loop.run_in_executor(None, fn, *args)
+            payload = await loop.run_in_executor(self._handler_pool, fn, *args)
             return _Response(200, payload)
         except StoreError as exc:
             return _Response(404, {"error": str(exc)})

@@ -18,6 +18,7 @@ The behaviour applies against both server backends.
 from __future__ import annotations
 
 import json
+import math
 import time
 import urllib.error
 import urllib.request
@@ -94,11 +95,25 @@ class AnalyticsClient:
 
     def _backoff(self, attempt: int, retry_after: float | None) -> float:
         """Delay before retry *attempt* (0-based): full jitter, floored
-        at the server's ``Retry-After``."""
+        at the server's ``Retry-After``.
+
+        ``Retry-After`` comes off the wire (possibly from a proxy, not
+        our server), so it is untrusted: non-numeric or NaN values are
+        ignored, negatives are treated as 0, and huge values are
+        clamped — the floor never exceeds ``backoff_cap``, so a
+        malformed header can neither crash the retry loop nor make the
+        client sleep unboundedly.
+        """
         bound = min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
         delay = float(self._rng.uniform(0.0, bound))
         if retry_after is not None:
-            delay = max(delay, retry_after)
+            try:
+                floor = float(retry_after)
+            except (TypeError, ValueError):
+                floor = 0.0
+            if not math.isfinite(floor) or floor < 0.0:
+                floor = 0.0
+            delay = max(delay, min(floor, self.backoff_cap))
         return min(delay, self.backoff_cap)
 
     def _request(self, path: str, payload: dict | None = None) -> dict:

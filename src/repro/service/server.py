@@ -66,7 +66,7 @@ from pathlib import Path
 import numpy as np
 
 from .._clock import Stopwatch
-from ..apps.monitor import WorkloadMonitor
+from ..apps.monitor import QueryScore, WorkloadMonitor
 from ..apps.stream import StreamingDriftMonitor
 from ..core.compress import CompressedLog
 from ..core.diff import feature_drift, mixture_divergence
@@ -82,6 +82,7 @@ from ..sql import AligonExtractor, SqlError
 from .ingest import IncrementalIngestor
 from .store import StoreError, SummaryStore
 from .windows import WindowedProfile
+from .workers import ScoringWorkerPool
 
 __all__ = ["AnalyticsService", "AnalyticsServer", "serve"]
 
@@ -123,6 +124,7 @@ class _Profile:
         seed: int,
         jobs: int = 1,
         parse_cache_size: int = DEFAULT_CACHE_SIZE,
+        executor=None,
     ):
         self.name = name
         self.version = version
@@ -139,13 +141,19 @@ class _Profile:
                     jobs=jobs,
                     # Recompression runs on a handler thread of a
                     # multithreaded server: fork could duplicate locks
-                    # held by other threads, so pin the safe method.
-                    # Passing the *name* (not a live pool) means each
-                    # recompression builds and tears down its own pool —
-                    # acceptable because recompression is staleness-gated
-                    # and rare, and a per-profile pool would outlive LRU
-                    # eviction (no close hook on cache drop).
-                    executor="process:spawn" if jobs > 1 else None,
+                    # held by other threads, so an explicit executor is
+                    # either the service's long-lived scoring worker
+                    # pool (score_workers > 0) or the pinned-spawn
+                    # *name*, which builds and tears down a fresh pool
+                    # per recompression — acceptable because
+                    # recompression is staleness-gated and rare, and a
+                    # per-profile pool would outlive LRU eviction (no
+                    # close hook on cache drop).
+                    executor=(
+                        executor
+                        if executor is not None
+                        else ("process:spawn" if jobs > 1 else None)
+                    ),
                     parse_cache=parse_cache_size > 0,
                     parse_cache_size=parse_cache_size or 1,
                 )
@@ -238,6 +246,12 @@ class AnalyticsService:
             ``/ingest`` (repeated statement templates skip the SQL
             parser; hit rates surface in ``/stats``).  0 disables the
             fast path.
+        score_workers: size of the shared-memory scoring worker pool
+            (:class:`~repro.service.workers.ScoringWorkerPool`).  0 —
+            the default — scores in-process; N > 0 spawns N worker
+            processes that map published profile snapshots zero-copy
+            and also host recompression / pane consolidation.  Results
+            are byte-identical either way.
     """
 
     def __init__(
@@ -251,6 +265,7 @@ class AnalyticsService:
         pane_statements: int | None = None,
         pane_clusters: int = 4,
         parse_cache_size: int = DEFAULT_CACHE_SIZE,
+        score_workers: int = 0,
     ):
         self.store = store
         self.cache_profiles = cache_profiles
@@ -261,6 +276,7 @@ class AnalyticsService:
         self.pane_statements = pane_statements
         self.pane_clusters = pane_clusters
         self.parse_cache_size = parse_cache_size
+        self.score_workers = score_workers
         self._cache: OrderedDict[str, _Profile] = OrderedDict()  # guarded-by: _cache_lock
         self._cache_lock = threading.Lock()
         self._load_locks: dict[str, threading.Lock] = {}  # guarded-by: _cache_lock
@@ -291,6 +307,54 @@ class AnalyticsService:
             "Seconds since server construction (set at scrape time).",
         )
         self._started = time.time()
+        # Shared-memory scoring worker pool (PR 9): when score_workers
+        # > 0, /score traffic and recompression fan out across spawned
+        # worker processes that map each profile's encoded state
+        # zero-copy from shared memory.  0 keeps the in-process path
+        # (byte-identical by construction — the pool reproduces it).
+        self.pool: ScoringWorkerPool | None = (
+            ScoringWorkerPool(score_workers, registry=self.registry)
+            if score_workers > 0
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # worker pool plumbing
+    # ------------------------------------------------------------------
+    def _scoring_executor(self):
+        """The executor heavy profile work (recompression, consolidation)
+        should run on: the long-lived worker pool when configured, else
+        the legacy pinned-spawn-by-name / in-process choice."""
+        if self.pool is not None:
+            return self.pool.executor()
+        return "process:spawn" if self.jobs > 1 else None
+
+    def _pool_score(self, name: str, handle: "_Profile", statements: list):
+        """Score *statements* on the worker pool, or ``None`` to fall back.
+
+        Publishes the handle's current snapshot if the pool has not
+        seen this (name, version) yet, then dispatches.  Any pool
+        failure — worker churn mid-retry, snapshot race, shutdown —
+        degrades to the in-process path, which is byte-identical, so
+        callers never surface pool internals as request errors.
+        """
+        if self.pool is None:
+            return None
+        try:
+            self.pool.ensure(name, handle.version, handle.monitor)
+            version, threshold, rows = self.pool.score(name, statements)
+        except Exception:
+            return None
+        scores = [
+            QueryScore(sql, log2_likelihood, anomalous, reason)
+            for sql, (log2_likelihood, anomalous, reason) in zip(statements, rows)
+        ]
+        return version, threshold, scores
+
+    def close(self) -> None:
+        """Release pooled resources (worker processes, shm segments)."""
+        if self.pool is not None:
+            self.pool.close()
 
     # ------------------------------------------------------------------
     # profile cache
@@ -323,6 +387,7 @@ class AnalyticsService:
                 seed=self.seed,
                 jobs=self.jobs,
                 parse_cache_size=self.parse_cache_size,
+                executor=self._scoring_executor(),
             )
             with self._cache_lock:
                 self._cache[name] = handle
@@ -361,6 +426,8 @@ class AnalyticsService:
                     note="persisted on cache eviction",
                 )
                 handle.dirty = False
+        if self.pool is not None:
+            self.pool.retire(handle.name)
 
     def _windowed(self, name: str) -> tuple[WindowedProfile, threading.Lock]:
         """The windowed-pane handle (and its mutation lock) for *name*.
@@ -389,7 +456,7 @@ class AnalyticsService:
                     n_clusters=self.pane_clusters,
                     seed=self.seed,
                     jobs=self.jobs,
-                    executor="process:spawn" if self.jobs > 1 else None,
+                    executor=self._scoring_executor(),
                     parse_cache=self.parse_cache_size > 0,
                     parse_cache_size=self.parse_cache_size or 1,
                 )
@@ -508,10 +575,15 @@ class AnalyticsService:
         """POST /score — batched likelihood scoring."""
         name, statements = _require(body, "profile", "statements")
         handle = self._profile(name)
-        monitor = handle.monitor  # atomic snapshot read: no lock
-        scores = monitor.score_batch(statements)
+        pooled = self._pool_score(name, handle, statements)
+        if pooled is not None:
+            version, threshold, scores = pooled
+        else:
+            monitor = handle.monitor  # atomic snapshot read: no lock
+            version, threshold = handle.version, monitor.threshold
+            scores = monitor.score_batch(statements)
         self._count("score", queries=len(statements))
-        return self._score_payload(name, handle.version, monitor.threshold, scores)
+        return self._score_payload(name, version, threshold, scores)
 
     def score_coalesced(self, name: str, batches: list[list[str]]) -> list[dict]:
         """Score several /score request batches in ONE vectorized sweep.
@@ -527,9 +599,14 @@ class AnalyticsService:
         the same snapshot.
         """
         handle = self._profile(name)
-        monitor = handle.monitor  # one snapshot for the whole flush
         flat = [statement for batch in batches for statement in batch]
-        scores = monitor.score_batch(flat)
+        pooled = self._pool_score(name, handle, flat)
+        if pooled is not None:
+            version, threshold, scores = pooled
+        else:
+            monitor = handle.monitor  # one snapshot for the whole flush
+            version, threshold = handle.version, monitor.threshold
+            scores = monitor.score_batch(flat)
         responses: list[dict] = []
         offset = 0
         for batch in batches:
@@ -537,11 +614,37 @@ class AnalyticsService:
             offset += len(batch)
             self._count("score", queries=len(batch))
             responses.append(
-                self._score_payload(
-                    name, handle.version, monitor.threshold, chunk
-                )
+                self._score_payload(name, version, threshold, chunk)
             )
         return responses
+
+    def _ingest_locked(
+        self, name: str, handle: "_Profile", statements: list, persist: bool
+    ):  # holds: lock
+        """One ingest merge + persist + republish.  Caller holds handle.lock."""
+        report = handle.ingestor.ingest_statements(statements)
+        version = handle.version
+        if persist:
+            record = self.store.save(
+                name,
+                handle.ingestor.compressed,
+                handle.ingestor.log,
+                note=f"ingest {report.n_encoded} statements",
+            )
+            version = record.version
+            handle.dirty = False
+        else:
+            handle.dirty = True  # persisted later, on cache eviction
+        handle.publish(version)
+        if self.pool is not None:
+            # Push the fresh snapshot eagerly so the next /score
+            # doesn't pay the export; failure here must not fail
+            # the ingest (scoring lazily re-publishes via ensure).
+            try:
+                self.pool.publish(name, version, handle.monitor)
+            except Exception:
+                pass
+        return report, version
 
     def handle_ingest(self, body: dict) -> dict:
         """POST /ingest — merge a mini-batch, persist, republish."""
@@ -566,20 +669,9 @@ class AnalyticsService:
                 break
             handle.lock.release()
         try:
-            report = handle.ingestor.ingest_statements(statements)
-            version = handle.version
-            if persist:
-                record = self.store.save(
-                    name,
-                    handle.ingestor.compressed,
-                    handle.ingestor.log,
-                    note=f"ingest {report.n_encoded} statements",
-                )
-                version = record.version
-                handle.dirty = False
-            else:
-                handle.dirty = True  # persisted later, on cache eviction
-            handle.publish(version)
+            report, version = self._ingest_locked(
+                name, handle, statements, persist
+            )
         finally:
             handle.lock.release()
         panes_sealed: list[int] = []
@@ -814,12 +906,13 @@ class AnalyticsServer(AnalyticsService):
         self._httpd.serve_forever()
 
     def shutdown(self) -> None:
-        """Stop serving and release the socket."""
+        """Stop serving, release the socket, and drain the worker pool."""
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        self.close()
 
     def __enter__(self) -> "AnalyticsServer":
         self.start()

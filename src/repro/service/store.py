@@ -565,14 +565,29 @@ def _read_store_file(path: Path, expected_format: str, kind: str) -> dict:
 
 
 def _atomic_write(path: Path, text: str) -> None:
-    """Write *text* to *path* via a same-directory temp file + rename."""
+    """Write *text* to *path* via a same-directory temp file + rename.
+
+    Crash-durable, not just crash-atomic: the temp file is flushed and
+    fsynced *before* the rename (otherwise a crash soon after
+    ``os.replace`` can surface a zero-length or partial file behind a
+    successful rename — the data blocks were never forced to disk),
+    and the directory is fsynced after it so the new directory entry
+    itself survives.
+    """
     fd, tmp_name = tempfile.mkstemp(
         prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
     )
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
     except BaseException:
         try:
             os.unlink(tmp_name)

@@ -1,0 +1,715 @@
+"""Shared-memory scoring worker pool for the serving layer.
+
+PR 8's async front end coalesces ``/score`` traffic into single
+``score_batch`` sweeps, but the sweep itself still runs on the serving
+process — one core bounds throughput.  This module moves scoring onto a
+pool of worker *processes* without paying pickling costs per request:
+
+* the service exports each profile's encoded state — the dense
+  ``(k, n)`` marginal matrix, component sizes/entropies, the alert
+  threshold, and the pickled codebook — into ONE
+  ``multiprocessing.shared_memory`` segment per published version
+  (:mod:`repro.core.shmstate`);
+* workers map the segment zero-copy (``np.frombuffer`` views) and
+  rebuild a :class:`~repro.apps.monitor.WorkloadMonitor` over the
+  shared pages, cached per segment, so a request ships only statement
+  strings over the pipe;
+* batches travel over a small framed-pipe protocol
+  (``Connection.send_bytes`` is length-prefixed): requests are
+  ``(kind, req_id, ...)`` tuples, replies ``(req_id, status,
+  payload)`` with status ``ok`` / ``gone`` (segment unlinked — the
+  snapshot was swapped; retry against the current one) / ``err``.
+
+Scoring stays *byte-identical* to the in-process path: per-row
+arithmetic in :meth:`WorkloadMonitor.score_batch` is independent of
+batch composition, component weights derive from the same float64
+sizes, and marginal rows alias the exact values the parent clipped —
+so statement-level sharding across workers concatenates to the same
+bytes the single-process sweep produces.
+
+Fault handling: each worker has a dedicated reader thread; worker
+death surfaces as EOF, the slot respawns the process and resends its
+outstanding requests (bounded retries), so a SIGKILLed worker costs
+latency, never a hang or a changed response.  Shutdown refuses new
+work, drains in-flight requests, stops workers, and unlinks every
+exported segment; a ``weakref.finalize`` hook unlinks the segments on
+exceptional teardown too, so no ``/dev/shm`` entries outlive the pool.
+
+The pool also exposes an order-preserving :class:`repro.core.executor.
+Executor` adapter so recompression and cold-pane consolidation run on
+the same worker processes instead of spinning up a separate
+``ProcessPoolExecutor`` per profile.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import traceback
+import weakref
+from collections import OrderedDict
+from concurrent.futures import Future
+from multiprocessing import get_context, shared_memory
+from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
+from typing import Any, Callable, Sequence, TypeVar
+
+import numpy as np
+
+from .._clock import Stopwatch
+from ..apps.monitor import WorkloadMonitor
+from ..core.encoding import NaiveEncoding
+from ..core.executor import Executor
+from ..core.mixture import MixtureComponent, PatternMixtureEncoding
+from ..core.shmstate import (
+    AttachedState,
+    ExportedState,
+    attach_arrays,
+    export_arrays,
+)
+from ..core.vocabulary import Vocabulary
+from ..obs.metrics import DEFAULT_REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["PoolError", "SnapshotGone", "ScoringWorkerPool"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Statements per score shard below which splitting is not worth it.
+_MIN_SHARD = 32
+
+#: Worker-side cache: attached segments kept mapped per process.
+_WORKER_CACHE_SLOTS = 4
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+class PoolError(RuntimeError):
+    """A pool request failed (worker error, repeated death, closed pool)."""
+
+
+class SnapshotGone(PoolError):
+    """The shm segment a request referenced was unlinked mid-flight."""
+
+
+# ----------------------------------------------------------------------
+# snapshot export / rebuild
+# ----------------------------------------------------------------------
+def _export_snapshot(monitor: WorkloadMonitor) -> ExportedState:
+    """Export *monitor*'s immutable scoring state into one shm segment.
+
+    Ships exactly what :meth:`WorkloadMonitor.score_batch` reads: the
+    per-component marginal rows (already clipped by ``NaiveEncoding``),
+    sizes (float64 — exact for any real log size), true entropies, the
+    alert threshold (as an array entry because ``-inf`` is a legal
+    threshold and JSON is not float-complete), and the codebook pickled
+    once per published version.
+    """
+    mixture = monitor.mixture
+    if mixture.vocabulary is None:
+        raise ValueError("monitor mixture has no vocabulary attached")
+    rows: list[np.ndarray] = []
+    for component in mixture.components:
+        if not isinstance(component.encoding, NaiveEncoding):
+            raise TypeError("worker pool requires naive mixture components")
+        rows.append(component.encoding.marginals)
+    marginals = np.stack(rows).astype(np.float64, copy=False)
+    sizes = np.array([float(c.size) for c in mixture.components], dtype=np.float64)
+    entropies = np.array(
+        [float(c.true_entropy) for c in mixture.components], dtype=np.float64
+    )
+    scalars = np.array([monitor.threshold], dtype=np.float64)
+    vocabulary = pickle.dumps(tuple(mixture.vocabulary), protocol=_PICKLE_PROTOCOL)
+    return export_arrays(
+        {
+            "marginals": marginals,
+            "sizes": sizes,
+            "entropies": entropies,
+            "scalars": scalars,
+        },
+        blobs={"vocabulary": vocabulary},
+    )
+
+
+def _monitor_from_state(state: AttachedState) -> WorkloadMonitor:
+    """Rebuild a scoring monitor over an attached segment, zero-copy.
+
+    Marginal rows are read-only views of the shared pages
+    (:meth:`NaiveEncoding.from_clipped` skips the validating copy the
+    exporter already performed); sizes convert through the same
+    ``float64`` values the parent's ``weights`` derive from, so the
+    mixture arithmetic is bit-identical to the in-process monitor.
+    """
+    marginals = state.arrays["marginals"]
+    sizes = state.arrays["sizes"]
+    entropies = state.arrays["entropies"]
+    threshold = float(state.arrays["scalars"][0])
+    vocabulary = Vocabulary(pickle.loads(state.blobs["vocabulary"]))
+    components = [
+        MixtureComponent(
+            size=float(sizes[i]),
+            encoding=NaiveEncoding.from_clipped(marginals[i]),
+            true_entropy=float(entropies[i]),
+        )
+        for i in range(marginals.shape[0])
+    ]
+    mixture = PatternMixtureEncoding(components, vocabulary)
+    return WorkloadMonitor(mixture, threshold=threshold)
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _cached_monitor(
+    cache: "OrderedDict[str, tuple[AttachedState, WorkloadMonitor]]",
+    segment: str,
+) -> WorkloadMonitor:
+    """Worker-local segment → monitor cache (small LRU).
+
+    A miss attaches the segment (``FileNotFoundError`` when it was
+    unlinked — the caller turns that into a ``gone`` reply).  Evicted
+    entries drop their mapping, releasing the unlinked segment's pages.
+    """
+    hit = cache.get(segment)
+    if hit is not None:
+        cache.move_to_end(segment)
+        return hit[1]
+    state = attach_arrays(segment)
+    monitor = _monitor_from_state(state)
+    cache[segment] = (state, monitor)
+    while len(cache) > _WORKER_CACHE_SLOTS:
+        _release_entry(cache.popitem(last=False)[1])
+    return monitor
+
+
+def _release_entry(entry: tuple[AttachedState, WorkloadMonitor]) -> None:
+    """Unmap one evicted cache entry.
+
+    The monitor's encodings alias the mapped pages, so its reference
+    must die before the mapping closes — otherwise ``mmap.close``
+    raises ``BufferError: cannot close exported pointers exist``.  The
+    caller passes the cache's last reference to the pair.
+    """
+    state, monitor = entry
+    del entry, monitor  # free every array view over the mapping first
+    state.close()
+
+
+def _handle_request(
+    cache: "OrderedDict[str, tuple[AttachedState, WorkloadMonitor]]",
+    message: tuple[Any, ...],
+) -> tuple[int, str, object]:
+    """Serve one framed request; every status becomes a framed reply.
+
+    A separate function so no local ever aliases a cached monitor past
+    the request — the cache must hold the only references when entries
+    are released (see :func:`_release_entry`).
+    """
+    req_id = int(message[1])
+    try:
+        if message[0] == "score":
+            segment, statements = message[2], message[3]
+            try:
+                monitor = _cached_monitor(cache, segment)
+            except FileNotFoundError:
+                return (req_id, "gone", f"segment {segment!r} was unlinked")
+            scores = monitor.score_batch(statements)
+            return (
+                req_id,
+                "ok",
+                [(s.log2_likelihood, s.anomalous, s.reason) for s in scores],
+            )
+        if message[0] == "call":
+            fn, task = message[2], message[3]
+            return (req_id, "ok", fn(task))
+        return (req_id, "err", f"unknown request kind {message[0]!r}")
+    except BaseException:
+        return (req_id, "err", traceback.format_exc())
+
+
+def _worker_main(conn: Connection) -> None:
+    """Worker process loop: recv framed request → send framed reply."""
+    cache: OrderedDict[str, tuple[AttachedState, WorkloadMonitor]] = OrderedDict()
+    try:
+        while True:
+            try:
+                raw = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            message = pickle.loads(raw)
+            if message[0] == "exit":
+                break
+            reply = _handle_request(cache, message)
+            conn.send_bytes(pickle.dumps(reply, protocol=_PICKLE_PROTOCOL))
+    finally:
+        while cache:
+            _release_entry(cache.popitem()[1])
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+# ----------------------------------------------------------------------
+# parent-side pool
+# ----------------------------------------------------------------------
+class _Snapshot:
+    """One profile's current exported version (immutable record)."""
+
+    __slots__ = ("version", "threshold", "export")
+
+    def __init__(self, version: int, threshold: float, export: ExportedState) -> None:
+        self.version = version
+        self.threshold = threshold
+        self.export = export
+
+
+class _PendingRequest:
+    """One in-flight framed request awaiting its reply."""
+
+    __slots__ = ("future", "raw", "kind", "retries", "watch")
+
+    def __init__(self, raw: bytes, kind: str, retries: int) -> None:
+        self.future: Future[Any] = Future()
+        self.raw = raw
+        self.kind = kind
+        self.retries = retries
+        self.watch = Stopwatch()
+
+
+class _WorkerSlot:
+    """One worker position: a process, its pipe, and in-flight requests.
+
+    All fields after construction are accessed under ``lock``
+    (machine-checked by reprolint LOCK01 via the ``guarded-by``
+    annotations below).  ``generation`` fences stale reader threads
+    after a respawn.
+    """
+
+    __slots__ = ("index", "lock", "process", "conn", "pending", "generation")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.lock = threading.Lock()
+        self.process: BaseProcess | None = None  # guarded-by: lock
+        self.conn: Connection | None = None  # guarded-by: lock
+        self.pending: dict[int, _PendingRequest] = {}  # guarded-by: lock
+        self.generation = 0  # guarded-by: lock
+
+
+def _emergency_unlink(segment_names: set[str], processes: list[BaseProcess]) -> None:
+    """Last-resort teardown: kill workers, unlink every live segment.
+
+    Runs from ``weakref.finalize`` (atexit-backed) when the pool is
+    garbage-collected or the interpreter exits without ``close()`` —
+    the no-leaked-``/dev/shm``-entries guarantee for exceptional paths.
+    Closes over shared mutable containers, never the pool itself.
+    """
+    for process in processes:
+        try:
+            if process.is_alive():
+                process.terminate()
+        except Exception:  # pragma: no cover - defensive
+            pass
+    for name in list(segment_names):
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        except Exception:  # pragma: no cover - defensive
+            continue
+        try:
+            segment.close()
+            segment.unlink()
+        except Exception:  # pragma: no cover - defensive
+            pass
+    segment_names.clear()
+
+
+class _PoolExecutor(Executor):
+    """Order-preserving ``Executor`` facade over the worker pool.
+
+    Routes ``map`` tasks through the pool's ``call`` frames so
+    recompression and cold-pane consolidation reuse the scoring
+    workers.  ``close()`` is a no-op: the pool owns worker lifecycle.
+    """
+
+    kind = "pool"
+
+    def __init__(self, pool: "ScoringWorkerPool") -> None:
+        self._pool = pool
+        self.jobs = pool.size
+
+    def map(self, fn: Callable[[_T], _R], tasks: Sequence[_T]) -> list[_R]:
+        futures = [self._pool._submit("call", (fn, task)) for task in tasks]
+        return [future.result(timeout=self._pool.request_timeout) for future in futures]
+
+
+class ScoringWorkerPool:
+    """A pool of scoring worker processes over shared profile snapshots.
+
+    Args:
+        size: worker process count (>= 1; ``--score-workers 0`` means
+            "no pool" and is handled by the caller).
+        registry: metrics registry for the ``logr_pool_*`` families
+            (the server passes its per-instance registry).
+        request_timeout: seconds to wait for one framed reply before
+            giving up (generous — covers recompression ``call`` work).
+        max_retries: resends of one request across worker respawns
+            before its future fails.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        registry: MetricsRegistry | None = None,
+        request_timeout: float = 300.0,
+        max_retries: int = 2,
+    ) -> None:
+        if size < 1:
+            raise ValueError("worker pool size must be >= 1")
+        self.size = size
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self._ctx = get_context("spawn")
+        self._lock = threading.Lock()
+        self._closed = False  # guarded-by: _lock
+        self._snapshots: dict[str, _Snapshot] = {}  # guarded-by: _lock
+        self._next_req_id = 0  # guarded-by: _lock
+        self._round_robin = 0  # guarded-by: _lock
+        # Shared with the finalizer: mutated only under _lock, read by
+        # the (single-threaded, post-mortem) emergency cleanup.
+        self._segment_names: set[str] = set()  # guarded-by: _lock
+        self._processes: list[BaseProcess] = []
+        registry = registry or DEFAULT_REGISTRY
+        self._workers_gauge: Gauge = registry.gauge(
+            "logr_pool_workers", "Scoring worker processes configured."
+        )
+        self._segments_gauge: Gauge = registry.gauge(
+            "logr_pool_segments", "Shared-memory profile snapshots currently exported."
+        )
+        self._requests_total: Counter = registry.counter(
+            "logr_pool_requests_total",
+            "Framed requests dispatched to pool workers.",
+            labelnames=("worker", "kind"),
+        )
+        self._respawns_total: Counter = registry.counter(
+            "logr_pool_respawns_total",
+            "Worker processes respawned after unexpected death.",
+            labelnames=("worker",),
+        )
+        self._dispatch_seconds: Histogram = registry.histogram(
+            "logr_pool_dispatch_seconds",
+            "Submit-to-reply wall seconds per pool request.",
+            labelnames=("kind",),
+        )
+        self._slots = [_WorkerSlot(index) for index in range(size)]
+        for slot in self._slots:
+            # Zero-init so every family renders labeled series pre-traffic.
+            for kind in ("score", "call"):
+                self._requests_total.inc(0.0, worker=str(slot.index), kind=kind)
+            self._respawns_total.inc(0.0, worker=str(slot.index))
+            with slot.lock:
+                self._spawn_worker(slot)
+        self._workers_gauge.set(float(size))
+        self._segments_gauge.set(0.0)
+        self._finalizer = weakref.finalize(
+            self, _emergency_unlink, self._segment_names, self._processes
+        )
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, slot: _WorkerSlot) -> None:  # holds: lock
+        """Start (or restart) *slot*'s process.  Caller holds slot.lock."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name=f"logr-score-worker-{slot.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        slot.process = process
+        slot.conn = parent_conn
+        slot.generation += 1
+        self._processes.append(process)
+        reader = threading.Thread(
+            target=self._read_replies,
+            args=(slot, parent_conn, slot.generation),
+            name=f"logr-pool-reader-{slot.index}",
+            daemon=True,
+        )
+        reader.start()
+
+    def _read_replies(
+        self, slot: _WorkerSlot, conn: Connection, generation: int
+    ) -> None:
+        """Per-worker reader: resolve futures until EOF, then recover."""
+        while True:
+            try:
+                raw = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            req_id, status, payload = pickle.loads(raw)
+            with slot.lock:
+                entry = slot.pending.pop(req_id, None)
+            if entry is None:
+                continue  # duplicate reply after a respawn resend
+            self._dispatch_seconds.observe(entry.watch.elapsed(), kind=entry.kind)
+            if status == "ok":
+                entry.future.set_result(payload)
+            elif status == "gone":
+                entry.future.set_exception(SnapshotGone(str(payload)))
+            else:
+                entry.future.set_exception(PoolError(str(payload)))
+        self._recover_worker(slot, generation)
+
+    def _recover_worker(self, slot: _WorkerSlot, generation: int) -> None:
+        """After EOF on *generation*'s pipe: respawn and resend, or fail."""
+        with self._lock:
+            closed = self._closed
+        failed: list[tuple[_PendingRequest, Exception]] = []
+        with slot.lock:
+            if slot.generation != generation:
+                return  # a newer generation already took over this slot
+            outstanding = dict(slot.pending)
+            slot.pending.clear()
+            if closed:
+                slot.conn = None
+                failed = [
+                    (entry, PoolError("worker pool is shut down"))
+                    for entry in outstanding.values()
+                ]
+            else:
+                self._respawns_total.inc(worker=str(slot.index))
+                self._spawn_worker(slot)
+                conn = slot.conn
+                assert conn is not None
+                for req_id, entry in outstanding.items():
+                    if entry.retries > 0:
+                        entry.retries -= 1
+                        slot.pending[req_id] = entry
+                        try:
+                            conn.send_bytes(entry.raw)
+                        except OSError:
+                            pass  # next EOF cycle retries or fails it
+                    else:
+                        failed.append(
+                            (
+                                entry,
+                                PoolError(
+                                    f"worker {slot.index} died repeatedly; "
+                                    "request abandoned"
+                                ),
+                            )
+                        )
+        for entry, exc in failed:
+            entry.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # request submission
+    # ------------------------------------------------------------------
+    def _submit(self, kind: str, body: tuple[Any, ...]) -> "Future[Any]":
+        with self._lock:
+            if self._closed:
+                raise PoolError("worker pool is shut down")
+            req_id = self._next_req_id
+            self._next_req_id += 1
+            slot = self._slots[self._round_robin % len(self._slots)]
+            self._round_robin += 1
+        return self._submit_to(slot, req_id, kind, body)
+
+    def _submit_to(
+        self, slot: _WorkerSlot, req_id: int, kind: str, body: tuple[Any, ...]
+    ) -> "Future[Any]":
+        raw = pickle.dumps((kind, req_id, *body), protocol=_PICKLE_PROTOCOL)
+        entry = _PendingRequest(raw, kind, self.max_retries)
+        with slot.lock:
+            conn = slot.conn
+            if conn is None:
+                raise PoolError("worker pool is shut down")
+            slot.pending[req_id] = entry
+            try:
+                conn.send_bytes(raw)
+            except OSError:
+                pass  # worker died mid-send: the reader's EOF cycle resends
+        self._requests_total.inc(worker=str(slot.index), kind=kind)
+        return entry.future
+
+    # ------------------------------------------------------------------
+    # snapshot publication
+    # ------------------------------------------------------------------
+    def publish(self, name: str, version: int, monitor: WorkloadMonitor) -> None:
+        """Export *monitor* as profile *name*'s snapshot *version*.
+
+        Swaps atomically and unlinks the superseded segment — workers
+        holding the old mapping keep scoring it until their cache
+        rotates (unlinked POSIX segments stay valid for existing maps);
+        workers attaching fresh get ``gone`` and the caller retries
+        against this version.
+        """
+        export = _export_snapshot(monitor)
+        with self._lock:
+            if self._closed:
+                export.unlink()
+                raise PoolError("worker pool is shut down")
+            old = self._snapshots.get(name)
+            self._snapshots[name] = _Snapshot(
+                version, float(monitor.threshold), export
+            )
+            self._segment_names.add(export.name)
+            if old is not None:
+                self._segment_names.discard(old.export.name)
+            live = len(self._segment_names)
+        if old is not None:
+            old.export.unlink()
+        self._segments_gauge.set(float(live))
+
+    def ensure(self, name: str, version: int, monitor: WorkloadMonitor) -> None:
+        """Publish *monitor* unless *version* is already the live snapshot."""
+        with self._lock:
+            record = self._snapshots.get(name)
+            if record is not None and record.version == version:
+                return
+        self.publish(name, version, monitor)
+
+    def retire(self, name: str) -> None:
+        """Drop profile *name*'s snapshot and unlink its segment."""
+        with self._lock:
+            record = self._snapshots.pop(name, None)
+            if record is not None:
+                self._segment_names.discard(record.export.name)
+            live = len(self._segment_names)
+        if record is not None:
+            record.export.unlink()
+            self._segments_gauge.set(float(live))
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def score(
+        self, name: str, statements: Sequence[str]
+    ) -> tuple[int, float, list[tuple[float, bool, str]]]:
+        """Score *statements* against *name*'s current snapshot.
+
+        Returns ``(version, threshold, [(log2_likelihood, anomalous,
+        reason), ...])`` in statement order — the bytes the caller
+        builds into the response are identical to the in-process sweep.
+        Shards statements contiguously across workers (row-independent
+        arithmetic makes the concatenation exact) and retries when a
+        shard lands on a just-unlinked segment.
+        """
+        attempts = 3
+        last_exc: Exception = SnapshotGone("no attempt made")
+        for _ in range(attempts):
+            with self._lock:
+                record = self._snapshots.get(name)
+            if record is None:
+                raise KeyError(f"no snapshot published for profile {name!r}")
+            shards = self._shard(statements)
+            futures = [
+                self._submit("score", (record.export.name, shard))
+                for shard in shards
+            ]
+            try:
+                parts = [
+                    future.result(timeout=self.request_timeout)
+                    for future in futures
+                ]
+            except SnapshotGone as exc:
+                last_exc = exc  # swapped underneath us: retry on the new record
+                continue
+            scores = [tuple(score) for part in parts for score in part]
+            return record.version, record.threshold, scores
+        raise last_exc
+
+    def _shard(self, statements: Sequence[str]) -> list[Sequence[str]]:
+        """Contiguous statement shards, one per worker, floor-sized."""
+        total = len(statements)
+        n_shards = max(1, min(self.size, (total + _MIN_SHARD - 1) // _MIN_SHARD))
+        if n_shards == 1:
+            return [statements]
+        bounds = np.linspace(0, total, n_shards + 1).astype(int)
+        return [
+            statements[bounds[i] : bounds[i + 1]]
+            for i in range(n_shards)
+            if bounds[i] < bounds[i + 1]
+        ]
+
+    # ------------------------------------------------------------------
+    # executor facade
+    # ------------------------------------------------------------------
+    def executor(self) -> Executor:
+        """Order-preserving ``Executor`` running on the pool's workers."""
+        return _PoolExecutor(self)
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain and stop the pool; unlink every exported segment.
+
+        Refuses new submissions immediately, waits for in-flight
+        requests (bounded by *timeout* each), sends workers their exit
+        frame, escalates to terminate/kill for stragglers, then unlinks
+        all segments.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            snapshots = list(self._snapshots.values())
+            self._snapshots.clear()
+        for slot in self._slots:
+            with slot.lock:
+                in_flight = list(slot.pending.values())
+            for entry in in_flight:
+                try:
+                    entry.future.result(timeout=timeout)
+                except Exception:
+                    pass  # drain is best-effort; errors already propagated
+        exit_frame = pickle.dumps(("exit",), protocol=_PICKLE_PROTOCOL)
+        for slot in self._slots:
+            with slot.lock:
+                conn = slot.conn
+                if conn is not None:
+                    try:
+                        conn.send_bytes(exit_frame)
+                    except OSError:
+                        pass
+        for slot in self._slots:
+            with slot.lock:
+                process = slot.process
+            if process is not None:
+                process.join(timeout=timeout)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=1.0)
+                if process.is_alive():  # pragma: no cover - hard straggler
+                    process.kill()
+                    process.join(timeout=1.0)
+            with slot.lock:
+                if slot.conn is not None:
+                    try:
+                        slot.conn.close()
+                    except OSError:  # pragma: no cover - defensive
+                        pass
+                    slot.conn = None
+        for record in snapshots:
+            record.export.unlink()
+        with self._lock:
+            self._segment_names.clear()
+        self._segments_gauge.set(0.0)
+        self._workers_gauge.set(0.0)
+        self._finalizer.detach()
+
+    def __enter__(self) -> "ScoringWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScoringWorkerPool(size={self.size})"

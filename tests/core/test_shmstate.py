@@ -1,0 +1,128 @@
+"""Round-trip and lifecycle tests for the shared-memory state export.
+
+The worker pool (``tests/service/test_workers.py``) exercises the
+end-to-end path; here the transport itself is attacked: dtype/shape
+fidelity, alignment, blob round-trips, unlink semantics, and the
+error paths (name collisions between arrays and blobs, attaching a
+non-shmstate segment, attaching after unlink).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.shmstate import attach_arrays, export_arrays
+
+
+class TestRoundTrip:
+    def test_mixed_dtypes_and_shapes_round_trip_exactly(self):
+        arrays = {
+            "marginals": np.linspace(0.0, 1.0, 12).reshape(3, 4),
+            "packed": np.arange(7, dtype=np.uint64) * (1 << 60),
+            "dense": np.array([[0, 1], [1, 0]], dtype=np.uint8),
+            "scalar": np.array([float("-inf")]),
+        }
+        export = export_arrays(arrays, blobs={"codebook": b"\x00\x01vocab"})
+        try:
+            attached = attach_arrays(export.name)
+            try:
+                for key, original in arrays.items():
+                    view = attached.arrays[key]
+                    assert view.dtype == original.dtype
+                    assert view.shape == original.shape
+                    np.testing.assert_array_equal(view, original)
+                assert attached.blobs["codebook"] == b"\x00\x01vocab"
+                del view  # release the last view before unmapping
+            finally:
+                attached.close()
+        finally:
+            export.unlink()
+
+    def test_views_are_read_only_and_zero_copy(self):
+        export = export_arrays({"m": np.array([0.25, 0.75])})
+        try:
+            attached = attach_arrays(export.name)
+            try:
+                view = attached.arrays["m"]
+                assert not view.flags.writeable
+                with pytest.raises(ValueError):
+                    view[0] = 0.0
+                # Zero-copy: the view aliases the mapped buffer, it does
+                # not own its data.
+                assert not view.flags.owndata
+                del view  # release the last view before unmapping
+            finally:
+                attached.close()
+        finally:
+            export.unlink()
+
+    def test_payloads_are_64_byte_aligned(self):
+        arrays = {"a": np.ones(3), "b": np.arange(5, dtype=np.uint8)}
+        export = export_arrays(arrays)
+        try:
+            attached = attach_arrays(export.name)
+            try:
+                for view in attached.arrays.values():
+                    address = view.__array_interface__["data"][0]
+                    assert address % 64 == 0
+                del view  # release the last view before unmapping
+            finally:
+                attached.close()
+        finally:
+            export.unlink()
+
+    def test_noncontiguous_input_is_copied_in(self):
+        base = np.arange(20, dtype=np.float64).reshape(4, 5)
+        strided = base[::2, ::2]  # non-contiguous view
+        export = export_arrays({"s": strided})
+        try:
+            attached = attach_arrays(export.name)
+            try:
+                np.testing.assert_array_equal(attached.arrays["s"], strided)
+            finally:
+                attached.close()
+        finally:
+            export.unlink()
+
+
+class TestLifecycle:
+    def test_attach_after_unlink_raises_file_not_found(self):
+        export = export_arrays({"m": np.ones(2)})
+        name = export.name
+        export.unlink()
+        with pytest.raises(FileNotFoundError):
+            attach_arrays(name)
+
+    def test_unlink_is_idempotent(self):
+        export = export_arrays({"m": np.ones(2)})
+        export.unlink()
+        export.unlink()  # second call must be a no-op, not an error
+
+    def test_existing_mapping_survives_unlink(self):
+        export = export_arrays({"m": np.array([1.0, 2.0])})
+        attached = attach_arrays(export.name)
+        try:
+            export.unlink()  # POSIX: live mappings keep the pages
+            np.testing.assert_array_equal(attached.arrays["m"], [1.0, 2.0])
+        finally:
+            attached.close()
+
+
+class TestErrorPaths:
+    def test_array_blob_name_collision_rejected(self):
+        with pytest.raises(ValueError, match="shared by arrays and blobs"):
+            export_arrays({"x": np.ones(1)}, blobs={"x": b"dup"})
+
+    def test_alien_segment_rejected_and_unmapped(self):
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            shm.buf[0:8] = (48).to_bytes(8, "little")
+            shm.buf[8:56] = b'{"format": "something-else", "entries": []}     '
+            with pytest.raises(ValueError, match="not a logr shmstate"):
+                attach_arrays(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()

@@ -18,3 +18,20 @@ class Cache:
     def trim(self):
         with self._lock:
             self._evict()
+
+
+class Slot:
+    """Guarded fields declared here, driven by Pool below (pool idiom)."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.pending = {}  # guarded-by: lock
+
+
+class Pool:
+    def drop(self, slot, key):
+        with slot.lock:
+            return slot.pending.pop(key, None)
+
+    def _resend(self, slot):  # holds: lock
+        return list(slot.pending.values())

@@ -14,3 +14,16 @@ class Cache:
     def put(self, key, value):
         with self._lock:
             self._entries[key] = value
+
+
+class Slot:
+    """Guarded fields declared here, driven by Pool below (pool idiom)."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.pending = {}  # guarded-by: lock
+
+
+class Pool:
+    def drop(self, slot, key):
+        return slot.pending.pop(key, None)  # other object's lock, not held

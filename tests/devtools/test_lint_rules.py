@@ -38,7 +38,7 @@ EXPECTED = {
     "par01_violating.py": ["PAR01"] * 4,
     "par01_clean.py": [],
     "par01_suppressed.py": [],
-    "lock01_violating.py": ["LOCK01"],
+    "lock01_violating.py": ["LOCK01"] * 2,
     "lock01_clean.py": [],
     "lock01_suppressed.py": [],
     "obs01_violating.py": ["OBS01"] * 4,

@@ -375,3 +375,25 @@ class TestClientRetry:
         # Retry-After floors the jittered delay (still capped).
         assert a._backoff(0, 1.5) == 1.5
         assert a._backoff(0, 99.0) == a.backoff_cap
+
+    def test_non_numeric_retry_after_is_ignored(self):
+        """A proxy can send anything ('soon', an HTTP-date) — the
+        backoff must not crash and must stay within [0, cap]."""
+        a = AnalyticsClient("http://x", seed=7)
+        for malformed in ("soon", "Fri, 08 Aug 2026 12:00:00 GMT", object()):
+            delay = a._backoff(0, malformed)  # type: ignore[arg-type]
+            assert 0.0 <= delay <= a.backoff_cap
+
+    def test_negative_retry_after_is_clamped_to_zero_floor(self):
+        a = AnalyticsClient("http://x", seed=7)
+        for _ in range(20):
+            delay = a._backoff(0, -30.0)
+            assert 0.0 <= delay <= a.backoff_cap
+
+    def test_huge_retry_after_is_clamped_to_cap(self):
+        a = AnalyticsClient("http://x", seed=7)
+        assert a._backoff(0, 1e12) == a.backoff_cap
+        assert a._backoff(3, float("inf")) <= a.backoff_cap
+        # NaN must neither propagate nor poison the max().
+        delay = a._backoff(0, float("nan"))
+        assert 0.0 <= delay <= a.backoff_cap

@@ -10,6 +10,7 @@ files, segment files, and the manifest itself.
 from __future__ import annotations
 
 import json
+import os
 import threading
 
 import numpy as np
@@ -50,8 +51,14 @@ class TestKillBetweenWriteAndManifest:
             store.save("pocket", compressed, log)
         monkeypatch.undo()
 
-        # The orphan v000002.json exists on disk but is unreferenced.
-        assert (root / "profiles" / "pocket" / "v000002.json").exists()
+        # The orphan v000002.json exists on disk but is unreferenced —
+        # and it is *durably complete*: _atomic_write fsyncs the temp
+        # file before the rename, so the crash window cannot surface a
+        # zero-length or torn file behind the rename.
+        orphan = root / "profiles" / "pocket" / "v000002.json"
+        assert orphan.exists()
+        assert orphan.stat().st_size > 0
+        assert json.loads(orphan.read_text(encoding="utf-8"))["format"]
         reopened = SummaryStore(root)
         assert [v.version for v in reopened.versions("pocket")] == [1]
         with pytest.raises(StoreError):
@@ -94,6 +101,42 @@ class TestKillBetweenWriteAndManifest:
         record = reopened.append_segment("pocket", payload, **kwargs)
         assert record.index == 1
         assert reopened.read_segment("pocket", 1)["meta"]["index"] == 1
+
+
+class TestAtomicWriteDurability:
+    def test_atomic_write_fsyncs_temp_file_and_directory(
+        self, tmp_path, monkeypatch
+    ):
+        """The rename-based write must force data (the temp file's fd)
+        AND the directory entry to disk — os.replace alone leaves both
+        in the page cache, where a crash can eat them."""
+        from repro.service import store as store_module
+
+        synced: list[int] = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(store_module.os, "fsync", recording_fsync)
+        target = tmp_path / "out.json"
+        store_module._atomic_write(target, '{"format": "x"}')
+        assert target.read_text(encoding="utf-8") == '{"format": "x"}'
+        assert len(synced) >= 2  # once for the temp file, once for the dir
+        assert not list(tmp_path.glob(".out.json.*"))  # no temp litter
+
+    def test_atomic_write_failure_leaves_no_temp_file(self, tmp_path, monkeypatch):
+        from repro.service import store as store_module
+
+        monkeypatch.setattr(
+            store_module.os,
+            "replace",
+            lambda *a: (_ for _ in ()).throw(OSError("disk gone")),
+        )
+        with pytest.raises(OSError, match="disk gone"):
+            store_module._atomic_write(tmp_path / "out.json", "data")
+        assert list(tmp_path.iterdir()) == []
 
 
 class TestWriterContention:
