@@ -22,7 +22,11 @@ from __future__ import annotations
 import sys
 import tempfile
 
+from pathlib import Path
+
 from repro.core.compress import LogRCompressor
+from repro.obs import DEFAULT_REGISTRY
+from repro.obs.textfmt import render_text
 from repro.service import (
     AnalyticsClient,
     AnalyticsServer,
@@ -153,6 +157,37 @@ def run_backend(backend: str, workload, log, compressed) -> None:
         assert reloaded.mixture.total == log.total + 100
 
 
+def run_columnar_encode(workload) -> None:
+    """Spill-mode encode smoke: telemetry families must reflect the run.
+
+    Drives ``load_log_columnar`` with a spill budget small enough to
+    force several runs and chunks, then checks the streaming encoder's
+    instrumentation — the chunk/run counters, the byte counter, and the
+    spill-latency histogram — lands in the default-registry exposition
+    the ``/metrics`` endpoint serves.
+    """
+    from repro.workloads.logio import load_log_columnar
+
+    statements = list(workload.statements(shuffle=True, seed=2))[:400]
+    with tempfile.TemporaryDirectory() as root:
+        columnar, report = load_log_columnar(
+            statements, Path(root) / "log", chunk_rows=2
+        )
+        assert report.parsed == len(statements), report
+        assert columnar.n_chunks >= 2, columnar
+        assert columnar.to_query_log().total == len(statements)
+
+    samples = parse_exposition(render_text(DEFAULT_REGISTRY.snapshot()))
+    chunks = samples['logr_encode_chunks_total{stage="chunk"}']
+    assert chunks >= 2, chunks
+    runs = samples['logr_encode_chunks_total{stage="run"}']
+    assert runs >= 1, runs
+    assert samples["logr_encode_bytes_written_total"] > 0, samples
+    spills = samples["logr_encode_spill_seconds_count"]
+    assert spills == runs, (spills, runs)
+    assert samples["logr_encode_spill_seconds_sum"] >= 0.0, samples
+
+
 def main() -> int:
     workload = generate_tpch(total=1_000, variants_per_template=4, seed=0)
     log = workload.to_query_log()
@@ -161,9 +196,12 @@ def main() -> int:
     for backend in ("threaded", "async", "pool"):
         run_backend(backend, workload, log, compressed)
 
+    run_columnar_encode(workload)
+
     print(
         "service smoke: PASS x3 backends (scored 100-query batch, "
-        "ingested, v2 persisted, /metrics scrape verified)"
+        "ingested, v2 persisted, /metrics scrape verified) "
+        "+ columnar encode telemetry"
     )
     return 0
 

@@ -57,7 +57,8 @@ from .core.executor import EXECUTOR_KINDS
 from .core.featurecache import DEFAULT_CACHE_SIZE
 from .sql.features import Feature
 from .viz.render import render_mixture
-from .workloads.logio import load_log, read_log
+from .core.colstore import DEFAULT_CHUNK_ROWS
+from .workloads.logio import load_log, load_log_columnar, read_log
 
 __all__ = ["main", "build_parser"]
 
@@ -85,6 +86,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--consolidate-to", type=int, default=None, metavar="K",
         help="after a sharded merge, consolidate near-duplicate "
              "components down to K (exact merge)",
+    )
+    compress.add_argument(
+        "--out-of-core", type=Path, default=None, metavar="DIR",
+        help="encode the log out-of-core into a columnar directory "
+             "(logr-collog-v1) and compress from it; peak RSS is bounded "
+             "by --chunk-rows instead of log size (requires --shards > 1 "
+             "to also shard the compression)",
+    )
+    compress.add_argument(
+        "--chunk-rows", type=_positive_int, default=DEFAULT_CHUNK_ROWS,
+        metavar="N",
+        help="row budget per columnar chunk / spill run (with --out-of-core)",
+    )
+    compress.add_argument(
+        "--merge-fanin", type=int, default=None, metavar="F",
+        help="merge shard mixtures as a multi-level tree of this fan-in "
+             "instead of one flat merge (bit-identical result)",
     )
     compress.add_argument(
         "--store", type=Path, default=None,
@@ -291,8 +309,10 @@ def _add_compression_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metric", default="euclidean")
     parser.add_argument("--keep-constants", action="store_true")
     parser.add_argument(
-        "--backend", default="packed", choices=["packed", "dense"],
-        help="pattern-containment kernel (packed uint64 bitsets or dense scans)",
+        "--backend", default="packed", choices=["packed", "dense", "compiled"],
+        help="pattern-containment kernel (packed uint64 bitsets, dense scans, "
+        "or the optional numba-compiled tier; 'compiled' falls back to "
+        "'packed' with a warning when numba is absent)",
     )
     parser.add_argument("--seed", type=int, default=0)
 
@@ -389,16 +409,30 @@ def _cmd_compress(args) -> int:
         raise SystemExit("--consolidate-to requires --shards > 1")
     if args.consolidate_to is not None and args.consolidate_to < 1:
         raise SystemExit("--consolidate-to must be >= 1")
+    if args.merge_fanin is not None and args.merge_fanin < 2:
+        raise SystemExit("--merge-fanin must be >= 2")
     statements = read_log(args.log)
-    log, report = load_log(
-        statements,
-        remove_constants=not args.keep_constants,
-        parse_cache=args.parse_cache,
-        parse_cache_size=args.parse_cache_size,
-    )
-    if args.shards > 1:
+    if args.out_of_core is not None:
+        source, report = load_log_columnar(
+            statements,
+            args.out_of_core,
+            chunk_rows=args.chunk_rows,
+            remove_constants=not args.keep_constants,
+            parse_cache=args.parse_cache,
+            parse_cache_size=args.parse_cache_size,
+        )
+        log = None
+    else:
+        log, report = load_log(
+            statements,
+            remove_constants=not args.keep_constants,
+            parse_cache=args.parse_cache,
+            parse_cache_size=args.parse_cache_size,
+        )
+        source = log
+    if args.shards > 1 or args.out_of_core is not None:
         compressed = compress_sharded(
-            log,
+            source,
             n_shards=args.shards,
             n_clusters=args.clusters,
             method=args.method,
@@ -408,6 +442,7 @@ def _cmd_compress(args) -> int:
             jobs=args.jobs,
             executor=args.executor,
             seed=args.seed,
+            merge_fanin=args.merge_fanin,
         )
     else:
         compressor = LogRCompressor(
@@ -428,6 +463,8 @@ def _cmd_compress(args) -> int:
     if args.store is not None:
         from .service import SummaryStore
 
+        if log is None:  # out-of-core encode: materialize once, for the store
+            log = source.to_query_log(backend=args.backend)
         record = SummaryStore(args.store).save(
             args.profile, compressed, log, note=f"compress {args.log.name}"
         )

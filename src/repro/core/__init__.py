@@ -49,7 +49,8 @@ from .estimate import (
     synthesis_error,
     synthesize_patterns,
 )
-from . import kernels
+from . import kernels, kernels_compiled
+from .colstore import ColumnarLog, ColumnarLogWriter
 from .featurecache import CacheStats, CachedTemplate, FeatureCache, VocabularyCache
 from .log import BACKENDS, LogBuilder, QueryLog
 from .lossless import (
@@ -94,6 +95,9 @@ __all__ = [
     "LogBuilder",
     "BACKENDS",
     "kernels",
+    "kernels_compiled",
+    "ColumnarLog",
+    "ColumnarLogWriter",
     "CacheStats",
     "CachedTemplate",
     "FeatureCache",

@@ -38,6 +38,7 @@ import numpy as np
 
 from .._clock import Stopwatch
 from .._rng import ensure_rng
+from .colstore import ColumnarLog
 from .executor import Executor, resolve_executor, spawn_generators
 from .log import BACKENDS, QueryLog
 from .mixture import PatternMixtureEncoding
@@ -513,24 +514,77 @@ def _fresh_child(seed: int | np.random.Generator | None) -> np.random.Generator:
     return spawn_generators(seed, 1)[0]
 
 
+@dataclass(frozen=True)
+class _ColumnarShard:
+    """Zero-copy shard reference shipped to worker processes.
+
+    Pickles as (path, row range, backend) — a few hundred bytes — and
+    the worker materializes its rows straight from the memmapped
+    columnar chunks (:meth:`repro.core.colstore.ColumnarLog.
+    slice_log`), so sharded compression of an on-disk log never
+    serializes row data and never re-materializes the full matrix in
+    the parent.
+    """
+
+    path: str
+    lo: int
+    hi: int
+    backend: str
+
+    def load(self) -> QueryLog:
+        return ColumnarLog(self.path).slice_log(self.lo, self.hi, self.backend)
+
+
 def _shard_task(
-    payload: tuple[_CompressorSpec, QueryLog]
+    payload: tuple[_CompressorSpec, "QueryLog | _ColumnarShard"]
 ) -> tuple[PatternMixtureEncoding, np.ndarray]:
     """Compress one shard; returns its mixture and normalized labels.
 
     Labels are normalized to ``0..k-1`` in component order (the
     sorted-unique order ``QueryLog.partition`` induces), so the merge
     step can offset them by the component count of preceding shards.
+    The shard arrives either as a pickled :class:`QueryLog` subset or
+    as a :class:`_ColumnarShard` reference loaded in the worker; the
+    two yield identical rows, so the results are bit-identical.
     """
-    compressed = _compress_task(payload)
+    spec, source = payload
+    log = source.load() if isinstance(source, _ColumnarShard) else source
+    compressed = _compress_task((spec, log))
     _, normalized = np.unique(
         np.asarray(compressed.labels, dtype=np.int64), return_inverse=True
     )
     return compressed.mixture, normalized.astype(np.int64)
 
 
+def _merge_tree(
+    mixtures: Sequence[PatternMixtureEncoding], fanin: int | None
+) -> PatternMixtureEncoding:
+    """Merge shard mixtures flat or as a multi-level tree of *fanin*.
+
+    ``merged`` is exactly associative — the union vocabulary is built
+    in first-seen order and components concatenate in input order, so
+    grouping consecutive mixtures level by level (chunk → shard →
+    tenant → global) yields the same final vocabulary, the same
+    component order, and bit-identical parameters as one flat merge.
+    The tree shape is therefore pure mechanics: each level holds at
+    most ``len(level) / fanin`` intermediate mixtures alive, instead
+    of all shard mixtures plus the flat merge's full union at once.
+    """
+    if fanin is None:
+        return PatternMixtureEncoding.merged(mixtures)
+    if fanin < 2:
+        raise ValueError("merge_fanin must be >= 2")
+    level = list(mixtures)
+    while len(level) > 1:
+        level = [
+            PatternMixtureEncoding.merged(level[i : i + fanin])
+            for i in range(0, len(level), fanin)
+        ]
+    return level[0]
+
+
 def compress_sharded(
-    log: QueryLog,
+    log: QueryLog | ColumnarLog,
     n_shards: int,
     n_clusters: int = 8,
     method: str = "kmeans",
@@ -541,6 +595,7 @@ def compress_sharded(
     jobs: int = 1,
     executor: Executor | str | None = None,
     seed: int | np.random.Generator | None = None,
+    merge_fanin: int | None = None,
 ) -> CompressedLog:
     """Shard-and-merge compression for logs too big for one pass.
 
@@ -569,11 +624,27 @@ def compress_sharded(
     ``compress_sweep``/``compress_to_error`` (shard *i*'s stream
     depends only on *seed* and *i*), so results are bit-identical at
     any worker count and across serial/thread/process executors.
+
+    *log* may also be an on-disk :class:`~repro.core.colstore.
+    ColumnarLog`: shards then ship as (path, row range) references and
+    each worker materializes only its own rows from the memmapped
+    chunks, so the full matrix never exists in any process.  Because
+    ``ColumnarLog.slice_log`` reproduces ``log.subset`` exactly, the
+    artifact is bit-identical to compressing the materialized log.
+
+    ``merge_fanin`` turns the final merge into a multi-level tree
+    (consecutive groups of *fanin* mixtures merged level by level —
+    chunk → shard → tenant → global).  ``merged`` is exactly
+    associative, so the result is bit-identical to the flat merge;
+    the tree only bounds how many intermediate unions are alive at
+    once.
     """
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
     watch = Stopwatch()
-    log = log.with_backend(backend)
+    columnar = isinstance(log, ColumnarLog)
+    if not columnar:
+        log = log.with_backend(backend)
     chunks = [
         chunk
         for chunk in np.array_split(np.arange(log.n_distinct), n_shards)
@@ -581,10 +652,12 @@ def compress_sharded(
     ]
     children = spawn_generators(seed, len(chunks))
     consolidation_rng = _fresh_child(seed) if consolidate_to is not None else None
-    tasks = [
+    tasks: list[tuple[_CompressorSpec, QueryLog | _ColumnarShard]] = [
         (
             _CompressorSpec(n_clusters, method, metric, n_init, backend, child),
-            log.subset(chunk),
+            _ColumnarShard(str(log.path), int(chunk[0]), int(chunk[-1]) + 1, backend)
+            if isinstance(log, ColumnarLog)
+            else log.subset(chunk),
         )
         for chunk, child in zip(chunks, children)
     ]
@@ -596,7 +669,7 @@ def compress_sharded(
         if owned:
             runner.close()
     mixtures = [mixture for mixture, _ in shard_results]
-    merged = PatternMixtureEncoding.merged(mixtures)
+    merged = _merge_tree(mixtures, merge_fanin)
     offsets = np.cumsum([0] + [m.n_components for m in mixtures[:-1]])
     labels = np.concatenate(
         [shard_labels + offset for (_, shard_labels), offset in zip(shard_results, offsets)]

@@ -1,0 +1,279 @@
+"""Optional numba-compiled kernel tier (``backend="compiled"``).
+
+:mod:`repro.core.kernels` answers every containment/support query with
+vectorized NumPy sweeps over packed uint64 words.  Those sweeps are
+memory-bound: the byte-tally gather materializes a ``(k, mw·8)``
+scratch per chunk and the AND reduction walks the tidsets once per
+slot.  A JIT-compiled loop fuses the AND + weighted-popcount into one
+register-resident pass per pattern — no scratch, no per-slot rescan —
+which is where the next large factor over ``packed`` comes from.
+
+This module is the **only** place allowed to import an optional
+accelerator package (reprolint rule KERN01), and the import is guarded:
+without numba the package still imports fine, :data:`HAVE_NUMBA` is
+``False``, and every entry point (plus ``backend="compiled"`` on
+:class:`~repro.core.log.QueryLog` / ``LogRCompressor`` / the CLI)
+degrades to the ``packed`` kernels after a one-time warning.
+
+Exactness contract: all kernels here are integer/bitwise arithmetic —
+the same AND/popcount/multiplicity sums as :mod:`repro.core.kernels` in
+a different evaluation order, and integer addition is associative — so
+``compiled`` is bit-identical to ``packed`` and ``dense`` (the backend
+equivalence property tests assert this whenever numba is installed).
+
+Mirrored entry points (same signatures and results as
+:mod:`repro.core.kernels`): :func:`contains` / :func:`contains_many`,
+:func:`support_counts` (which also serves the level-1 marginal tally —
+the per-feature sweep is just the single-feature pattern batch), and
+:func:`weighted_byte_tally`.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+from types import ModuleType
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from . import kernels
+
+__all__ = [
+    "HAVE_NUMBA",
+    "resolve_backend",
+    "kernel_namespace",
+    "contains",
+    "contains_many",
+    "support_counts",
+    "weighted_byte_tally",
+    "warm_up",
+]
+
+try:  # optional accelerator: the package must work without it (KERN01)
+    from numba import njit as _njit
+    from numba import prange as _prange
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - exercised on numba-less CI legs
+    HAVE_NUMBA = False
+
+_FALLBACK_WARNED = False
+
+
+def resolve_backend(backend: str) -> str:
+    """Effective kernel backend for *backend* on this interpreter.
+
+    ``"compiled"`` resolves to itself when numba is importable and to
+    ``"packed"`` (with a one-time :class:`RuntimeWarning`) when it is
+    not — callers keep their requested backend label for provenance,
+    but every kernel call routes through the packed reference path.
+    """
+    global _FALLBACK_WARNED
+    if backend == "compiled" and not HAVE_NUMBA:
+        if not _FALLBACK_WARNED:
+            warnings.warn(
+                "numba is not installed; backend='compiled' falls back to "
+                "the 'packed' kernels (install numba to enable the "
+                "compiled tier)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _FALLBACK_WARNED = True
+        return "packed"
+    return backend
+
+
+def kernel_namespace(backend: str) -> ModuleType:
+    """The packed-layout kernel module serving *backend*.
+
+    ``"compiled"`` (with numba present) returns this module; anything
+    else — including ``"compiled"`` without numba — returns the NumPy
+    reference :mod:`repro.core.kernels`.  Both expose the same entry
+    points, so callers dispatch with one attribute lookup.
+    """
+    if resolve_backend(backend) == "compiled":
+        return sys.modules[__name__]
+    return kernels
+
+
+if HAVE_NUMBA:
+    # The jitted loops deliberately mirror the packed kernels' integer
+    # arithmetic: uint64 AND covers, byte-tally lookups, int64 sums.
+    # ``parallel=True`` splits the *pattern* axis only — each pattern's
+    # accumulation stays a serial integer sum, so results are invariant
+    # under thread count (and would be even if they weren't: integer
+    # addition commutes exactly).
+
+    @_njit(parallel=True)
+    def _support_counts_jit(
+        column_bitsets: np.ndarray,
+        tally: np.ndarray,
+        feature_slots: np.ndarray,
+    ) -> np.ndarray:
+        n, mw = column_bitsets.shape
+        k, slots = feature_slots.shape
+        out = np.zeros(k, dtype=np.int64)
+        ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+        low_byte = np.uint64(0xFF)
+        for i in _prange(k):
+            total = np.int64(0)
+            for w in range(mw):
+                cover = ones
+                for t in range(slots):
+                    f = feature_slots[i, t]
+                    if f < n:
+                        cover &= column_bitsets[f, w]
+                base = w * 8
+                for b in range(8):
+                    byte = (cover >> np.uint64(8 * b)) & low_byte
+                    total += tally[base + b, np.int64(byte)]
+            out[i] = total
+        return out
+
+    @_njit(parallel=True)
+    def _contains_many_jit(
+        packed_rows: np.ndarray, packed_patterns: np.ndarray
+    ) -> np.ndarray:
+        k, words = packed_patterns.shape
+        m = packed_rows.shape[0]
+        out = np.empty((k, m), dtype=np.bool_)
+        zero = np.uint64(0)
+        for j in _prange(k):
+            for i in range(m):
+                ok = True
+                for t in range(words):
+                    p = packed_patterns[j, t]
+                    if p != zero and (packed_rows[i, t] & p) != p:
+                        ok = False
+                        break
+                out[j, i] = ok
+        return out
+
+    @_njit(cache=True)
+    def _weighted_byte_tally_jit(counts: np.ndarray, n_bits: int) -> np.ndarray:
+        n_bytes = n_bits // 8
+        out = np.zeros((n_bytes, 256), dtype=np.int64)
+        for p in range(n_bytes):
+            base = p * 8
+            for v in range(256):
+                total = np.int64(0)
+                for b in range(8):
+                    if (v >> b) & 1:
+                        index = base + b
+                        if index < counts.size:
+                            total += counts[index]
+                out[p, v] = total
+        return out
+
+
+def contains(packed_rows: np.ndarray, packed_pattern: np.ndarray) -> np.ndarray:
+    """Boolean row-containment mask; see :func:`kernels.contains`."""
+    if not HAVE_NUMBA:
+        return kernels.contains(packed_rows, packed_pattern)
+    pattern = np.ascontiguousarray(packed_pattern, dtype=np.uint64)
+    return contains_many(packed_rows, pattern[None, :])[0]
+
+
+def contains_many(
+    packed_rows: np.ndarray, packed_patterns: np.ndarray
+) -> np.ndarray:
+    """``(k, m)`` containment matrix; see :func:`kernels.contains_many`."""
+    if not HAVE_NUMBA:
+        return kernels.contains_many(packed_rows, packed_patterns)
+    rows = np.ascontiguousarray(packed_rows, dtype=np.uint64)
+    patterns = np.ascontiguousarray(packed_patterns, dtype=np.uint64)
+    return _contains_many_jit(rows, patterns)
+
+
+def weighted_byte_tally(counts: np.ndarray) -> np.ndarray:
+    """Weighted-popcount table; see :func:`kernels.weighted_byte_tally`."""
+    if not HAVE_NUMBA:
+        return kernels.weighted_byte_tally(counts)
+    counts = np.ascontiguousarray(counts, dtype=np.int64)
+    n_bits = kernels.n_words(counts.size) * kernels.WORD_BITS
+    return _weighted_byte_tally_jit(counts, n_bits)
+
+
+def support_counts(
+    column_bitsets: np.ndarray,
+    tally: np.ndarray,
+    patterns: "Sequence[Iterable[int]] | np.ndarray",
+) -> np.ndarray:
+    """Weighted supports ``Γ_b(L)`` per pattern; see :func:`kernels.support_counts`.
+
+    The fused JIT loop needs no scratch, no sentinel tidset, and no
+    chunking: each pattern's cover word is ANDed and tallied in
+    registers.  Padding slots carry the out-of-range feature index
+    ``n`` and are skipped inside the loop (an implicit all-ones
+    tidset, exactly the sentinel semantics of the NumPy kernel).
+    """
+    if not HAVE_NUMBA:
+        return kernels.support_counts(column_bitsets, tally, patterns)
+    bitsets = np.ascontiguousarray(column_bitsets, dtype=np.uint64)
+    tally = np.ascontiguousarray(tally, dtype=np.int64)
+    slots = _feature_slots(patterns, bitsets.shape[0])
+    if slots.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64)
+    return _support_counts_jit(bitsets, tally, slots)
+
+
+def _feature_slots(
+    patterns: "Sequence[Iterable[int]] | np.ndarray", n: int
+) -> np.ndarray:
+    """Normalize a pattern batch to a padded ``(k, slots)`` int64 array.
+
+    Mirrors the normalization inside :func:`kernels.support_counts`:
+    rectangular index arrays pass through, ragged batches pad with the
+    out-of-range sentinel ``n`` — including the all-sentinel row an
+    empty pattern becomes (its support is the total multiplicity mass,
+    as with the all-ones sentinel tidset of the NumPy path).
+    """
+    if isinstance(patterns, np.ndarray) and patterns.ndim == 2:
+        k = patterns.shape[0]
+        if k == 0:
+            return np.zeros((0, 1), dtype=np.int64)
+        slots = patterns.astype(np.int64, copy=True)
+        if slots.size and (slots.min() < 0 or slots.max() >= n):
+            raise ValueError(f"pattern index out of range for {n} features")
+        if slots.shape[1] == 0:
+            slots = np.full((k, 1), n, dtype=np.int64)
+        return slots
+    sized = [p if hasattr(p, "__len__") else tuple(p) for p in patterns]
+    k = len(sized)
+    if k == 0:
+        return np.zeros((0, 1), dtype=np.int64)
+    sizes = np.fromiter((len(p) for p in sized), dtype=np.int64, count=k)
+    width = max(1, int(sizes.max(initial=0)))
+    slots = np.full((k, width), n, dtype=np.int64)
+    total = int(sizes.sum())
+    if total:
+        flat = np.fromiter(
+            (int(i) for p in sized for i in p), dtype=np.int64, count=total
+        )
+        if flat.min() < 0 or flat.max() >= n:
+            raise ValueError(f"pattern index out of range for {n} features")
+        rows = np.repeat(np.arange(k), sizes)
+        first = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        slot = np.arange(rows.size) - first[rows]
+        slots[rows, slot] = flat
+    return slots
+
+
+def warm_up() -> None:
+    """Force JIT compilation of every kernel on a tiny input.
+
+    Benchmarks call this before the timed region so the first measured
+    sweep is not paying the one-off compile cost; a no-op without
+    numba.
+    """
+    if not HAVE_NUMBA:
+        return
+    bitsets = np.array([[np.uint64(1)], [np.uint64(2)]], dtype=np.uint64)
+    tally = kernels.weighted_byte_tally(np.array([1, 2], dtype=np.int64))
+    support_counts(bitsets, tally, [[0], [0, 1]])
+    contains_many(
+        np.array([[np.uint64(3)]], dtype=np.uint64),
+        np.array([[np.uint64(1)]], dtype=np.uint64),
+    )
+    weighted_byte_tally(np.array([1, 2, 3], dtype=np.int64))

@@ -10,20 +10,27 @@ has 629,582 entries but only 605 distinct queries).
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Hashable, Iterable, Sequence
 
 import numpy as np
 
-from . import kernels
+from . import kernels, kernels_compiled
 from .entropy import entropy
 from .pattern import Pattern
 from .vocabulary import Vocabulary
 
+if TYPE_CHECKING:  # runtime import would cycle: colstore imports QueryLog
+    from .colstore import ColumnarLog
+
 __all__ = ["QueryLog", "LogBuilder", "BACKENDS"]
 
 #: Containment backends: ``packed`` scans uint64 bitset words (the
-#: default hot path), ``dense`` scans the raw uint8 matrix (reference).
-BACKENDS = ("packed", "dense")
+#: default hot path), ``dense`` scans the raw uint8 matrix (reference),
+#: ``compiled`` runs the optional numba kernel tier
+#: (:mod:`repro.core.kernels_compiled`; falls back to ``packed`` with a
+#: warning when numba is not installed).
+BACKENDS = ("packed", "dense", "compiled")
 
 
 class QueryLog:
@@ -34,10 +41,11 @@ class QueryLog:
         matrix: ``(n_distinct, n_features)`` 0/1 array of distinct rows.
         counts: multiplicity of each distinct row; ``counts.sum()`` is
             the total number of log entries ``|L|``.
-        backend: containment backend, ``packed`` (bitset kernels) or
-            ``dense`` (reference uint8 scans).  Both are exact and
-            bit-identical; derived logs (partition/subset/project)
-            inherit it.
+        backend: containment backend, ``packed`` (bitset kernels),
+            ``dense`` (reference uint8 scans), or ``compiled`` (the
+            optional numba JIT tier, falling back to ``packed`` when
+            numba is absent).  All are exact and bit-identical;
+            derived logs (partition/subset/project) inherit it.
     """
 
     def __init__(
@@ -62,6 +70,10 @@ class QueryLog:
             raise ValueError("multiplicities must be positive")
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if backend == "compiled":
+            # Emits the one-time fallback warning when numba is absent;
+            # the log keeps its requested backend label either way.
+            kernels_compiled.resolve_backend(backend)
         self.vocabulary = vocabulary
         self.matrix = matrix
         self.counts = counts
@@ -138,10 +150,21 @@ class QueryLog:
         """Indices of features appearing in at least one query."""
         return np.flatnonzero(self.matrix.any(axis=0))
 
+    @property
+    def _kernels(self) -> Any:
+        """Packed-layout kernel module for this log's backend.
+
+        ``packed`` (and ``compiled`` without numba) resolves to the
+        NumPy reference kernels; ``compiled`` with numba resolves to
+        the JIT tier.  Both are exact, so the choice never changes a
+        result — only the wall clock.
+        """
+        return kernels_compiled.kernel_namespace(self.backend)
+
     def pattern_mask(self, pattern: Pattern) -> np.ndarray:
         """Boolean mask of distinct rows containing *pattern*."""
-        if self.backend == "packed":
-            return kernels.contains(
+        if self.backend != "dense":
+            return self._kernels.contains(
                 self.packed, kernels.pack_indices(pattern.indices, self.n_features)
             )
         return pattern.matches(self.matrix)
@@ -152,9 +175,9 @@ class QueryLog:
 
     def pattern_count(self, pattern: Pattern) -> int:
         """True count ``Γ_b(L) = |{q ∈ L : b ⊆ q}|`` (§6.2)."""
-        if self.backend == "packed":
+        if self.backend != "dense":
             return int(
-                kernels.support_counts(
+                self._kernels.support_counts(
                     self.packed_columns, self._byte_tally, [pattern.indices]
                 )[0]
             )
@@ -164,8 +187,8 @@ class QueryLog:
         """Batched ``Γ_b(L)`` for many patterns in one kernel sweep."""
         if not len(patterns):
             return np.zeros(0, dtype=np.int64)
-        if self.backend == "packed":
-            return kernels.support_counts(
+        if self.backend != "dense":
+            return self._kernels.support_counts(
                 self.packed_columns, self._byte_tally, [p.indices for p in patterns]
             )
         return np.array(
@@ -279,11 +302,30 @@ class LogBuilder:
             for feature_set in extractor.extract(sql):
                 builder.add(feature_set)
         log = builder.build()
+
+    With *spill_dir* set the builder runs in spill mode: whenever the
+    in-memory bag reaches *spill_rows* distinct rows it is sorted and
+    flushed to disk as one run (:func:`repro.core.colstore.spill_run`),
+    so peak RSS is bounded by the spill budget instead of the log's
+    distinct-row count.  A spilled builder finalizes with
+    :meth:`build_columnar` (a k-way merge over the sorted runs); plain
+    :meth:`build` works whenever nothing has spilled.
     """
 
-    def __init__(self, vocabulary: Vocabulary | None = None) -> None:
+    def __init__(
+        self,
+        vocabulary: Vocabulary | None = None,
+        spill_dir: "str | Path | None" = None,
+        spill_rows: int = 65536,
+    ) -> None:
+        if spill_rows < 1:
+            raise ValueError("spill_rows must be >= 1")
         self.vocabulary = vocabulary or Vocabulary()
         self._counts: dict[frozenset[int], int] = {}
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._spill_rows = int(spill_rows)
+        self._runs: list[Path] = []
+        self._spilled_entries = 0
 
     def add(self, features: Iterable[Hashable], count: int = 1) -> None:
         """Add one query (as a feature set) *count* times."""
@@ -291,6 +333,7 @@ class LogBuilder:
             raise ValueError("count must be positive")
         indices = frozenset(self.vocabulary.add(f) for f in sorted(features, key=repr))
         self._counts[indices] = self._counts.get(indices, 0) + count
+        self._maybe_spill()
 
     def add_encoded(self, indices: frozenset[int], count: int = 1) -> None:
         """Add a query already resolved to vocabulary index form.
@@ -305,9 +348,68 @@ class LogBuilder:
         if indices and max(indices) >= len(self.vocabulary):
             raise ValueError("index row references features beyond the vocabulary")
         self._counts[indices] = self._counts.get(indices, 0) + count
+        self._maybe_spill()
 
     def __len__(self) -> int:
-        return sum(self._counts.values())
+        return sum(self._counts.values()) + self._spilled_entries
+
+    def _maybe_spill(self) -> None:
+        if self._spill_dir is not None and len(self._counts) >= self._spill_rows:
+            self._spill()
+
+    def _spill(self) -> None:
+        from . import colstore
+
+        items = [
+            (tuple(sorted(key)), count) for key, count in self._counts.items()
+        ]
+        items.sort(key=lambda kv: kv[0])
+        assert self._spill_dir is not None
+        self._runs.append(colstore.spill_run(self._spill_dir, items, len(self._runs)))
+        self._spilled_entries += sum(count for _, count in items)
+        self._counts.clear()
+
+    def build_columnar(
+        self, path: "str | Path", chunk_rows: int | None = None
+    ) -> "ColumnarLog":
+        """Finalize the bag as an on-disk :class:`~repro.core.colstore.
+        ColumnarLog` at *path*.
+
+        Streams a k-way merge of the spilled runs plus the in-memory
+        remainder into fixed-size chunks, reproducing exactly the
+        global row order (and duplicate-count accumulation) of
+        :meth:`build` — ``build_columnar(p).to_query_log()`` equals
+        ``build()`` bit for bit.  Peak RSS is bounded by the chunk /
+        spill budget.  Finalizing consumes the builder's accumulated
+        rows (spilled runs are deleted).
+        """
+        from . import colstore
+
+        if chunk_rows is None:
+            chunk_rows = (
+                self._spill_rows
+                if self._spill_dir is not None
+                else colstore.DEFAULT_CHUNK_ROWS
+            )
+        if not self._counts and not self._runs:
+            raise ValueError("cannot build an empty log")
+        tail = [(tuple(sorted(key)), count) for key, count in self._counts.items()]
+        tail.sort(key=lambda kv: kv[0])
+        runs: list[Iterable[tuple[tuple[int, ...], int]]] = [
+            colstore.iter_run(stem) for stem in self._runs
+        ]
+        runs.append(tail)
+        writer = colstore.ColumnarLogWriter(
+            path, self.vocabulary, chunk_rows=chunk_rows
+        )
+        writer.extend(colstore.merge_runs(runs))
+        log = writer.close()
+        if self._spill_dir is not None:
+            colstore.remove_runs(self._spill_dir)
+        self._counts = {}
+        self._runs = []
+        self._spilled_entries = 0
+        return log
 
     def build(self) -> QueryLog:
         """Materialize the accumulated bag as a :class:`QueryLog`.
@@ -316,6 +418,10 @@ class LogBuilder:
         the matrix is filled with one vectorized index-array assignment
         instead of a per-row/per-index Python loop.
         """
+        if self._runs:
+            raise ValueError(
+                "builder has spilled runs to disk; finalize with build_columnar()"
+            )
         n = len(self.vocabulary)
         if not self._counts:
             raise ValueError("cannot build an empty log")

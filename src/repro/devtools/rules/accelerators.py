@@ -1,0 +1,164 @@
+"""Accelerator rule: KERN01 (optional accelerators stay in one guarded home).
+
+The package must import (and produce bit-identical results) on
+interpreters without any accelerator installed — CI runs a leg with no
+numba on purpose.  One stray top-level ``import numba`` anywhere else
+turns the optional dependency into a hard one and breaks that leg; an
+*unguarded* import even inside the sanctioned home does the same.  This
+rule keeps the dependency honest statically: accelerator packages are
+imported only in ``core/kernels_compiled.py``, and only behind a
+``try``/``except ImportError`` (or inside a function, where the import
+fires on use, not at package import).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+
+from ..engine import FileContext, Rule, Violation
+
+__all__ = ["UnhomedAcceleratorImport"]
+
+#: Optional accelerator packages (root module names).  Everything here
+#: is a JIT/GPU tier the repo may *use* but must never *require*.
+_ACCELERATORS = frozenset(
+    {
+        "numba",
+        "llvmlite",
+        "cupy",
+        "pycuda",
+        "triton",
+        "taichi",
+        "numexpr",
+    }
+)
+
+#: The one module allowed to import accelerators (guarded).
+_HOME = "kernels_compiled.py"
+
+
+class UnhomedAcceleratorImport(Rule):
+    """KERN01 — optional accelerators import only in the guarded home.
+
+    Invariant: optional accelerator packages (``numba`` & co.) are
+    imported exclusively inside ``core/kernels_compiled.py``, and even
+    there only guarded — under a ``try`` whose handler catches
+    ``ImportError``/``ModuleNotFoundError``, or local to a function —
+    so importing :mod:`repro` never requires an accelerator and the
+    ``backend="compiled"`` fallback path stays reachable on every
+    interpreter.
+
+    Witnessed dynamically by ``tests/core/test_kernels_compiled.py``:
+    the fallback tests run unguarded on interpreters without numba,
+    which only works while this invariant holds.
+    """
+
+    rule_id = "KERN01"
+    invariant = (
+        "optional accelerator packages are imported only in "
+        "core/kernels_compiled.py, guarded by try/except ImportError "
+        "or function-local"
+    )
+    witness = "tests/core/test_kernels_compiled.py"
+
+    def applies_to(self, path: PurePath) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        home = ctx.path.name == _HOME
+        found: list[Violation] = []
+        for node, guarded in _scan_body(ctx.tree.body, guarded=False):
+            roots = _accelerator_roots(node)
+            if not roots:
+                continue
+            names = ", ".join(sorted(roots))
+            if not home:
+                found.append(
+                    ctx.violation(
+                        node,
+                        self.rule_id,
+                        f"optional accelerator import `{names}` outside "
+                        "core/kernels_compiled.py — the compiled tier is "
+                        "the only sanctioned accelerator boundary",
+                    )
+                )
+            elif not guarded:
+                found.append(
+                    ctx.violation(
+                        node,
+                        self.rule_id,
+                        f"unguarded accelerator import `{names}` — wrap in "
+                        "try/except ImportError (or import inside a "
+                        "function) so the package works without it",
+                    )
+                )
+        return found
+
+
+def _accelerator_roots(node: ast.AST) -> set[str]:
+    """Accelerator root-module names imported by one import node."""
+    roots: set[str] = set()
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in _ACCELERATORS:
+                roots.add(root)
+    elif isinstance(node, ast.ImportFrom):
+        # Relative imports (level > 0) stay inside the repo: not
+        # accelerators by construction.
+        if not node.level:
+            root = (node.module or "").split(".")[0]
+            if root in _ACCELERATORS:
+                roots.add(root)
+    return roots
+
+
+def _scan_body(
+    stmts: list[ast.stmt], guarded: bool
+) -> list[tuple[ast.stmt, bool]]:
+    """Every import statement in *stmts* (recursively) with its guardedness.
+
+    An import counts as guarded when it sits inside a function body
+    (deferred to call time) or inside the ``try`` body of a ``try``
+    whose handlers catch ``ImportError`` / ``ModuleNotFoundError`` (or
+    everything).  Handler/``else``/``finally`` blocks run outside the
+    guard, so they do not inherit it.
+    """
+    out: list[tuple[ast.stmt, bool]] = []
+    for node in stmts:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            out.append((node, guarded))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.extend(_scan_body(node.body, guarded=True))
+        elif isinstance(node, ast.Try):
+            catches = _catches_import_error(node)
+            out.extend(_scan_body(node.body, guarded=guarded or catches))
+            for handler in node.handlers:
+                out.extend(_scan_body(handler.body, guarded=guarded))
+            out.extend(_scan_body(node.orelse, guarded=guarded))
+            out.extend(_scan_body(node.finalbody, guarded=guarded))
+        else:
+            for attr in ("body", "orelse", "finalbody"):
+                sub = getattr(node, attr, None)
+                if sub:
+                    out.extend(_scan_body(sub, guarded=guarded))
+    return out
+
+
+def _catches_import_error(node: ast.Try) -> bool:
+    for handler in node.handlers:
+        if handler.type is None:  # bare except
+            return True
+        names = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for name in names:
+            target = name.attr if isinstance(name, ast.Attribute) else getattr(
+                name, "id", None
+            )
+            if target in {"ImportError", "ModuleNotFoundError", "Exception", "BaseException"}:
+                return True
+    return False

@@ -31,6 +31,7 @@ from typing import Hashable, Iterable, Sequence
 import numpy as np
 
 from .._rng import ensure_rng
+from ..core.colstore import ColumnarLog
 from ..core.compress import CompressedLog, LogRCompressor
 from ..core.encoding import NaiveEncoding
 from ..core.featurecache import DEFAULT_CACHE_SIZE, FeatureCache, VocabularyCache
@@ -265,6 +266,23 @@ class IncrementalIngestor:
             executor=executor,
             **kwargs,
         )
+
+    @classmethod
+    def from_columnar(
+        cls,
+        log: ColumnarLog,
+        backend: str = "packed",
+        **kwargs: object,
+    ) -> "IncrementalIngestor":
+        """Bootstrap an ingestor from an on-disk columnar log.
+
+        Bulk history is encoded out-of-core (:func:`repro.workloads.
+        logio.load_log_columnar` / ``LogBuilder.build_columnar``) and
+        only materialized here, once, for the initial compression —
+        ``ColumnarLog.to_query_log`` is exact, so the profile is
+        bit-identical to bootstrapping from the in-RAM log.
+        """
+        return cls.from_log(log.to_query_log(backend=backend), **kwargs)
 
     # ------------------------------------------------------------------
     # views

@@ -15,12 +15,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
+from ..core.colstore import DEFAULT_CHUNK_ROWS, ColumnarLog
 from ..core.featurecache import DEFAULT_CACHE_SIZE, CachedTemplate, FeatureCache
 from ..core.log import LogBuilder, QueryLog
 from ..sql import AligonExtractor, SqlError
 from .generator import SyntheticWorkload
 
-__all__ = ["write_log", "read_log", "LoadReport", "load_log"]
+__all__ = ["write_log", "read_log", "LoadReport", "load_log", "load_log_columnar"]
 
 
 def write_log(
@@ -98,8 +99,73 @@ def load_log(
     across calls; ``parse_cache=False`` keeps the historical
     raw-string memo only.
     """
-    extractor = AligonExtractor(remove_constants=remove_constants, max_disjuncts=max_disjuncts)
     builder = LogBuilder()
+    report = _load_into(
+        builder,
+        statements,
+        remove_constants=remove_constants,
+        max_disjuncts=max_disjuncts,
+        max_errors_kept=max_errors_kept,
+        parse_cache=parse_cache,
+        parse_cache_size=parse_cache_size,
+        feature_cache=feature_cache,
+    )
+    return builder.build(), report
+
+
+def load_log_columnar(
+    statements: Iterable[str],
+    path: str | Path,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    remove_constants: bool = True,
+    max_disjuncts: int = 64,
+    max_errors_kept: int = 20,
+    parse_cache: bool = True,
+    parse_cache_size: int = DEFAULT_CACHE_SIZE,
+    feature_cache: FeatureCache | None = None,
+) -> tuple[ColumnarLog, LoadReport]:
+    """Out-of-core :func:`load_log`: encode straight to a columnar log.
+
+    Same parsing, accounting, and row content as :func:`load_log`
+    (``load_log_columnar(s, p)[0].to_query_log()`` equals
+    ``load_log(s)[0]`` bit for bit), but the builder runs in spill
+    mode with a *chunk_rows* row budget and finalizes into the
+    ``logr-collog-v1`` directory at *path* — the statement stream is
+    consumed in one pass with peak RSS bounded by the chunk budget,
+    not the log's distinct-row count.
+    """
+    path = Path(path)
+    builder = LogBuilder(spill_dir=path / "runs", spill_rows=chunk_rows)
+    report = _load_into(
+        builder,
+        statements,
+        remove_constants=remove_constants,
+        max_disjuncts=max_disjuncts,
+        max_errors_kept=max_errors_kept,
+        parse_cache=parse_cache,
+        parse_cache_size=parse_cache_size,
+        feature_cache=feature_cache,
+    )
+    return builder.build_columnar(path, chunk_rows=chunk_rows), report
+
+
+def _load_into(
+    builder: LogBuilder,
+    statements: Iterable[str],
+    remove_constants: bool,
+    max_disjuncts: int,
+    max_errors_kept: int,
+    parse_cache: bool,
+    parse_cache_size: int,
+    feature_cache: FeatureCache | None,
+) -> LoadReport:
+    """The §7 preparation loop, filling *builder* statement by statement.
+
+    Shared by :func:`load_log` (in-RAM finalize) and
+    :func:`load_log_columnar` (spill-mode builder); raises when no
+    statement was usable, so callers can finalize unconditionally.
+    """
+    extractor = AligonExtractor(remove_constants=remove_constants, max_disjuncts=max_disjuncts)
     report = LoadReport()
     if feature_cache is None and parse_cache:
         feature_cache = FeatureCache(extractor, max_templates=parse_cache_size)
@@ -146,7 +212,7 @@ def load_log(
             builder.add_encoded(indices)
         if len(builder) == 0:
             raise ValueError("no usable statements in the input log")
-        return builder.build(), report
+        return report
     cache: dict[str, list | None] = {}
     for statement in statements:
         report.total_statements += 1
@@ -187,7 +253,7 @@ def load_log(
         builder.add(frozenset(merged))
     if len(builder) == 0:
         raise ValueError("no usable statements in the input log")
-    return builder.build(), report
+    return report
 
 
 _MISSING = object()

@@ -1,0 +1,216 @@
+"""Compiled kernel tier: fallback semantics and exact JIT equivalence.
+
+Two regimes, both covered:
+
+* without numba (the fallback CI leg): ``backend="compiled"`` degrades
+  to the packed kernels after one warning, and every result is
+  bit-identical to ``packed`` — these tests run unguarded;
+* with numba: the JIT kernels must be bit-identical to the NumPy
+  reference on every entry point, across jobs 1/2/4 and the serial /
+  thread / process executors — guarded by ``HAVE_NUMBA`` so the
+  numba-less leg skips them cleanly.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import kernels, kernels_compiled
+from repro.core.compress import LogRCompressor, compress_sharded
+from repro.core.kernels_compiled import HAVE_NUMBA
+from repro.core.log import BACKENDS
+from repro.core.mining import frequent_patterns
+
+from test_compress_pipeline import _artifact_key
+from test_kernels import random_log, random_patterns
+
+needs_numba = pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+without_numba = pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed")
+
+#: jobs 1/2/4 across serial/thread/process, as in test_compress_pipeline.
+PARALLEL_GRID = [
+    ("serial", 1),
+    ("thread", 2),
+    ("thread", 4),
+    ("process", 2),
+    ("process", 4),
+]
+
+
+class TestRegistration:
+    def test_compiled_is_a_registered_backend(self):
+        assert "compiled" in BACKENDS
+
+    def test_resolve_backend_passthrough(self):
+        assert kernels_compiled.resolve_backend("packed") == "packed"
+        assert kernels_compiled.resolve_backend("dense") == "dense"
+
+    def test_kernel_namespace_for_reference_backends(self):
+        assert kernels_compiled.kernel_namespace("packed") is kernels
+        assert kernels_compiled.kernel_namespace("dense") is kernels
+
+
+class TestFallback:
+    """Behavior on interpreters without numba (and invariants on all)."""
+
+    @without_numba
+    def test_resolve_backend_warns_once_and_falls_back(self):
+        kernels_compiled._FALLBACK_WARNED = False
+        with pytest.warns(RuntimeWarning, match="numba is not installed"):
+            assert kernels_compiled.resolve_backend("compiled") == "packed"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert kernels_compiled.resolve_backend("compiled") == "packed"
+
+    @without_numba
+    def test_kernel_namespace_falls_back_to_reference(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert kernels_compiled.kernel_namespace("compiled") is kernels
+
+    @without_numba
+    def test_entry_points_delegate_to_reference(self):
+        log = random_log(3)
+        patterns = random_patterns(np.random.default_rng(3), log.n_features, 8)
+        index_lists = [p.indices for p in patterns]
+        assert np.array_equal(
+            kernels_compiled.support_counts(
+                log.packed_columns, log._byte_tally, index_lists
+            ),
+            kernels.support_counts(log.packed_columns, log._byte_tally, index_lists),
+        )
+        packed_patterns = kernels.pack_patterns(index_lists, log.n_features)
+        assert np.array_equal(
+            kernels_compiled.contains_many(log.packed, packed_patterns),
+            kernels.contains_many(log.packed, packed_patterns),
+        )
+        assert np.array_equal(
+            kernels_compiled.weighted_byte_tally(log.counts),
+            kernels.weighted_byte_tally(log.counts),
+        )
+        kernels_compiled.warm_up()  # no-op without numba
+
+    def test_compiled_backend_matches_packed_end_to_end(self):
+        """Whatever serves `compiled` (JIT or fallback), results match."""
+        log = random_log(11)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            compiled = log.with_backend("compiled")
+        packed = log.with_backend("packed")
+        dense = log.with_backend("dense")
+        assert compiled.backend == "compiled"  # label kept for provenance
+        patterns = random_patterns(np.random.default_rng(11), log.n_features, 10)
+        assert np.array_equal(
+            compiled.pattern_counts(patterns), packed.pattern_counts(patterns)
+        )
+        assert np.array_equal(
+            compiled.pattern_counts(patterns), dense.pattern_counts(patterns)
+        )
+        for pattern in patterns:
+            assert np.array_equal(
+                compiled.pattern_mask(pattern), packed.pattern_mask(pattern)
+            )
+        assert frequent_patterns(compiled, min_support=0.05) == frequent_patterns(
+            packed, min_support=0.05
+        )
+
+
+@needs_numba
+class TestJitEquivalence:
+    """With numba: every JIT kernel is bit-identical to the reference."""
+
+    def test_warm_up_compiles(self):
+        kernels_compiled.warm_up()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_support_counts_exact(self, seed):
+        log = random_log(seed)
+        rng = np.random.default_rng(seed)
+        patterns = [p.indices for p in random_patterns(rng, log.n_features, 12)]
+        got = kernels_compiled.support_counts(
+            log.packed_columns, log._byte_tally, patterns
+        )
+        want = kernels.support_counts(log.packed_columns, log._byte_tally, patterns)
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)
+
+    def test_support_counts_rectangular_and_empty_batches(self):
+        log = random_log(7)
+        rect = np.arange(log.n_features)[:, None]
+        assert np.array_equal(
+            kernels_compiled.support_counts(log.packed_columns, log._byte_tally, rect),
+            kernels.support_counts(log.packed_columns, log._byte_tally, rect),
+        )
+        empty = kernels_compiled.support_counts(
+            log.packed_columns, log._byte_tally, []
+        )
+        assert empty.shape == (0,)
+        with pytest.raises(ValueError, match="pattern index out of range"):
+            kernels_compiled.support_counts(
+                log.packed_columns, log._byte_tally, [[log.n_features]]
+            )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_contains_many_exact(self, seed):
+        log = random_log(seed, n_rows=60)
+        rng = np.random.default_rng(seed)
+        packed_patterns = kernels.pack_patterns(
+            [p.indices for p in random_patterns(rng, log.n_features, 9)],
+            log.n_features,
+        )
+        assert np.array_equal(
+            kernels_compiled.contains_many(log.packed, packed_patterns),
+            kernels.contains_many(log.packed, packed_patterns),
+        )
+
+    def test_weighted_byte_tally_exact(self):
+        for size in (1, 63, 64, 65, 200):
+            counts = np.random.default_rng(size).integers(1, 1000, size=size)
+            assert np.array_equal(
+                kernels_compiled.weighted_byte_tally(counts),
+                kernels.weighted_byte_tally(counts),
+            )
+
+
+@needs_numba
+class TestCompiledCompression:
+    """compiled == packed == dense artifacts across the executor grid."""
+
+    @pytest.fixture(scope="class")
+    def log(self):
+        return random_log(23, n_rows=50, n_features=70)
+
+    @pytest.fixture(scope="class")
+    def packed_artifact(self, log):
+        return LogRCompressor(n_clusters=4, n_init=2, seed=9).compress(
+            log.with_backend("packed")
+        )
+
+    @pytest.mark.parametrize("kind,jobs", PARALLEL_GRID)
+    def test_compress_bit_identical_across_executors(
+        self, log, packed_artifact, kind, jobs
+    ):
+        compressed = LogRCompressor(
+            n_clusters=4, n_init=2, seed=9, backend="compiled",
+            jobs=jobs, executor=kind,
+        ).compress(log)
+        assert _artifact_key(compressed) == _artifact_key(packed_artifact)
+
+    @pytest.mark.parametrize("reference", ["packed", "dense"])
+    def test_sharded_compiled_matches_references(self, log, reference):
+        results = [
+            compress_sharded(
+                log, 3, n_clusters=3, backend=backend,
+                jobs=2, executor="thread", seed=5,
+            )
+            for backend in ("compiled", reference)
+        ]
+        assert _artifact_key(results[0]) == _artifact_key(results[1])
+
+    def test_mining_matches_packed(self, log):
+        assert frequent_patterns(
+            log.with_backend("compiled"), min_support=0.05, max_size=3
+        ) == frequent_patterns(log.with_backend("packed"), min_support=0.05, max_size=3)

@@ -24,6 +24,7 @@ from hypothesis import given, settings
 
 from repro.core.compress import LogRCompressor, compress_sharded
 from repro.core.executor import resolve_executor
+from repro.core.kernels_compiled import HAVE_NUMBA
 from repro.core.log import QueryLog
 from repro.core.mixture import PatternMixtureEncoding
 from repro.core.pattern import Pattern
@@ -284,8 +285,19 @@ def test_consolidated_equals_direct_fit_of_union_partitions(log, k):
 #: K-way clustering is itself noisy — never by more than this.
 CLUSTERING_NOISE_BITS = 0.75
 
+#: All exact kernel backends; `compiled` joins the grid only when numba
+#: is importable (without it the backend is a packed alias — that
+#: fallback equivalence is covered by test_kernels_compiled instead).
+BACKEND_GRID = [
+    "packed",
+    "dense",
+    pytest.param(
+        "compiled", marks=pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    ),
+]
 
-@pytest.mark.parametrize("backend", ["packed", "dense"])
+
+@pytest.mark.parametrize("backend", BACKEND_GRID)
 @pytest.mark.parametrize("jobs", [1, 2])
 def test_sharded_consolidated_error_within_noise_of_direct(
     small_pocketdata_log, backend, jobs
@@ -317,7 +329,7 @@ def test_sharded_consolidated_error_within_noise_of_direct(
     assert direct.error >= -1e-9
 
 
-@pytest.mark.parametrize("backend", ["packed", "dense"])
+@pytest.mark.parametrize("backend", BACKEND_GRID)
 def test_sharded_merge_bit_identical_across_jobs(small_pocketdata_log, backend):
     """jobs=1 and jobs=2 must produce the same artifact bit for bit."""
     log = small_pocketdata_log.with_backend(backend)

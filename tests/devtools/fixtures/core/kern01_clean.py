@@ -1,0 +1,14 @@
+"""KERN01 fixture: no accelerator imports — nothing to flag.
+
+Near-misses that must stay clean: ordinary numeric deps, a module whose
+name merely *contains* an accelerator name, and a relative import.
+"""
+
+import numpy as np  # not an accelerator
+import numba_compat_shim  # noqa: F401  root module is not `numba` itself
+
+from . import kernels  # noqa: F401  relative import stays in-repo
+
+
+def use() -> int:
+    return int(np.int64(1))

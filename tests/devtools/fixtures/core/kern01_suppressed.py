@@ -1,0 +1,4 @@
+"""KERN01 fixture: a justified suppression survives the gate."""
+
+# reprolint: disable=KERN01 -- fixture: vendored benchmark harness needs direct numba access
+import numba  # noqa: F401

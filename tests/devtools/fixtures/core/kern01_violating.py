@@ -1,0 +1,15 @@
+"""KERN01 fixture: accelerator imports outside the sanctioned home.
+
+This file is *not* named ``kernels_compiled.py``, so every accelerator
+import here is a violation — even guarded ones: outside the home, the
+rule does not care how carefully the import is wrapped.
+"""
+
+import numba  # noqa: F401  (1) top-level accelerator import
+
+from numba import njit  # noqa: F401  (2) from-import of an accelerator
+
+try:
+    import cupy  # noqa: F401  (3) guarded, but still outside the home
+except ImportError:
+    cupy = None
